@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Campaign driver: the repository's analog of the paper artifact's
+ * "./launch.py all". Runs the full measurement campaign for every
+ * modeled system and writes one CSV per experiment under results/.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/campaign.hh"
+
+using namespace syncperf;
+using namespace syncperf::core;
+
+int
+main(int argc, char **argv)
+{
+    CampaignOptions options;
+    bool omp_only = false, cuda_only = false;
+    MeasurementConfig omp_protocol = MeasurementConfig::simDefaults();
+    MeasurementConfig cuda_protocol = MeasurementConfig::simGpuDefaults();
+    omp_protocol.runs = 1;
+    omp_protocol.attempts = 1;
+    cuda_protocol.runs = 1;
+    cuda_protocol.attempts = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            options.output_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--thorough") == 0) {
+            options.quick = false;
+        } else if (std::strcmp(argv[i], "omp") == 0) {
+            omp_only = true;
+        } else if (std::strcmp(argv[i], "cuda") == 0) {
+            cuda_only = true;
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("usage: %s [omp|cuda] [--out DIR] "
+                        "[--thorough]\n", argv[0]);
+            return 0;
+        }
+    }
+
+    int files = 0;
+    if (!cuda_only) {
+        for (const auto &cpu :
+             {cpusim::CpuConfig::system1(), cpusim::CpuConfig::system2(),
+              cpusim::CpuConfig::system3()}) {
+            std::printf("OpenMP campaign on %s...\n", cpu.name.c_str());
+            const auto r = runOmpCampaign(cpu, omp_protocol, options);
+            std::printf("  %d experiments -> %zu files\n",
+                        r.experiments_run, r.files_written.size());
+            files += static_cast<int>(r.files_written.size());
+        }
+    }
+    if (!omp_only) {
+        for (const auto &gpu :
+             {gpusim::GpuConfig::rtx2070Super(), gpusim::GpuConfig::a100(),
+              gpusim::GpuConfig::rtx4090()}) {
+            std::printf("CUDA campaign on %s...\n", gpu.name.c_str());
+            const auto r = runCudaCampaign(gpu, cuda_protocol, options);
+            std::printf("  %d experiments -> %zu files\n",
+                        r.experiments_run, r.files_written.size());
+            files += static_cast<int>(r.files_written.size());
+        }
+    }
+    std::printf("\ncampaign complete: %d CSV files under %s/\n", files,
+                options.output_dir.c_str());
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fig. 1: throughput of the OpenMP barrier vs thread count
+ * (System 3, spread affinity).
+ */
+
+#include "bench_common.hh"
+
+using namespace syncperf;
+using namespace syncperf::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = Options::parse(argc, argv);
+    const auto cpu = cpusim::CpuConfig::system3();
+
+    printHeader("Fig. 1: OpenMP barrier throughput", cpu.name,
+                "per-thread throughput decreases up to ~8 threads, then "
+                "remains largely stable; hyperthreading (right of the "
+                "marker) costs little");
+
+    core::CpuSimTarget target(cpu, ompProtocol(opt));
+    core::OmpExperiment exp;
+    exp.primitive = core::OmpPrimitive::Barrier;
+    exp.affinity = Affinity::Spread;
+
+    const auto threads = ompSweep(cpu, opt);
+    std::vector<double> thr;
+    for (int t : threads)
+        thr.push_back(target.measure(exp, t).opsPerSecondPerThread());
+
+    core::Figure fig("Fig. 1", "OpenMP barrier (spread affinity)",
+                     "threads", toXs(threads));
+    fig.setCoreBoundary(cpu.totalCores());
+    fig.addSeries("barrier", thr);
+    fig.setNote("dashed marker = physical core count; plateau beyond "
+                "~8 threads matches the paper");
+    emitFigure(fig, opt);
+    return 0;
+}

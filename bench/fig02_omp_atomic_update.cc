@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fig. 2: throughput of "#pragma omp atomic update" on a single
+ * shared variable for all four data types (System 3).
+ */
+
+#include "bench_common.hh"
+
+using namespace syncperf;
+using namespace syncperf::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = Options::parse(argc, argv);
+    const auto cpu = cpusim::CpuConfig::system3();
+
+    printHeader("Fig. 2: OpenMP atomic update, single shared variable",
+                cpu.name,
+                "same decay trend as the barrier; int/ull faster than "
+                "float/double; word size irrelevant on 64-bit CPUs");
+
+    core::CpuSimTarget target(cpu, ompProtocol(opt));
+    const auto threads = ompSweep(cpu, opt);
+
+    core::Figure fig("Fig. 2", "atomic update on one shared variable",
+                     "threads", toXs(threads));
+    fig.setCoreBoundary(cpu.totalCores());
+    for (DataType t : all_data_types) {
+        core::OmpExperiment exp;
+        exp.primitive = core::OmpPrimitive::AtomicUpdate;
+        exp.dtype = t;
+        std::vector<double> thr;
+        for (int n : threads)
+            thr.push_back(target.measure(exp, n).opsPerSecondPerThread());
+        fig.addSeries(std::string(dataTypeName(t)), std::move(thr));
+    }
+    fig.setNote("integer types above floating-point types at every "
+                "thread count, as in the paper");
+    emitFigure(fig, opt);
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig. 3: atomic update on private elements of a shared array, for
+ * strides 1, 4, 8, and 16 (System 3) -- the false-sharing figure.
+ */
+
+#include "bench_common.hh"
+
+using namespace syncperf;
+using namespace syncperf::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = Options::parse(argc, argv);
+    const auto cpu = cpusim::CpuConfig::system3();
+
+    printHeader(
+        "Fig. 3: OpenMP atomic update on private array elements",
+        cpu.name,
+        "stride 1: maximum false sharing, 4-byte types slightly worse; "
+        "stride 8: 64-bit types jump (own line); stride 16: all types "
+        "free of false sharing, integers fastest");
+
+    const auto threads = ompSweep(cpu, opt);
+    const char sub = 'a';
+    int idx = 0;
+    for (int stride : {1, 4, 8, 16}) {
+        core::CpuSimTarget target(cpu, ompProtocol(opt));
+        core::Figure fig(
+            std::string("Fig. 3") + static_cast<char>(sub + idx++),
+            "stride = " + std::to_string(stride), "threads",
+            toXs(threads));
+        fig.setCoreBoundary(cpu.totalCores());
+        for (DataType t : all_data_types) {
+            core::OmpExperiment exp;
+            exp.primitive = core::OmpPrimitive::AtomicUpdate;
+            exp.location = core::Location::PrivateArray;
+            exp.dtype = t;
+            exp.stride = stride;
+            std::vector<double> thr;
+            for (int n : threads) {
+                thr.push_back(
+                    target.measure(exp, n).opsPerSecondPerThread());
+            }
+            fig.addSeries(std::string(dataTypeName(t)), std::move(thr));
+        }
+        emitFigure(fig, opt);
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 4: OpenMP atomic write on one shared variable, on System 3
+ * (jittery Threadripper) and System 2 (clean Xeon).
+ */
+
+#include "bench_common.hh"
+
+using namespace syncperf;
+using namespace syncperf::bench;
+
+namespace
+{
+
+void
+runSystem(const cpusim::CpuConfig &cpu, const char *figure_id,
+          const Options &opt)
+{
+    auto protocol = bench::ompProtocol(opt);
+    if (cpu.jitter_frac > 0.0 && !opt.full) {
+        // Jittered systems need the multi-run protocol to show their
+        // run-to-run variation.
+        protocol.runs = 3;
+        protocol.attempts = 2;
+    }
+    core::CpuSimTarget target(cpu, protocol);
+    const auto threads = ompSweep(cpu, opt);
+
+    core::Figure fig(figure_id, "atomic write on one shared variable, " +
+                                    cpu.name,
+                     "threads", toXs(threads));
+    fig.setCoreBoundary(cpu.totalCores());
+    for (DataType t : all_data_types) {
+        core::OmpExperiment exp;
+        exp.primitive = core::OmpPrimitive::AtomicWrite;
+        exp.dtype = t;
+        std::vector<double> thr;
+        for (int n : threads)
+            thr.push_back(target.measure(exp, n).opsPerSecondPerThread());
+        fig.addSeries(std::string(dataTypeName(t)), std::move(thr));
+    }
+    emitFigure(fig, opt);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = Options::parse(argc, argv);
+    printHeader("Fig. 4: OpenMP atomic write on two systems",
+                "System 3 (AMD) and System 2 (Intel)",
+                "same exponential decay as the update but with no data "
+                "type effect (no arithmetic, 64-bit stores); System 3 "
+                "shows fabric jitter, System 2 is clean");
+    runSystem(cpusim::CpuConfig::system3(), "Fig. 4a", opt);
+    runSystem(cpusim::CpuConfig::system2(), "Fig. 4b", opt);
+    return 0;
+}

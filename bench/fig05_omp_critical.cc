@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 5: an addition on one shared variable protected by an OpenMP
+ * critical section (System 3, spread affinity), with the equivalent
+ * atomic update overlaid for the paper's comparison.
+ */
+
+#include "bench_common.hh"
+
+using namespace syncperf;
+using namespace syncperf::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = Options::parse(argc, argv);
+    const auto cpu = cpusim::CpuConfig::system3();
+
+    printHeader("Fig. 5: OpenMP critical section",
+                cpu.name,
+                "similar trend to the atomic update (Fig. 2) but the "
+                "throughput drops more quickly and is lower -- use "
+                "critical sections only when no alternative exists");
+
+    core::CpuSimTarget tc(cpu, ompProtocol(opt));
+    core::CpuSimTarget ta(cpu, ompProtocol(opt));
+    const auto threads = ompSweep(cpu, opt);
+
+    core::OmpExperiment critical;
+    critical.primitive = core::OmpPrimitive::Critical;
+    critical.affinity = Affinity::Spread;
+    core::OmpExperiment atomic;
+    atomic.primitive = core::OmpPrimitive::AtomicUpdate;
+    atomic.affinity = Affinity::Spread;
+
+    std::vector<double> thr_critical, thr_atomic;
+    for (int n : threads) {
+        thr_critical.push_back(
+            tc.measure(critical, n).opsPerSecondPerThread());
+        thr_atomic.push_back(
+            ta.measure(atomic, n).opsPerSecondPerThread());
+    }
+
+    core::Figure fig("Fig. 5",
+                     "critical-section add vs the equivalent atomic",
+                     "threads", toXs(threads));
+    fig.setCoreBoundary(cpu.totalCores());
+    fig.addSeries("critical", thr_critical);
+    fig.addSeries("atomic (Fig. 2)", thr_atomic);
+    fig.setNote("the critical section is below the atomic at every "
+                "thread count");
+    emitFigure(fig, opt);
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig. 6: OpenMP flush between two private-array increments, at
+ * strides 1, 4, 8, 16 (System 2, close affinity).
+ */
+
+#include "bench_common.hh"
+
+using namespace syncperf;
+using namespace syncperf::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = Options::parse(argc, argv);
+    const auto cpu = cpusim::CpuConfig::system2();
+
+    printHeader(
+        "Fig. 6: OpenMP flush at several strides", cpu.name,
+        "with false sharing (small strides) the flush is expensive and "
+        "decays; once every element has its own line (stride 8 for "
+        "64-bit, 16 for 32-bit types) the flush is cheap and flat");
+
+    const auto threads = ompSweep(cpu, opt);
+    int idx = 0;
+    for (int stride : {1, 4, 8, 16}) {
+        core::CpuSimTarget target(cpu, ompProtocol(opt));
+        core::Figure fig(
+            std::string("Fig. 6") + static_cast<char>('a' + idx++),
+            "flush, stride = " + std::to_string(stride) +
+                " (close affinity)",
+            "threads", toXs(threads));
+        fig.setCoreBoundary(cpu.totalCores());
+        for (DataType t : all_data_types) {
+            core::OmpExperiment exp;
+            exp.primitive = core::OmpPrimitive::Flush;
+            exp.location = core::Location::PrivateArray;
+            exp.affinity = Affinity::Close;
+            exp.dtype = t;
+            exp.stride = stride;
+            std::vector<double> thr;
+            for (int n : threads) {
+                thr.push_back(
+                    target.measure(exp, n).opsPerSecondPerThread());
+            }
+            fig.addSeries(std::string(dataTypeName(t)), std::move(thr));
+        }
+        emitFigure(fig, opt);
+    }
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 7: __syncthreads() throughput vs threads per block, at every
+ * paper block count (RTX 4090 model).
+ */
+
+#include "bench_common.hh"
+
+using namespace syncperf;
+using namespace syncperf::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = Options::parse(argc, argv);
+    const auto gpu = gpusim::GpuConfig::rtx4090();
+
+    printHeader("Fig. 7: __syncthreads() throughput", gpu.name,
+                "constant up to the warp size (32), dropping as warps "
+                "must wait for each other; identical at every block "
+                "count (block-local hardware barrier)");
+
+    core::GpuSimTarget target(gpu, gpuProtocol(opt));
+    core::CudaExperiment exp;
+    exp.primitive = core::CudaPrimitive::SyncThreads;
+
+    const auto threads = cudaSweep(opt);
+    core::Figure fig("Fig. 7", "__syncthreads() (any block count)",
+                     "threads per block", toXs(threads));
+    fig.setLogX(true);
+    for (int blocks : {1, 2, gpu.sm_count / 2}) {
+        std::vector<double> thr;
+        for (int t : threads) {
+            thr.push_back(
+                target.measure(exp, {blocks, t}).opsPerSecondPerThread());
+        }
+        fig.addSeries(std::to_string(blocks) + " block(s)",
+                      std::move(thr));
+    }
+    fig.setNote("the series coincide: block count does not matter");
+    emitFigure(fig, opt);
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig. 8: __syncwarp() throughput on the RTX 4090 and RTX 2070 SUPER
+ * models at full and double block configurations.
+ */
+
+#include "bench_common.hh"
+
+using namespace syncperf;
+using namespace syncperf::bench;
+
+namespace
+{
+
+void
+runDevice(const gpusim::GpuConfig &gpu, const char *figure_id,
+          const Options &opt)
+{
+    core::GpuSimTarget target(gpu, gpuProtocol(opt));
+    core::CudaExperiment exp;
+    exp.primitive = core::CudaPrimitive::SyncWarp;
+
+    const auto threads = cudaSweep(opt);
+    core::Figure fig(figure_id, "__syncwarp() on " + gpu.name,
+                     "threads per block", toXs(threads));
+    fig.setLogX(true);
+    for (int blocks : {gpu.sm_count, 2 * gpu.sm_count}) {
+        std::vector<double> thr;
+        for (int t : threads) {
+            thr.push_back(
+                target.measure(exp, {blocks, t}).opsPerSecondPerThread());
+        }
+        fig.addSeries(blocks == gpu.sm_count ? "full blocks"
+                                             : "double blocks",
+                      std::move(thr));
+    }
+    emitFigure(fig, opt);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = Options::parse(argc, argv);
+    printHeader(
+        "Fig. 8: __syncwarp() on two systems",
+        "RTX 4090 vs RTX 2070 SUPER",
+        "constant until the per-SM warp load saturates the issue "
+        "bandwidth: up to 256 threads/SM on the 4090, 512 on the 2070 "
+        "SUPER; the double-block series drops one step earlier");
+    runDevice(gpusim::GpuConfig::rtx4090(), "Fig. 8a", opt);
+    runDevice(gpusim::GpuConfig::rtx2070Super(), "Fig. 8b", opt);
+    return 0;
+}

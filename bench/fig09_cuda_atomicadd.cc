@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig. 9: atomicAdd() on one shared variable for all data types, at
+ * 2 blocks and at half the SM count (RTX 4090 model).
+ */
+
+#include "bench_common.hh"
+
+using namespace syncperf;
+using namespace syncperf::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = Options::parse(argc, argv);
+    const auto gpu = gpusim::GpuConfig::rtx4090();
+
+    printHeader(
+        "Fig. 9: atomicAdd() on one shared variable", gpu.name,
+        "warp aggregation keeps int constant up to 64 threads (2 "
+        "warps); int above ull above float/double everywhere; the "
+        "half-SM configuration is lower (shared atomic units)");
+
+    const auto threads = cudaSweep(opt);
+    int idx = 0;
+    for (int blocks : {2, gpu.sm_count / 2}) {
+        core::GpuSimTarget target(gpu, gpuProtocol(opt));
+        core::Figure fig(
+            std::string("Fig. 9") + static_cast<char>('a' + idx++),
+            std::to_string(blocks) + " blocks", "threads per block",
+            toXs(threads));
+        fig.setLogX(true);
+        for (DataType t : all_data_types) {
+            core::CudaExperiment exp;
+            exp.primitive = core::CudaPrimitive::AtomicAdd;
+            exp.dtype = t;
+            std::vector<double> thr;
+            for (int n : threads) {
+                thr.push_back(target.measure(exp, {blocks, n})
+                                  .opsPerSecondPerThread());
+            }
+            fig.addSeries(std::string(dataTypeName(t)), std::move(thr));
+        }
+        emitFigure(fig, opt);
+    }
+    return 0;
+}

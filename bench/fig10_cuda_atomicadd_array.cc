@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig. 10: atomicAdd() on private elements of a shared array, for
+ * block counts 1 and 128 and strides 1 and 32 (RTX 4090 model).
+ */
+
+#include "bench_common.hh"
+
+using namespace syncperf;
+using namespace syncperf::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = Options::parse(argc, argv);
+    const auto gpu = gpusim::GpuConfig::rtx4090();
+
+    printHeader(
+        "Fig. 10: atomicAdd() on private array elements", gpu.name,
+        "no warp aggregation (distinct addresses); at 1 block the "
+        "trend is independent of stride; at 128 blocks throughput is "
+        "lower -- the L2 atomic units bound the total rate");
+
+    const auto threads = cudaSweep(opt);
+    int idx = 0;
+    for (int blocks : {1, 128}) {
+        for (int stride : {1, 32}) {
+            core::GpuSimTarget target(gpu, gpuProtocol(opt));
+            core::Figure fig(
+                std::string("Fig. 10") + static_cast<char>('a' + idx++),
+                std::to_string(blocks) + " block(s), stride = " +
+                    std::to_string(stride),
+                "threads per block", toXs(threads));
+            fig.setLogX(true);
+            for (DataType t : all_data_types) {
+                core::CudaExperiment exp;
+                exp.primitive = core::CudaPrimitive::AtomicAdd;
+                exp.location = core::Location::PrivateArray;
+                exp.dtype = t;
+                exp.stride = stride;
+                std::vector<double> thr;
+                for (int n : threads) {
+                    thr.push_back(target.measure(exp, {blocks, n})
+                                      .opsPerSecondPerThread());
+                }
+                fig.addSeries(std::string(dataTypeName(t)),
+                              std::move(thr));
+            }
+            emitFigure(fig, opt);
+        }
+    }
+    return 0;
+}

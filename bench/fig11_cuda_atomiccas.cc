@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fig. 11: atomicCAS() on one shared variable, at 1 and 128 blocks
+ * (RTX 4090 model). CAS has no floating-point flavors.
+ */
+
+#include "bench_common.hh"
+
+using namespace syncperf;
+using namespace syncperf::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = Options::parse(argc, argv);
+    const auto gpu = gpusim::GpuConfig::rtx4090();
+
+    printHeader(
+        "Fig. 11: atomicCAS() on one shared variable", gpu.name,
+        "no warp aggregation possible: constant only up to 4 threads "
+        "at one block, then the same decay as atomicAdd");
+
+    const auto threads = cudaSweep(opt);
+    int idx = 0;
+    for (int blocks : {1, 128}) {
+        core::GpuSimTarget target(gpu, gpuProtocol(opt));
+        core::Figure fig(
+            std::string("Fig. 11") + static_cast<char>('a' + idx++),
+            std::to_string(blocks) + " block(s)", "threads per block",
+            toXs(threads));
+        fig.setLogX(true);
+        for (DataType t : {DataType::Int32, DataType::UInt64}) {
+            core::CudaExperiment exp;
+            exp.primitive = core::CudaPrimitive::AtomicCas;
+            exp.dtype = t;
+            std::vector<double> thr;
+            for (int n : threads) {
+                thr.push_back(target.measure(exp, {blocks, n})
+                                  .opsPerSecondPerThread());
+            }
+            fig.addSeries(std::string(dataTypeName(t)), std::move(thr));
+        }
+        emitFigure(fig, opt);
+    }
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig. 12: atomicCAS() on private elements of a shared array, for
+ * block counts 1 and 128 and strides 1 and 32 (RTX 4090 model).
+ */
+
+#include "bench_common.hh"
+
+using namespace syncperf;
+using namespace syncperf::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = Options::parse(argc, argv);
+    const auto gpu = gpusim::GpuConfig::rtx4090();
+
+    printHeader(
+        "Fig. 12: atomicCAS() on private array elements", gpu.name,
+        "resembles the atomicAdd() trends of Fig. 10 with a different "
+        "drop-off point at one block; a fixed number of CAS operations "
+        "per unit time binds the high block counts");
+
+    const auto threads = cudaSweep(opt);
+    int idx = 0;
+    for (int blocks : {1, 128}) {
+        for (int stride : {1, 32}) {
+            core::GpuSimTarget target(gpu, gpuProtocol(opt));
+            core::Figure fig(
+                std::string("Fig. 12") + static_cast<char>('a' + idx++),
+                std::to_string(blocks) + " block(s), stride = " +
+                    std::to_string(stride),
+                "threads per block", toXs(threads));
+            fig.setLogX(true);
+            for (DataType t : {DataType::Int32, DataType::UInt64}) {
+                core::CudaExperiment exp;
+                exp.primitive = core::CudaPrimitive::AtomicCas;
+                exp.location = core::Location::PrivateArray;
+                exp.dtype = t;
+                exp.stride = stride;
+                std::vector<double> thr;
+                for (int n : threads) {
+                    thr.push_back(target.measure(exp, {blocks, n})
+                                      .opsPerSecondPerThread());
+                }
+                fig.addSeries(std::string(dataTypeName(t)),
+                              std::move(thr));
+            }
+            emitFigure(fig, opt);
+        }
+    }
+    return 0;
+}

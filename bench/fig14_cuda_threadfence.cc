@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig. 14: __threadfence() between two private-array updates, for
+ * block counts 1 and 128 and strides 1 and 32 (RTX 4090 model).
+ */
+
+#include "bench_common.hh"
+
+using namespace syncperf;
+using namespace syncperf::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = Options::parse(argc, argv);
+    const auto gpu = gpusim::GpuConfig::rtx4090();
+
+    printHeader(
+        "Fig. 14: __threadfence()", gpu.name,
+        "throughput fairly constant regardless of thread count, block "
+        "count, or stride: the cost is draining the store path, not "
+        "coherence (unlike the OpenMP flush of Fig. 6)");
+
+    const auto threads = cudaSweep(opt);
+    int idx = 0;
+    for (int blocks : {1, 128}) {
+        for (int stride : {1, 32}) {
+            core::GpuSimTarget target(gpu, gpuProtocol(opt));
+            core::Figure fig(
+                std::string("Fig. 14") + static_cast<char>('a' + idx++),
+                std::to_string(blocks) + " block(s), stride = " +
+                    std::to_string(stride),
+                "threads per block", toXs(threads));
+            fig.setLogX(true);
+            core::CudaExperiment exp;
+            exp.primitive = core::CudaPrimitive::ThreadFence;
+            exp.location = core::Location::PrivateArray;
+            exp.stride = stride;
+            std::vector<double> thr;
+            for (int n : threads) {
+                thr.push_back(target.measure(exp, {blocks, n})
+                                  .opsPerSecondPerThread());
+            }
+            fig.addSeries("__threadfence()", std::move(thr));
+            emitFigure(fig, opt);
+        }
+    }
+    return 0;
+}

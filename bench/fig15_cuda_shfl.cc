@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig. 15: __shfl_sync() at full and double block configurations for
+ * 32-bit and 64-bit data types (RTX 4090 model).
+ */
+
+#include "bench_common.hh"
+
+using namespace syncperf;
+using namespace syncperf::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = Options::parse(argc, argv);
+    const auto gpu = gpusim::GpuConfig::rtx4090();
+
+    printHeader(
+        "Fig. 15: __shfl_sync()", gpu.name,
+        "same behavior as __syncwarp(); the hardware shuffles 32 bits "
+        "per instruction, so 64-bit types issue two micro-ops and "
+        "drop at half the thread count of 32-bit types");
+
+    const auto threads = cudaSweep(opt);
+    int idx = 0;
+    for (int blocks : {gpu.sm_count, 2 * gpu.sm_count}) {
+        core::GpuSimTarget target(gpu, gpuProtocol(opt));
+        core::Figure fig(
+            std::string("Fig. 15") + static_cast<char>('a' + idx++),
+            blocks == gpu.sm_count ? "full blocks" : "double blocks",
+            "threads per block", toXs(threads));
+        fig.setLogX(true);
+        for (DataType t : all_data_types) {
+            core::CudaExperiment exp;
+            exp.primitive = core::CudaPrimitive::ShflSync;
+            exp.dtype = t;
+            std::vector<double> thr;
+            for (int n : threads) {
+                thr.push_back(target.measure(exp, {blocks, n})
+                                  .opsPerSecondPerThread());
+            }
+            fig.addSeries(std::string(dataTypeName(t)), std::move(thr));
+        }
+        emitFigure(fig, opt);
+    }
+    return 0;
+}

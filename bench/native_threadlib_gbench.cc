@@ -1,0 +1,128 @@
+/**
+ * @file
+ * google-benchmark micro-suite for the native threadlib primitives.
+ *
+ * This is the host-hardware counterpart of the simulated figures:
+ * on a large multicore it reports real primitive costs; on any
+ * machine it verifies the implementations at speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "threadlib/atomics.hh"
+#include "threadlib/barrier.hh"
+#include "threadlib/locks.hh"
+
+namespace
+{
+
+using namespace syncperf::threadlib;
+
+void
+BM_AtomicUpdateInt(benchmark::State &state)
+{
+    static std::atomic<int> shared{0};
+    for (auto _ : state)
+        atomicUpdate(shared, 1);
+}
+BENCHMARK(BM_AtomicUpdateInt)->ThreadRange(1, 4)->UseRealTime();
+
+void
+BM_AtomicUpdateDouble(benchmark::State &state)
+{
+    static std::atomic<double> shared{0.0};
+    for (auto _ : state)
+        atomicUpdate(shared, 1.0);
+}
+BENCHMARK(BM_AtomicUpdateDouble)->ThreadRange(1, 4)->UseRealTime();
+
+void
+BM_AtomicCaptureInt(benchmark::State &state)
+{
+    static std::atomic<int> shared{0};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(atomicCapture(shared, 1));
+}
+BENCHMARK(BM_AtomicCaptureInt)->ThreadRange(1, 4)->UseRealTime();
+
+void
+BM_AtomicRead(benchmark::State &state)
+{
+    static std::atomic<int> shared{42};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(atomicRead(shared));
+}
+BENCHMARK(BM_AtomicRead)->ThreadRange(1, 4)->UseRealTime();
+
+void
+BM_AtomicWrite(benchmark::State &state)
+{
+    static std::atomic<int> shared{0};
+    for (auto _ : state)
+        atomicWrite(shared, 7);
+}
+BENCHMARK(BM_AtomicWrite)->ThreadRange(1, 4)->UseRealTime();
+
+void
+BM_Flush(benchmark::State &state)
+{
+    static volatile int a = 0, b = 0;
+    for (auto _ : state) {
+        a = a + 1;
+        flush();
+        b = b + 1;
+    }
+}
+BENCHMARK(BM_Flush);
+
+template <typename LockT>
+void
+BM_LockAcquireRelease(benchmark::State &state)
+{
+    static LockT lock;
+    for (auto _ : state) {
+        lock.acquire();
+        benchmark::DoNotOptimize(&lock);
+        lock.release();
+    }
+}
+BENCHMARK(BM_LockAcquireRelease<TasLock>)->ThreadRange(1, 4)
+    ->UseRealTime();
+BENCHMARK(BM_LockAcquireRelease<TtasLock>)->ThreadRange(1, 4)
+    ->UseRealTime();
+BENCHMARK(BM_LockAcquireRelease<TicketLock>)->ThreadRange(1, 4)
+    ->UseRealTime();
+BENCHMARK(BM_LockAcquireRelease<McsLock>)->ThreadRange(1, 4)
+    ->UseRealTime();
+
+/** Thread-safe pool of barriers keyed by team size (benchmark runs
+ * the function concurrently on every thread with no setup hook). */
+CentralBarrier &
+barrierForTeam(int team)
+{
+    static std::mutex pool_mutex;
+    static std::map<int, std::unique_ptr<CentralBarrier>> pool;
+    std::scoped_lock lock(pool_mutex);
+    auto &slot = pool[team];
+    if (!slot)
+        slot = std::make_unique<CentralBarrier>(team);
+    return *slot;
+}
+
+void
+BM_CentralBarrier(benchmark::State &state)
+{
+    CentralBarrier &barrier = barrierForTeam(state.threads());
+    for (auto _ : state)
+        barrier.arriveAndWait(state.thread_index());
+}
+BENCHMARK(BM_CentralBarrier)->ThreadRange(1, 4)->UseRealTime();
+
+} // namespace
+
+BENCHMARK_MAIN();

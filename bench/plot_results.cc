@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Plot tool: re-renders any campaign CSV as a terminal chart — the
+ * analog of the paper artifact's figure-generation scripts.
+ *
+ * Auto-detects the campaign schemas: OpenMP files plot throughput vs
+ * threads; CUDA files plot one series per block count on a log2
+ * thread axis.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ascii_chart.hh"
+#include "common/csv_reader.hh"
+#include "common/logging.hh"
+
+using namespace syncperf;
+
+namespace
+{
+
+int
+plotOmp(const CsvTable &table, const std::string &title)
+{
+    const int x_col = table.columnIndex("threads");
+    const int y_col = table.columnIndex("throughput_per_thread");
+    std::vector<double> xs, ys;
+    for (std::size_t r = 0; r < table.rows().size(); ++r) {
+        xs.push_back(table.numberAt(r, x_col));
+        ys.push_back(table.numberAt(r, y_col));
+    }
+    AsciiChart chart(std::move(xs));
+    chart.setTitle(title);
+    chart.setXLabel("threads");
+    chart.setYLabel("throughput (op/s per thread)");
+    chart.addSeries("measured", std::move(ys));
+    std::fputs(chart.render().c_str(), stdout);
+    return 0;
+}
+
+int
+plotCuda(const CsvTable &table, const std::string &title)
+{
+    const int blocks_col = table.columnIndex("blocks");
+    const int x_col = table.columnIndex("threads_per_block");
+    const int y_col = table.columnIndex("throughput_per_thread");
+
+    // Group rows into one series per block count; every group shares
+    // the same thread-count sweep by construction, so the first
+    // group defines the x axis.
+    std::vector<double> xs;
+    std::map<long, std::vector<double>> series;
+    long first_group = -1;
+    for (std::size_t r = 0; r < table.rows().size(); ++r) {
+        const auto blocks =
+            static_cast<long>(table.numberAt(r, blocks_col));
+        if (first_group < 0)
+            first_group = blocks;
+        if (blocks == first_group)
+            xs.push_back(table.numberAt(r, x_col));
+        series[blocks].push_back(table.numberAt(r, y_col));
+    }
+
+    AsciiChart chart(std::move(xs));
+    chart.setTitle(title);
+    chart.setXLabel("threads per block");
+    chart.setYLabel("throughput (op/s per thread)");
+    chart.setLogX(true);
+    for (auto &[blocks, ys] : series) {
+        chart.addSeries(std::to_string(blocks) + " block(s)",
+                        std::move(ys));
+    }
+    std::fputs(chart.render().c_str(), stdout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::printf("usage: %s <campaign csv>...\n", argv[0]);
+        return 1;
+    }
+    for (int i = 1; i < argc; ++i) {
+        std::ifstream in(argv[i]);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", argv[i]);
+            return 1;
+        }
+        const CsvTable table = readCsv(in);
+        if (table.columnIndex("blocks") >= 0) {
+            plotCuda(table, argv[i]);
+        } else if (table.columnIndex("threads") >= 0) {
+            plotOmp(table, argv[i]);
+        } else {
+            std::fprintf(stderr, "%s: unrecognized schema\n", argv[i]);
+            return 1;
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Advisor: runs the measurement campaign behind the paper's
+ * developer recommendations (Sections V-A5 and V-B5) and prints each
+ * rule with the measured evidence that supports it.
+ */
+
+#include <cstdio>
+
+#include "core/cpusim_target.hh"
+#include "core/gpusim_target.hh"
+#include "core/recommend.hh"
+#include "core/sweep.hh"
+
+using namespace syncperf;
+using namespace syncperf::core;
+
+namespace
+{
+
+std::vector<double>
+sweepOmp(CpuSimTarget &target, const OmpExperiment &exp,
+         const std::vector<int> &threads)
+{
+    std::vector<double> out;
+    for (int t : threads)
+        out.push_back(target.measure(exp, t).opsPerSecondPerThread());
+    return out;
+}
+
+std::vector<double>
+sweepCuda(GpuSimTarget &target, const CudaExperiment &exp, int blocks,
+          const std::vector<int> &threads)
+{
+    std::vector<double> out;
+    for (int t : threads) {
+        out.push_back(
+            target.measure(exp, {blocks, t}).opsPerSecondPerThread());
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto cpu = cpusim::CpuConfig::system3();
+    const auto gpu = gpusim::GpuConfig::rtx4090();
+    auto protocol = MeasurementConfig::simDefaults();
+    protocol.runs = 1;
+    protocol.attempts = 1;
+    auto gpu_protocol = MeasurementConfig::simGpuDefaults();
+    gpu_protocol.runs = 1;
+    gpu_protocol.attempts = 1;
+
+    std::vector<Finding> findings;
+    const std::vector<int> omp_threads{2, 4, 8, 12, 16, 24, 32};
+    const std::vector<int> cuda_threads{2, 8, 32, 64, 128, 256, 512,
+                                        1024};
+
+    std::printf("Measuring on %s and %s...\n\n", cpu.name.c_str(),
+                gpu.name.c_str());
+
+    // --- OpenMP evidence ---
+    {
+        CpuSimTarget target(cpu, protocol);
+        OmpExperiment barrier;
+        barrier.primitive = OmpPrimitive::Barrier;
+        const auto thr = sweepOmp(target, barrier, omp_threads);
+        findings.push_back(barrierPlateaus(omp_threads, thr));
+        findings.push_back(
+            hyperthreadingIsFine(omp_threads, thr, cpu.totalCores()));
+    }
+    {
+        CpuSimTarget target(cpu, protocol);
+        OmpExperiment atomic;
+        atomic.primitive = OmpPrimitive::AtomicUpdate;
+        const auto thr_atomic = sweepOmp(target, atomic, omp_threads);
+        findings.push_back(
+            contendedAtomicsCollapse(omp_threads, thr_atomic));
+
+        CpuSimTarget tc(cpu, protocol);
+        OmpExperiment critical;
+        critical.primitive = OmpPrimitive::Critical;
+        const auto thr_critical = sweepOmp(tc, critical, omp_threads);
+        findings.push_back(
+            criticalSlowerThanAtomic(thr_atomic, thr_critical));
+    }
+    {
+        CpuSimTarget target(cpu, protocol);
+        const std::vector<int> strides{1, 4, 8, 16};
+        std::vector<double> thr;
+        for (int s : strides) {
+            OmpExperiment exp;
+            exp.primitive = OmpPrimitive::AtomicUpdate;
+            exp.location = Location::PrivateArray;
+            exp.stride = s;
+            thr.push_back(target.measure(exp, cpu.totalCores())
+                              .opsPerSecondPerThread());
+        }
+        findings.push_back(paddingRemovesFalseSharing(strides, thr, 16));
+    }
+    {
+        CpuSimTarget target(cpu, protocol);
+        OmpExperiment read;
+        read.primitive = OmpPrimitive::AtomicRead;
+        const auto m = target.measure(read, 8);
+        // Yardstick: one L1 hit on the modeled machine.
+        const double plain_op =
+            static_cast<double>(cpu.l1_hit_latency) /
+            (cpu.base_clock_ghz * 1e9);
+        findings.push_back(atomicReadIsFree(m.per_op_seconds, plain_op));
+    }
+
+    // --- CUDA evidence ---
+    {
+        GpuSimTarget ta(gpu, gpu_protocol);
+        GpuSimTarget tb(gpu, gpu_protocol);
+        CudaExperiment st;
+        st.primitive = CudaPrimitive::SyncThreads;
+        CudaExperiment sw;
+        sw.primitive = CudaPrimitive::SyncWarp;
+        findings.push_back(syncwarpFlatterThanSyncthreads(
+            sweepCuda(ta, st, 1, cuda_threads),
+            sweepCuda(tb, sw, 1, cuda_threads)));
+    }
+    {
+        GpuSimTarget target(gpu, gpu_protocol);
+        CudaExperiment add;
+        add.primitive = CudaPrimitive::AtomicAdd;
+        add.dtype = DataType::Int32;
+        const auto thr_int = sweepCuda(target, add, 2, cuda_threads);
+        add.dtype = DataType::Float64;
+        const auto thr_dbl = sweepCuda(target, add, 2, cuda_threads);
+        findings.push_back(intAtomicsFastest(thr_int, thr_dbl, "double"));
+    }
+    {
+        GpuSimTarget target(gpu, gpu_protocol);
+        CudaExperiment fence;
+        fence.primitive = CudaPrimitive::ThreadFence;
+        fence.location = Location::PrivateArray;
+        findings.push_back(
+            fenceCostIsFlat(sweepCuda(target, fence, 1, cuda_threads)));
+    }
+    {
+        GpuSimTarget target(gpu, gpu_protocol);
+        CudaExperiment shfl;
+        shfl.primitive = CudaPrimitive::ShflSync;
+        shfl.dtype = DataType::Int32;
+        const auto thr32 =
+            sweepCuda(target, shfl, gpu.sm_count, cuda_threads);
+        shfl.dtype = DataType::Float64;
+        const auto thr64 =
+            sweepCuda(target, shfl, gpu.sm_count, cuda_threads);
+        findings.push_back(
+            wideShflKneesEarlier(cuda_threads, thr32, thr64));
+    }
+
+    std::fputs(renderFindings(findings).c_str(), stdout);
+
+    int supported = 0;
+    for (const auto &f : findings)
+        supported += f.supported;
+    std::printf("\n%d/%zu of the paper's recommendations are supported "
+                "by this machine's measurements.\n",
+                supported, findings.size());
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * CPU reduction strategies on real host threads via threadlib --
+ * the OpenMP-side mirror of the paper's Listing 1 lesson.
+ *
+ * Computes the maximum of an array with three synchronization
+ * strategies and verifies they agree:
+ *
+ *   1. atomic:   every element goes through one shared atomicMax
+ *                (the contended pattern the paper warns about);
+ *   2. critical: the same, behind a lock (the paper's "avoid
+ *                critical sections" case);
+ *   3. partial:  thread-local maxima merged once at the end (the
+ *                recommended privatize-then-combine shape).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "threadlib/atomics.hh"
+#include "threadlib/locks.hh"
+#include "threadlib/parallel_region.hh"
+
+using namespace syncperf;
+using namespace syncperf::threadlib;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+constexpr long n_elements = 1L << 20;
+
+double
+seconds(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    const int threads = std::max(2, hardwareThreads());
+    std::printf("Max-reduction of %s ints on %d host thread(s)\n\n",
+                formatCount(n_elements).c_str(), threads);
+
+    // Deterministic input with a known maximum.
+    std::vector<int> data(n_elements);
+    Pcg32 rng(2024);
+    for (auto &v : data)
+        v = static_cast<int>(rng.below(1 << 30));
+    const long gold_index = rng.below(n_elements);
+    data[gold_index] = (1 << 30) + 7;
+
+    TablePrinter table({"strategy", "time", "result", "correct"});
+    auto chunk = [&](int tid) {
+        const long per = n_elements / threads;
+        const long begin = tid * per;
+        const long end = tid == threads - 1 ? n_elements : begin + per;
+        return std::pair{begin, end};
+    };
+
+    // 1. Shared atomic per element.
+    {
+        std::atomic<int> result{0};
+        const auto t0 = Clock::now();
+        parallelRegion(threads, [&](int tid) {
+            const auto [begin, end] = chunk(tid);
+            for (long i = begin; i < end; ++i)
+                atomicMax(result, data[i]);
+        });
+        const auto t1 = Clock::now();
+        table.addRow({"atomicMax per element", formatSeconds(seconds(t0, t1)),
+                      std::to_string(result.load()),
+                      result.load() == (1 << 30) + 7 ? "yes" : "NO"});
+    }
+
+    // 2. Critical section per element.
+    {
+        int result = 0;
+        TtasLock lock;
+        const auto t0 = Clock::now();
+        parallelRegion(threads, [&](int tid) {
+            const auto [begin, end] = chunk(tid);
+            for (long i = begin; i < end; ++i) {
+                lock.acquire();
+                if (data[i] > result)
+                    result = data[i];
+                lock.release();
+            }
+        });
+        const auto t1 = Clock::now();
+        table.addRow({"critical section per element",
+                      formatSeconds(seconds(t0, t1)),
+                      std::to_string(result),
+                      result == (1 << 30) + 7 ? "yes" : "NO"});
+    }
+
+    // 3. Thread-local partials, one merge.
+    {
+        std::atomic<int> result{0};
+        const auto t0 = Clock::now();
+        parallelRegion(threads, [&](int tid) {
+            const auto [begin, end] = chunk(tid);
+            int local = 0;
+            for (long i = begin; i < end; ++i)
+                local = std::max(local, data[i]);
+            atomicMax(result, local);
+        });
+        const auto t1 = Clock::now();
+        table.addRow({"thread-local partials",
+                      formatSeconds(seconds(t0, t1)),
+                      std::to_string(result.load()),
+                      result.load() == (1 << 30) + 7 ? "yes" : "NO"});
+    }
+
+    std::fputs(table.render().c_str(), stdout);
+    std::printf(
+        "\nSame lesson as the paper's GPU Listing 1: privatize, then\n"
+        "combine once -- one atomic per thread instead of one per\n"
+        "element. (On a 1-core host the absolute times compress, but\n"
+        "the partials variant still does ~10^6x fewer atomics.)\n");
+    return 0;
+}

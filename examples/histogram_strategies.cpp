@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Histogram strategies: applying the paper's CUDA recommendations to
+ * a classic workload.
+ *
+ * Builds a histogram of 2^21 values whose distribution is heavily
+ * skewed (most samples land in one hot bin -- the adversarial case
+ * for atomics) with three synchronization strategies:
+ *
+ *   1. global:   every thread atomicAdd()s straight into the global
+ *                bin array (the hot bin becomes one shared address);
+ *   2. block:    block-private bins in shared memory, merged into
+ *                the global array once per block (the paper's
+ *                "block-scoped atomics" advice, like Reduction 3);
+ *   3. private:  thread-private counters in registers, one
+ *                block-scoped flush per thread at the end (the
+ *                persistent-thread advice, like Reduction 5).
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "common/units.hh"
+#include "gpusim/machine.hh"
+
+using namespace syncperf;
+using namespace syncperf::gpusim;
+
+namespace
+{
+
+constexpr long n_elements = 1L << 21;
+constexpr int threads_per_block = 256;
+constexpr std::uint64_t data_addr = 0x10000000;
+constexpr std::uint64_t global_bins = 0x1000;
+constexpr std::uint64_t block_bins = 0x100000;
+
+struct Strategy
+{
+    const char *name;
+    const char *primitive_story;
+    GpuKernel kernel;
+    LaunchConfig launch;
+};
+
+/** Strategy 1: all samples hammer the hot global bin. */
+Strategy
+globalAtomics(const GpuConfig &)
+{
+    Strategy s;
+    s.name = "global atomics";
+    s.primitive_story = "atomicAdd on one hot global bin";
+    s.launch = {static_cast<int>(n_elements / threads_per_block),
+                threads_per_block};
+    s.kernel.body = {GpuOp::globalLoad(data_addr),
+                     GpuOp::globalAtomic(AtomicOp::Add,
+                                         AddressMode::SingleShared,
+                                         global_bins)};
+    s.kernel.body_iters = 1;
+    return s;
+}
+
+/** Strategy 2: block-private bins, one global merge per block. */
+Strategy
+blockPrivateBins(const GpuConfig &)
+{
+    Strategy s;
+    s.name = "block-private bins";
+    s.primitive_story =
+        "atomicAdd_block into shared memory + per-block merge";
+    s.launch = {static_cast<int>(n_elements / threads_per_block),
+                threads_per_block};
+    s.kernel.prologue = {GpuOp::syncThreads()};
+    s.kernel.body = {GpuOp::globalLoad(data_addr),
+                     GpuOp::sharedAtomic(AtomicOp::Add, block_bins)};
+    s.kernel.body_iters = 1;
+    s.kernel.epilogue = {
+        GpuOp::syncThreads(),
+        GpuOp::globalAtomic(AtomicOp::Add, AddressMode::SingleShared,
+                            global_bins, DataType::Int32, 1,
+                            Predicate::Thread0)};
+    return s;
+}
+
+/** Strategy 3: persistent threads with register-private counters. */
+Strategy
+threadPrivateCounters(const GpuConfig &cfg)
+{
+    Strategy s;
+    s.name = "thread-private counters";
+    s.primitive_story =
+        "grid-stride loop, register counters, one block atomic each";
+    const int grid = 2 * cfg.sm_count;
+    s.launch = {grid, threads_per_block};
+    s.kernel.prologue = {GpuOp::syncThreads()};
+    s.kernel.body = {GpuOp::globalLoad(data_addr), GpuOp::alu()};
+    s.kernel.body_iters =
+        n_elements / (static_cast<long>(grid) * threads_per_block);
+    s.kernel.epilogue = {
+        GpuOp::sharedAtomic(AtomicOp::Add, block_bins),
+        GpuOp::syncThreads(),
+        GpuOp::globalAtomic(AtomicOp::Add, AddressMode::SingleShared,
+                            global_bins, DataType::Int32, 1,
+                            Predicate::Thread0)};
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto gpu = GpuConfig::rtx4090();
+    std::printf("Histogram of %s skewed samples on %s (model)\n\n",
+                formatCount(n_elements).c_str(), gpu.name.c_str());
+
+    TablePrinter table(
+        {"strategy", "synchronization", "time", "samples/s"});
+    double best_seconds = 0.0;
+    std::vector<std::pair<const char *, double>> times;
+
+    for (auto make : {globalAtomics, blockPrivateBins,
+                      threadPrivateCounters}) {
+        const Strategy s = make(gpu);
+        GpuMachine machine(gpu);
+        const auto r = machine.run(s.kernel, s.launch, 0);
+        const double seconds =
+            static_cast<double>(r.total_cycles) / (gpu.clock_ghz * 1e9);
+        times.emplace_back(s.name, seconds);
+        if (best_seconds == 0.0 || seconds < best_seconds)
+            best_seconds = seconds;
+        table.addRow({s.name, s.primitive_story, formatSeconds(seconds),
+                      formatThroughput(n_elements / seconds)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    std::printf("\n");
+    for (const auto &[name, seconds] : times) {
+        std::printf("  %-24s %.2fx of best\n", name,
+                    seconds / best_seconds);
+    }
+    std::printf(
+        "\nThe paper's recommendations in action: move atomic traffic\n"
+        "to the narrowest scope that is correct (registers > shared\n"
+        "memory > L2). Once the hot-bin contention is gone, both\n"
+        "privatized variants hit the memory-bandwidth roof and tie --\n"
+        "at that point the synchronization primitive no longer\n"
+        "matters, which is exactly where you want to be.\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Native probe: runs the paper's measurement protocol on real host
+ * threads via the from-scratch threadlib runtime.
+ *
+ * On a large multicore this reproduces the OpenMP half of the study
+ * natively; on small hosts the absolute numbers are noisy but the
+ * full measurement pipeline (warmup, alignment barrier, differencing,
+ * median-of-runs) is exercised end to end.
+ */
+
+#include <cstdio>
+
+#include "common/units.hh"
+#include "core/native_target.hh"
+#include "threadlib/parallel_region.hh"
+
+int
+main()
+{
+    using namespace syncperf;
+    using namespace syncperf::core;
+
+    const int hw = threadlib::hardwareThreads();
+    std::printf("Native probe: %d hardware thread(s) detected\n", hw);
+    if (hw < 4) {
+        std::printf("note: this host is too small for meaningful "
+                    "scaling curves; the repository's figures use the "
+                    "calibrated CPU model instead (see DESIGN.md).\n");
+    }
+    std::printf("\n");
+
+    MeasurementConfig cfg;
+    cfg.runs = 3;
+    cfg.attempts = 3;
+    cfg.n_iter = 200;
+    cfg.n_unroll = 10;
+    NativeTarget target(cfg);
+
+    const int threads = std::max(2, hw);
+    std::printf("%-22s %14s %14s %10s\n", "primitive", "cost/op",
+                "stddev", "retries");
+    for (auto prim :
+         {OmpPrimitive::Barrier, OmpPrimitive::AtomicUpdate,
+          OmpPrimitive::AtomicCapture, OmpPrimitive::AtomicRead,
+          OmpPrimitive::AtomicWrite, OmpPrimitive::Critical,
+          OmpPrimitive::Flush}) {
+        OmpExperiment exp;
+        exp.primitive = prim;
+        const Measurement m = target.measure(exp, threads);
+        std::printf("%-22s %14s %14s %10d\n",
+                    std::string(ompPrimitiveName(prim)).c_str(),
+                    formatSeconds(m.per_op_seconds).c_str(),
+                    formatSeconds(m.stddev_seconds).c_str(), m.retries);
+    }
+
+    std::printf("\nEach row is one full run of the paper's protocol "
+                "(medians of %d runs x %d\nvalid attempts, max across "
+                "%d threads, %ld primitive executions per attempt).\n",
+                cfg.runs, cfg.attempts, threads,
+                cfg.opsPerMeasurement());
+    return 0;
+}

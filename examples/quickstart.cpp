@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Quickstart: measure one synchronization primitive in ~30 lines.
+ *
+ * Measures the throughput of an OpenMP-style atomic update on a
+ * single shared int across thread counts, on the modeled AMD
+ * Threadripper 2950X (the paper's System 3), and prints a chart.
+ */
+
+#include <cstdio>
+
+#include "core/cpusim_target.hh"
+#include "core/figure.hh"
+
+int
+main()
+{
+    using namespace syncperf;
+
+    // 1. Pick a machine model and a measurement protocol.
+    const auto machine = cpusim::CpuConfig::system3();
+    const auto protocol = core::MeasurementConfig::simDefaults();
+    core::CpuSimTarget target(machine, protocol);
+
+    // 2. Describe the primitive to measure.
+    core::OmpExperiment experiment;
+    experiment.primitive = core::OmpPrimitive::AtomicUpdate;
+    experiment.dtype = DataType::Int32;
+
+    // 3. Sweep thread counts; each point runs the paper's full
+    //    baseline/test differencing protocol.
+    std::vector<double> xs, throughput;
+    for (int threads = 2; threads <= machine.totalHwThreads();
+         threads += 2) {
+        const core::Measurement m = target.measure(experiment, threads);
+        xs.push_back(threads);
+        throughput.push_back(m.opsPerSecondPerThread());
+        std::printf("threads=%2d  %.3e ops/s per thread\n", threads,
+                    m.opsPerSecondPerThread());
+    }
+
+    // 4. Render the result like a paper figure.
+    core::Figure fig("quickstart", "atomic update on one shared int",
+                     "threads", xs);
+    fig.addSeries("int", throughput);
+    std::fputs(fig.render().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Implementation of the ASCII line-chart renderer.
+ */
+
+#include "ascii_chart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include "common/fmt.hh"
+
+#include "logging.hh"
+
+namespace syncperf
+{
+namespace
+{
+
+/** Plot glyphs assigned to series in order. */
+constexpr char series_glyphs[] = {'*', 'o', 'x', '+', '#', '@', '%', '~'};
+
+std::string
+axisNumber(double v)
+{
+    if (v == 0.0)
+        return "0";
+    const double mag = std::fabs(v);
+    if (mag >= 1e4 || mag < 1e-2)
+        return syncperf::format("{:.1e}", v);
+    if (mag >= 100.0)
+        return syncperf::format("{:.0f}", v);
+    return syncperf::format("{:.4g}", v);
+}
+
+} // namespace
+
+AsciiChart::AsciiChart(std::vector<double> x_values)
+    : xs_(std::move(x_values))
+{
+    SYNCPERF_ASSERT(!xs_.empty());
+    for (std::size_t i = 1; i < xs_.size(); ++i)
+        SYNCPERF_ASSERT(xs_[i] > xs_[i - 1], "x values must increase");
+}
+
+void
+AsciiChart::setYRange(double y_min, double y_max)
+{
+    SYNCPERF_ASSERT(y_max > y_min);
+    y_range_ = {y_min, y_max};
+}
+
+void
+AsciiChart::addSeries(std::string label, std::vector<double> ys)
+{
+    SYNCPERF_ASSERT(ys.size() == xs_.size(),
+                    "series length must match x values");
+    series_.push_back({std::move(label), std::move(ys)});
+}
+
+std::string
+AsciiChart::render(int width, int height) const
+{
+    SYNCPERF_ASSERT(width >= 30 && height >= 5);
+    SYNCPERF_ASSERT(!series_.empty(), "chart has no series");
+
+    const int gutter = 10;  // y-axis labels + tick
+    const int plot_w = width - gutter - 1;
+    const int plot_h = height;
+
+    auto x_coord = [&](double x) {
+        return log_x_ ? std::log2(x) : x;
+    };
+    const double x_lo = x_coord(xs_.front());
+    const double x_hi = x_coord(xs_.back());
+    const double x_span = (x_hi > x_lo) ? (x_hi - x_lo) : 1.0;
+
+    double y_lo = 0.0, y_hi = 0.0;
+    if (y_range_) {
+        y_lo = y_range_->first;
+        y_hi = y_range_->second;
+    } else {
+        bool first = true;
+        for (const auto &s : series_) {
+            for (double y : s.ys) {
+                if (!std::isfinite(y))
+                    continue;
+                if (first) {
+                    y_lo = y_hi = y;
+                    first = false;
+                } else {
+                    y_lo = std::min(y_lo, y);
+                    y_hi = std::max(y_hi, y);
+                }
+            }
+        }
+        if (first) {
+            y_lo = 0.0;
+            y_hi = 1.0;
+        }
+        // Zero-based y axis, like the paper's stride figures.
+        y_lo = std::min(0.0, y_lo);
+        if (y_hi <= y_lo)
+            y_hi = y_lo + 1.0;
+        y_hi *= 1.05;
+    }
+    const double y_span = y_hi - y_lo;
+
+    std::vector<std::string> canvas(plot_h, std::string(plot_w, ' '));
+
+    // Vertical marker (e.g. physical-core boundary).
+    if (marker_x_ && *marker_x_ >= xs_.front() && *marker_x_ <= xs_.back()) {
+        const int col = static_cast<int>(std::lround(
+            (x_coord(*marker_x_) - x_lo) / x_span * (plot_w - 1)));
+        for (int r = 0; r < plot_h; r += 2)
+            canvas[r][col] = '|';
+    }
+
+    for (std::size_t si = 0; si < series_.size(); ++si) {
+        const char glyph =
+            series_glyphs[si % (sizeof(series_glyphs) / sizeof(char))];
+        const auto &ys = series_[si].ys;
+        int prev_col = -1, prev_row = -1;
+        for (std::size_t i = 0; i < xs_.size(); ++i) {
+            if (!std::isfinite(ys[i]))
+                continue;
+            const int col = static_cast<int>(std::lround(
+                (x_coord(xs_[i]) - x_lo) / x_span * (plot_w - 1)));
+            double yc = std::clamp(ys[i], y_lo, y_hi);
+            const int row = static_cast<int>(std::lround(
+                (yc - y_lo) / y_span * (plot_h - 1)));
+            const int r = plot_h - 1 - row;
+            // Connect to the previous point with '.' to suggest a line.
+            if (prev_col >= 0 && col > prev_col + 1) {
+                for (int c = prev_col + 1; c < col; ++c) {
+                    const double t = static_cast<double>(c - prev_col) /
+                                     (col - prev_col);
+                    const int rr = static_cast<int>(std::lround(
+                        prev_row + t * (r - prev_row)));
+                    if (canvas[rr][c] == ' ' || canvas[rr][c] == '|')
+                        canvas[rr][c] = '.';
+                }
+            }
+            canvas[r][col] = glyph;
+            prev_col = col;
+            prev_row = r;
+        }
+    }
+
+    std::string out;
+    if (!title_.empty())
+        out += "  " + title_ + "\n";
+    if (!y_label_.empty())
+        out += "  [y: " + y_label_ + "]\n";
+
+    for (int r = 0; r < plot_h; ++r) {
+        std::string label;
+        if (r == 0) {
+            label = axisNumber(y_hi);
+        } else if (r == plot_h - 1) {
+            label = axisNumber(y_lo);
+        } else if (r == plot_h / 2) {
+            label = axisNumber(y_lo + y_span * 0.5);
+        }
+        if (label.size() > static_cast<std::size_t>(gutter - 1))
+            label.resize(gutter - 1);
+        out += std::string(gutter - 1 - label.size(), ' ') + label + "|";
+        out += canvas[r];
+        out += '\n';
+    }
+
+    out += std::string(gutter - 1, ' ') + "+" +
+           std::string(plot_w, '-') + "\n";
+
+    // X tick labels: first, middle, last.
+    {
+        std::string ticks(gutter + plot_w, ' ');
+        auto place = [&](double x, int col) {
+            std::string t = axisNumber(x);
+            int start = gutter + col - static_cast<int>(t.size()) / 2;
+            start = std::clamp(start, 0,
+                               static_cast<int>(ticks.size() - t.size()));
+            ticks.replace(start, t.size(), t);
+        };
+        place(xs_.front(), 0);
+        place(xs_[xs_.size() / 2],
+              static_cast<int>(std::lround(
+                  (x_coord(xs_[xs_.size() / 2]) - x_lo) / x_span *
+                  (plot_w - 1))));
+        place(xs_.back(), plot_w - 1);
+        out += ticks + "\n";
+    }
+    if (!x_label_.empty() || log_x_) {
+        out += std::string(gutter, ' ') + "[x: " +
+               (x_label_.empty() ? "x" : x_label_) +
+               (log_x_ ? ", log2 scale]" : "]") + "\n";
+    }
+
+    out += "  legend:";
+    for (std::size_t si = 0; si < series_.size(); ++si) {
+        out += syncperf::format(
+            " {}={}",
+            series_glyphs[si % (sizeof(series_glyphs) / sizeof(char))],
+            series_[si].label);
+    }
+    out += '\n';
+    return out;
+}
+
+} // namespace syncperf

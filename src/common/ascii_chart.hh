@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Terminal line-chart renderer.
+ *
+ * The paper presents every result as a throughput-vs-thread-count
+ * figure with one series per data type or configuration. This class
+ * renders the same figures as ASCII so that each bench binary can
+ * display its result directly in the terminal and in captured logs.
+ */
+
+#ifndef SYNCPERF_COMMON_ASCII_CHART_HH
+#define SYNCPERF_COMMON_ASCII_CHART_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace syncperf
+{
+
+/** One plotted line: a label and one y value per shared x value. */
+struct ChartSeries
+{
+    std::string label;
+    std::vector<double> ys;
+};
+
+/**
+ * Multi-series line chart on a character canvas.
+ *
+ * X values are shared by all series (like the paper's thread-count
+ * axis) and may be plotted on a log2 scale, which the paper uses for
+ * all CUDA figures.
+ */
+class AsciiChart
+{
+  public:
+    /** @param x_values Shared x coordinates, strictly increasing. */
+    explicit AsciiChart(std::vector<double> x_values);
+
+    /** Title shown above the canvas. */
+    void setTitle(std::string title) { title_ = std::move(title); }
+
+    /** X-axis caption, e.g. "threads". */
+    void setXLabel(std::string label) { x_label_ = std::move(label); }
+
+    /** Y-axis caption, e.g. "op/s/thread". */
+    void setYLabel(std::string label) { y_label_ = std::move(label); }
+
+    /** Plot x on a log2 scale (the paper's CUDA figures). */
+    void setLogX(bool log_x) { log_x_ = log_x; }
+
+    /** Force the y range instead of auto-scaling from the data. */
+    void setYRange(double y_min, double y_max);
+
+    /**
+     * Draw a dashed vertical marker at the given x (the paper marks
+     * the physical-core count this way in OpenMP figures).
+     */
+    void setVerticalMarker(double x) { marker_x_ = x; }
+
+    /**
+     * Add a line. @p ys must have one value per x; non-finite values
+     * are skipped.
+     */
+    void addSeries(std::string label, std::vector<double> ys);
+
+    /**
+     * Render the chart.
+     *
+     * @param width Total canvas columns including the y-axis gutter.
+     * @param height Plot rows excluding titles and the x-axis.
+     */
+    std::string render(int width = 76, int height = 18) const;
+
+  private:
+    std::vector<double> xs_;
+    std::vector<ChartSeries> series_;
+    std::string title_;
+    std::string x_label_;
+    std::string y_label_;
+    bool log_x_ = false;
+    std::optional<std::pair<double, double>> y_range_;
+    std::optional<double> marker_x_;
+};
+
+} // namespace syncperf
+
+#endif // SYNCPERF_COMMON_ASCII_CHART_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Implementation of CSV emission.
+ */
+
+#include "csv.hh"
+
+#include "common/fmt.hh"
+
+namespace syncperf
+{
+
+std::string
+csvEscape(std::string_view text)
+{
+    const bool needs_quotes =
+        text.find_first_of(",\"\n\r") != std::string_view::npos;
+    if (!needs_quotes)
+        return std::string(text);
+    std::string out;
+    out.reserve(text.size() + 2);
+    out.push_back('"');
+    for (char c : text) {
+        if (c == '"')
+            out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &columns)
+{
+    for (const auto &col : columns)
+        field(col);
+    endRow();
+    // The header is not a data row.
+    --rows_;
+}
+
+CsvWriter &
+CsvWriter::field(std::string_view text)
+{
+    sep();
+    out_ << csvEscape(text);
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(double value)
+{
+    sep();
+    out_ << format("{}", value);
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(long long value)
+{
+    sep();
+    out_ << value;
+    return *this;
+}
+
+void
+CsvWriter::endRow()
+{
+    out_ << '\n';
+    row_open_ = false;
+    ++rows_;
+}
+
+void
+CsvWriter::sep()
+{
+    if (row_open_)
+        out_ << ',';
+    row_open_ = true;
+}
+
+} // namespace syncperf

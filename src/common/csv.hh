@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal CSV emission with RFC-4180 style quoting.
+ */
+
+#ifndef SYNCPERF_COMMON_CSV_HH
+#define SYNCPERF_COMMON_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace syncperf
+{
+
+/**
+ * Streams rows of comma-separated values. Fields containing commas,
+ * quotes, or newlines are quoted; numeric fields are emitted with
+ * enough precision to round-trip a double.
+ */
+class CsvWriter
+{
+  public:
+    /** @param out Destination stream; must outlive the writer. */
+    explicit CsvWriter(std::ostream &out) : out_(out) {}
+
+    /** Emit a header row. */
+    void header(const std::vector<std::string> &columns);
+
+    /** Begin accumulating a new row. */
+    CsvWriter &field(std::string_view text);
+
+    /** Append a numeric field to the current row. */
+    CsvWriter &field(double value);
+
+    /** Append an integral field to the current row. */
+    CsvWriter &field(long long value);
+
+    /** Terminate the current row. */
+    void endRow();
+
+    /** Number of data rows written (header excluded). */
+    std::size_t rowCount() const { return rows_; }
+
+  private:
+    void sep();
+
+    std::ostream &out_;
+    bool row_open_ = false;
+    std::size_t rows_ = 0;
+};
+
+/** Quote a single CSV field if needed (exposed for tests). */
+std::string csvEscape(std::string_view text);
+
+} // namespace syncperf
+
+#endif // SYNCPERF_COMMON_CSV_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Implementation of CSV parsing.
+ */
+
+#include "csv_reader.hh"
+
+#include <charconv>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace syncperf
+{
+
+int
+CsvTable::columnIndex(std::string_view name) const
+{
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+        if (header_[i] == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+double
+CsvTable::numberAt(std::size_t row, int column) const
+{
+    const std::string_view text = textAt(row, column);
+    double value = 0.0;
+    const auto *begin = text.data();
+    const auto *end = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end) {
+        // from_chars does not parse "inf"; accept it explicitly.
+        if (text == "inf")
+            return std::numeric_limits<double>::infinity();
+        fatal("CSV cell ({}, {}) is not numeric: '{}'", row, column,
+              std::string(text));
+    }
+    return value;
+}
+
+std::string_view
+CsvTable::textAt(std::size_t row, int column) const
+{
+    SYNCPERF_ASSERT(row < rows_.size());
+    SYNCPERF_ASSERT(column >= 0);
+    const auto &cells = rows_[row];
+    if (static_cast<std::size_t>(column) >= cells.size())
+        return {};
+    return cells[static_cast<std::size_t>(column)];
+}
+
+CsvTable
+readCsv(std::istream &in)
+{
+    CsvTable table;
+    std::vector<std::string> record;
+    std::string field;
+    bool in_quotes = false;
+    bool saw_any = false;
+    bool header_done = false;
+
+    auto end_field = [&] {
+        record.push_back(std::move(field));
+        field.clear();
+    };
+    auto end_record = [&] {
+        end_field();
+        if (!header_done) {
+            table.header_ = std::move(record);
+            header_done = true;
+        } else {
+            table.rows_.push_back(std::move(record));
+        }
+        record.clear();
+    };
+
+    char c;
+    while (in.get(c)) {
+        saw_any = true;
+        if (in_quotes) {
+            if (c == '"') {
+                if (in.peek() == '"') {
+                    in.get();
+                    field.push_back('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push_back(c);
+            }
+            continue;
+        }
+        switch (c) {
+          case '"':
+            in_quotes = true;
+            break;
+          case ',':
+            end_field();
+            break;
+          case '\r':
+            break;
+          case '\n':
+            end_record();
+            break;
+          default:
+            field.push_back(c);
+        }
+    }
+    if (in_quotes)
+        fatal("CSV input ends inside a quoted field");
+    // Final record without trailing newline.
+    if (saw_any && (!field.empty() || !record.empty()))
+        end_record();
+    return table;
+}
+
+} // namespace syncperf

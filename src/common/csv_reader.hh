@@ -1,0 +1,61 @@
+/**
+ * @file
+ * CSV parsing (RFC-4180 style), the counterpart of CsvWriter. Used
+ * by the plotting tool to re-render campaign results.
+ */
+
+#ifndef SYNCPERF_COMMON_CSV_READER_HH
+#define SYNCPERF_COMMON_CSV_READER_HH
+
+#include <istream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace syncperf
+{
+
+/** A parsed CSV file: a header row plus data rows. */
+class CsvTable
+{
+  public:
+    /** Header labels, in column order. */
+    const std::vector<std::string> &header() const { return header_; }
+
+    /** Data rows (header excluded). */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
+    /**
+     * Index of the column labeled @p name.
+     * @return Column index, or -1 if absent.
+     */
+    int columnIndex(std::string_view name) const;
+
+    /**
+     * Numeric value of @p column in @p row.
+     * Panics on out-of-range indices or non-numeric text.
+     */
+    double numberAt(std::size_t row, int column) const;
+
+    /** Cell text (empty string when the row is short). */
+    std::string_view textAt(std::size_t row, int column) const;
+
+  private:
+    friend CsvTable readCsv(std::istream &in);
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Parse CSV from @p in. The first record is the header. Handles
+ * quoted fields, escaped quotes, and embedded newlines/commas.
+ */
+CsvTable readCsv(std::istream &in);
+
+} // namespace syncperf
+
+#endif // SYNCPERF_COMMON_CSV_READER_HH

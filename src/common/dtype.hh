@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Data-type and thread-affinity vocabulary shared by the measurement
+ * framework and both machine models.
+ *
+ * The paper sweeps every arithmetic/memory experiment over int,
+ * unsigned long long, float, and double, and sweeps OpenMP thread
+ * placement over "spread" and "close".
+ */
+
+#ifndef SYNCPERF_COMMON_DTYPE_HH
+#define SYNCPERF_COMMON_DTYPE_HH
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace syncperf
+{
+
+/** The four data types the paper measures. */
+enum class DataType
+{
+    Int32,    ///< int
+    UInt64,   ///< unsigned long long ("ull" in the paper)
+    Float32,  ///< float
+    Float64,  ///< double
+};
+
+/** All data types in the paper's presentation order. */
+inline constexpr std::array<DataType, 4> all_data_types = {
+    DataType::Int32, DataType::UInt64, DataType::Float32,
+    DataType::Float64,
+};
+
+/** Size of a value of @p t in bytes. */
+constexpr std::size_t
+dataTypeSize(DataType t)
+{
+    switch (t) {
+      case DataType::Int32:
+      case DataType::Float32:
+        return 4;
+      case DataType::UInt64:
+      case DataType::Float64:
+        return 8;
+    }
+    return 0;
+}
+
+/** True for the two integer types. */
+constexpr bool
+isIntegerType(DataType t)
+{
+    return t == DataType::Int32 || t == DataType::UInt64;
+}
+
+/** Short display name matching the paper's legends. */
+constexpr std::string_view
+dataTypeName(DataType t)
+{
+    switch (t) {
+      case DataType::Int32: return "int";
+      case DataType::UInt64: return "ull";
+      case DataType::Float32: return "float";
+      case DataType::Float64: return "double";
+    }
+    return "?";
+}
+
+/** OpenMP thread-placement policies the paper compares. */
+enum class Affinity
+{
+    System,  ///< unspecified; let the system choose
+    Spread,  ///< OMP_PROC_BIND=spread
+    Close,   ///< OMP_PROC_BIND=close
+};
+
+/** Display name of an affinity policy. */
+constexpr std::string_view
+affinityName(Affinity a)
+{
+    switch (a) {
+      case Affinity::System: return "system";
+      case Affinity::Spread: return "spread";
+      case Affinity::Close: return "close";
+    }
+    return "?";
+}
+
+} // namespace syncperf
+
+#endif // SYNCPERF_COMMON_DTYPE_HH

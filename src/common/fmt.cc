@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Implementation of the minimal formatter.
+ */
+
+#include "fmt.hh"
+
+#include <charconv>
+#include <cstdio>
+
+namespace syncperf::fmtdetail
+{
+namespace
+{
+
+/** Parse a spec like ".3f" into precision/presentation. */
+bool
+parseFloatSpec(std::string_view spec, int &precision, char &presentation)
+{
+    precision = -1;
+    presentation = 0;
+    std::size_t i = 0;
+    if (i < spec.size() && spec[i] == '.') {
+        ++i;
+        int p = 0;
+        bool any = false;
+        while (i < spec.size() && spec[i] >= '0' && spec[i] <= '9') {
+            p = p * 10 + (spec[i] - '0');
+            ++i;
+            any = true;
+        }
+        if (!any)
+            return false;
+        precision = p;
+    }
+    if (i < spec.size()) {
+        const char c = spec[i];
+        if (c != 'f' && c != 'e' && c != 'g')
+            return false;
+        presentation = c;
+        ++i;
+    }
+    return i == spec.size();
+}
+
+} // namespace
+
+std::string
+formatArg(std::string_view spec, double value)
+{
+    int precision;
+    char presentation;
+    if (!parseFloatSpec(spec, precision, presentation))
+        return "{?}";
+    if (precision < 0 && presentation == 0) {
+        // Shortest representation that round-trips.
+        char buf[64];
+        auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+        if (ec != std::errc{})
+            return "{?}";
+        return std::string(buf, end);
+    }
+    char fmt[16];
+    if (precision < 0)
+        std::snprintf(fmt, sizeof(fmt), "%%%c", presentation);
+    else
+        std::snprintf(fmt, sizeof(fmt), "%%.%d%c", precision,
+                      presentation ? presentation : 'f');
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, value);
+    return buf;
+}
+
+std::string
+formatArg(std::string_view spec, long long value)
+{
+    if (!spec.empty())
+        return formatArg(spec, static_cast<double>(value));
+    return std::to_string(value);
+}
+
+std::string
+formatArg(std::string_view spec, unsigned long long value)
+{
+    if (!spec.empty())
+        return formatArg(spec, static_cast<double>(value));
+    return std::to_string(value);
+}
+
+std::string
+formatArg(std::string_view spec, std::string_view value)
+{
+    (void)spec;
+    return std::string(value);
+}
+
+std::string
+formatArg(std::string_view spec, bool value)
+{
+    (void)spec;
+    return value ? "true" : "false";
+}
+
+std::string
+formatArg(std::string_view spec, char value)
+{
+    (void)spec;
+    return std::string(1, value);
+}
+
+std::string
+vformat(std::string_view fmt, const Arg *args, std::size_t n_args)
+{
+    std::string out;
+    out.reserve(fmt.size() + n_args * 8);
+    std::size_t next_arg = 0;
+
+    for (std::size_t i = 0; i < fmt.size(); ++i) {
+        const char c = fmt[i];
+        if (c == '{') {
+            if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+                out.push_back('{');
+                ++i;
+                continue;
+            }
+            const std::size_t close = fmt.find('}', i);
+            if (close == std::string_view::npos) {
+                out += "{?}";
+                break;
+            }
+            std::string_view inner = fmt.substr(i + 1, close - i - 1);
+            std::string_view spec;
+            if (!inner.empty()) {
+                if (inner.front() == ':') {
+                    spec = inner.substr(1);
+                } else {
+                    out += "{?}";
+                    i = close;
+                    continue;
+                }
+            }
+            if (next_arg >= n_args) {
+                out += "{?}";
+            } else {
+                const Arg &a = args[next_arg++];
+                out += a.render(spec, a.ptr);
+            }
+            i = close;
+        } else if (c == '}') {
+            if (i + 1 < fmt.size() && fmt[i + 1] == '}')
+                ++i;
+            out.push_back('}');
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace syncperf::fmtdetail

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Minimal std::format-style string formatting.
+ *
+ * The toolchain's libstdc++ (GCC 12) does not ship <format>, so this
+ * header provides the small subset the library needs: positional
+ * "{}" placeholders with optional precision/presentation specs of
+ * the form "{:.3f}", "{:.2e}", "{:.4g}" for floating-point values.
+ * "{{" and "}}" escape literal braces.
+ */
+
+#ifndef SYNCPERF_COMMON_FMT_HH
+#define SYNCPERF_COMMON_FMT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace syncperf
+{
+
+namespace fmtdetail
+{
+
+/** Render one argument under the given spec (text after ':'). */
+std::string formatArg(std::string_view spec, double value);
+std::string formatArg(std::string_view spec, long long value);
+std::string formatArg(std::string_view spec, unsigned long long value);
+std::string formatArg(std::string_view spec, std::string_view value);
+std::string formatArg(std::string_view spec, bool value);
+std::string formatArg(std::string_view spec, char value);
+
+/** Type-erased bound argument. */
+struct Arg
+{
+    const void *ptr = nullptr;
+    std::string (*render)(std::string_view, const void *) = nullptr;
+};
+
+template <typename T, typename Canon>
+Arg
+makeArg(const T &value)
+{
+    return Arg{
+        &value,
+        [](std::string_view spec, const void *p) {
+            return formatArg(spec, static_cast<Canon>(
+                                       *static_cast<const T *>(p)));
+        },
+    };
+}
+
+template <typename T>
+Arg
+bindArg(const T &value)
+{
+    if constexpr (std::is_same_v<T, bool>) {
+        return makeArg<T, bool>(value);
+    } else if constexpr (std::is_same_v<T, char>) {
+        return makeArg<T, char>(value);
+    } else if constexpr (std::is_floating_point_v<T>) {
+        return makeArg<T, double>(value);
+    } else if constexpr (std::is_integral_v<T> && std::is_signed_v<T>) {
+        return makeArg<T, long long>(value);
+    } else if constexpr (std::is_integral_v<T>) {
+        return makeArg<T, unsigned long long>(value);
+    } else if constexpr (std::is_enum_v<T>) {
+        return makeArg<T, long long>(value);
+    } else {
+        // Anything convertible to string_view (std::string, literals).
+        return Arg{
+            &value,
+            [](std::string_view spec, const void *p) {
+                return formatArg(spec, std::string_view(
+                                           *static_cast<const T *>(p)));
+            },
+        };
+    }
+}
+
+/** Char arrays (string literals) decay specially. */
+template <std::size_t N>
+Arg
+bindArg(const char (&value)[N])
+{
+    return Arg{
+        static_cast<const void *>(value),
+        [](std::string_view spec, const void *p) {
+            return formatArg(spec,
+                             std::string_view(static_cast<const char *>(p)));
+        },
+    };
+}
+
+inline Arg
+bindArg(const char *const &value)
+{
+    // Store the pointer value itself: binding to &value would dangle
+    // when a string literal decays into a temporary pointer here.
+    return Arg{
+        static_cast<const void *>(value),
+        [](std::string_view spec, const void *p) {
+            return formatArg(spec,
+                             std::string_view(static_cast<const char *>(p)));
+        },
+    };
+}
+
+/** Substitute bound arguments into the format string. */
+std::string vformat(std::string_view fmt, const Arg *args,
+                    std::size_t n_args);
+
+} // namespace fmtdetail
+
+/**
+ * Format @p args into @p fmt.
+ *
+ * Unmatched or malformed placeholders render as "{?}" rather than
+ * throwing, so formatting failures can never mask the message being
+ * reported (this is used on error paths).
+ */
+template <typename... Args>
+std::string
+format(std::string_view fmt, const Args &...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return fmtdetail::vformat(fmt, nullptr, 0);
+    } else {
+        const std::array<fmtdetail::Arg, sizeof...(Args)> bound = {
+            fmtdetail::bindArg(args)...};
+        return fmtdetail::vformat(fmt, bound.data(), bound.size());
+    }
+}
+
+} // namespace syncperf
+
+#endif // SYNCPERF_COMMON_FMT_HH

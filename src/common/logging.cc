@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Implementation of the logging sink.
+ */
+
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace syncperf
+{
+namespace
+{
+
+/** Active capture hook, or nullptr for normal (stderr + die) behavior. */
+std::vector<std::pair<LogLevel, std::string>> *capture_sink = nullptr;
+std::mutex log_mutex;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+namespace detail
+{
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    std::scoped_lock lock(log_mutex);
+    if (capture_sink) {
+        capture_sink->emplace_back(level, msg);
+        return;
+    }
+    std::fprintf(stderr, "[%s] %s\n", levelTag(level), msg.c_str());
+}
+
+void
+logAndDie(LogLevel level, const std::string &msg,
+          const std::source_location &loc)
+{
+    {
+        std::scoped_lock lock(log_mutex);
+        if (capture_sink) {
+            capture_sink->emplace_back(level, msg);
+            throw LogDeathException{level, msg};
+        }
+        std::fprintf(stderr, "[%s] %s (%s:%u)\n", levelTag(level),
+                     msg.c_str(), loc.file_name(), loc.line());
+    }
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+ScopedLogCapture::ScopedLogCapture()
+{
+    std::scoped_lock lock(log_mutex);
+    if (capture_sink)
+        throw LogDeathException{LogLevel::Panic, "nested ScopedLogCapture"};
+    capture_sink = &captured_;
+}
+
+ScopedLogCapture::~ScopedLogCapture()
+{
+    std::scoped_lock lock(log_mutex);
+    capture_sink = nullptr;
+}
+
+const std::vector<std::pair<LogLevel, std::string>> &
+ScopedLogCapture::messages() const
+{
+    return captured_;
+}
+
+} // namespace syncperf

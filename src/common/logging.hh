@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for unrecoverable
+ * user errors (bad configuration, invalid arguments), warn() and
+ * inform() report conditions without stopping execution.
+ */
+
+#ifndef SYNCPERF_COMMON_LOGGING_HH
+#define SYNCPERF_COMMON_LOGGING_HH
+
+#include <source_location>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/fmt.hh"
+
+namespace syncperf
+{
+
+/** Severity levels understood by the log sink. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+namespace detail
+{
+
+/**
+ * Forward a fully formatted message to the active log sink.
+ *
+ * Fatal messages terminate the process with exit(1); panic messages
+ * call abort(). Both only return when a test hook has been installed.
+ *
+ * @param level Message severity.
+ * @param msg Formatted message body.
+ * @param loc Source location of the originating call.
+ */
+[[noreturn]]
+void logAndDie(LogLevel level, const std::string &msg,
+               const std::source_location &loc);
+
+/** Emit a non-fatal message to the active log sink. */
+void logMessage(LogLevel level, const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Abort due to an internal invariant violation (a library bug).
+ *
+ * @param fmt std::format string.
+ * @param args Format arguments.
+ */
+template <typename... Args>
+[[noreturn]]
+void
+panic(std::string_view fmt, const Args &...args)
+{
+    detail::logAndDie(LogLevel::Panic, format(fmt, args...),
+                      std::source_location::current());
+}
+
+/**
+ * Terminate due to an unrecoverable user error (bad configuration or
+ * arguments), not a library bug.
+ */
+template <typename... Args>
+[[noreturn]]
+void
+fatal(std::string_view fmt, const Args &...args)
+{
+    detail::logAndDie(LogLevel::Fatal, format(fmt, args...),
+                      std::source_location::current());
+}
+
+/** Report a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(std::string_view fmt, const Args &...args)
+{
+    detail::logMessage(LogLevel::Warn, format(fmt, args...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(std::string_view fmt, const Args &...args)
+{
+    detail::logMessage(LogLevel::Inform, format(fmt, args...));
+}
+
+/**
+ * Check an internal invariant; panics with the condition text when it
+ * does not hold. Active in all build types (measurement code is not
+ * hot enough to justify stripping checks).
+ */
+#define SYNCPERF_ASSERT(cond, ...)                                          \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::syncperf::panic("assertion failed: " #cond " " __VA_ARGS__);  \
+        }                                                                   \
+    } while (0)
+
+/**
+ * Exception thrown instead of process exit when a test hook is
+ * installed via ScopedLogCapture. Carries the original severity.
+ */
+struct LogDeathException
+{
+    LogLevel level;
+    std::string message;
+};
+
+/**
+ * RAII helper for tests: while alive, fatal()/panic() throw
+ * LogDeathException instead of terminating, and all messages are
+ * recorded for inspection.
+ */
+class ScopedLogCapture
+{
+  public:
+    ScopedLogCapture();
+    ~ScopedLogCapture();
+
+    ScopedLogCapture(const ScopedLogCapture &) = delete;
+    ScopedLogCapture &operator=(const ScopedLogCapture &) = delete;
+
+    /** All messages captured so far, one per call. */
+    const std::vector<std::pair<LogLevel, std::string>> &messages() const;
+
+  private:
+    std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+} // namespace syncperf
+
+#endif // SYNCPERF_COMMON_LOGGING_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (PCG32).
+ *
+ * All stochastic components of the simulators (e.g., the Threadripper
+ * fabric-jitter model) draw from explicitly seeded Pcg32 instances so
+ * that every run of every experiment is reproducible bit-for-bit.
+ */
+
+#ifndef SYNCPERF_COMMON_RNG_HH
+#define SYNCPERF_COMMON_RNG_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace syncperf
+{
+
+/**
+ * Minimal PCG32 (XSH-RR) generator. Satisfies
+ * std::uniform_random_bit_generator.
+ */
+class Pcg32
+{
+  public:
+    using result_type = std::uint32_t;
+
+    /**
+     * @param seed Stream-independent seed.
+     * @param seq Stream selector; distinct seq values give
+     *            statistically independent streams.
+     */
+    explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                   std::uint64_t seq = 0xda3e39cb94b95bdbULL)
+    {
+        state_ = 0;
+        inc_ = (seq << 1u) | 1u;
+        next();
+        state_ += seed;
+        next();
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type
+    max()
+    {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    /** Next 32 random bits. */
+    result_type
+    operator()()
+    {
+        return next();
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        // Lemire's nearly-divisionless method with rejection.
+        std::uint64_t m = std::uint64_t{next()} * bound;
+        auto lo = static_cast<std::uint32_t>(m);
+        if (lo < bound) {
+            const std::uint32_t t = (-bound) % bound;
+            while (lo < t) {
+                m = std::uint64_t{next()} * bound;
+                lo = static_cast<std::uint32_t>(m);
+            }
+        }
+        return static_cast<std::uint32_t>(m >> 32);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+  private:
+    std::uint32_t
+    next()
+    {
+        const std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        const auto xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        const auto rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+    }
+
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+} // namespace syncperf
+
+#endif // SYNCPERF_COMMON_RNG_HH

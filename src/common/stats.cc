@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Implementation of summary statistics.
+ */
+
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace syncperf
+{
+
+double
+median(std::span<const double> values)
+{
+    SYNCPERF_ASSERT(!values.empty());
+    std::vector<double> sorted(values.begin(), values.end());
+    const std::size_t mid = sorted.size() / 2;
+    std::nth_element(sorted.begin(), sorted.begin() + mid, sorted.end());
+    double hi = sorted[mid];
+    if (sorted.size() % 2 == 1)
+        return hi;
+    double lo = *std::max_element(sorted.begin(), sorted.begin() + mid);
+    return 0.5 * (lo + hi);
+}
+
+double
+mean(std::span<const double> values)
+{
+    SYNCPERF_ASSERT(!values.empty());
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+stddev(std::span<const double> values)
+{
+    SYNCPERF_ASSERT(!values.empty());
+    const double m = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double
+minOf(std::span<const double> values)
+{
+    SYNCPERF_ASSERT(!values.empty());
+    return *std::min_element(values.begin(), values.end());
+}
+
+double
+maxOf(std::span<const double> values)
+{
+    SYNCPERF_ASSERT(!values.empty());
+    return *std::max_element(values.begin(), values.end());
+}
+
+double
+percentile(std::span<const double> values, double pct)
+{
+    SYNCPERF_ASSERT(!values.empty());
+    SYNCPERF_ASSERT(pct >= 0.0 && pct <= 100.0);
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo_idx = static_cast<std::size_t>(std::floor(rank));
+    const auto hi_idx = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo_idx);
+    return sorted[lo_idx] + frac * (sorted[hi_idx] - sorted[lo_idx]);
+}
+
+Summary
+summarize(std::span<const double> values)
+{
+    Summary s;
+    if (values.empty())
+        return s;
+    s.count = values.size();
+    s.min = minOf(values);
+    s.max = maxOf(values);
+    s.mean = mean(values);
+    s.median = median(values);
+    s.stddev = stddev(values);
+    return s;
+}
+
+void
+RunningStat::add(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+double
+RunningStat::stddev() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(count_));
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat{};
+}
+
+} // namespace syncperf

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Order statistics and summary statistics used by the measurement
+ * protocol (median-of-runs) and by the report layer.
+ */
+
+#ifndef SYNCPERF_COMMON_STATS_HH
+#define SYNCPERF_COMMON_STATS_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace syncperf
+{
+
+/**
+ * Median of a sample; averages the two central elements for even
+ * sizes. The input is copied, not reordered.
+ *
+ * @param values Non-empty sample.
+ * @return The sample median.
+ */
+double median(std::span<const double> values);
+
+/** Arithmetic mean of a non-empty sample. */
+double mean(std::span<const double> values);
+
+/** Population standard deviation of a non-empty sample. */
+double stddev(std::span<const double> values);
+
+/** Smallest element of a non-empty sample. */
+double minOf(std::span<const double> values);
+
+/** Largest element of a non-empty sample. */
+double maxOf(std::span<const double> values);
+
+/**
+ * Linear-interpolated percentile (inclusive method).
+ *
+ * @param values Non-empty sample.
+ * @param pct Percentile in [0, 100].
+ */
+double percentile(std::span<const double> values, double pct);
+
+/** Full five-number-style summary of a sample. */
+struct Summary
+{
+    std::size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double median = 0.0;
+    double stddev = 0.0;
+};
+
+/** Compute a Summary; the sample may be empty (all fields zero). */
+Summary summarize(std::span<const double> values);
+
+/**
+ * Streaming accumulator for min/max/mean/variance in one pass
+ * (Welford's algorithm). Useful inside simulators where samples are
+ * produced one at a time.
+ */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double value);
+
+    /** Number of samples folded in so far. */
+    std::size_t count() const { return count_; }
+
+    /** Mean of samples seen; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population standard deviation of samples seen; 0 when empty. */
+    double stddev() const;
+
+    /** Smallest sample seen; 0 when empty. */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest sample seen; 0 when empty. */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace syncperf
+
+#endif // SYNCPERF_COMMON_STATS_HH

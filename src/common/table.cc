@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Implementation of the table printer.
+ */
+
+#include "table.hh"
+
+#include <algorithm>
+
+#include "logging.hh"
+
+namespace syncperf
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns))
+{
+    SYNCPERF_ASSERT(!columns_.empty());
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    SYNCPERF_ASSERT(cells.size() <= columns_.size(),
+                    "row wider than header");
+    cells.resize(columns_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        widths[c] = columns_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](std::string &out,
+                        const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out += "| ";
+            out += cells[c];
+            out.append(widths[c] - cells[c].size() + 1, ' ');
+        }
+        out += "|\n";
+    };
+
+    std::string out;
+    if (!title_.empty()) {
+        out += title_;
+        out += '\n';
+    }
+    emit_row(out, columns_);
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        out += "|";
+        out.append(widths[c] + 2, '-');
+    }
+    out += "|\n";
+    for (const auto &row : rows_)
+        emit_row(out, row);
+    return out;
+}
+
+} // namespace syncperf

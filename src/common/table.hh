@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Aligned plain-text table printer used by the bench harnesses for
+ * paper-style tables (e.g. Table I).
+ */
+
+#ifndef SYNCPERF_COMMON_TABLE_HH
+#define SYNCPERF_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace syncperf
+{
+
+/**
+ * Collects rows of string cells and renders them with per-column
+ * alignment, a header separator, and optional title.
+ */
+class TablePrinter
+{
+  public:
+    /** @param columns Header labels; fixes the column count. */
+    explicit TablePrinter(std::vector<std::string> columns);
+
+    /** Optional title rendered above the table. */
+    void setTitle(std::string title) { title_ = std::move(title); }
+
+    /**
+     * Append a row. Rows shorter than the header are padded with
+     * empty cells; longer rows are a caller bug.
+     */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the full table as a string ending in a newline. */
+    std::string render() const;
+
+    /** Number of data rows added. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace syncperf
+
+#endif // SYNCPERF_COMMON_TABLE_HH

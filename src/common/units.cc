@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Implementation of unit formatting helpers.
+ */
+
+#include "units.hh"
+
+#include <cmath>
+#include "common/fmt.hh"
+
+namespace syncperf
+{
+namespace
+{
+
+struct Scale
+{
+    double factor;
+    const char *prefix;
+};
+
+constexpr Scale up_scales[] = {
+    {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+};
+
+constexpr Scale down_scales[] = {
+    {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"},
+};
+
+} // namespace
+
+std::string
+formatThroughput(double ops_per_second)
+{
+    if (!std::isfinite(ops_per_second))
+        return "inf op/s";
+    const double mag = std::fabs(ops_per_second);
+    for (const auto &s : up_scales) {
+        if (mag >= s.factor) {
+            return format("{:.1f} {}op/s",
+                               ops_per_second / s.factor, s.prefix);
+        }
+    }
+    return format("{:.1f} op/s", ops_per_second);
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    if (!std::isfinite(seconds))
+        return "inf s";
+    const double mag = std::fabs(seconds);
+    if (mag >= 1.0 || mag == 0.0)
+        return format("{:.3f} s", seconds);
+    for (const auto &s : down_scales) {
+        if (mag >= s.factor) {
+            return format("{:.1f} {}s", seconds / s.factor, s.prefix);
+        }
+    }
+    return format("{:.3e} s", seconds);
+}
+
+std::string
+formatCount(unsigned long long count)
+{
+    std::string digits = std::to_string(count);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        if (i != 0 && (i - lead) % 3 == 0 && i >= lead)
+            out.push_back(',');
+        out.push_back(digits[i]);
+    }
+    return out;
+}
+
+} // namespace syncperf

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Human-readable formatting of throughput, time, and counts.
+ */
+
+#ifndef SYNCPERF_COMMON_UNITS_HH
+#define SYNCPERF_COMMON_UNITS_HH
+
+#include <string>
+
+namespace syncperf
+{
+
+/**
+ * Format a throughput value as engineering notation with a unit,
+ * e.g. 3.21e+08 -> "321.0 Mop/s".
+ */
+std::string formatThroughput(double ops_per_second);
+
+/** Format seconds with an appropriate SI prefix, e.g. "12.3 ns". */
+std::string formatSeconds(double seconds);
+
+/** Format a plain count with thousands separators, e.g. "1,048,576". */
+std::string formatCount(unsigned long long count);
+
+} // namespace syncperf
+
+#endif // SYNCPERF_COMMON_UNITS_HH

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Implementation of the campaign driver.
+ */
+
+#include "campaign.hh"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+#include "core/sweep.hh"
+
+namespace syncperf::core
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Open an output CSV, creating directories as needed. */
+std::ofstream
+openCsv(const fs::path &path)
+{
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+    if (ec) {
+        fatal("cannot create {}: {}", path.parent_path().string(),
+              ec.message());
+    }
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open {} for writing", path.string());
+    return out;
+}
+
+/** Strides the paper sweeps; quick mode keeps the knee-revealing ones. */
+std::vector<int>
+ompStrides(bool quick)
+{
+    return quick ? std::vector<int>{1, 8, 16}
+                 : std::vector<int>{1, 4, 8, 16};
+}
+
+} // namespace
+
+std::string
+sanitizeName(const std::string &name)
+{
+    std::string out;
+    for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+            out.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c))));
+        } else if (!out.empty() && out.back() != '_') {
+            out.push_back('_');
+        }
+    }
+    while (!out.empty() && out.back() == '_')
+        out.pop_back();
+    return out;
+}
+
+CampaignResult
+runOmpCampaign(const cpusim::CpuConfig &cfg,
+               const MeasurementConfig &protocol,
+               const CampaignOptions &options)
+{
+    CampaignResult result;
+    const fs::path dir =
+        fs::path(options.output_dir) / sanitizeName(cfg.name);
+    const auto threads =
+        ompThreadCounts(cfg.totalHwThreads(), options.quick ? 4 : 1);
+
+    struct Point
+    {
+        OmpExperiment exp;
+        std::string file;
+    };
+    std::vector<Point> points;
+
+    auto add = [&](OmpPrimitive prim, DataType dtype, Location loc,
+                   int stride, Affinity affinity, std::string file) {
+        OmpExperiment e;
+        e.primitive = prim;
+        e.dtype = dtype;
+        e.location = loc;
+        e.stride = stride;
+        e.affinity = affinity;
+        points.push_back({e, std::move(file)});
+    };
+
+    add(OmpPrimitive::Barrier, DataType::Int32, Location::SharedVariable,
+        1, Affinity::Spread, "omp_barrier.csv");
+    add(OmpPrimitive::Critical, DataType::Int32, Location::SharedVariable,
+        1, Affinity::Spread, "omp_critical.csv");
+    add(OmpPrimitive::AtomicRead, DataType::Int32,
+        Location::SharedVariable, 1, Affinity::System,
+        "omp_atomic_read.csv");
+
+    for (DataType t : all_data_types) {
+        const std::string suffix = std::string(dataTypeName(t)) + ".csv";
+        add(OmpPrimitive::AtomicUpdate, t, Location::SharedVariable, 1,
+            Affinity::System, "omp_atomic_update_" + suffix);
+        add(OmpPrimitive::AtomicCapture, t, Location::SharedVariable, 1,
+            Affinity::System, "omp_atomic_capture_" + suffix);
+        add(OmpPrimitive::AtomicWrite, t, Location::SharedVariable, 1,
+            Affinity::System, "omp_atomic_write_" + suffix);
+        for (int stride : ompStrides(options.quick)) {
+            add(OmpPrimitive::AtomicUpdate, t, Location::PrivateArray,
+                stride, Affinity::System,
+                "omp_atomic_array_s" + std::to_string(stride) + "_" +
+                    suffix);
+            add(OmpPrimitive::Flush, t, Location::PrivateArray, stride,
+                Affinity::Close,
+                "omp_flush_s" + std::to_string(stride) + "_" + suffix);
+        }
+    }
+
+    for (const auto &point : points) {
+        CpuSimTarget target(cfg, protocol);
+        const fs::path path = dir / point.file;
+        auto out = openCsv(path);
+        CsvWriter csv(out);
+        csv.header({"threads", "per_op_seconds",
+                    "throughput_per_thread", "stddev_seconds"});
+        for (int n : threads) {
+            const auto m = target.measure(point.exp, n);
+            csv.field(static_cast<long long>(n))
+                .field(m.per_op_seconds)
+                .field(m.opsPerSecondPerThread())
+                .field(m.stddev_seconds);
+            csv.endRow();
+        }
+        result.files_written.push_back(path.string());
+        ++result.experiments_run;
+    }
+    return result;
+}
+
+CampaignResult
+runCudaCampaign(const gpusim::GpuConfig &cfg,
+                const MeasurementConfig &protocol,
+                const CampaignOptions &options)
+{
+    CampaignResult result;
+    const fs::path dir =
+        fs::path(options.output_dir) / sanitizeName(cfg.name);
+
+    auto thread_counts = cudaThreadCounts();
+    if (options.quick) {
+        std::vector<int> coarse;
+        for (std::size_t i = 0; i < thread_counts.size(); i += 2)
+            coarse.push_back(thread_counts[i]);
+        if (coarse.back() != thread_counts.back())
+            coarse.push_back(thread_counts.back());
+        thread_counts = coarse;
+    }
+    const std::vector<int> block_counts =
+        options.quick ? std::vector<int>{1, 2, cfg.sm_count / 2}
+                      : cudaBlockCounts(cfg.sm_count);
+
+    struct Point
+    {
+        CudaExperiment exp;
+        std::string file;
+    };
+    std::vector<Point> points;
+
+    auto add = [&](CudaPrimitive prim, DataType dtype, Location loc,
+                   int stride, std::string file) {
+        CudaExperiment e;
+        e.primitive = prim;
+        e.dtype = dtype;
+        e.location = loc;
+        e.stride = stride;
+        points.push_back({e, std::move(file)});
+    };
+
+    add(CudaPrimitive::SyncThreads, DataType::Int32,
+        Location::SharedVariable, 1, "cuda_syncthreads.csv");
+    add(CudaPrimitive::SyncWarp, DataType::Int32,
+        Location::SharedVariable, 1, "cuda_syncwarp.csv");
+    add(CudaPrimitive::VoteSync, DataType::Int32,
+        Location::SharedVariable, 1, "cuda_vote.csv");
+    add(CudaPrimitive::ThreadFence, DataType::Int32,
+        Location::PrivateArray, 1, "cuda_threadfence.csv");
+    add(CudaPrimitive::ThreadFenceBlock, DataType::Int32,
+        Location::PrivateArray, 1, "cuda_threadfence_block.csv");
+    add(CudaPrimitive::ThreadFenceSystem, DataType::Int32,
+        Location::PrivateArray, 1, "cuda_threadfence_system.csv");
+
+    for (DataType t : all_data_types) {
+        const std::string suffix = std::string(dataTypeName(t)) + ".csv";
+        add(CudaPrimitive::AtomicAdd, t, Location::SharedVariable, 1,
+            "cuda_atomicadd_" + suffix);
+        add(CudaPrimitive::ShflSync, t, Location::SharedVariable, 1,
+            "cuda_shfl_" + suffix);
+        if (!options.quick) {
+            for (int stride : {1, 32}) {
+                add(CudaPrimitive::AtomicAdd, t, Location::PrivateArray,
+                    stride,
+                    "cuda_atomicadd_array_s" + std::to_string(stride) +
+                        "_" + suffix);
+            }
+        }
+        if (isIntegerType(t)) {
+            add(CudaPrimitive::AtomicCas, t, Location::SharedVariable, 1,
+                "cuda_atomiccas_" + suffix);
+            add(CudaPrimitive::AtomicExch, t, Location::SharedVariable, 1,
+                "cuda_atomicexch_" + suffix);
+        }
+    }
+
+    for (const auto &point : points) {
+        GpuSimTarget target(cfg, protocol);
+        const fs::path path = dir / point.file;
+        auto out = openCsv(path);
+        CsvWriter csv(out);
+        csv.header({"blocks", "threads_per_block", "per_op_seconds",
+                    "throughput_per_thread"});
+        for (int blocks : block_counts) {
+            for (int n : thread_counts) {
+                const auto m = target.measure(point.exp, {blocks, n});
+                csv.field(static_cast<long long>(blocks))
+                    .field(static_cast<long long>(n))
+                    .field(m.per_op_seconds)
+                    .field(m.opsPerSecondPerThread());
+                csv.endRow();
+            }
+        }
+        result.files_written.push_back(path.string());
+        ++result.experiments_run;
+    }
+    return result;
+}
+
+} // namespace syncperf::core

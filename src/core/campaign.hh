@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Campaign driver: the equivalent of the paper artifact's launch.py.
+ *
+ * Runs the full measurement campaign for a machine and writes one
+ * CSV per experiment into results/<system>/..., mirroring the
+ * artifact's results layout (Section F of the paper's appendix).
+ */
+
+#ifndef SYNCPERF_CORE_CAMPAIGN_HH
+#define SYNCPERF_CORE_CAMPAIGN_HH
+
+#include <string>
+#include <vector>
+
+#include "core/cpusim_target.hh"
+#include "core/gpusim_target.hh"
+
+namespace syncperf::core
+{
+
+/** Campaign-wide options. */
+struct CampaignOptions
+{
+    std::string output_dir = "results";
+
+    /** Coarsen sweeps (every 4th thread count, key strides only). */
+    bool quick = true;
+};
+
+/** What a campaign produced. */
+struct CampaignResult
+{
+    std::vector<std::string> files_written;
+    int experiments_run = 0;
+};
+
+/**
+ * Run every OpenMP experiment of the paper on @p cfg and write one
+ * CSV per (primitive, data type, stride) combination under
+ * output_dir/<system>/.
+ */
+CampaignResult runOmpCampaign(const cpusim::CpuConfig &cfg,
+                              const MeasurementConfig &protocol,
+                              const CampaignOptions &options);
+
+/**
+ * Run every CUDA experiment of the paper on @p cfg and write one CSV
+ * per (primitive, data type, block count, stride) combination under
+ * output_dir/<device>/.
+ */
+CampaignResult runCudaCampaign(const gpusim::GpuConfig &cfg,
+                               const MeasurementConfig &protocol,
+                               const CampaignOptions &options);
+
+/** Filesystem-safe slug for a system/device name. */
+std::string sanitizeName(const std::string &name);
+
+} // namespace syncperf::core
+
+#endif // SYNCPERF_CORE_CAMPAIGN_HH

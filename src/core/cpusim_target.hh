@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Adapter that runs OpenMP-primitive experiments on the CPU timing
+ * model, translating each OmpExperiment into baseline/test thread
+ * programs per the paper's Listing 2 template.
+ */
+
+#ifndef SYNCPERF_CORE_CPUSIM_TARGET_HH
+#define SYNCPERF_CORE_CPUSIM_TARGET_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/measure_config.hh"
+#include "core/primitives.hh"
+#include "core/protocol.hh"
+#include "cpusim/machine.hh"
+
+namespace syncperf::core
+{
+
+/** Baseline and test programs for one experiment point. */
+struct OmpProgramPair
+{
+    std::vector<cpusim::CpuProgram> baseline;
+    std::vector<cpusim::CpuProgram> test;
+};
+
+/**
+ * Measurement target backed by cpusim.
+ *
+ * Stateless apart from the machine configuration and a seed counter
+ * that gives every simulated launch an independent deterministic
+ * jitter stream (so the protocol's runs/attempts see run-to-run
+ * variation exactly where the model has jitter).
+ */
+class CpuSimTarget
+{
+  public:
+    CpuSimTarget(cpusim::CpuConfig cfg, MeasurementConfig mcfg,
+                 std::uint64_t seed = 1);
+
+    /**
+     * Run the full measurement protocol for one experiment point.
+     *
+     * @param exp The primitive and its parameters.
+     * @param n_threads Team size (the paper sweeps 2..max HW threads).
+     */
+    Measurement measure(const OmpExperiment &exp, int n_threads);
+
+    /**
+     * Build the baseline/test program pair (exposed for tests).
+     *
+     * @param iterations Timed body repetitions per thread.
+     */
+    static OmpProgramPair buildPrograms(const OmpExperiment &exp,
+                                        int n_threads, long iterations);
+
+    const cpusim::CpuConfig &config() const { return cfg_; }
+
+  private:
+    std::vector<double> runOnce(const std::vector<cpusim::CpuProgram> &p,
+                                Affinity affinity);
+
+    cpusim::CpuConfig cfg_;
+    MeasurementConfig mcfg_;
+    std::uint64_t next_seed_;
+};
+
+} // namespace syncperf::core
+
+#endif // SYNCPERF_CORE_CPUSIM_TARGET_HH

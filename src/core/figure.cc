@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Implementation of figure assembly.
+ */
+
+#include "figure.hh"
+
+#include <cmath>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+
+namespace syncperf::core
+{
+
+Figure::Figure(std::string id, std::string title, std::string x_label,
+               std::vector<double> xs)
+    : id_(std::move(id)), title_(std::move(title)),
+      x_label_(std::move(x_label)), xs_(std::move(xs))
+{
+    SYNCPERF_ASSERT(!xs_.empty());
+}
+
+void
+Figure::addSeries(std::string label, std::vector<double> ys)
+{
+    SYNCPERF_ASSERT(ys.size() == xs_.size());
+    series_.push_back({std::move(label), std::move(ys)});
+}
+
+void
+Figure::writeCsv(std::ostream &out) const
+{
+    CsvWriter csv(out);
+    csv.header({"figure", "series", "x", "throughput_per_thread"});
+    for (const auto &s : series_) {
+        for (std::size_t i = 0; i < xs_.size(); ++i) {
+            csv.field(id_).field(s.label).field(xs_[i]).field(s.ys[i]);
+            csv.endRow();
+        }
+    }
+}
+
+std::string
+Figure::render() const
+{
+    AsciiChart chart(xs_);
+    chart.setTitle(id_ + ": " + title_);
+    chart.setXLabel(x_label_);
+    chart.setYLabel("throughput (op/s per thread)");
+    chart.setLogX(log_x_);
+    if (core_boundary_ > 0.0)
+        chart.setVerticalMarker(core_boundary_);
+    for (const auto &s : series_) {
+        // Replace infinities (free primitives) with NaN so the chart
+        // skips them instead of distorting the scale.
+        std::vector<double> ys = s.ys;
+        for (double &y : ys) {
+            if (!std::isfinite(y))
+                y = std::nan("");
+        }
+        chart.addSeries(s.label, std::move(ys));
+    }
+    std::string out = chart.render();
+    if (!note_.empty())
+        out += "  note: " + note_ + "\n";
+    return out;
+}
+
+} // namespace syncperf::core

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure assembly: collects the series of one paper figure and emits
+ * them as CSV rows plus a terminal chart.
+ */
+
+#ifndef SYNCPERF_CORE_FIGURE_HH
+#define SYNCPERF_CORE_FIGURE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/ascii_chart.hh"
+
+namespace syncperf::core
+{
+
+/**
+ * One paper figure: shared x values (thread counts) and one
+ * throughput series per data type / configuration.
+ */
+class Figure
+{
+  public:
+    /**
+     * @param id Paper identifier, e.g. "Fig. 3a".
+     * @param title Human-readable caption.
+     * @param x_label Axis caption, e.g. "threads".
+     * @param xs Shared x values, strictly increasing.
+     */
+    Figure(std::string id, std::string title, std::string x_label,
+           std::vector<double> xs);
+
+    /** Add a series; ys must have one value per x. */
+    void addSeries(std::string label, std::vector<double> ys);
+
+    /** Note rendered under the chart (expected shape, caveats). */
+    void setNote(std::string note) { note_ = std::move(note); }
+
+    /** Plot x on a log2 axis (the paper's CUDA figures). */
+    void setLogX(bool log_x) { log_x_ = log_x; }
+
+    /** Dashed marker at the physical-core boundary (OpenMP figures). */
+    void setCoreBoundary(double x) { core_boundary_ = x; }
+
+    /** Emit "figure,series,x,y" CSV rows. */
+    void writeCsv(std::ostream &out) const;
+
+    /** Render the chart plus header/notes for the terminal. */
+    std::string render() const;
+
+    const std::string &id() const { return id_; }
+    const std::vector<double> &xs() const { return xs_; }
+
+    /** Series accessors for tests. */
+    const std::vector<ChartSeries> &series() const { return series_; }
+
+  private:
+    std::string id_;
+    std::string title_;
+    std::string x_label_;
+    std::vector<double> xs_;
+    std::vector<ChartSeries> series_;
+    std::string note_;
+    bool log_x_ = false;
+    double core_boundary_ = 0.0;
+};
+
+} // namespace syncperf::core
+
+#endif // SYNCPERF_CORE_FIGURE_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Adapter that runs CUDA-primitive experiments on the GPU timing
+ * model, translating each CudaExperiment into baseline/test kernels
+ * per the paper's Listing 3 template.
+ */
+
+#ifndef SYNCPERF_CORE_GPUSIM_TARGET_HH
+#define SYNCPERF_CORE_GPUSIM_TARGET_HH
+
+#include <cstdint>
+#include <utility>
+
+#include "core/measure_config.hh"
+#include "core/primitives.hh"
+#include "core/protocol.hh"
+#include "gpusim/machine.hh"
+
+namespace syncperf::core
+{
+
+/** Baseline and test kernels for one experiment point. */
+struct CudaKernelPair
+{
+    gpusim::GpuKernel baseline;
+    gpusim::GpuKernel test;
+};
+
+/** Measurement target backed by gpusim. */
+class GpuSimTarget
+{
+  public:
+    GpuSimTarget(gpusim::GpuConfig cfg, MeasurementConfig mcfg,
+                 std::uint64_t seed = 1);
+
+    /**
+     * Run the full measurement protocol for one experiment point.
+     *
+     * @param exp The primitive and its parameters.
+     * @param launch Grid geometry (the paper sweeps blocks in
+     *        {1, 2, SMs/2, SMs, 2*SMs} and threads in powers of two
+     *        up to 1024).
+     */
+    Measurement measure(const CudaExperiment &exp,
+                        gpusim::LaunchConfig launch);
+
+    /** Build the baseline/test kernel pair (exposed for tests). */
+    static CudaKernelPair buildKernels(const CudaExperiment &exp,
+                                       long body_iters);
+
+    const gpusim::GpuConfig &config() const { return cfg_; }
+
+    /** Block counts the paper sweeps for this device. */
+    std::vector<int> paperBlockCounts() const;
+
+  private:
+    std::vector<double> runOnce(const gpusim::GpuKernel &kernel,
+                                gpusim::LaunchConfig launch);
+
+    gpusim::GpuConfig cfg_;
+    MeasurementConfig mcfg_;
+    std::uint64_t next_seed_;
+};
+
+} // namespace syncperf::core
+
+#endif // SYNCPERF_CORE_GPUSIM_TARGET_HH

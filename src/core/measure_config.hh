@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Measurement-protocol parameters (Section IV of the paper).
+ */
+
+#ifndef SYNCPERF_CORE_MEASURE_CONFIG_HH
+#define SYNCPERF_CORE_MEASURE_CONFIG_HH
+
+namespace syncperf::core
+{
+
+/**
+ * Knobs of the paper's measurement procedure. The paper's values
+ * (paperDefaults) suit noisy physical hardware; the simulators are
+ * deterministic (up to modeled jitter), so simDefaults uses fewer
+ * repetitions and shorter loops to keep sweeps fast without changing
+ * any shape.
+ */
+struct MeasurementConfig
+{
+    int runs = 9;          ///< independent runs; final value is their median
+    int attempts = 7;      ///< valid (baseline, test) pairs per run
+    int n_iter = 1000;     ///< timed outer-loop iterations
+    int n_unroll = 100;    ///< unrolled inner-loop factor
+    int n_warmup = 3;      ///< untimed warmup iterations
+    int max_retries = 50;  ///< cap on invalid-measurement retries per run
+
+    /** Total primitive executions the measured difference covers. */
+    long opsPerMeasurement() const
+    {
+        return static_cast<long>(n_iter) * n_unroll;
+    }
+
+    /** The paper's configuration for physical hardware. */
+    static MeasurementConfig
+    paperDefaults()
+    {
+        return MeasurementConfig{};
+    }
+
+    /** Reduced repetition for the deterministic simulators. */
+    static MeasurementConfig
+    simDefaults()
+    {
+        MeasurementConfig c;
+        c.runs = 3;
+        c.attempts = 2;
+        c.n_iter = 30;
+        c.n_unroll = 5;
+        c.n_warmup = 2;
+        return c;
+    }
+
+    /** Even shorter loops for wide GPU sweeps (many resident warps). */
+    static MeasurementConfig
+    simGpuDefaults()
+    {
+        MeasurementConfig c;
+        c.runs = 3;
+        c.attempts = 2;
+        c.n_iter = 20;
+        c.n_unroll = 4;
+        c.n_warmup = 2;
+        return c;
+    }
+};
+
+} // namespace syncperf::core
+
+#endif // SYNCPERF_CORE_MEASURE_CONFIG_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Adapter that runs OpenMP-primitive experiments natively on host
+ * threads via threadlib -- the paper's original measurement path.
+ *
+ * On a large multicore this produces real hardware numbers; on small
+ * hosts it still exercises the full protocol and primitive
+ * implementations (the repository's figures use the CPU model, which
+ * scales to the paper's 32-64 hardware threads regardless of host).
+ */
+
+#ifndef SYNCPERF_CORE_NATIVE_TARGET_HH
+#define SYNCPERF_CORE_NATIVE_TARGET_HH
+
+#include "core/measure_config.hh"
+#include "core/primitives.hh"
+#include "core/protocol.hh"
+
+namespace syncperf::core
+{
+
+/** Measurement target backed by real host threads. */
+class NativeTarget
+{
+  public:
+    explicit NativeTarget(MeasurementConfig mcfg);
+
+    /**
+     * Run the full measurement protocol for one experiment point on
+     * @p n_threads host threads (oversubscription is allowed but
+     * noisy).
+     */
+    Measurement measure(const OmpExperiment &exp, int n_threads);
+
+  private:
+    MeasurementConfig mcfg_;
+};
+
+} // namespace syncperf::core
+
+#endif // SYNCPERF_CORE_NATIVE_TARGET_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Measurement target using real OpenMP pragmas -- the paper's
+ * original implementation path (Listing 2), verbatim: parallel
+ * regions, "#pragma omp barrier/atomic/critical/flush".
+ *
+ * Built only when the toolchain provides OpenMP (_OPENMP); the
+ * header is always available and reports availability at runtime so
+ * callers can fall back to NativeTarget or the CPU model.
+ */
+
+#ifndef SYNCPERF_CORE_OMP_PRAGMA_TARGET_HH
+#define SYNCPERF_CORE_OMP_PRAGMA_TARGET_HH
+
+#include "core/measure_config.hh"
+#include "core/primitives.hh"
+#include "core/protocol.hh"
+
+namespace syncperf::core
+{
+
+/** Measurement target backed by the system's OpenMP runtime. */
+class OmpPragmaTarget
+{
+  public:
+    explicit OmpPragmaTarget(MeasurementConfig mcfg);
+
+    /** True when the library was built with OpenMP support. */
+    static bool available();
+
+    /**
+     * Run the paper's protocol for one experiment point on
+     * @p n_threads OpenMP threads. Fatal when !available().
+     */
+    Measurement measure(const OmpExperiment &exp, int n_threads);
+
+    /** The OpenMP runtime's max thread count (1 when unavailable). */
+    static int maxThreads();
+
+  private:
+    MeasurementConfig mcfg_;
+};
+
+} // namespace syncperf::core
+
+#endif // SYNCPERF_CORE_OMP_PRAGMA_TARGET_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Descriptors for every synchronization primitive the paper
+ * measures, with the parameters each experiment sweeps.
+ */
+
+#ifndef SYNCPERF_CORE_PRIMITIVES_HH
+#define SYNCPERF_CORE_PRIMITIVES_HH
+
+#include <string>
+#include <string_view>
+
+#include "common/dtype.hh"
+
+namespace syncperf::core
+{
+
+/** OpenMP primitives (paper Section V-A). */
+enum class OmpPrimitive
+{
+    Barrier,        ///< #pragma omp barrier
+    AtomicUpdate,   ///< #pragma omp atomic update
+    AtomicCapture,  ///< #pragma omp atomic capture
+    AtomicRead,     ///< #pragma omp atomic read
+    AtomicWrite,    ///< #pragma omp atomic write
+    Critical,       ///< #pragma omp critical
+    Flush,          ///< #pragma omp flush
+};
+
+/** CUDA primitives (paper Section V-B). */
+enum class CudaPrimitive
+{
+    SyncThreads,        ///< __syncthreads()
+    SyncWarp,           ///< __syncwarp()
+    AtomicAdd,          ///< atomicAdd()
+    AtomicCas,          ///< atomicCAS()
+    AtomicExch,         ///< atomicExch()
+    ThreadFence,        ///< __threadfence()
+    ThreadFenceBlock,   ///< __threadfence_block()
+    ThreadFenceSystem,  ///< __threadfence_system()
+    ShflSync,           ///< __shfl_sync() and variants
+    VoteSync,           ///< __any/__all/__ballot_sync()
+};
+
+/** Whether threads target one shared location or private elements. */
+enum class Location
+{
+    SharedVariable,  ///< all threads hit one variable
+    PrivateArray,    ///< thread i hits element i * stride
+};
+
+/** Full specification of one OpenMP experiment point. */
+struct OmpExperiment
+{
+    OmpPrimitive primitive = OmpPrimitive::Barrier;
+    DataType dtype = DataType::Int32;
+    Location location = Location::SharedVariable;
+    int stride = 1;  ///< elements between threads' private slots
+    Affinity affinity = Affinity::System;
+};
+
+/** Full specification of one CUDA experiment point. */
+struct CudaExperiment
+{
+    CudaPrimitive primitive = CudaPrimitive::SyncThreads;
+    DataType dtype = DataType::Int32;
+    Location location = Location::SharedVariable;
+    int stride = 1;
+};
+
+/** Display name of an OpenMP primitive. */
+constexpr std::string_view
+ompPrimitiveName(OmpPrimitive p)
+{
+    switch (p) {
+      case OmpPrimitive::Barrier: return "omp barrier";
+      case OmpPrimitive::AtomicUpdate: return "omp atomic update";
+      case OmpPrimitive::AtomicCapture: return "omp atomic capture";
+      case OmpPrimitive::AtomicRead: return "omp atomic read";
+      case OmpPrimitive::AtomicWrite: return "omp atomic write";
+      case OmpPrimitive::Critical: return "omp critical";
+      case OmpPrimitive::Flush: return "omp flush";
+    }
+    return "?";
+}
+
+/** Display name of a CUDA primitive. */
+constexpr std::string_view
+cudaPrimitiveName(CudaPrimitive p)
+{
+    switch (p) {
+      case CudaPrimitive::SyncThreads: return "__syncthreads()";
+      case CudaPrimitive::SyncWarp: return "__syncwarp()";
+      case CudaPrimitive::AtomicAdd: return "atomicAdd()";
+      case CudaPrimitive::AtomicCas: return "atomicCAS()";
+      case CudaPrimitive::AtomicExch: return "atomicExch()";
+      case CudaPrimitive::ThreadFence: return "__threadfence()";
+      case CudaPrimitive::ThreadFenceBlock:
+        return "__threadfence_block()";
+      case CudaPrimitive::ThreadFenceSystem:
+        return "__threadfence_system()";
+      case CudaPrimitive::ShflSync: return "__shfl_sync()";
+      case CudaPrimitive::VoteSync: return "__any_sync()";
+    }
+    return "?";
+}
+
+/** True for primitives that take no data type (pure syncs/fences). */
+constexpr bool
+cudaPrimitiveIsTypeless(CudaPrimitive p)
+{
+    switch (p) {
+      case CudaPrimitive::SyncThreads:
+      case CudaPrimitive::SyncWarp:
+      case CudaPrimitive::ThreadFence:
+      case CudaPrimitive::ThreadFenceBlock:
+      case CudaPrimitive::ThreadFenceSystem:
+      case CudaPrimitive::VoteSync:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** atomicCAS/atomicExch do not natively support floating point. */
+constexpr bool
+cudaPrimitiveSupports(CudaPrimitive p, DataType t)
+{
+    if (p == CudaPrimitive::AtomicCas || p == CudaPrimitive::AtomicExch)
+        return isIntegerType(t);
+    return true;
+}
+
+} // namespace syncperf::core
+
+#endif // SYNCPERF_CORE_PRIMITIVES_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Implementation of the measurement protocol.
+ */
+
+#include "protocol.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace syncperf::core
+{
+
+double
+Measurement::opsPerSecondPerThread() const
+{
+    if (per_op_seconds <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 1.0 / per_op_seconds;
+}
+
+Measurement
+measurePrimitive(const TimedFunction &baseline, const TimedFunction &test,
+                 const MeasurementConfig &cfg)
+{
+    SYNCPERF_ASSERT(cfg.runs >= 1 && cfg.attempts >= 1);
+    SYNCPERF_ASSERT(cfg.opsPerMeasurement() >= 1);
+
+    Measurement out;
+    out.run_values.reserve(cfg.runs);
+
+    for (int run = 0; run < cfg.runs; ++run) {
+        std::vector<double> base_maxes;
+        std::vector<double> test_maxes;
+        base_maxes.reserve(cfg.attempts);
+        test_maxes.reserve(cfg.attempts);
+
+        int retries_left = cfg.max_retries;
+        while (static_cast<int>(test_maxes.size()) < cfg.attempts) {
+            const std::vector<double> b = baseline();
+            const std::vector<double> t = test();
+            SYNCPERF_ASSERT(!b.empty() && !t.empty(),
+                            "timed function returned no thread times");
+            const double b_max = maxOf(b);
+            const double t_max = maxOf(t);
+            if (t_max < b_max && retries_left-- > 0) {
+                // Faulty measurement (system jitter); re-attempt.
+                ++out.retries;
+                continue;
+            }
+            if (t_max < b_max) {
+                warn("retry budget exhausted; accepting test < baseline "
+                     "({} < {})", t_max, b_max);
+            }
+            base_maxes.push_back(b_max);
+            test_maxes.push_back(t_max);
+        }
+
+        const double diff = median(test_maxes) - median(base_maxes);
+        out.run_values.push_back(
+            diff / static_cast<double>(cfg.opsPerMeasurement()));
+    }
+
+    out.per_op_seconds = median(out.run_values);
+    out.stddev_seconds = stddev(out.run_values);
+    return out;
+}
+
+} // namespace syncperf::core

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The paper's baseline/test differencing protocol (Section III-IV).
+ *
+ * A primitive's cost is measured by timing a baseline function and a
+ * test function that performs the primitive one extra time per inner
+ * iteration, then subtracting median runtimes. This isolates the
+ * primitive from all framework overhead (loops, calls, timing).
+ */
+
+#ifndef SYNCPERF_CORE_PROTOCOL_HH
+#define SYNCPERF_CORE_PROTOCOL_HH
+
+#include <functional>
+#include <vector>
+
+#include "core/measure_config.hh"
+
+namespace syncperf::core
+{
+
+/**
+ * One timed execution of a baseline or test function: returns the
+ * runtime of every participating thread, in seconds.
+ */
+using TimedFunction = std::function<std::vector<double>()>;
+
+/** Outcome of the full measurement procedure for one primitive. */
+struct Measurement
+{
+    /** Median-of-runs cost of a single primitive execution, seconds.
+     * May be ~0 (or slightly negative within noise) for free
+     * primitives such as an atomic read. */
+    double per_op_seconds = 0.0;
+
+    /** Standard deviation of the per-run values. */
+    double stddev_seconds = 0.0;
+
+    /** The per-run values the median was taken over. */
+    std::vector<double> run_values;
+
+    /** Invalid (test < baseline) attempts that were re-tried. */
+    int retries = 0;
+
+    /**
+     * Per-thread throughput in operations per second, the paper's
+     * reporting metric (1 / runtime). Infinity when the measured
+     * cost is zero or negative (primitive is free).
+     */
+    double opsPerSecondPerThread() const;
+};
+
+/**
+ * Run the paper's measurement procedure.
+ *
+ * For each of cfg.runs runs, gather cfg.attempts valid
+ * (baseline, test) pairs -- an attempt is valid when the maximum
+ * test runtime across threads is at least the maximum baseline
+ * runtime; invalid attempts are re-tried (Section IV). The run's
+ * value is (median test - median baseline) / ops. The final value is
+ * the median over runs.
+ *
+ * @param baseline Times cfg.opsPerMeasurement() baseline iterations.
+ * @param test Same, with one extra primitive per iteration.
+ */
+Measurement measurePrimitive(const TimedFunction &baseline,
+                             const TimedFunction &test,
+                             const MeasurementConfig &cfg);
+
+} // namespace syncperf::core
+
+#endif // SYNCPERF_CORE_PROTOCOL_HH

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Implementation of the recommendation rules.
+ */
+
+#include "recommend.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/fmt.hh"
+#include "common/logging.hh"
+
+namespace syncperf::core
+{
+namespace
+{
+
+/** Index of the first x >= value, clamped into range. */
+std::size_t
+indexAtOrAbove(std::span<const int> xs, int value)
+{
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (xs[i] >= value)
+            return i;
+    }
+    return xs.size() - 1;
+}
+
+/** First index whose value drops below frac * first finite value. */
+std::size_t
+kneeIndex(std::span<const double> ys, double frac)
+{
+    const double reference = ys.front();
+    for (std::size_t i = 1; i < ys.size(); ++i) {
+        if (ys[i] < frac * reference)
+            return i;
+    }
+    return ys.size();
+}
+
+double
+geomean(std::span<const double> ys)
+{
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (double y : ys) {
+        if (std::isfinite(y) && y > 0.0) {
+            acc += std::log(y);
+            ++n;
+        }
+    }
+    return n ? std::exp(acc / static_cast<double>(n)) : 0.0;
+}
+
+} // namespace
+
+Finding
+barrierPlateaus(std::span<const int> threads,
+                std::span<const double> throughput)
+{
+    SYNCPERF_ASSERT(threads.size() == throughput.size() &&
+                    threads.size() >= 4);
+    // Compare the decay before ~8 threads with the decay after.
+    const std::size_t mid = indexAtOrAbove(threads, 8);
+    const double early_drop = throughput.front() / throughput[mid];
+    const double late_drop = throughput[mid] / throughput.back();
+
+    Finding f;
+    f.id = "omp-1";
+    f.recommendation =
+        "Barriers are not much cheaper at low thread counts; their "
+        "per-thread cost stabilizes, so they are not a growing concern "
+        "at scale.";
+    f.supported = early_drop > 1.2 && late_drop < early_drop &&
+                  late_drop < 1.6;
+    f.evidence = format(
+        "throughput falls {:.2f}x from {} to {} threads but only "
+        "{:.2f}x from {} to {} threads",
+        early_drop, threads.front(), threads[mid], late_drop,
+        threads[mid], threads.back());
+    return f;
+}
+
+Finding
+contendedAtomicsCollapse(std::span<const int> threads,
+                         std::span<const double> throughput)
+{
+    SYNCPERF_ASSERT(threads.size() == throughput.size() &&
+                    threads.size() >= 2);
+    const double drop = throughput.front() / throughput.back();
+
+    Finding f;
+    f.id = "omp-2";
+    f.recommendation =
+        "Avoid atomic updates/writes by many threads to one memory "
+        "location; per-thread throughput collapses with the thread "
+        "count.";
+    f.supported = drop > 3.0;
+    f.evidence = format(
+        "per-thread throughput at {} threads is {:.1f}x lower than at "
+        "{} threads",
+        threads.back(), drop, threads.front());
+    return f;
+}
+
+Finding
+paddingRemovesFalseSharing(std::span<const int> strides,
+                           std::span<const double> throughput,
+                           int elems_per_line)
+{
+    SYNCPERF_ASSERT(strides.size() == throughput.size() &&
+                    !strides.empty());
+    // Find the first stride with no false sharing and compare.
+    double best_shared = 0.0, best_padded = 0.0;
+    for (std::size_t i = 0; i < strides.size(); ++i) {
+        if (strides[i] < elems_per_line)
+            best_shared = std::max(best_shared, throughput[i]);
+        else
+            best_padded = std::max(best_padded, throughput[i]);
+    }
+
+    Finding f;
+    f.id = "omp-3";
+    f.recommendation =
+        "Pad or stride per-thread data so that different threads' "
+        "elements never share a cache line.";
+    f.supported = best_padded > 2.0 * best_shared && best_shared > 0.0;
+    f.evidence = format(
+        "stride >= {} elements (one line) is {:.1f}x faster than the "
+        "best false-sharing stride",
+        elems_per_line,
+        best_shared > 0.0 ? best_padded / best_shared : 0.0);
+    return f;
+}
+
+Finding
+atomicReadIsFree(double per_op_seconds, double plain_op_seconds)
+{
+    Finding f;
+    f.id = "omp-4";
+    f.recommendation =
+        "Atomic reads add no measurable latency over plain reads and "
+        "can be used wherever prudent.";
+    f.supported = per_op_seconds <= 0.05 * plain_op_seconds;
+    f.evidence = format(
+        "measured extra cost {:.3e} s vs plain-op scale {:.3e} s",
+        per_op_seconds, plain_op_seconds);
+    return f;
+}
+
+Finding
+criticalSlowerThanAtomic(std::span<const double> atomic_thr,
+                         std::span<const double> critical_thr)
+{
+    SYNCPERF_ASSERT(atomic_thr.size() == critical_thr.size() &&
+                    !atomic_thr.empty());
+    std::size_t slower_points = 0;
+    for (std::size_t i = 0; i < atomic_thr.size(); ++i) {
+        if (critical_thr[i] < atomic_thr[i])
+            ++slower_points;
+    }
+    const double ratio = geomean(atomic_thr) / geomean(critical_thr);
+
+    Finding f;
+    f.id = "omp-5";
+    f.recommendation =
+        "Use critical sections only when no atomic alternative exists; "
+        "the locking overhead makes them strictly slower.";
+    f.supported = slower_points == atomic_thr.size() && ratio > 1.5;
+    f.evidence = format(
+        "critical section slower at {}/{} thread counts; atomic is "
+        "{:.1f}x faster on average",
+        slower_points, atomic_thr.size(), ratio);
+    return f;
+}
+
+Finding
+hyperthreadingIsFine(std::span<const int> threads,
+                     std::span<const double> throughput,
+                     int physical_cores)
+{
+    SYNCPERF_ASSERT(threads.size() == throughput.size());
+    const std::size_t at_cores = indexAtOrAbove(threads, physical_cores);
+    const double at = throughput[at_cores];
+    const double end = throughput.back();
+
+    Finding f;
+    f.id = "omp-7";
+    f.recommendation =
+        "Hyperthreads do not significantly slow down synchronization; "
+        "using them is fine.";
+    f.supported = end > 0.55 * at;
+    f.evidence = format(
+        "per-thread throughput at {} threads is {:.0f}% of the value "
+        "at the {}-core boundary",
+        threads.back(), at > 0.0 ? 100.0 * end / at : 0.0,
+        physical_cores);
+    return f;
+}
+
+Finding
+syncwarpFlatterThanSyncthreads(std::span<const double> syncthreads_thr,
+                               std::span<const double> syncwarp_thr)
+{
+    SYNCPERF_ASSERT(syncthreads_thr.size() == syncwarp_thr.size() &&
+                    syncthreads_thr.size() >= 2);
+    const double st_drop = syncthreads_thr.front() / syncthreads_thr.back();
+    const double sw_drop = syncwarp_thr.front() / syncwarp_thr.back();
+
+    Finding f;
+    f.id = "cuda-1/2";
+    f.recommendation =
+        "__syncthreads() slows with the number of warps (prefer "
+        "smaller blocks in barrier-heavy code); __syncwarp() is nearly "
+        "free at any scale.";
+    f.supported = st_drop > 2.0 * sw_drop;
+    f.evidence = format(
+        "__syncthreads() throughput falls {:.1f}x across the sweep vs "
+        "{:.1f}x for __syncwarp()",
+        st_drop, sw_drop);
+    return f;
+}
+
+Finding
+intAtomicsFastest(std::span<const double> int_thr,
+                  std::span<const double> other_thr,
+                  std::string other_label)
+{
+    SYNCPERF_ASSERT(int_thr.size() == other_thr.size() &&
+                    !int_thr.empty());
+    std::size_t faster = 0;
+    for (std::size_t i = 0; i < int_thr.size(); ++i) {
+        if (int_thr[i] >= other_thr[i])
+            ++faster;
+    }
+    const double ratio = geomean(int_thr) / geomean(other_thr);
+
+    Finding f;
+    f.id = "cuda-3";
+    f.recommendation =
+        "Prefer int for GPU atomics; the other data types pay more at "
+        "the atomic units.";
+    f.supported = faster == int_thr.size() && ratio > 1.2;
+    f.evidence = format(
+        "int at least as fast as {} at {}/{} points ({:.1f}x on "
+        "average)",
+        other_label, faster, int_thr.size(), ratio);
+    return f;
+}
+
+Finding
+fenceCostIsFlat(std::span<const double> throughput)
+{
+    SYNCPERF_ASSERT(throughput.size() >= 2);
+    double lo = throughput.front(), hi = throughput.front();
+    for (double t : throughput) {
+        lo = std::min(lo, t);
+        hi = std::max(hi, t);
+    }
+
+    Finding f;
+    f.id = "cuda-6";
+    f.recommendation =
+        "__threadfence() overhead is constant; use fences as needed "
+        "without regard for thread or block count.";
+    // "Fairly constant" in the paper's words: the whole sweep stays
+    // within a small factor, versus the order-of-magnitude collapse
+    // of the contended atomics.
+    f.supported = hi <= 3.0 * lo;
+    f.evidence = format(
+        "throughput spans only {:.2f}x across the whole sweep",
+        lo > 0.0 ? hi / lo : 0.0);
+    return f;
+}
+
+Finding
+wideShflKneesEarlier(std::span<const int> threads,
+                     std::span<const double> thr32,
+                     std::span<const double> thr64)
+{
+    SYNCPERF_ASSERT(threads.size() == thr32.size() &&
+                    threads.size() == thr64.size());
+    const std::size_t knee32 = kneeIndex(thr32, 0.85);
+    const std::size_t knee64 = kneeIndex(thr64, 0.85);
+
+    Finding f;
+    f.id = "cuda-7";
+    f.recommendation =
+        "Warp shuffles are fast but lose throughput when the SM fills "
+        "up -- at half the thread count for 8-byte types. Still prefer "
+        "them over memory traffic.";
+    f.supported = knee64 < knee32;
+    f.evidence = format(
+        "64-bit shuffle throughput drops at {} threads vs {} threads "
+        "for 32-bit",
+        knee64 < threads.size() ? threads[knee64] : -1,
+        knee32 < threads.size() ? threads[knee32] : -1);
+    return f;
+}
+
+std::string
+renderFindings(std::span<const Finding> findings)
+{
+    std::string out;
+    for (const auto &f : findings) {
+        out += format("[{}] {}\n    {}\n    evidence: {}\n", f.id,
+                      f.supported ? "SUPPORTED" : "NOT SUPPORTED",
+                      f.recommendation, f.evidence);
+    }
+    return out;
+}
+
+} // namespace syncperf::core

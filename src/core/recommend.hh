@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Executable form of the paper's developer recommendations
+ * (Sections V-A5 and V-B5): each rule inspects measured series and
+ * reports whether the data supports the paper's advice.
+ */
+
+#ifndef SYNCPERF_CORE_RECOMMEND_HH
+#define SYNCPERF_CORE_RECOMMEND_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace syncperf::core
+{
+
+/** One evaluated recommendation. */
+struct Finding
+{
+    std::string id;              ///< e.g. "omp-2"
+    std::string recommendation;  ///< the paper's advice
+    bool supported = false;      ///< measured data backs the advice
+    std::string evidence;        ///< short numeric justification
+};
+
+/**
+ * OpenMP rule 1: barriers stop getting more expensive per thread
+ * beyond a modest team size (throughput plateaus), so they are not a
+ * growing concern at large thread counts.
+ *
+ * @param threads Thread counts (ascending).
+ * @param throughput Per-thread barrier throughput.
+ */
+Finding barrierPlateaus(std::span<const int> threads,
+                        std::span<const double> throughput);
+
+/**
+ * OpenMP rule 2: atomics on one shared location collapse with the
+ * thread count and should be avoided.
+ */
+Finding contendedAtomicsCollapse(std::span<const int> threads,
+                                 std::span<const double> throughput);
+
+/**
+ * OpenMP rule 3: padding private slots past one cache line removes
+ * false sharing.
+ *
+ * @param strides Element strides (ascending).
+ * @param throughput Per-thread throughput at the machine's full
+ *        physical core count for each stride.
+ * @param elems_per_line Elements of this type per cache line.
+ */
+Finding paddingRemovesFalseSharing(std::span<const int> strides,
+                                   std::span<const double> throughput,
+                                   int elems_per_line);
+
+/**
+ * OpenMP rule 4: atomic reads are free.
+ *
+ * @param per_op_seconds Measured extra cost of an atomic read.
+ * @param plain_op_seconds Cost scale of the surrounding code (used
+ *        as the "negligible" yardstick).
+ */
+Finding atomicReadIsFree(double per_op_seconds, double plain_op_seconds);
+
+/**
+ * OpenMP rule 5: critical sections are strictly slower than the
+ * equivalent atomic and should be a last resort.
+ */
+Finding criticalSlowerThanAtomic(std::span<const double> atomic_thr,
+                                 std::span<const double> critical_thr);
+
+/**
+ * OpenMP rule 7: hyperthreading does not significantly slow down
+ * synchronization (compare throughput just below and at/above the
+ * physical-core boundary).
+ */
+Finding hyperthreadingIsFine(std::span<const int> threads,
+                             std::span<const double> throughput,
+                             int physical_cores);
+
+/**
+ * CUDA rule 1/2: __syncthreads throughput falls with the warp count
+ * while __syncwarp stays constant until the SM is heavily loaded.
+ */
+Finding syncwarpFlatterThanSyncthreads(
+    std::span<const double> syncthreads_thr,
+    std::span<const double> syncwarp_thr);
+
+/** CUDA rule 3: int atomics beat the other data types. */
+Finding intAtomicsFastest(std::span<const double> int_thr,
+                          std::span<const double> other_thr,
+                          std::string other_label);
+
+/** CUDA rule 6: thread fences cost the same regardless of scale. */
+Finding fenceCostIsFlat(std::span<const double> throughput);
+
+/**
+ * CUDA rule 7: 64-bit shuffles hit the issue-bandwidth knee at half
+ * the thread count of 32-bit shuffles.
+ */
+Finding wideShflKneesEarlier(std::span<const int> threads,
+                             std::span<const double> thr32,
+                             std::span<const double> thr64);
+
+/** Render findings as a short report. */
+std::string renderFindings(std::span<const Finding> findings);
+
+} // namespace syncperf::core
+
+#endif // SYNCPERF_CORE_RECOMMEND_HH

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Implementation of the Listing 1 reduction kernels.
+ */
+
+#include "reductions.hh"
+
+#include "common/logging.hh"
+
+namespace syncperf::core
+{
+namespace
+{
+
+using gpusim::AddressMode;
+using gpusim::AtomicOp;
+using gpusim::GpuKernel;
+using gpusim::GpuOp;
+using gpusim::LaunchConfig;
+using gpusim::Predicate;
+
+constexpr std::uint64_t data_addr = 0x10000000;
+constexpr std::uint64_t result_addr = 0x1000;
+constexpr std::uint64_t block_result_addr = 0x100000;
+
+GpuOp
+loadElement()
+{
+    return GpuOp::globalLoad(data_addr, DataType::Int32, 1);
+}
+
+GpuOp
+globalMax(Predicate pred)
+{
+    return GpuOp::globalAtomic(AtomicOp::Max, AddressMode::SingleShared,
+                               result_addr, DataType::Int32, 1, pred);
+}
+
+GpuOp
+blockMax(Predicate pred)
+{
+    return GpuOp::sharedAtomic(AtomicOp::Max, block_result_addr,
+                               DataType::Int32, pred);
+}
+
+} // namespace
+
+std::string_view
+reductionName(ReductionVariant v)
+{
+    switch (v) {
+      case ReductionVariant::GlobalAtomic:
+        return "Reduction 1 (global atomicMax per element)";
+      case ReductionVariant::WarpShuffle:
+        return "Reduction 2 (shuffle tree + atomic per warp)";
+      case ReductionVariant::BlockAtomic:
+        return "Reduction 3 (block atomics + one global)";
+      case ReductionVariant::WarpReduce:
+        return "Reduction 4 (__reduce_max_sync + block atomic)";
+      case ReductionVariant::PersistentBlock:
+        return "Reduction 5 (persistent threads)";
+    }
+    return "?";
+}
+
+ReductionPlan
+buildReduction(ReductionVariant variant, const gpusim::GpuConfig &cfg,
+               long n_elements, int threads_per_block)
+{
+    SYNCPERF_ASSERT(threads_per_block >= cfg.warp_size &&
+                    threads_per_block <= cfg.max_threads_per_block);
+    SYNCPERF_ASSERT(n_elements % threads_per_block == 0,
+                    "element count must be a block multiple");
+
+    ReductionPlan plan;
+    plan.elements = n_elements;
+    GpuKernel &k = plan.kernel;
+
+    const int data_blocks =
+        static_cast<int>(n_elements / threads_per_block);
+
+    switch (variant) {
+      case ReductionVariant::GlobalAtomic:
+        // if (i < size) atomicMax(&result, data[i]);
+        plan.launch = {data_blocks, threads_per_block};
+        k.body = {loadElement(), globalMax(Predicate::All)};
+        k.body_iters = 1;
+        break;
+
+      case ReductionVariant::WarpShuffle: {
+        // Butterfly: 5 rounds of __shfl_xor_sync + max, then one
+        // atomic per warp.
+        plan.launch = {data_blocks, threads_per_block};
+        GpuOp shfl_chain = GpuOp::shfl(DataType::Int32, 5);
+        GpuOp maxes = GpuOp::alu(5);
+        k.body = {loadElement(), shfl_chain, maxes,
+                  globalMax(Predicate::Lane0)};
+        k.body_iters = 1;
+        break;
+      }
+
+      case ReductionVariant::BlockAtomic:
+        // init block_result; __syncthreads(); atomicMax_block(...);
+        // __syncthreads(); thread 0 pushes the block result globally.
+        plan.launch = {data_blocks, threads_per_block};
+        k.prologue = {GpuOp::syncThreads()};
+        k.body = {loadElement(), blockMax(Predicate::All)};
+        k.body_iters = 1;
+        k.epilogue = {GpuOp::syncThreads(), globalMax(Predicate::Thread0)};
+        break;
+
+      case ReductionVariant::WarpReduce:
+        if (cfg.reduce_latency == 0) {
+            fatal("Reduction 4 needs __reduce_max_sync (cc >= 8.0); {} "
+                  "is cc {}", cfg.name, cfg.compute_capability);
+        }
+        plan.launch = {data_blocks, threads_per_block};
+        k.prologue = {GpuOp::syncThreads()};
+        k.body = {loadElement(), GpuOp::reduceSync(DataType::Int32),
+                  blockMax(Predicate::Lane0)};
+        k.body_iters = 1;
+        k.epilogue = {GpuOp::syncThreads(), globalMax(Predicate::Thread0)};
+        break;
+
+      case ReductionVariant::PersistentBlock: {
+        // Grid-stride loop accumulating a thread-local maximum, then
+        // one block atomic per thread and one global per block.
+        const int grid = 2 * cfg.sm_count;
+        const long per_thread =
+            n_elements / (static_cast<long>(grid) * threads_per_block);
+        SYNCPERF_ASSERT(per_thread >= 1,
+                        "input too small for the persistent grid");
+        plan.launch = {grid, threads_per_block};
+        k.prologue = {GpuOp::syncThreads()};
+        k.body = {loadElement(), GpuOp::alu()};
+        k.body_iters = per_thread;
+        k.epilogue = {blockMax(Predicate::All), GpuOp::syncThreads(),
+                      globalMax(Predicate::Thread0)};
+        break;
+      }
+    }
+    return plan;
+}
+
+ReductionTiming
+runReduction(ReductionVariant variant, const gpusim::GpuConfig &cfg,
+             long n_elements, int threads_per_block)
+{
+    const ReductionPlan plan =
+        buildReduction(variant, cfg, n_elements, threads_per_block);
+    gpusim::GpuMachine machine(cfg, static_cast<int>(variant));
+    const auto result = machine.run(plan.kernel, plan.launch,
+                                    /*warmup_iterations=*/0);
+
+    ReductionTiming t;
+    t.variant = variant;
+    t.cycles = result.total_cycles;
+    t.seconds =
+        static_cast<double>(result.total_cycles) / (cfg.clock_ghz * 1e9);
+    t.elements_per_second =
+        static_cast<double>(n_elements) / t.seconds;
+    return t;
+}
+
+std::vector<ReductionTiming>
+runAllReductions(const gpusim::GpuConfig &cfg, long n_elements,
+                 int threads_per_block)
+{
+    std::vector<ReductionTiming> out;
+    for (ReductionVariant v : {
+             ReductionVariant::GlobalAtomic, ReductionVariant::WarpShuffle,
+             ReductionVariant::BlockAtomic, ReductionVariant::WarpReduce,
+             ReductionVariant::PersistentBlock}) {
+        if (v == ReductionVariant::WarpReduce && cfg.reduce_latency == 0)
+            continue;
+        out.push_back(runReduction(v, cfg, n_elements, threads_per_block));
+    }
+    return out;
+}
+
+} // namespace syncperf::core

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The five CUDA maximum-reduction implementations of the paper's
+ * Listing 1, expressed as GPU-model kernels.
+ *
+ * The paper uses these to show that primitive choice is
+ * non-intuitive: Reduction 3 (block-scoped atomics) beats Reduction
+ * 4 (hardware warp reduce), which beats Reduction 1 (plain global
+ * atomics), which beats Reduction 2 (manual warp shuffles); and the
+ * persistent-thread Reduction 5 beats them all by ~2.5x over
+ * Reduction 2.
+ */
+
+#ifndef SYNCPERF_CORE_REDUCTIONS_HH
+#define SYNCPERF_CORE_REDUCTIONS_HH
+
+#include <string_view>
+#include <vector>
+
+#include "gpusim/machine.hh"
+
+namespace syncperf::core
+{
+
+/** The five variants of Listing 1. */
+enum class ReductionVariant
+{
+    GlobalAtomic = 1,    ///< Reduction 1: atomicMax per element
+    WarpShuffle = 2,     ///< Reduction 2: shuffle tree + atomic per warp
+    BlockAtomic = 3,     ///< Reduction 3: block atomics + one global
+    WarpReduce = 4,      ///< Reduction 4: __reduce_max_sync + block atomic
+    PersistentBlock = 5, ///< Reduction 5: grid-stride persistent threads
+};
+
+/** Display name, e.g. "Reduction 3 (block atomics)". */
+std::string_view reductionName(ReductionVariant v);
+
+/** A built kernel plus the launch geometry it expects. */
+struct ReductionPlan
+{
+    gpusim::GpuKernel kernel;
+    gpusim::LaunchConfig launch;
+    long elements = 0;
+};
+
+/**
+ * Build the kernel + launch for one variant.
+ *
+ * @param variant Which of the five implementations.
+ * @param cfg Target device (sets the persistent grid size and
+ *        whether __reduce_max_sync exists).
+ * @param n_elements Input size; must be a multiple of
+ *        threads_per_block.
+ * @param threads_per_block Block size (the paper's listing pattern;
+ *        1024 by default).
+ */
+ReductionPlan buildReduction(ReductionVariant variant,
+                             const gpusim::GpuConfig &cfg,
+                             long n_elements,
+                             int threads_per_block = 1024);
+
+/** Timing of one executed variant. */
+struct ReductionTiming
+{
+    ReductionVariant variant{};
+    sim::Tick cycles = 0;
+    double seconds = 0.0;
+    double elements_per_second = 0.0;
+};
+
+/**
+ * Run @p variant on a fresh machine and report its runtime.
+ */
+ReductionTiming runReduction(ReductionVariant variant,
+                             const gpusim::GpuConfig &cfg,
+                             long n_elements,
+                             int threads_per_block = 1024);
+
+/**
+ * Run every variant supported by @p cfg (Reduction 4 needs compute
+ * capability 8.0) and return timings in variant order.
+ */
+std::vector<ReductionTiming> runAllReductions(
+    const gpusim::GpuConfig &cfg, long n_elements,
+    int threads_per_block = 1024);
+
+} // namespace syncperf::core
+
+#endif // SYNCPERF_CORE_REDUCTIONS_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Implementation of affinity mapping.
+ */
+
+#include "affinity.hh"
+
+#include "common/logging.hh"
+
+namespace syncperf::cpusim
+{
+namespace
+{
+
+HwPlace
+makePlace(const CpuConfig &cfg, int core, int smt_slot)
+{
+    HwPlace p;
+    p.core = core;
+    p.smt_slot = smt_slot;
+    p.socket = core / cfg.cores_per_socket;
+    p.complex_id = core / cfg.cores_per_complex;
+    return p;
+}
+
+} // namespace
+
+std::vector<HwPlace>
+mapThreads(const CpuConfig &cfg, Affinity policy, int n_threads)
+{
+    SYNCPERF_ASSERT(n_threads >= 1);
+    if (n_threads > cfg.totalHwThreads()) {
+        fatal("{} threads exceed the {} hardware threads of {}",
+              n_threads, cfg.totalHwThreads(), cfg.name);
+    }
+
+    const int cores = cfg.totalCores();
+    std::vector<HwPlace> out;
+    out.reserve(n_threads);
+
+    switch (policy) {
+      case Affinity::Close:
+        // SMT siblings first, then the next core.
+        for (int t = 0; t < n_threads; ++t) {
+            out.push_back(makePlace(cfg, t / cfg.threads_per_core,
+                                    t % cfg.threads_per_core));
+        }
+        break;
+
+      case Affinity::Spread: {
+        // Interleave sockets so threads land as far apart as possible,
+        // filling SMT slot 0 on every core before slot 1.
+        for (int t = 0; t < n_threads; ++t) {
+            const int slot = t / cores;
+            const int idx = t % cores;
+            const int socket = idx % cfg.sockets;
+            const int core_in_socket = idx / cfg.sockets;
+            const int core = socket * cfg.cores_per_socket + core_in_socket;
+            out.push_back(makePlace(cfg, core, slot));
+        }
+        break;
+      }
+
+      case Affinity::System:
+        // Distinct cores in natural order, then SMT siblings.
+        for (int t = 0; t < n_threads; ++t)
+            out.push_back(makePlace(cfg, t % cores, t / cores));
+        break;
+    }
+    return out;
+}
+
+} // namespace syncperf::cpusim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Mapping of software threads to hardware threads under the paper's
+ * thread-affinity policies.
+ */
+
+#ifndef SYNCPERF_CPUSIM_AFFINITY_HH
+#define SYNCPERF_CPUSIM_AFFINITY_HH
+
+#include <vector>
+
+#include "common/dtype.hh"
+#include "cpusim/cpu_config.hh"
+
+namespace syncperf::cpusim
+{
+
+/** Placement of one software thread. */
+struct HwPlace
+{
+    int core = 0;       ///< global core index
+    int smt_slot = 0;   ///< hardware thread within the core
+    int socket = 0;
+    int complex_id = 0; ///< fast coherence domain (CCX / socket mesh)
+
+    bool
+    operator==(const HwPlace &) const = default;
+};
+
+/**
+ * Compute the placement of @p n_threads software threads.
+ *
+ * - Close packs consecutive threads onto SMT siblings of consecutive
+ *   cores (core0.t0, core0.t1, core1.t0, ...).
+ * - Spread distributes threads across sockets and cores first and
+ *   only reuses SMT siblings once every core is occupied.
+ * - System resembles the Linux scheduler's steady state: distinct
+ *   cores in natural order, then SMT siblings.
+ *
+ * @param cfg Machine topology.
+ * @param policy Placement policy.
+ * @param n_threads Team size; must not exceed cfg.totalHwThreads().
+ */
+std::vector<HwPlace> mapThreads(const CpuConfig &cfg, Affinity policy,
+                                int n_threads);
+
+} // namespace syncperf::cpusim
+
+#endif // SYNCPERF_CPUSIM_AFFINITY_HH

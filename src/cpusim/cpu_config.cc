@@ -1,0 +1,62 @@
+/**
+ * @file
+ * CPU presets for the paper's Table I systems.
+ */
+
+#include "cpu_config.hh"
+
+namespace syncperf::cpusim
+{
+
+CpuConfig
+CpuConfig::system1()
+{
+    CpuConfig c;
+    c.name = "System 1: Intel Xeon E5-2687 v3 (x2)";
+    c.sockets = 2;
+    c.cores_per_socket = 10;
+    c.threads_per_core = 2;
+    c.numa_nodes = 2;
+    c.base_clock_ghz = 3.10;
+    c.cores_per_complex = 10;   // one ring per socket
+    c.local_transfer = 52;
+    c.remote_transfer = 160;
+    return c;
+}
+
+CpuConfig
+CpuConfig::system2()
+{
+    CpuConfig c;
+    c.name = "System 2: Intel Xeon Gold 6226R (x2)";
+    c.sockets = 2;
+    c.cores_per_socket = 16;
+    c.threads_per_core = 2;
+    c.numa_nodes = 2;
+    c.base_clock_ghz = 2.80;
+    c.cores_per_complex = 16;   // one mesh per socket
+    c.local_transfer = 48;
+    c.remote_transfer = 150;
+    return c;
+}
+
+CpuConfig
+CpuConfig::system3()
+{
+    CpuConfig c;
+    c.name = "System 3: AMD Ryzen Threadripper 2950X";
+    c.sockets = 1;
+    c.cores_per_socket = 16;
+    c.threads_per_core = 2;
+    c.numa_nodes = 2;           // two dies on one package
+    c.base_clock_ghz = 3.50;
+    c.cores_per_complex = 4;    // Zen+ CCX of 4 cores
+    c.local_transfer = 40;
+    c.remote_transfer = 130;
+    // The paper attributes System 3's jittery atomic-write results
+    // to architectural qualities of the AMD fabric.
+    c.jitter_frac = 0.35;
+    return c;
+}
+
+} // namespace syncperf::cpusim

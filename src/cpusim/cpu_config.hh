@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Multicore CPU model configuration, including presets for the three
+ * systems in the paper's Table I.
+ *
+ * All latencies are in cycles of the base clock. The defaults are
+ * calibrated so the model reproduces the qualitative shapes of the
+ * paper's OpenMP figures (see EXPERIMENTS.md); they are not meant to
+ * be microarchitecturally exact.
+ */
+
+#ifndef SYNCPERF_CPUSIM_CPU_CONFIG_HH
+#define SYNCPERF_CPUSIM_CPU_CONFIG_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace syncperf::cpusim
+{
+
+using sim::Tick;
+
+/**
+ * Barrier implementations the model can assume for the OpenMP
+ * runtime. The paper observes libgomp as a black box; these let the
+ * ablation benches explore what algorithm could produce Fig. 1.
+ */
+enum class BarrierAlgorithm
+{
+    SpinFutex,      ///< spin below a budget, futex sleep above (libgomp-like)
+    Central,        ///< pure centralized spinning (cost grows linearly)
+    Tree,           ///< combining tree, cost grows with log_fanin(T)
+    Dissemination,  ///< log2(T) pairwise rounds, no hot line
+};
+
+/** Lock implementations for the critical-section model. */
+enum class LockAlgorithm
+{
+    QueueHandoff,   ///< MCS-style: one remote line touched per handoff
+    TasSpin,        ///< test-and-set: waiters hammer the lock line
+    TtasSpin,       ///< test-and-test-and-set: one broadcast per release
+    Ticket,         ///< FIFO ticket: all waiters reread the serving counter
+};
+
+/** Topology and timing parameters of a simulated multicore CPU. */
+struct CpuConfig
+{
+    std::string name;
+
+    // --- Topology (Table I fields) ---
+    int sockets = 1;
+    int cores_per_socket = 8;
+    int threads_per_core = 2;   ///< SMT width
+    int numa_nodes = 1;
+    double base_clock_ghz = 3.0;
+
+    /**
+     * Cores per fast coherence domain (CCX/ring stop group). Line
+     * transfers within a complex use local_transfer; across
+     * complexes or sockets they use remote_transfer.
+     */
+    int cores_per_complex = 8;
+
+    // --- Memory system ---
+    int cache_line_bytes = 64;
+    Tick l1_hit_latency = 4;        ///< load/store hit in own L1
+    Tick local_transfer = 44;       ///< line transfer within a complex
+    Tick remote_transfer = 120;     ///< transfer across complex/socket
+
+    /**
+     * Serialization quantum at the coherence point: consecutive
+     * exclusive acquisitions of one line are spaced by at least this
+     * many cycles. This is what turns shared-variable atomics into
+     * the paper's 1/T per-thread throughput collapse.
+     */
+    Tick line_occupancy = 36;
+
+    /**
+     * Machine-wide ordering point: ALL exclusive ownership changes
+     * (any line) pass the directory/home agent at this interval.
+     * Far smaller than line_occupancy, so per-line contention still
+     * dominates; its job is to make *additional* contended stores
+     * cost extra instead of hiding in a parallel line's queue
+     * (Fig 4's atomic-write differencing depends on this).
+     */
+    Tick coherence_point_ii = 6;
+
+    // --- Core ---
+    Tick issue_cycles = 1;          ///< core pipeline slot per op (SMT shared)
+    Tick alu_int_rmw = 2;           ///< extra cycles for int/ull atomic RMW
+    Tick alu_fp_rmw = 18;           ///< extra cycles for float/double RMW
+                                    ///< (CAS-loop + FP add latency)
+    Tick plain_alu = 1;             ///< non-atomic arithmetic
+
+    // --- Fences ---
+    Tick fence_drain = 8;           ///< store-buffer drain, uncontended
+
+    // --- OpenMP runtime model (barrier, critical section) ---
+    Tick barrier_base = 180;        ///< fixed entry/exit bookkeeping
+    Tick barrier_arrival = 170;     ///< serialized arrival cost per thread
+    Tick barrier_spin_budget = 1700; ///< above this expected wait, sleep
+    Tick barrier_futex_wake = 1400; ///< OS wake constant once sleeping
+    Tick barrier_wake_stagger = 12; ///< serial per-thread wake component
+
+    BarrierAlgorithm barrier_algorithm = BarrierAlgorithm::SpinFutex;
+    int barrier_tree_fanin = 4;
+    Tick barrier_tree_level = 260;  ///< per combining-tree level
+    Tick barrier_dissem_round = 170; ///< per dissemination round
+
+    LockAlgorithm lock_algorithm = LockAlgorithm::QueueHandoff;
+    Tick lock_handoff = 60;         ///< critical-section lock transfer cost
+    Tick lock_tas_retry = 14;       ///< extra line traffic per TAS waiter
+    Tick lock_broadcast = 5;        ///< per-waiter invalidation (TTAS/ticket)
+
+    /**
+     * Deterministic fabric-jitter amplitude as a fraction of each
+     * transfer latency (the paper attributes System 3's noisy atomic
+     * write results to the Threadripper's fabric).
+     */
+    double jitter_frac = 0.0;
+
+    // --- Derived ---
+    int totalCores() const { return sockets * cores_per_socket; }
+    int totalHwThreads() const { return totalCores() * threads_per_core; }
+
+    // --- Presets: the paper's Table I systems ---
+    /** System 1: 2x Intel Xeon E5-2687 v3 (10c/20t each). */
+    static CpuConfig system1();
+    /** System 2: 2x Intel Xeon Gold 6226R (16c/32t each). */
+    static CpuConfig system2();
+    /** System 3: AMD Ryzen Threadripper 2950X (16c/32t). */
+    static CpuConfig system3();
+};
+
+} // namespace syncperf::cpusim
+
+#endif // SYNCPERF_CPUSIM_CPU_CONFIG_HH

@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Implementation of the multicore CPU machine.
+ */
+
+#include "machine.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace syncperf::cpusim
+{
+
+CpuMachine::CpuMachine(CpuConfig cfg, Affinity affinity, std::uint64_t seed)
+    : cfg_(std::move(cfg)), affinity_(affinity),
+      rng_(seed, 0x9e3779b97f4a7c15ULL)
+{
+}
+
+CpuMachine::Line &
+CpuMachine::lineFor(std::uint64_t addr)
+{
+    return lines_[addr / cfg_.cache_line_bytes];
+}
+
+CpuMachine::Tick
+CpuMachine::transferLatency(const Line &line, const HwPlace &to)
+{
+    Tick base;
+    if (line.owner_core < 0 && line.copies == 0) {
+        base = cfg_.remote_transfer;  // memory fetch
+        stats_.inc("cpu.mem_fetch");
+    } else {
+        const int src = line.owner_core >= 0
+            ? line.owner_core
+            : std::countr_zero(line.copies);
+        const int src_complex = src / cfg_.cores_per_complex;
+        if (src == to.core) {
+            base = cfg_.l1_hit_latency;
+        } else if (src_complex == to.complex_id) {
+            base = cfg_.local_transfer;
+            stats_.inc("cpu.transfer_local");
+        } else {
+            base = cfg_.remote_transfer;
+            stats_.inc("cpu.transfer_remote");
+        }
+    }
+    if (cfg_.jitter_frac > 0.0) {
+        base = static_cast<Tick>(
+            static_cast<double>(base) *
+            (1.0 + cfg_.jitter_frac * rng_.uniform()));
+    }
+    return base;
+}
+
+CpuMachine::Tick
+CpuMachine::coherencePointSlot(Tick ready)
+{
+    const Tick slot = std::max(ready, coherence_point_free_);
+    coherence_point_free_ = slot + cfg_.coherence_point_ii;
+    return slot;
+}
+
+CpuMachine::Tick
+CpuMachine::aluCost(CpuOpKind kind, DataType dtype) const
+{
+    switch (kind) {
+      case CpuOpKind::AtomicRmw:
+        return isIntegerType(dtype) ? cfg_.alu_int_rmw : cfg_.alu_fp_rmw;
+      case CpuOpKind::Alu:
+        return cfg_.plain_alu;
+      default:
+        return 0;
+    }
+}
+
+namespace
+{
+
+/** ceil(log_base(n)) for n >= 1. */
+int
+ceilLog(int n, int base)
+{
+    int levels = 0;
+    int reach = 1;
+    while (reach < n) {
+        reach *= base;
+        ++levels;
+    }
+    return levels;
+}
+
+} // namespace
+
+CpuMachine::Tick
+CpuMachine::barrierLatency(int team_size)
+{
+    const auto t = static_cast<Tick>(team_size);
+    switch (cfg_.barrier_algorithm) {
+      case BarrierAlgorithm::SpinFutex: {
+        // libgomp-like: spin while the expected wait is short, fall
+        // back to a futex sleep whose wake constant dominates at
+        // scale -- the source of Fig. 1's plateau.
+        const Tick spin_cost =
+            cfg_.barrier_base + t * cfg_.barrier_arrival;
+        if (spin_cost <= cfg_.barrier_spin_budget) {
+            stats_.inc("cpu.barrier_spin");
+            return spin_cost;
+        }
+        stats_.inc("cpu.barrier_futex");
+        return cfg_.barrier_futex_wake + t * cfg_.barrier_wake_stagger;
+      }
+      case BarrierAlgorithm::Central:
+        // Pure centralized spinning: every arrival serializes on the
+        // counter line, forever.
+        stats_.inc("cpu.barrier_spin");
+        return cfg_.barrier_base + t * cfg_.barrier_arrival;
+      case BarrierAlgorithm::Tree:
+        stats_.inc("cpu.barrier_tree");
+        return cfg_.barrier_base +
+               static_cast<Tick>(
+                   ceilLog(team_size, cfg_.barrier_tree_fanin)) *
+                   cfg_.barrier_tree_level;
+      case BarrierAlgorithm::Dissemination:
+        stats_.inc("cpu.barrier_dissemination");
+        return cfg_.barrier_base +
+               static_cast<Tick>(ceilLog(team_size, 2)) *
+                   cfg_.barrier_dissem_round;
+    }
+    panic("unhandled barrier algorithm");
+}
+
+void
+CpuMachine::arriveBarrier(int tid, Tick when)
+{
+    ++barrier_arrivals_;
+    barrier_last_arrival_ = std::max(barrier_last_arrival_, when);
+    barrier_waiters_.push_back(tid);
+    if (barrier_arrivals_ < static_cast<int>(threads_.size()))
+        return;
+
+    const Tick release =
+        barrier_last_arrival_ +
+        barrierLatency(static_cast<int>(threads_.size()));
+    std::vector<int> waiters = std::move(barrier_waiters_);
+    barrier_waiters_.clear();
+    barrier_arrivals_ = 0;
+    barrier_last_arrival_ = 0;
+
+    for (int w : waiters) {
+        eq_.schedule(release, [this, w, release] {
+            finishOp(w, release);
+        }, w);
+    }
+}
+
+void
+CpuMachine::finishOp(int tid, Tick done)
+{
+    ThreadCtx &ctx = threads_[tid];
+    ++ctx.pc;
+    if (ctx.pc < ctx.prog->body.size()) {
+        eq_.schedule(done, [this, tid] { step(tid); }, tid);
+        return;
+    }
+
+    // Body iteration complete.
+    ctx.pc = 0;
+    if (!ctx.timed) {
+        if (--warm_left_[tid] > 0) {
+            eq_.schedule(done, [this, tid] { step(tid); }, tid);
+            return;
+        }
+        // Alignment join before the timed region (Listing 2 line 15).
+        ++align_arrivals_;
+        align_last_ = std::max(align_last_, done);
+        align_waiters_.push_back(tid);
+        if (align_arrivals_ == static_cast<int>(threads_.size())) {
+            const Tick go = align_last_ +
+                barrierLatency(static_cast<int>(threads_.size()));
+            for (int w : align_waiters_) {
+                eq_.schedule(go, [this, w, go] {
+                    threads_[w].timed = true;
+                    threads_[w].start_tick = go;
+                    step(w);
+                }, w);
+            }
+            align_waiters_.clear();
+        }
+        return;
+    }
+
+    if (--ctx.iters_left > 0) {
+        eq_.schedule(done, [this, tid] { step(tid); }, tid);
+        return;
+    }
+    ctx.done = true;
+    ctx.end_tick = done;
+}
+
+void
+CpuMachine::step(int tid)
+{
+    ThreadCtx &ctx = threads_[tid];
+    SYNCPERF_ASSERT(!ctx.done);
+    const CpuOp &op = ctx.prog->body[ctx.pc];
+    const Tick now = eq_.now();
+
+    // Issue through the core pipeline (shared by SMT siblings).
+    Tick start = std::max(now, core_free_[ctx.place.core]);
+    core_free_[ctx.place.core] = start + cfg_.issue_cycles;
+    start += cfg_.issue_cycles;
+
+    switch (op.kind) {
+      case CpuOpKind::Load:
+      case CpuOpKind::AtomicLoad: {
+        // x86-style: an atomic read is an ordinary aligned load.
+        Line &line = lineFor(op.addr);
+        const std::uint64_t bit = 1ULL << ctx.place.core;
+        Tick done;
+        if (line.copies & bit) {
+            done = start + cfg_.l1_hit_latency;
+            stats_.inc("cpu.l1_hit");
+        } else {
+            done = start + transferLatency(line, ctx.place);
+            line.copies |= bit;
+            line.exclusive = false;
+        }
+        finishOp(tid, done);
+        return;
+      }
+
+      case CpuOpKind::Store:
+      case CpuOpKind::AtomicStore:
+      case CpuOpKind::AtomicRmw: {
+        Line &line = lineFor(op.addr);
+        const std::uint64_t bit = 1ULL << ctx.place.core;
+        Tick done;
+        if (line.exclusive && line.owner_core == ctx.place.core) {
+            done = start + cfg_.l1_hit_latency + aluCost(op.kind, op.dtype);
+            stats_.inc("cpu.l1_hit");
+        } else {
+            // Exclusive acquisitions of a line serialize: wait for the
+            // next service slot at the coherence point. Atomic stores
+            // additionally pass the machine-wide ordering point: they
+            // carry release ordering, so ownership changes cannot
+            // overlap across lines (this keeps Fig 4's second write
+            // additive instead of hiding in the other line's queue).
+            // The RMW's ALU cost extends the occupancy while the line
+            // is held (the int-vs-float gap of Fig 2).
+            Tick svc = std::max(start, line.free_at);
+            if (op.kind == CpuOpKind::AtomicStore)
+                svc = coherencePointSlot(svc);
+            line.free_at =
+                svc + cfg_.line_occupancy + aluCost(op.kind, op.dtype);
+            done = svc + transferLatency(line, ctx.place) +
+                   aluCost(op.kind, op.dtype);
+            line.owner_core = ctx.place.core;
+            line.exclusive = true;
+            line.copies = bit;
+        }
+        if (op.kind == CpuOpKind::Store) {
+            ctx.has_pending_store = true;
+            ctx.pending_store_line = op.addr / cfg_.cache_line_bytes;
+        } else {
+            // x86 locked operations drain the store buffer.
+            ctx.has_pending_store = false;
+        }
+        finishOp(tid, done);
+        return;
+      }
+
+      case CpuOpKind::Fence: {
+        Tick done = start + cfg_.fence_drain;
+        if (ctx.has_pending_store) {
+            Line &line = lines_[ctx.pending_store_line];
+            if (!(line.exclusive && line.owner_core == ctx.place.core)) {
+                // The pending store's line was stolen (false sharing):
+                // the drain must re-acquire it like a store would.
+                // (No machine-wide ordering slot here: the drain's
+                // re-acquisition is a replay of the store's own
+                // ownership change, not a new one.)
+                const Tick svc = std::max(start, line.free_at);
+                line.free_at = svc + cfg_.line_occupancy;
+                done = svc + transferLatency(line, ctx.place) +
+                       cfg_.fence_drain;
+                line.owner_core = ctx.place.core;
+                line.exclusive = true;
+                line.copies = 1ULL << ctx.place.core;
+                stats_.inc("cpu.fence_contended");
+            } else {
+                stats_.inc("cpu.fence_clean");
+            }
+            ctx.has_pending_store = false;
+        } else {
+            stats_.inc("cpu.fence_clean");
+        }
+        finishOp(tid, done);
+        return;
+      }
+
+      case CpuOpKind::Barrier:
+        arriveBarrier(tid, start);
+        return;
+
+      case CpuOpKind::LockAcquire: {
+        LockState &lock = locks_[op.lock_id];
+        if (lock.held) {
+            lock.waiters.push_back(tid);
+            return;  // blocked; granted on release
+        }
+        lock.held = true;
+        // Acquire performs a CAS on the lock line.
+        Line &line = lineFor(op.addr);
+        Tick done;
+        if (line.exclusive && line.owner_core == ctx.place.core) {
+            done = start + cfg_.l1_hit_latency + cfg_.alu_int_rmw;
+        } else {
+            const Tick svc = std::max(start, line.free_at);
+            line.free_at = svc + cfg_.line_occupancy;
+            done = svc + transferLatency(line, ctx.place) +
+                   cfg_.alu_int_rmw;
+            line.owner_core = ctx.place.core;
+            line.exclusive = true;
+            line.copies = 1ULL << ctx.place.core;
+        }
+        finishOp(tid, done);
+        return;
+      }
+
+      case CpuOpKind::LockRelease: {
+        LockState &lock = locks_[op.lock_id];
+        SYNCPERF_ASSERT(lock.held, "release of unheld lock");
+        const Tick done = start + cfg_.l1_hit_latency;
+        if (!lock.waiters.empty()) {
+            const int next = lock.waiters.front();
+            lock.waiters.pop_front();
+            const auto waiters =
+                static_cast<Tick>(lock.waiters.size());
+            // Handoff cost depends on the locking algorithm: MCS
+            // touches one remote line; spinning algorithms add
+            // traffic proportional to the waiter crowd.
+            Tick extra = 0;
+            switch (cfg_.lock_algorithm) {
+              case LockAlgorithm::QueueHandoff:
+                break;
+              case LockAlgorithm::TasSpin:
+                // Every waiter's failed exchange steals the line.
+                extra = waiters * cfg_.lock_tas_retry;
+                break;
+              case LockAlgorithm::TtasSpin:
+                // One invalidation broadcast, then one winner's RMW.
+                extra = waiters * cfg_.lock_broadcast;
+                break;
+              case LockAlgorithm::Ticket:
+                // All waiters re-read the serving counter.
+                extra = waiters * cfg_.lock_broadcast +
+                        cfg_.lock_broadcast;
+                break;
+            }
+            const Tick grant = done + cfg_.lock_handoff + extra;
+            stats_.inc("cpu.lock_handoff");
+            eq_.schedule(grant, [this, next, grant] {
+                finishOp(next, grant);
+            }, next);
+        } else {
+            lock.held = false;
+        }
+        finishOp(tid, done);
+        return;
+      }
+
+      case CpuOpKind::Alu:
+        finishOp(tid, start + cfg_.plain_alu);
+        return;
+    }
+    panic("unhandled op kind");
+}
+
+CpuRunResult
+CpuMachine::run(const std::vector<CpuProgram> &programs,
+                int warmup_iterations)
+{
+    const int n = static_cast<int>(programs.size());
+    SYNCPERF_ASSERT(n >= 1);
+    for (const auto &p : programs) {
+        SYNCPERF_ASSERT(!p.body.empty(), "empty program body");
+        SYNCPERF_ASSERT(p.iterations >= 1);
+    }
+    SYNCPERF_ASSERT(warmup_iterations >= 1,
+                    "at least one warmup iteration required");
+
+    places_ = mapThreads(cfg_, affinity_, n);
+    core_free_.assign(cfg_.totalCores(), 0);
+    lines_.clear();
+    locks_.clear();
+    coherence_point_free_ = 0;
+    eq_ = sim::EventQueue{};
+    threads_.assign(n, ThreadCtx{});
+    warm_left_.assign(n, warmup_iterations);
+    align_arrivals_ = 0;
+    align_last_ = 0;
+    align_waiters_.clear();
+    barrier_arrivals_ = 0;
+    barrier_last_arrival_ = 0;
+    barrier_waiters_.clear();
+
+    for (int t = 0; t < n; ++t) {
+        threads_[t].prog = &programs[t];
+        threads_[t].place = places_[t];
+        threads_[t].iters_left = programs[t].iterations;
+        eq_.schedule(0, [this, t] { step(t); }, t);
+    }
+
+    const Tick end = eq_.run();
+
+    CpuRunResult result;
+    result.total_cycles = end;
+    result.thread_cycles.reserve(n);
+    for (const auto &ctx : threads_) {
+        SYNCPERF_ASSERT(ctx.done, "thread did not finish (deadlock?)");
+        result.thread_cycles.push_back(ctx.end_tick - ctx.start_tick);
+    }
+    return result;
+}
+
+} // namespace syncperf::cpusim

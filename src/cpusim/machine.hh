@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Cycle-approximate multicore CPU machine.
+ *
+ * Executes one CpuProgram per software thread against a line-granular
+ * coherence model. The mechanisms implemented here are the ones the
+ * paper uses to explain its OpenMP results:
+ *
+ * - exclusive cache-line ownership with a serialized per-line
+ *   occupancy quantum (contended atomics collapse as 1/T);
+ * - 64-byte line granularity (false sharing at small strides);
+ * - SMT siblings sharing an L1 (no false sharing within a core, mild
+ *   issue-slot contention);
+ * - local vs remote (cross-complex/socket) transfer latencies;
+ * - per-type atomic RMW costs (integer fast, floating point slow);
+ * - store-buffer drain for fences, expensive only when the pending
+ *   store's line has been stolen (false sharing);
+ * - a spin-then-futex barrier whose OS wake constant dominates at
+ *   high thread counts (the paper's plateau);
+ * - FIFO lock handoff for critical sections.
+ */
+
+#ifndef SYNCPERF_CPUSIM_MACHINE_HH
+#define SYNCPERF_CPUSIM_MACHINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dtype.hh"
+#include "common/rng.hh"
+#include "cpusim/affinity.hh"
+#include "cpusim/cpu_config.hh"
+#include "cpusim/program.hh"
+#include "sim/event_queue.hh"
+#include "sim/stat.hh"
+
+namespace syncperf::cpusim
+{
+
+/** Outcome of one CpuMachine::run() invocation. */
+struct CpuRunResult
+{
+    /** Timed-region duration of each software thread, in cycles. */
+    std::vector<sim::Tick> thread_cycles;
+
+    /** Tick at which the last thread finished. */
+    sim::Tick total_cycles = 0;
+};
+
+/**
+ * The machine. One instance simulates one program launch; create a
+ * fresh instance (cheap) for independent launches.
+ */
+class CpuMachine
+{
+  public:
+    /**
+     * @param cfg Topology and timing parameters.
+     * @param affinity Software-to-hardware thread placement policy.
+     * @param seed Seed for the deterministic jitter stream.
+     */
+    CpuMachine(CpuConfig cfg, Affinity affinity, std::uint64_t seed = 1);
+
+    /**
+     * Execute one program per software thread.
+     *
+     * Mirrors the paper's Listing 2: every thread performs
+     * @p warmup_iterations of its body, joins an alignment barrier,
+     * then executes prog.iterations timed body repetitions.
+     *
+     * @param programs One program per software thread (team size =
+     *                 programs.size()).
+     * @param warmup_iterations Untimed body repetitions before the
+     *                          alignment barrier.
+     */
+    CpuRunResult run(const std::vector<CpuProgram> &programs,
+                     int warmup_iterations = 2);
+
+    /** Activity counters from the most recent run. */
+    const sim::StatSet &stats() const { return stats_; }
+
+    const CpuConfig &config() const { return cfg_; }
+
+    /** The placement computed for the last run's team. */
+    const std::vector<HwPlace> &places() const { return places_; }
+
+  private:
+    using Tick = sim::Tick;
+
+    /** Coherence state of one cache line. */
+    struct Line
+    {
+        int owner_core = -1;       ///< exclusive owner, or -1
+        bool exclusive = false;
+        std::uint64_t copies = 0;  ///< bitmask of cores with a copy
+        Tick free_at = 0;          ///< next exclusive-service slot
+    };
+
+    /** FIFO lock used for critical sections. */
+    struct LockState
+    {
+        bool held = false;
+        std::deque<int> waiters;   ///< software thread ids
+    };
+
+    /** Per-thread execution cursor. */
+    struct ThreadCtx
+    {
+        const CpuProgram *prog = nullptr;
+        HwPlace place;
+        long iters_left = 0;
+        std::size_t pc = 0;
+        bool timed = false;
+        bool done = false;
+        Tick start_tick = 0;
+        Tick end_tick = 0;
+        std::uint64_t pending_store_line = 0;
+        bool has_pending_store = false;
+    };
+
+    Line &lineFor(std::uint64_t addr);
+    Tick transferLatency(const Line &line, const HwPlace &to);
+
+    /** Reserve a slot at the machine-wide ordering point. */
+    Tick coherencePointSlot(Tick ready);
+    Tick aluCost(CpuOpKind kind, DataType dtype) const;
+    Tick barrierLatency(int team_size);
+
+    /** Run ops for thread @p tid starting at the queue's now(). */
+    void step(int tid);
+
+    /** Advance past the current op and schedule the next step. */
+    void finishOp(int tid, Tick done);
+
+    /** Handle team-wide barrier arrival; returns true if blocked. */
+    void arriveBarrier(int tid, Tick when);
+
+    CpuConfig cfg_;
+    Affinity affinity_;
+    Pcg32 rng_;
+    sim::EventQueue eq_;
+    sim::StatSet stats_;
+
+    std::vector<ThreadCtx> threads_;
+    std::vector<HwPlace> places_;
+    std::vector<Tick> core_free_;
+    std::unordered_map<std::uint64_t, Line> lines_;
+    std::unordered_map<int, LockState> locks_;
+    Tick coherence_point_free_ = 0;
+
+    std::vector<int> warm_left_;
+
+    // Team-wide barrier (CpuOpKind::Barrier) rendezvous state.
+    int barrier_arrivals_ = 0;
+    Tick barrier_last_arrival_ = 0;
+    std::vector<int> barrier_waiters_;
+
+    // Alignment join between warmup and the timed region.
+    int align_arrivals_ = 0;
+    Tick align_last_ = 0;
+    std::vector<int> align_waiters_;
+};
+
+} // namespace syncperf::cpusim
+
+#endif // SYNCPERF_CPUSIM_MACHINE_HH

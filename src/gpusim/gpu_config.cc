@@ -1,0 +1,70 @@
+/**
+ * @file
+ * GPU presets for the paper's Table I devices.
+ */
+
+#include "gpu_config.hh"
+
+namespace syncperf::gpusim
+{
+
+GpuConfig
+GpuConfig::rtx2070Super()
+{
+    GpuConfig c;
+    c.name = "NVIDIA GeForce RTX 2070 SUPER";
+    c.clock_ghz = 1.80;
+    c.sm_count = 40;
+    c.max_threads_per_sm = 1024;
+    c.cuda_cores_per_sm = 64;
+    c.compute_capability = 7.5;
+    // Turing sustains full-rate sync/shuffle up to 512 threads per SM
+    // (Fig 8b): 4 warps per scheduler at issue_ii 1 needs latency 4.
+    c.syncwarp_latency = 4;
+    c.shfl_latency = 5;
+    c.vote_latency = 6;
+    c.reduce_latency = 0;        // not supported before cc 8.0
+    c.l2_atomic_units = 16;
+    c.mem_bytes_per_cycle = 248.0;  // 448 GB/s at 1.8 GHz
+    return c;
+}
+
+GpuConfig
+GpuConfig::a100()
+{
+    GpuConfig c;
+    c.name = "NVIDIA A100 40GB";
+    c.clock_ghz = 1.41;
+    c.sm_count = 108;
+    c.max_threads_per_sm = 2048;
+    c.cuda_cores_per_sm = 64;
+    c.compute_capability = 8.0;
+    // Ampere behaves like Ada here: full rate up to 256 threads/SM.
+    c.syncwarp_latency = 2;
+    c.shfl_latency = 3;
+    c.vote_latency = 4;
+    c.l2_atomic_units = 40;
+    c.mem_bytes_per_cycle = 1100.0; // 1555 GB/s at 1.41 GHz
+    return c;
+}
+
+GpuConfig
+GpuConfig::rtx4090()
+{
+    GpuConfig c;
+    c.name = "NVIDIA GeForce RTX 4090";
+    c.clock_ghz = 2.625;
+    c.sm_count = 128;
+    c.max_threads_per_sm = 1536;
+    c.cuda_cores_per_sm = 128;
+    c.compute_capability = 8.9;
+    // Ada: full-rate sync/shuffle up to 256 threads per SM (Fig 8a).
+    c.syncwarp_latency = 2;
+    c.shfl_latency = 3;
+    c.vote_latency = 4;
+    c.l2_atomic_units = 48;
+    c.mem_bytes_per_cycle = 384.0;  // ~1 TB/s at 2.625 GHz
+    return c;
+}
+
+} // namespace syncperf::gpusim

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * GPU model configuration, including presets for the three GPUs in
+ * the paper's Table I.
+ *
+ * All latencies are in GPU clock cycles. As with the CPU model, the
+ * constants are calibrated to reproduce the qualitative shapes of
+ * the paper's CUDA figures (see EXPERIMENTS.md), not to be exact.
+ */
+
+#ifndef SYNCPERF_GPUSIM_GPU_CONFIG_HH
+#define SYNCPERF_GPUSIM_GPU_CONFIG_HH
+
+#include <string>
+
+#include "common/dtype.hh"
+#include "sim/types.hh"
+
+namespace syncperf::gpusim
+{
+
+using sim::Tick;
+
+/** Topology and timing parameters of a simulated NVIDIA-style GPU. */
+struct GpuConfig
+{
+    std::string name;
+
+    // --- Topology (Table I fields) ---
+    double clock_ghz = 1.8;
+    int sm_count = 40;
+    int max_threads_per_sm = 1024;
+    int cuda_cores_per_sm = 64;
+    double compute_capability = 7.5;
+
+    int max_threads_per_block = 1024;
+    int max_blocks_per_sm = 16;
+    int warp_size = 32;
+    int schedulers_per_sm = 4;
+
+    // --- Issue / simple instructions ---
+    Tick issue_ii = 1;         ///< scheduler slot per instruction
+    Tick alu_latency = 4;
+    Tick syncwarp_latency = 2; ///< sets the per-SM full-speed warp count
+    Tick shfl_latency = 3;     ///< per 32-bit shuffle micro-op
+    Tick vote_latency = 4;
+    Tick reduce_latency = 16;    ///< __reduce_*_sync result latency (cc >= 8.0)
+    Tick reduce_occupancy = 120; ///< per-SM reduce-network occupancy per instr
+
+    // --- Block-wide barrier ---
+    Tick syncthreads_base = 28;
+    Tick syncthreads_per_warp = 14;
+
+    // --- Memory path ---
+    Tick lsu_ii = 2;             ///< per-request LSU posting interval
+    Tick mem_rt = 420;           ///< load round trip
+    double mem_bytes_per_cycle = 192.0;
+
+    // --- Global atomics ---
+    Tick atomic_rt = 320;        ///< round trip for value-returning atomics
+    Tick ff_window = 320;        ///< fire-and-forget in-flight allowance
+
+    /**
+     * Model the driver's JIT warp aggregation of same-address
+     * reduction atomics (Fig 9). Disable for the ablation bench that
+     * quantifies how much the optimization buys.
+     */
+    bool enable_warp_aggregation = true;
+
+    /**
+     * Per-address service interval at the L2 atomic unit for one
+     * (possibly warp-aggregated) reduction-style request.
+     */
+    Tick addr_ii_int = 4;
+    Tick addr_ii_ull = 8;
+    Tick addr_ii_fp = 12;
+
+    /** Same-address atomics an SM keeps in flight (reduction ops). */
+    int sm_atomic_depth = 2;
+
+    int l2_atomic_units = 32;    ///< address-hashed units
+    Tick unit_ii_int = 2;        ///< per distinct-address request
+    Tick unit_ii_ull = 4;
+    Tick unit_ii_fp = 6;
+
+    /**
+     * An SM keeps one same-address atomic in flight: the delay until
+     * its next request to that address can post (the paper's Fig 9
+     * knee at one warp per SM). Depends on the operand type, which
+     * produces the int-vs-rest gap at every thread count.
+     */
+    Tick sm_gate_int = 60;
+    Tick sm_gate_ull = 84;
+    Tick sm_gate_fp = 104;
+
+    /** Same-address CAS/exchange: lanes pipelined in groups. */
+    int cas_pipeline_lanes = 4;
+    Tick cas_group_ii = 110;
+
+    // --- Fences ---
+    Tick fence_device = 160;
+    Tick fence_lsu_drain = 24;   ///< LSU occupancy while draining
+    Tick fence_block = 2;
+    Tick fence_system = 650;
+    Tick fence_system_jitter = 350;  ///< deterministic PCIe jitter span
+
+    // --- Shared-memory (block-scoped) atomics ---
+    Tick smem_addr_ii = 3;       ///< same-address service interval
+    Tick smem_ii = 1;            ///< distinct-address service interval
+    Tick smem_rt = 30;
+    Tick smem_ff_window = 64;
+
+    // --- Grid-wide barrier (cooperative groups; extension) ---
+    Tick grid_sync_base = 420;      ///< L2 round trip + release broadcast
+    Tick grid_sync_per_block = 10;  ///< serialized arrival per block
+
+    // --- Block scheduling ---
+    Tick block_launch_overhead = 350;
+
+    // --- Derived helpers ---
+    int warpsPerBlock(int threads_per_block) const
+    {
+        return (threads_per_block + warp_size - 1) / warp_size;
+    }
+
+    Tick
+    addrIi(DataType t) const
+    {
+        switch (t) {
+          case DataType::Int32: return addr_ii_int;
+          case DataType::UInt64: return addr_ii_ull;
+          default: return addr_ii_fp;
+        }
+    }
+
+    Tick
+    unitIi(DataType t) const
+    {
+        switch (t) {
+          case DataType::Int32: return unit_ii_int;
+          case DataType::UInt64: return unit_ii_ull;
+          default: return unit_ii_fp;
+        }
+    }
+
+    // --- Presets: the paper's Table I GPUs ---
+    /** System 1: NVIDIA GeForce RTX 2070 SUPER (cc 7.5). */
+    static GpuConfig rtx2070Super();
+    /** System 2: NVIDIA A100 40GB (cc 8.0). */
+    static GpuConfig a100();
+    /** System 3: NVIDIA GeForce RTX 4090 (cc 8.9). */
+    static GpuConfig rtx4090();
+};
+
+} // namespace syncperf::gpusim
+
+#endif // SYNCPERF_GPUSIM_GPU_CONFIG_HH

@@ -1,0 +1,685 @@
+/**
+ * @file
+ * Implementation of the SIMT GPU timing machine.
+ */
+
+#include "machine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace syncperf::gpusim
+{
+namespace
+{
+
+/** Composite key for per-SM per-line gating. */
+std::uint64_t
+smLineKey(int sm, std::uint64_t line)
+{
+    return (static_cast<std::uint64_t>(sm) << 44) ^ line;
+}
+
+/** 32-byte sector granularity used by the L2 atomic path. */
+constexpr std::uint64_t sector_shift = 5;
+
+} // namespace
+
+GpuMachine::GpuMachine(GpuConfig cfg, std::uint64_t seed)
+    : cfg_(std::move(cfg)), rng_(seed, 0xb5ad4eceda1ce2a9ULL)
+{
+}
+
+GpuMachine::Tick
+GpuMachine::issueThrough(WarpCtx &warp, Tick ready, int uops)
+{
+    Tick &slot = sched_free_[warp.sm * cfg_.schedulers_per_sm + warp.sched];
+    const Tick start = std::max(ready, slot);
+    slot = start + static_cast<Tick>(uops) * cfg_.issue_ii;
+    return slot;
+}
+
+GpuMachine::Tick
+GpuMachine::gateDelay(DataType t) const
+{
+    switch (t) {
+      case DataType::Int32: return cfg_.sm_gate_int;
+      case DataType::UInt64: return cfg_.sm_gate_ull;
+      default: return cfg_.sm_gate_fp;
+    }
+}
+
+int
+GpuMachine::activeLanes(const WarpCtx &warp, const GpuOp &op) const
+{
+    switch (op.pred) {
+      case Predicate::All:
+        return warp.lanes;
+      case Predicate::Lane0:
+        return 1;
+      case Predicate::Thread0:
+        return warp.warp_in_block == 0 ? 1 : 0;
+    }
+    return warp.lanes;
+}
+
+std::uint64_t
+GpuMachine::resolveAddr(const WarpCtx &warp, const GpuOp &op,
+                        int lane) const
+{
+    const auto esize = dataTypeSize(op.dtype);
+    switch (op.amode) {
+      case AddressMode::SingleShared:
+        return op.base_addr;
+      case AddressMode::PerThread:
+        return op.base_addr +
+               static_cast<std::uint64_t>(warp.first_tid + lane) *
+                   op.stride * esize;
+      case AddressMode::PerBlock:
+        // One variable per block, padded to separate sectors.
+        return op.base_addr +
+               static_cast<std::uint64_t>(warp.block) * 128;
+    }
+    return op.base_addr;
+}
+
+GpuMachine::Tick
+GpuMachine::execGlobalLoad(WarpCtx &warp, const GpuOp &op, Tick issued)
+{
+    const int active = activeLanes(warp, op);
+    if (active == 0)
+        return issued;
+    const auto bytes = static_cast<std::uint64_t>(active) *
+                       dataTypeSize(op.dtype) * op.stride;
+    const auto sectors = (bytes + 31) / 32;
+
+    Tick &lsu = lsu_free_[warp.sm];
+    const Tick post_start = std::max(issued, lsu);
+    const Tick post_done = post_start + sectors * cfg_.lsu_ii;
+    lsu = post_done;
+
+    const Tick bw_start = std::max(post_done, mem_bw_free_);
+    mem_bw_free_ = bw_start + static_cast<Tick>(
+        static_cast<double>(bytes) / cfg_.mem_bytes_per_cycle + 1.0);
+    stats_.inc("gpu.load_sectors", sectors);
+    return bw_start + cfg_.mem_rt;
+}
+
+GpuMachine::Tick
+GpuMachine::execGlobalAtomic(WarpCtx &warp, const GpuOp &op, Tick issued)
+{
+    const int active = activeLanes(warp, op);
+    if (active == 0)
+        return issued;
+
+    const bool value_returning =
+        op.aop == AtomicOp::Cas || op.aop == AtomicOp::Exch;
+    const bool same_addr = op.amode != AddressMode::PerThread;
+
+    Tick &lsu = lsu_free_[warp.sm];
+
+    if (same_addr) {
+        const std::uint64_t line =
+            resolveAddr(warp, op, 0) >> sector_shift;
+        GateSlots &gate = sm_line_gate_[smLineKey(warp.sm, line)];
+
+        if (!value_returning) {
+            // Reduction-style op on one address: the JIT aggregates
+            // the warp's lanes into a single request (Fig 9). The SM
+            // keeps sm_atomic_depth such requests in flight; the
+            // next one stalls the LSU until a slot frees up, which
+            // is the per-SM knee of Fig 9.
+            const bool aggregated = cfg_.enable_warp_aggregation;
+            const int requests = aggregated ? 1 : active;
+            stats_.inc(aggregated ? "gpu.atomic_aggregated"
+                                  : "gpu.atomic_unaggregated");
+            // One in flight per warp, sm_atomic_depth in flight per
+            // SM: per-warp throughput is flat until the SM window
+            // fills (Fig 9: constant up to two warps per SM).
+            const Tick slot_free =
+                cfg_.sm_atomic_depth >= 2 ? gate.oldest : gate.newest;
+            const Tick post_start =
+                std::max({issued, lsu, slot_free, warp.own_atomic_gate});
+            const Tick post_done =
+                post_start + static_cast<Tick>(requests) * cfg_.lsu_ii;
+            lsu = post_done;
+            Tick &lf = line_free_[line];
+            const Tick svc_start = std::max(post_done, lf);
+            const Tick svc_done =
+                svc_start +
+                static_cast<Tick>(requests) * cfg_.addrIi(op.dtype);
+            lf = svc_done;
+            gate.oldest = gate.newest;
+            // The gate paces on the posting time plus a fixed round
+            // trip, NOT on the (possibly queued) service time --
+            // pacing on service would compound queue delays into a
+            // positive feedback across SMs.
+            gate.newest = post_done + gateDelay(op.dtype);
+            warp.own_atomic_gate = gate.newest;
+            // Fire-and-forget with a bounded in-flight window.
+            const Tick window_ok =
+                svc_done > cfg_.ff_window ? svc_done - cfg_.ff_window : 0;
+            return std::max(post_done, window_ok);
+        }
+
+        // CAS / exchange: never aggregated, one outstanding per SM;
+        // lanes pipeline in small groups and the warp waits for its
+        // last lane's round trip (Fig 11, 13).
+        stats_.inc("gpu.atomic_cas_like");
+        const int groups =
+            (active + cfg_.cas_pipeline_lanes - 1) / cfg_.cas_pipeline_lanes;
+        const Tick post_start = std::max({issued, lsu, gate.newest});
+        const Tick post_done =
+            post_start + static_cast<Tick>(active) * cfg_.lsu_ii;
+        lsu = post_done;
+        Tick &lf = line_free_[line];
+        const Tick svc_start = std::max(post_done, lf);
+        const Tick svc_done =
+            svc_start + static_cast<Tick>(groups) * cfg_.cas_group_ii;
+        lf = svc_done;
+        gate.oldest = gate.newest;
+        gate.newest = svc_done;
+        return svc_done + cfg_.atomic_rt;
+    }
+
+    // Per-thread addresses: one request per lane, hashed across the
+    // L2 atomic units (Fig 10, 12).
+    stats_.inc("gpu.atomic_per_thread", active);
+    const Tick post_start = std::max(issued, lsu);
+    const Tick post_done =
+        post_start + static_cast<Tick>(active) * cfg_.lsu_ii;
+    lsu = post_done;
+
+    // Group the lanes' sectors.
+    std::unordered_map<std::uint64_t, int> per_line;
+    for (int lane = 0; lane < active; ++lane)
+        ++per_line[resolveAddr(warp, op, lane) >> sector_shift];
+
+    Tick last_svc = post_done;
+    for (const auto &[line, count] : per_line) {
+        Tick &unit =
+            unit_free_[line % static_cast<std::uint64_t>(
+                                  cfg_.l2_atomic_units)];
+        const Tick svc_start = std::max(post_done, unit);
+        const Tick svc_done =
+            svc_start + static_cast<Tick>(count) * cfg_.unitIi(op.dtype);
+        unit = svc_done;
+        last_svc = std::max(last_svc, svc_done);
+    }
+
+    if (value_returning)
+        return last_svc + cfg_.atomic_rt;
+    const Tick window_ok =
+        last_svc > cfg_.ff_window ? last_svc - cfg_.ff_window : 0;
+    return std::max(post_done, window_ok);
+}
+
+GpuMachine::Tick
+GpuMachine::execSharedAtomic(WarpCtx &warp, const GpuOp &op, Tick issued)
+{
+    const int active = activeLanes(warp, op);
+    if (active == 0)
+        return issued;
+    const bool value_returning =
+        op.aop == AtomicOp::Cas || op.aop == AtomicOp::Exch;
+
+    Tick &unit = smem_free_[warp.sm];
+    const Tick svc_start = std::max(issued, unit);
+    const Tick svc_done =
+        svc_start + static_cast<Tick>(active) * cfg_.smem_addr_ii;
+    unit = svc_done;
+    stats_.inc("gpu.smem_atomic", active);
+
+    if (value_returning)
+        return svc_done + cfg_.smem_rt;
+    const Tick window_ok =
+        svc_done > cfg_.smem_ff_window ? svc_done - cfg_.smem_ff_window : 0;
+    return std::max(issued + cfg_.issue_ii, window_ok);
+}
+
+void
+GpuMachine::arriveSyncThreads(int warp_id, Tick when)
+{
+    WarpCtx &warp = warps_[warp_id];
+    BlockState &block = blocks_[warp.block];
+    ++block.arrived;
+    block.last_arrival = std::max(block.last_arrival, when);
+    block.waiters.push_back(warp_id);
+    if (block.arrived < block.warps)
+        return;
+
+    // Hardware barrier: arrival/release processing is per warp.
+    const Tick release =
+        block.last_arrival + cfg_.syncthreads_base +
+        static_cast<Tick>(block.warps) * cfg_.syncthreads_per_warp;
+    stats_.inc("gpu.syncthreads");
+
+    std::vector<int> waiters = std::move(block.waiters);
+    block.waiters.clear();
+    block.arrived = 0;
+    block.last_arrival = 0;
+
+    for (int w : waiters) {
+        eq_.schedule(release, [this, w, release] {
+            finishOp(w, release);
+        }, w);
+    }
+}
+
+void
+GpuMachine::arriveGridSync(int warp_id, Tick when)
+{
+    WarpCtx &warp = warps_[warp_id];
+    if (!pending_blocks_.empty()) {
+        fatal("grid-wide sync in block {} would deadlock: {} blocks are "
+              "not resident (use a cooperative launch that fits the "
+              "device)", warp.block, pending_blocks_.size());
+    }
+    ++grid_arrivals_;
+    grid_last_arrival_ = std::max(grid_last_arrival_, when);
+    grid_waiters_.push_back(warp_id);
+
+    int total_warps = 0;
+    for (const auto &block : blocks_)
+        total_warps += block.warps;
+    if (grid_arrivals_ < total_warps)
+        return;
+
+    // Arrival counting happens through L2 atomics, serialized per
+    // block; release is a device-wide broadcast.
+    const Tick release =
+        grid_last_arrival_ + cfg_.grid_sync_base +
+        static_cast<Tick>(blocks_.size()) * cfg_.grid_sync_per_block;
+    stats_.inc("gpu.grid_sync");
+
+    std::vector<int> waiters = std::move(grid_waiters_);
+    grid_waiters_.clear();
+    grid_arrivals_ = 0;
+    grid_last_arrival_ = 0;
+    for (int w : waiters) {
+        eq_.schedule(release, [this, w, release] {
+            finishOp(w, release);
+        }, w);
+    }
+}
+
+void
+GpuMachine::step(int warp_id)
+{
+    WarpCtx &warp = warps_[warp_id];
+    SYNCPERF_ASSERT(!warp.done);
+    const Tick now = eq_.now();
+
+    const std::vector<GpuOp> *seq = nullptr;
+    switch (warp.phase) {
+      case Phase::Prologue: seq = &kernel_->prologue; break;
+      case Phase::Warmup:
+      case Phase::Timed: seq = &kernel_->body; break;
+      case Phase::Epilogue: seq = &kernel_->epilogue; break;
+    }
+    if (seq->empty() || warp.pc >= seq->size()) {
+        advancePhase(warp_id, now);
+        return;
+    }
+
+    const GpuOp &op = (*seq)[warp.pc];
+    if (warp.rep_left == 0)
+        warp.rep_left = op.repeat;
+
+    Tick done;
+    switch (op.kind) {
+      case GpuOpKind::Alu:
+        done = issueThrough(warp, now) + cfg_.alu_latency;
+        break;
+      case GpuOpKind::DivergentAlu: {
+        // SIMT divergence: the warp executes every taken path
+        // serially (Bialas & Strzelecki: the cost per extra path is
+        // constant). Each path issues and completes in turn.
+        const int paths = std::max(1, op.diverge_paths);
+        done = issueThrough(warp, now, paths) +
+               static_cast<Tick>(paths) * cfg_.alu_latency;
+        stats_.inc("gpu.divergent_paths", paths);
+        break;
+      }
+      case GpuOpKind::SyncWarp:
+        done = issueThrough(warp, now) + cfg_.syncwarp_latency;
+        break;
+      case GpuOpKind::Shfl: {
+        const int uops = dataTypeSize(op.dtype) > 4 ? 2 : 1;
+        // Micro-ops pipeline: latency of the first plus one issue
+        // slot per extra micro-op, but they occupy the scheduler for
+        // all slots (this halves the 64-bit knee, Fig 15).
+        done = issueThrough(warp, now, uops) + cfg_.shfl_latency;
+        stats_.inc("gpu.shfl_uops", uops);
+        break;
+      }
+      case GpuOpKind::Vote:
+        done = issueThrough(warp, now) + cfg_.vote_latency;
+        break;
+      case GpuOpKind::ReduceSync: {
+        if (cfg_.reduce_latency == 0) {
+            fatal("__reduce_*_sync requires compute capability >= 8.0 "
+                  "({} is cc {})", cfg_.name, cfg_.compute_capability);
+        }
+        const Tick issued = issueThrough(warp, now);
+        Tick &unit = reduce_free_[warp.sm];
+        const Tick start = std::max(issued, unit);
+        unit = start + cfg_.reduce_occupancy;
+        done = start + cfg_.reduce_latency;
+        stats_.inc("gpu.reduce_sync");
+        break;
+      }
+      case GpuOpKind::Fence: {
+        const Tick issued = issueThrough(warp, now);
+        switch (op.scope) {
+          case FenceScope::Block:
+            // Block scope only orders within the SM; pending stores
+            // are already visible there, so the cost is tiny.
+            done = issued + cfg_.fence_block;
+            break;
+          case FenceScope::Device: {
+            // Draining the store path occupies the SM's LSU, so the
+            // cost is not hidden behind other warps' traffic.
+            Tick &lsu = lsu_free_[warp.sm];
+            lsu = std::max(lsu, issued) + cfg_.fence_lsu_drain;
+            done = std::max({issued, warp.last_store_commit, lsu}) +
+                   cfg_.fence_device;
+            break;
+          }
+          case FenceScope::System: {
+            Tick &lsu = lsu_free_[warp.sm];
+            lsu = std::max(lsu, issued) + cfg_.fence_lsu_drain;
+            done = std::max({issued, warp.last_store_commit, lsu}) +
+                   cfg_.fence_system +
+                   rng_.below(static_cast<std::uint32_t>(
+                       cfg_.fence_system_jitter + 1));
+            break;
+          }
+          default:
+            done = issued + cfg_.fence_device;
+        }
+        stats_.inc("gpu.fence");
+        break;
+      }
+      case GpuOpKind::GlobalLoad:
+        done = execGlobalLoad(warp, op, issueThrough(warp, now));
+        break;
+      case GpuOpKind::GlobalStore: {
+        // Stores retire into the LSU/store path; the warp does not
+        // wait for memory (no data dependency).
+        const Tick issued = issueThrough(warp, now);
+        const int active = activeLanes(warp, op);
+        if (active == 0) {
+            done = issued;
+            break;
+        }
+        const auto bytes = static_cast<std::uint64_t>(active) *
+                           dataTypeSize(op.dtype) * op.stride;
+        const auto sectors = (bytes + 31) / 32;
+        Tick &lsu = lsu_free_[warp.sm];
+        const Tick post_start = std::max(issued, lsu);
+        lsu = post_start + sectors * cfg_.lsu_ii;
+        const Tick bw_start = std::max(lsu, mem_bw_free_);
+        mem_bw_free_ = bw_start + static_cast<Tick>(
+            static_cast<double>(bytes) / cfg_.mem_bytes_per_cycle + 1.0);
+        // Commit (device-wide visibility at the L2) happens a fixed
+        // half round trip after posting; a device fence must wait
+        // for it (Fig 14). Deliberately decoupled from the DRAM
+        // bandwidth queue so fence overhead stays flat under load,
+        // matching the paper's measurements.
+        warp.last_store_commit = lsu + cfg_.mem_rt / 2;
+        stats_.inc("gpu.store_sectors", sectors);
+        done = lsu;
+        break;
+      }
+      case GpuOpKind::GlobalAtomic:
+        done = execGlobalAtomic(warp, op, issueThrough(warp, now));
+        break;
+      case GpuOpKind::SharedAtomic:
+        done = execSharedAtomic(warp, op, issueThrough(warp, now));
+        break;
+      case GpuOpKind::SyncThreads:
+        arriveSyncThreads(warp_id, issueThrough(warp, now));
+        return;
+      case GpuOpKind::GridSync:
+        arriveGridSync(warp_id, issueThrough(warp, now));
+        return;
+      default:
+        panic("unhandled GPU op kind");
+    }
+    finishOp(warp_id, done);
+}
+
+void
+GpuMachine::finishOp(int warp_id, Tick done)
+{
+    WarpCtx &warp = warps_[warp_id];
+    if (--warp.rep_left > 0) {
+        eq_.schedule(done, [this, warp_id] { step(warp_id); }, warp_id);
+        return;
+    }
+    ++warp.pc;
+
+    const std::vector<GpuOp> *seq = nullptr;
+    switch (warp.phase) {
+      case Phase::Prologue: seq = &kernel_->prologue; break;
+      case Phase::Warmup:
+      case Phase::Timed: seq = &kernel_->body; break;
+      case Phase::Epilogue: seq = &kernel_->epilogue; break;
+    }
+    if (warp.pc < seq->size()) {
+        eq_.schedule(done, [this, warp_id] { step(warp_id); }, warp_id);
+        return;
+    }
+    warp.pc = 0;
+    if ((warp.phase == Phase::Warmup || warp.phase == Phase::Timed) &&
+        --warp.iters_left > 0) {
+        eq_.schedule(done, [this, warp_id] { step(warp_id); }, warp_id);
+        return;
+    }
+    advancePhase(warp_id, done);
+}
+
+void
+GpuMachine::advancePhase(int warp_id, Tick done)
+{
+    WarpCtx &warp = warps_[warp_id];
+    switch (warp.phase) {
+      case Phase::Prologue:
+        if (warmup_iterations_ > 0 && !kernel_->body.empty()) {
+            warp.phase = Phase::Warmup;
+            warp.iters_left = warmup_iterations_;
+            eq_.schedule(done, [this, warp_id] { step(warp_id); },
+                         warp_id);
+            return;
+        }
+        warp.phase = Phase::Timed;
+        warp.start = done;
+        warp.iters_left = kernel_->body.empty() ? 0 : kernel_->body_iters;
+        if (warp.iters_left == 0) {
+            advancePhase(warp_id, done);
+            return;
+        }
+        eq_.schedule(done, [this, warp_id] { step(warp_id); }, warp_id);
+        return;
+
+      case Phase::Warmup: {
+        // Align the block, then stamp clock64() (Listing 3 line 11).
+        warp.phase = Phase::Timed;
+        warp.iters_left = kernel_->body_iters;
+        // The alignment __syncthreads() reuses the block barrier; the
+        // start stamp is taken at its release.
+        BlockState &block = blocks_[warp.block];
+        ++block.arrived;
+        block.last_arrival = std::max(block.last_arrival, done);
+        block.waiters.push_back(warp_id);
+        if (block.arrived < block.warps)
+            return;
+        const Tick release =
+            block.last_arrival + cfg_.syncthreads_base +
+            static_cast<Tick>(block.warps) * cfg_.syncthreads_per_warp;
+        std::vector<int> waiters = std::move(block.waiters);
+        block.waiters.clear();
+        block.arrived = 0;
+        block.last_arrival = 0;
+        for (int w : waiters) {
+            eq_.schedule(release, [this, w, release] {
+                warps_[w].start = release;
+                step(w);
+            }, w);
+        }
+        return;
+      }
+
+      case Phase::Timed:
+        warp.end = done;
+        warp.phase = Phase::Epilogue;
+        if (kernel_->epilogue.empty()) {
+            warpDone(warp_id, done);
+            return;
+        }
+        eq_.schedule(done, [this, warp_id] { step(warp_id); }, warp_id);
+        return;
+
+      case Phase::Epilogue:
+        warpDone(warp_id, done);
+        return;
+    }
+}
+
+void
+GpuMachine::warpDone(int warp_id, Tick done)
+{
+    WarpCtx &warp = warps_[warp_id];
+    warp.done = true;
+    if (warp.end == 0)
+        warp.end = done;
+
+    BlockState &block = blocks_[warp.block];
+    if (++block.done_warps < block.warps)
+        return;
+
+    // Block retired: release its SM slot and launch a pending block.
+    sm_free_threads_[block.sm] += block.threads;
+    --sm_blocks_[block.sm];
+    stats_.inc("gpu.blocks_retired");
+    tryLaunchBlocks(done);
+}
+
+void
+GpuMachine::tryLaunchBlocks(Tick when)
+{
+    while (!pending_blocks_.empty()) {
+        const int block_id = pending_blocks_.front();
+        const BlockState &pending = blocks_[block_id];
+        int best_sm = -1;
+        for (int sm = 0; sm < cfg_.sm_count; ++sm) {
+            if (sm_free_threads_[sm] >= pending.threads &&
+                sm_blocks_[sm] < cfg_.max_blocks_per_sm) {
+                if (best_sm < 0 ||
+                    sm_free_threads_[sm] > sm_free_threads_[best_sm]) {
+                    best_sm = sm;
+                }
+            }
+        }
+        if (best_sm < 0)
+            return;
+        pending_blocks_.pop_front();
+        launchBlock(block_id, best_sm, when);
+    }
+}
+
+void
+GpuMachine::launchBlock(int block_id, int sm, Tick when)
+{
+    BlockState &block = blocks_[block_id];
+    block.sm = sm;
+    sm_free_threads_[sm] -= block.threads;
+    ++sm_blocks_[sm];
+
+    const Tick start = when + cfg_.block_launch_overhead;
+    for (int w = 0; w < block.warps; ++w) {
+        const int warp_id = block.first_warp + w;
+        WarpCtx &warp = warps_[warp_id];
+        warp.sm = sm;
+        warp.sched = sm_next_sched_[sm];
+        sm_next_sched_[sm] =
+            (sm_next_sched_[sm] + 1) % cfg_.schedulers_per_sm;
+        eq_.schedule(start, [this, warp_id] { step(warp_id); }, warp_id);
+    }
+    stats_.inc("gpu.blocks_launched");
+}
+
+GpuRunResult
+GpuMachine::run(const GpuKernel &kernel, LaunchConfig launch,
+                int warmup_iterations)
+{
+    SYNCPERF_ASSERT(launch.blocks >= 1);
+    SYNCPERF_ASSERT(launch.threads_per_block >= 1 &&
+                    launch.threads_per_block <= cfg_.max_threads_per_block);
+    SYNCPERF_ASSERT(kernel.body_iters >= 1 || kernel.body.empty());
+
+    kernel_ = &kernel;
+    launch_ = launch;
+    warmup_iterations_ = warmup_iterations;
+
+    eq_ = sim::EventQueue{};
+    warps_.clear();
+    blocks_.assign(launch.blocks, BlockState{});
+    pending_blocks_.clear();
+    sm_free_threads_.assign(cfg_.sm_count, cfg_.max_threads_per_sm);
+    sm_blocks_.assign(cfg_.sm_count, 0);
+    sm_next_sched_.assign(cfg_.sm_count, 0);
+    sched_free_.assign(
+        static_cast<std::size_t>(cfg_.sm_count) * cfg_.schedulers_per_sm,
+        0);
+    lsu_free_.assign(cfg_.sm_count, 0);
+    smem_free_.assign(cfg_.sm_count, 0);
+    reduce_free_.assign(cfg_.sm_count, 0);
+    unit_free_.assign(cfg_.l2_atomic_units, 0);
+    line_free_.clear();
+    sm_line_gate_.clear();
+    mem_bw_free_ = 0;
+    grid_arrivals_ = 0;
+    grid_last_arrival_ = 0;
+    grid_waiters_.clear();
+
+    const int warps_per_block = cfg_.warpsPerBlock(launch.threads_per_block);
+    for (int b = 0; b < launch.blocks; ++b) {
+        BlockState &block = blocks_[b];
+        block.warps = warps_per_block;
+        block.threads = launch.threads_per_block;
+        block.first_warp = static_cast<int>(warps_.size());
+        for (int w = 0; w < warps_per_block; ++w) {
+            WarpCtx warp;
+            warp.block = b;
+            warp.warp_in_block = w;
+            warp.first_tid = b * launch.threads_per_block +
+                             w * cfg_.warp_size;
+            warp.lanes = std::min(
+                cfg_.warp_size,
+                launch.threads_per_block - w * cfg_.warp_size);
+            warps_.push_back(warp);
+        }
+        pending_blocks_.push_back(b);
+    }
+    tryLaunchBlocks(0);
+
+    const Tick end = eq_.run();
+
+    GpuRunResult result;
+    result.total_cycles = end;
+    result.thread_cycles.reserve(
+        static_cast<std::size_t>(launch.blocks) * launch.threads_per_block);
+    for (const auto &warp : warps_) {
+        SYNCPERF_ASSERT(warp.done, "warp did not finish (deadlock?)");
+        const Tick elapsed = warp.end >= warp.start
+            ? warp.end - warp.start : 0;
+        for (int lane = 0; lane < warp.lanes; ++lane)
+            result.thread_cycles.push_back(elapsed);
+    }
+    return result;
+}
+
+} // namespace syncperf::gpusim

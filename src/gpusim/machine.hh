@@ -1,0 +1,200 @@
+/**
+ * @file
+ * SIMT GPU timing machine.
+ *
+ * Executes a GpuKernel over a grid, warp-synchronously, against the
+ * mechanisms the paper uses to explain its CUDA results:
+ *
+ * - warp-granular execution with per-scheduler issue bandwidth (the
+ *   __syncwarp/__shfl_sync full-speed warp-count knees);
+ * - a hardware block barrier whose cost grows with resident warps
+ *   (__syncthreads), independent of block count;
+ * - L2 atomic units with per-address service intervals, an
+ *   address-hashed unit pool, and JIT warp aggregation for
+ *   reduction-style atomics on a single address (atomicAdd/Max);
+ * - one outstanding same-address atomic per SM (same-SM warps
+ *   serialize; different SMs pipeline in the L2);
+ * - value-returning atomics (CAS/exchange) that never aggregate and
+ *   pipeline same-address lanes in small groups;
+ * - constant-cost fences per scope, with deterministic PCIe jitter
+ *   for the system scope;
+ * - shared-memory (block-scoped) atomics served by a per-SM unit;
+ * - block residency limits and wave-by-wave block scheduling.
+ */
+
+#ifndef SYNCPERF_GPUSIM_MACHINE_HH
+#define SYNCPERF_GPUSIM_MACHINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "gpusim/gpu_config.hh"
+#include "gpusim/kernel.hh"
+#include "sim/event_queue.hh"
+#include "sim/stat.hh"
+
+namespace syncperf::gpusim
+{
+
+/** Outcome of one GpuMachine::run() invocation. */
+struct GpuRunResult
+{
+    /**
+     * clock64() delta of the timed region for every thread of the
+     * grid, in GPU cycles (all lanes of a warp share one value).
+     */
+    std::vector<sim::Tick> thread_cycles;
+
+    /** Tick at which the last block finished (kernel runtime). */
+    sim::Tick total_cycles = 0;
+};
+
+/** The machine. One instance simulates one kernel launch at a time. */
+class GpuMachine
+{
+  public:
+    /**
+     * @param cfg Device parameters (see the Table I presets).
+     * @param seed Seed for the deterministic jitter stream.
+     */
+    explicit GpuMachine(GpuConfig cfg, std::uint64_t seed = 1);
+
+    /**
+     * Launch @p kernel with geometry @p launch.
+     *
+     * Mirrors the paper's Listing 3: each thread executes the
+     * prologue, @p warmup_iterations untimed body repetitions, a
+     * block-wide __syncthreads(), reads clock64(), executes
+     * body_iters timed body repetitions, reads clock64() again, and
+     * finally runs the epilogue.
+     *
+     * @param warmup_iterations May be zero for application kernels
+     *        (reductions); the timed region then starts right after
+     *        the prologue without an extra sync.
+     */
+    GpuRunResult run(const GpuKernel &kernel, LaunchConfig launch,
+                     int warmup_iterations = 2);
+
+    /** Activity counters from the most recent run. */
+    const sim::StatSet &stats() const { return stats_; }
+
+    const GpuConfig &config() const { return cfg_; }
+
+  private:
+    using Tick = sim::Tick;
+
+    enum class Phase
+    {
+        Prologue,
+        Warmup,
+        Timed,
+        Epilogue,
+    };
+
+    struct WarpCtx
+    {
+        int block = 0;          ///< global block id
+        int warp_in_block = 0;
+        int sm = -1;
+        int sched = 0;          ///< scheduler partition on the SM
+        int lanes = 32;         ///< active thread lanes
+        int first_tid = 0;      ///< global id of lane 0
+
+        Phase phase = Phase::Prologue;
+        std::size_t pc = 0;
+        int rep_left = 0;
+        long iters_left = 0;
+
+        Tick start = 0;
+        Tick end = 0;
+        bool done = false;
+
+        /** Commit time of this warp's most recent global store (the
+         * point a device-scope fence must wait for). */
+        Tick last_store_commit = 0;
+
+        /** A warp keeps one aggregated same-address atomic in
+         * flight; the next waits for this round-trip point. */
+        Tick own_atomic_gate = 0;
+    };
+
+    /** Pipelined outstanding-request window for per-SM atomic gating. */
+    struct GateSlots
+    {
+        Tick newest = 0;
+        Tick oldest = 0;
+    };
+
+    struct BlockState
+    {
+        int sm = -1;
+        int warps = 0;
+        int threads = 0;
+        int first_warp = 0;     ///< index into warps_
+        int done_warps = 0;
+        // __syncthreads rendezvous
+        int arrived = 0;
+        Tick last_arrival = 0;
+        std::vector<int> waiters;
+    };
+
+    /** Issue an instruction through the warp's scheduler. */
+    Tick issueThrough(WarpCtx &warp, Tick ready, int uops = 1);
+
+    Tick gateDelay(DataType t) const;
+
+    void step(int warp_id);
+    void finishOp(int warp_id, Tick done);
+    void advancePhase(int warp_id, Tick done);
+    void arriveSyncThreads(int warp_id, Tick when);
+    void arriveGridSync(int warp_id, Tick when);
+    void tryLaunchBlocks(Tick when);
+    void launchBlock(int block_id, int sm, Tick when);
+    void warpDone(int warp_id, Tick done);
+
+    Tick execGlobalAtomic(WarpCtx &warp, const GpuOp &op, Tick issued);
+    Tick execSharedAtomic(WarpCtx &warp, const GpuOp &op, Tick issued);
+    Tick execGlobalLoad(WarpCtx &warp, const GpuOp &op, Tick issued);
+
+    int activeLanes(const WarpCtx &warp, const GpuOp &op) const;
+    std::uint64_t resolveAddr(const WarpCtx &warp, const GpuOp &op,
+                              int lane) const;
+
+    GpuConfig cfg_;
+    Pcg32 rng_;
+    sim::EventQueue eq_;
+    sim::StatSet stats_;
+
+    const GpuKernel *kernel_ = nullptr;
+    LaunchConfig launch_;
+    int warmup_iterations_ = 0;
+
+    std::vector<WarpCtx> warps_;
+    std::vector<BlockState> blocks_;
+    std::deque<int> pending_blocks_;
+    std::vector<int> sm_free_threads_;
+    std::vector<int> sm_blocks_;
+    std::vector<int> sm_next_sched_;
+
+    // Resource reservations.
+    std::vector<Tick> sched_free_;       ///< sm * schedulers + sched
+    std::vector<Tick> lsu_free_;         ///< per SM
+    std::vector<Tick> smem_free_;        ///< per SM
+    std::vector<Tick> reduce_free_;      ///< per SM (__reduce_*_sync)
+    std::vector<Tick> unit_free_;        ///< L2 atomic units
+    std::unordered_map<std::uint64_t, Tick> line_free_;
+    std::unordered_map<std::uint64_t, GateSlots> sm_line_gate_;
+    Tick mem_bw_free_ = 0;
+
+    // Grid-wide barrier rendezvous (cooperative launch).
+    int grid_arrivals_ = 0;
+    Tick grid_last_arrival_ = 0;
+    std::vector<int> grid_waiters_;
+};
+
+} // namespace syncperf::gpusim
+
+#endif // SYNCPERF_GPUSIM_MACHINE_HH

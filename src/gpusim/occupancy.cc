@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Implementation of occupancy arithmetic.
+ */
+
+#include "occupancy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace syncperf::gpusim
+{
+
+Occupancy
+computeOccupancy(const GpuConfig &cfg, LaunchConfig launch)
+{
+    SYNCPERF_ASSERT(launch.blocks >= 1);
+    SYNCPERF_ASSERT(launch.threads_per_block >= 1 &&
+                    launch.threads_per_block <= cfg.max_threads_per_block);
+
+    Occupancy o;
+    o.blocks_per_sm =
+        std::min(cfg.max_blocks_per_sm,
+                 cfg.max_threads_per_sm / launch.threads_per_block);
+    SYNCPERF_ASSERT(o.blocks_per_sm >= 1,
+                    "block does not fit on an SM");
+    o.threads_per_sm = o.blocks_per_sm * launch.threads_per_block;
+    o.warps_per_sm =
+        o.blocks_per_sm * cfg.warpsPerBlock(launch.threads_per_block);
+    o.resident_blocks =
+        std::min(launch.blocks, o.blocks_per_sm * cfg.sm_count);
+    o.waves = (launch.blocks + o.blocks_per_sm * cfg.sm_count - 1) /
+              (o.blocks_per_sm * cfg.sm_count);
+    o.fraction = static_cast<double>(o.threads_per_sm) /
+                 static_cast<double>(cfg.max_threads_per_sm);
+    return o;
+}
+
+} // namespace syncperf::gpusim

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Occupancy arithmetic: how a launch maps onto a device.
+ *
+ * The paper's CUDA results repeatedly hinge on residency (threads per
+ * SM, blocks per SM, waves); this utility exposes the same arithmetic
+ * the machine's block scheduler applies, as a documented API.
+ */
+
+#ifndef SYNCPERF_GPUSIM_OCCUPANCY_HH
+#define SYNCPERF_GPUSIM_OCCUPANCY_HH
+
+#include "gpusim/gpu_config.hh"
+#include "gpusim/kernel.hh"
+
+namespace syncperf::gpusim
+{
+
+/** Static residency facts about one launch on one device. */
+struct Occupancy
+{
+    int blocks_per_sm = 0;    ///< co-resident blocks on one SM
+    int warps_per_sm = 0;     ///< resident warps when an SM is full
+    int threads_per_sm = 0;   ///< resident threads when an SM is full
+    int resident_blocks = 0;  ///< device-wide co-resident blocks
+    int waves = 0;            ///< sequential waves to run the grid
+    double fraction = 0.0;    ///< threads_per_sm / max_threads_per_sm
+
+    /** True when every block of the grid is co-resident (a
+     * cooperative grid-wide sync cannot deadlock). */
+    bool coResident() const { return waves == 1; }
+};
+
+/**
+ * Compute residency for @p launch on @p cfg.
+ *
+ * Mirrors the machine's block scheduler exactly: blocks per SM are
+ * limited by both the thread capacity and the hardware block slots.
+ */
+Occupancy computeOccupancy(const GpuConfig &cfg, LaunchConfig launch);
+
+} // namespace syncperf::gpusim
+
+#endif // SYNCPERF_GPUSIM_OCCUPANCY_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Clock-domain helper converting between cycles and wall time.
+ *
+ * The paper reports CPU results from gettimeofday() (seconds) and GPU
+ * results from clock64() (cycles divided by the device clock). Both
+ * simulated machines count ticks in cycles; this class performs the
+ * cycles-to-seconds conversion for reporting.
+ */
+
+#ifndef SYNCPERF_SIM_CLOCK_HH
+#define SYNCPERF_SIM_CLOCK_HH
+
+#include "sim/types.hh"
+
+namespace syncperf::sim
+{
+
+/** Frequency-aware conversion between Tick counts and seconds. */
+class ClockDomain
+{
+  public:
+    /** @param frequency_hz Clock frequency; must be positive. */
+    explicit constexpr ClockDomain(double frequency_hz)
+        : freq_hz_(frequency_hz)
+    {}
+
+    /** Clock frequency in Hz. */
+    constexpr double frequencyHz() const { return freq_hz_; }
+
+    /** Convert a cycle count to seconds. */
+    constexpr double
+    toSeconds(Tick cycles) const
+    {
+        return static_cast<double>(cycles) / freq_hz_;
+    }
+
+    /** Convert seconds to (truncated) cycles. */
+    constexpr Tick
+    toCycles(double seconds) const
+    {
+        return static_cast<Tick>(seconds * freq_hz_);
+    }
+
+    /** Duration of one cycle in seconds. */
+    constexpr double period() const { return 1.0 / freq_hz_; }
+
+  private:
+    double freq_hz_;
+};
+
+} // namespace syncperf::sim
+
+#endif // SYNCPERF_SIM_CLOCK_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Implementation of the discrete-event queue.
+ */
+
+#include "event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace syncperf::sim
+{
+
+EventId
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    SYNCPERF_ASSERT(when >= now_, "cannot schedule into the past");
+    const EventId id = next_id_++;
+    heap_.push(Entry{when, priority, id,
+                     std::make_shared<Callback>(std::move(cb))});
+    pending_ids_.insert(id);
+    ++live_;
+    return id;
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    // Cancelled entries stay in the heap and are skipped when popped.
+    if (pending_ids_.erase(id) == 0)
+        return false;
+    --live_;
+    return true;
+}
+
+void
+EventQueue::executeOne()
+{
+    Entry entry = heap_.top();
+    heap_.pop();
+    if (pending_ids_.erase(entry.id) == 0)
+        return;  // was cancelled
+    --live_;
+    now_ = entry.when;
+    ++executed_;
+    (*entry.action)();
+}
+
+Tick
+EventQueue::run()
+{
+    while (!heap_.empty())
+        executeOne();
+    return now_;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit)
+        executeOne();
+    if (now_ < limit)
+        now_ = limit;
+    return now_;
+}
+
+} // namespace syncperf::sim

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events scheduled for the same tick execute in (priority, insertion
+ * order), which makes every simulation in this repository
+ * reproducible bit-for-bit regardless of container internals.
+ */
+
+#ifndef SYNCPERF_SIM_EVENT_QUEUE_HH
+#define SYNCPERF_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace syncperf::sim
+{
+
+/** Handle identifying a scheduled event for cancellation. */
+using EventId = std::uint64_t;
+
+/**
+ * Min-heap event queue with stable same-tick ordering.
+ *
+ * Not thread safe: each simulated machine owns one queue and runs it
+ * from a single host thread.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Default event priority; lower runs first within a tick. */
+    static constexpr int default_priority = 0;
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param cb Action to execute.
+     * @param priority Tie-break within a tick; lower runs first.
+     * @return Handle usable with deschedule().
+     */
+    EventId schedule(Tick when, Callback cb,
+                     int priority = default_priority);
+
+    /** Schedule relative to the current time. */
+    EventId
+    scheduleIn(Tick delay, Callback cb, int priority = default_priority)
+    {
+        return schedule(now_ + delay, std::move(cb), priority);
+    }
+
+    /**
+     * Cancel a pending event.
+     *
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool deschedule(EventId id);
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Pending (non-cancelled) event count. */
+    std::size_t pending() const { return live_; }
+
+    /** True when no live events remain. */
+    bool empty() const { return live_ == 0; }
+
+    /**
+     * Run events until the queue drains.
+     *
+     * @return The tick of the last executed event (or now() if none).
+     */
+    Tick run();
+
+    /**
+     * Run events with time <= @p limit; stops with now() == limit if
+     * events remain beyond it.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Total number of events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        EventId id;
+        // shared_ptr so Entry stays copyable inside priority_queue.
+        std::shared_ptr<Callback> action;
+
+        // Heap entries are compared so the earliest (then lowest
+        // priority value, then first-scheduled) pops first.
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            if (priority != other.priority)
+                return priority > other.priority;
+            return id > other.id;
+        }
+    };
+
+    void executeOne();
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::unordered_set<EventId> pending_ids_;
+    EventId next_id_ = 0;
+    Tick now_ = 0;
+    std::size_t live_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace syncperf::sim
+
+#endif // SYNCPERF_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Named statistic counters for the simulated machines.
+ */
+
+#ifndef SYNCPERF_SIM_STAT_HH
+#define SYNCPERF_SIM_STAT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace syncperf::sim
+{
+
+/**
+ * A flat registry of named counters. Machines expose one StatSet so
+ * tests and benches can assert on internal activity (e.g. "number of
+ * warp-aggregated atomics performed").
+ */
+class StatSet
+{
+  public:
+    /** Add @p delta to counter @p name, creating it at zero. */
+    void
+    inc(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Value of @p name, or zero when never incremented. */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** All counters, sorted by name for deterministic dumps. */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+    /** Reset every counter to zero. */
+    void clear() { counters_.clear(); }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace syncperf::sim
+
+#endif // SYNCPERF_SIM_STAT_HH

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Fundamental simulation types shared by all timing models.
+ */
+
+#ifndef SYNCPERF_SIM_TYPES_HH
+#define SYNCPERF_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace syncperf::sim
+{
+
+/** Simulated time, in cycles of the machine's base clock. */
+using Tick = std::uint64_t;
+
+/** Sentinel "never" tick. */
+inline constexpr Tick max_tick = std::numeric_limits<Tick>::max();
+
+} // namespace syncperf::sim
+
+#endif // SYNCPERF_SIM_TYPES_HH

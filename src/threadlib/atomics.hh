@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Atomic-operation wrappers matching the OpenMP atomic flavors.
+ *
+ * OpenMP distinguishes atomic update, capture, read, and write. For
+ * integer types these map to single hardware RMW instructions; for
+ * floating-point types an update compiles to a compare-and-swap
+ * loop, which is the per-type cost difference the paper measures.
+ */
+
+#ifndef SYNCPERF_THREADLIB_ATOMICS_HH
+#define SYNCPERF_THREADLIB_ATOMICS_HH
+
+#include <atomic>
+#include <type_traits>
+
+namespace syncperf::threadlib
+{
+
+/**
+ * #pragma omp atomic update -- x += v.
+ *
+ * Integer types use the native fetch_add; floating-point types use
+ * a CAS loop (GCC 12's libstdc++ has no native atomic<float>
+ * fetch_add on x86, mirroring what the OpenMP runtime emits).
+ */
+template <typename T>
+void
+atomicUpdate(std::atomic<T> &x, T v)
+{
+    if constexpr (std::is_integral_v<T>) {
+        x.fetch_add(v, std::memory_order_relaxed);
+    } else {
+        T cur = x.load(std::memory_order_relaxed);
+        while (!x.compare_exchange_weak(cur, cur + v,
+                                        std::memory_order_relaxed)) {
+        }
+    }
+}
+
+/** #pragma omp atomic capture -- returns the pre-update value. */
+template <typename T>
+T
+atomicCapture(std::atomic<T> &x, T v)
+{
+    if constexpr (std::is_integral_v<T>) {
+        return x.fetch_add(v, std::memory_order_relaxed);
+    } else {
+        T cur = x.load(std::memory_order_relaxed);
+        while (!x.compare_exchange_weak(cur, cur + v,
+                                        std::memory_order_relaxed)) {
+        }
+        return cur;
+    }
+}
+
+/** #pragma omp atomic read. */
+template <typename T>
+T
+atomicRead(const std::atomic<T> &x)
+{
+    return x.load(std::memory_order_relaxed);
+}
+
+/** #pragma omp atomic write. */
+template <typename T>
+void
+atomicWrite(std::atomic<T> &x, T v)
+{
+    x.store(v, std::memory_order_relaxed);
+}
+
+/** Atomic maximum via CAS loop (used by the reduction examples). */
+template <typename T>
+void
+atomicMax(std::atomic<T> &x, T v)
+{
+    T cur = x.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !x.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+/** #pragma omp flush -- a full memory fence. */
+inline void
+flush()
+{
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+} // namespace syncperf::threadlib
+
+#endif // SYNCPERF_THREADLIB_ATOMICS_HH

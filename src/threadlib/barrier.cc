@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Implementation of the barrier algorithms.
+ */
+
+#include "barrier.hh"
+
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace syncperf::threadlib
+{
+namespace
+{
+
+/** Polite spin: yield occasionally so oversubscribed hosts progress. */
+class Spinner
+{
+  public:
+    void
+    pause()
+    {
+        if (++spins_ % 64 == 0)
+            std::this_thread::yield();
+    }
+
+  private:
+    unsigned spins_ = 0;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------- Central
+
+CentralBarrier::CentralBarrier(int team_size)
+    : team_size_(team_size), local_sense_(team_size)
+{
+    SYNCPERF_ASSERT(team_size >= 1);
+}
+
+void
+CentralBarrier::arriveAndWait(int tid)
+{
+    SYNCPERF_ASSERT(tid >= 0 && tid < team_size_);
+    const std::uint32_t my_sense = local_sense_[tid].v ^ 1u;
+    local_sense_[tid].v = my_sense;
+
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        team_size_) {
+        arrived_.store(0, std::memory_order_relaxed);
+        sense_.store(my_sense, std::memory_order_release);
+        return;
+    }
+    Spinner spin;
+    while (sense_.load(std::memory_order_acquire) != my_sense)
+        spin.pause();
+}
+
+// ------------------------------------------------------------------- Tree
+
+TreeBarrier::TreeBarrier(int team_size)
+    : team_size_(team_size), local_sense_(team_size)
+{
+    SYNCPERF_ASSERT(team_size >= 1);
+
+    // Build levels bottom-up; nodes_ stores them flattened with
+    // parent links pointing at the next level.
+    const int leaves = (team_size + fan_in - 1) / fan_in;
+    std::vector<int> level_sizes{leaves};
+    while (level_sizes.back() > 1) {
+        level_sizes.push_back((level_sizes.back() + fan_in - 1) / fan_in);
+    }
+
+    int total = 0;
+    for (int s : level_sizes)
+        total += s;
+    nodes_ = std::vector<Node>(total);
+
+    int level_base = 0;
+    for (std::size_t lvl = 0; lvl + 1 < level_sizes.size(); ++lvl) {
+        const int next_base = level_base + level_sizes[lvl];
+        for (int i = 0; i < level_sizes[lvl]; ++i) {
+            nodes_[level_base + i].parent = next_base + i / fan_in;
+            nodes_[next_base + i / fan_in].expected++;
+        }
+        level_base = next_base;
+    }
+
+    leaf_of_thread_.resize(team_size);
+    for (int t = 0; t < team_size; ++t) {
+        leaf_of_thread_[t] = t / fan_in;
+        nodes_[t / fan_in].expected++;
+    }
+}
+
+void
+TreeBarrier::arriveAndWait(int tid)
+{
+    SYNCPERF_ASSERT(tid >= 0 && tid < team_size_);
+    const std::uint32_t my_sense = local_sense_[tid].v ^ 1u;
+    local_sense_[tid].v = my_sense;
+
+    int node = leaf_of_thread_[tid];
+    while (node >= 0) {
+        Node &n = nodes_[node];
+        if (n.count.fetch_add(1, std::memory_order_acq_rel) + 1 !=
+            n.expected) {
+            break;  // not the last arriver at this node
+        }
+        n.count.store(0, std::memory_order_relaxed);
+        if (n.parent < 0) {
+            release_.store(my_sense, std::memory_order_release);
+            return;
+        }
+        node = n.parent;
+    }
+    Spinner spin;
+    while (release_.load(std::memory_order_acquire) != my_sense)
+        spin.pause();
+}
+
+// ---------------------------------------------------------- Dissemination
+
+DisseminationBarrier::DisseminationBarrier(int team_size)
+    : team_size_(team_size), epoch_(team_size)
+{
+    SYNCPERF_ASSERT(team_size >= 1);
+    rounds_ = 0;
+    for (int span = 1; span < team_size; span *= 2)
+        ++rounds_;
+    flags_.resize(rounds_);
+    for (auto &round : flags_)
+        round = std::vector<Flag>(team_size);
+}
+
+void
+DisseminationBarrier::arriveAndWait(int tid)
+{
+    SYNCPERF_ASSERT(tid >= 0 && tid < team_size_);
+    const std::uint32_t epoch = ++epoch_[tid].v;
+
+    int span = 1;
+    for (int r = 0; r < rounds_; ++r, span *= 2) {
+        const int partner = (tid + span) % team_size_;
+        flags_[r][partner].value.store(epoch, std::memory_order_release);
+        Spinner spin;
+        while (flags_[r][tid].value.load(std::memory_order_acquire) <
+               epoch) {
+            spin.pause();
+        }
+    }
+}
+
+} // namespace syncperf::threadlib

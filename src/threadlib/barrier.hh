@@ -1,0 +1,123 @@
+/**
+ * @file
+ * From-scratch barrier algorithms.
+ *
+ * The paper measures the OpenMP barrier as a black box; this module
+ * implements the classic algorithms such a runtime is built from so
+ * they can be run natively (correctness on any host) and mirrored in
+ * the CPU timing model.
+ */
+
+#ifndef SYNCPERF_THREADLIB_BARRIER_HH
+#define SYNCPERF_THREADLIB_BARRIER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace syncperf::threadlib
+{
+
+/** A cache-line-padded word, preventing false sharing of per-thread
+ * spin state. */
+struct alignas(64) PaddedU32
+{
+    std::uint32_t v = 0;
+};
+
+/** Common interface so experiments can swap algorithms. */
+class Barrier
+{
+  public:
+    virtual ~Barrier() = default;
+
+    /**
+     * Block until every member of the team has arrived.
+     *
+     * @param tid Caller's team rank in [0, team size).
+     */
+    virtual void arriveAndWait(int tid) = 0;
+
+    /** Team size the barrier was built for. */
+    virtual int teamSize() const = 0;
+};
+
+/**
+ * Centralized sense-reversing barrier: one atomic arrival counter
+ * plus a global sense flag each thread compares with its local
+ * sense. This is the shape libgomp's barrier takes when spinning.
+ */
+class CentralBarrier : public Barrier
+{
+  public:
+    explicit CentralBarrier(int team_size);
+
+    void arriveAndWait(int tid) override;
+    int teamSize() const override { return team_size_; }
+
+  private:
+    const int team_size_;
+    alignas(64) std::atomic<int> arrived_{0};
+    alignas(64) std::atomic<std::uint32_t> sense_{0};
+    std::vector<PaddedU32> local_sense_;
+};
+
+/**
+ * Static combining-tree barrier with fan-in 4: threads arrive at
+ * leaves; interior nodes propagate to the root, which flips a
+ * release flag observed by everyone.
+ */
+class TreeBarrier : public Barrier
+{
+  public:
+    explicit TreeBarrier(int team_size);
+
+    void arriveAndWait(int tid) override;
+    int teamSize() const override { return team_size_; }
+
+  private:
+    static constexpr int fan_in = 4;
+
+    struct alignas(64) Node
+    {
+        std::atomic<int> count{0};
+        int expected = 0;
+        int parent = -1;
+    };
+
+    const int team_size_;
+    std::vector<Node> nodes_;
+    std::vector<int> leaf_of_thread_;
+    alignas(64) std::atomic<std::uint32_t> release_{0};
+    std::vector<PaddedU32> local_sense_;
+};
+
+/**
+ * Dissemination barrier: log2(N) rounds of pairwise flag exchanges;
+ * no single hot location, at the cost of more total traffic.
+ */
+class DisseminationBarrier : public Barrier
+{
+  public:
+    explicit DisseminationBarrier(int team_size);
+
+    void arriveAndWait(int tid) override;
+    int teamSize() const override { return team_size_; }
+
+  private:
+    struct alignas(64) Flag
+    {
+        std::atomic<std::uint32_t> value{0};
+    };
+
+    const int team_size_;
+    int rounds_;
+    // flags_[round][thread]
+    std::vector<std::vector<Flag>> flags_;
+    std::vector<PaddedU32> epoch_;  // per-thread barrier count
+};
+
+} // namespace syncperf::threadlib
+
+#endif // SYNCPERF_THREADLIB_BARRIER_HH

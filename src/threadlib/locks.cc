@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Implementation of the spin-lock algorithms.
+ */
+
+#include "locks.hh"
+
+#include <thread>
+
+namespace syncperf::threadlib
+{
+namespace
+{
+
+inline void
+politePause(unsigned &spins)
+{
+    if (++spins % 64 == 0)
+        std::this_thread::yield();
+}
+
+} // namespace
+
+// -------------------------------------------------------------------- TAS
+
+void
+TasLock::acquire()
+{
+    unsigned spins = 0;
+    while (flag_.exchange(1, std::memory_order_acquire) != 0)
+        politePause(spins);
+}
+
+void
+TasLock::release()
+{
+    flag_.store(0, std::memory_order_release);
+}
+
+bool
+TasLock::tryAcquire()
+{
+    return flag_.exchange(1, std::memory_order_acquire) == 0;
+}
+
+// ------------------------------------------------------------------- TTAS
+
+void
+TtasLock::acquire()
+{
+    unsigned spins = 0;
+    for (;;) {
+        while (flag_.load(std::memory_order_relaxed) != 0)
+            politePause(spins);
+        if (flag_.exchange(1, std::memory_order_acquire) == 0)
+            return;
+    }
+}
+
+void
+TtasLock::release()
+{
+    flag_.store(0, std::memory_order_release);
+}
+
+bool
+TtasLock::tryAcquire()
+{
+    if (flag_.load(std::memory_order_relaxed) != 0)
+        return false;
+    return flag_.exchange(1, std::memory_order_acquire) == 0;
+}
+
+// ----------------------------------------------------------------- Ticket
+
+void
+TicketLock::acquire()
+{
+    const std::uint32_t ticket =
+        next_.fetch_add(1, std::memory_order_relaxed);
+    unsigned spins = 0;
+    while (serving_.load(std::memory_order_acquire) != ticket)
+        politePause(spins);
+}
+
+void
+TicketLock::release()
+{
+    serving_.store(serving_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+}
+
+bool
+TicketLock::tryAcquire()
+{
+    std::uint32_t ticket = serving_.load(std::memory_order_acquire);
+    std::uint32_t expected = ticket;
+    // Take a ticket only if it would be served immediately.
+    return next_.compare_exchange_strong(expected, ticket + 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------------- MCS
+
+McsLock::Node &
+McsLock::myNode()
+{
+    thread_local Node node;
+    return node;
+}
+
+void
+McsLock::acquire()
+{
+    Node &me = myNode();
+    me.next.store(nullptr, std::memory_order_relaxed);
+    me.locked.store(1, std::memory_order_relaxed);
+
+    Node *prev = tail_.exchange(&me, std::memory_order_acq_rel);
+    if (prev == nullptr)
+        return;
+    prev->next.store(&me, std::memory_order_release);
+    unsigned spins = 0;
+    while (me.locked.load(std::memory_order_acquire) != 0)
+        politePause(spins);
+}
+
+void
+McsLock::release()
+{
+    Node &me = myNode();
+    Node *successor = me.next.load(std::memory_order_acquire);
+    if (successor == nullptr) {
+        Node *expected = &me;
+        if (tail_.compare_exchange_strong(expected, nullptr,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+            return;  // no waiter
+        }
+        // A waiter is linking itself in; wait for the pointer.
+        unsigned spins = 0;
+        while ((successor = me.next.load(std::memory_order_acquire)) ==
+               nullptr) {
+            politePause(spins);
+        }
+    }
+    successor->locked.store(0, std::memory_order_release);
+}
+
+bool
+McsLock::tryAcquire()
+{
+    Node &me = myNode();
+    me.next.store(nullptr, std::memory_order_relaxed);
+    me.locked.store(1, std::memory_order_relaxed);
+    Node *expected = nullptr;
+    return tail_.compare_exchange_strong(expected, &me,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+}
+
+} // namespace syncperf::threadlib

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * From-scratch spin-lock algorithms used for critical sections.
+ *
+ * The paper's critical-section results are explained by the locking
+ * overhead of the OpenMP runtime; these are the standard algorithms
+ * such runtimes choose between. All satisfy a common interface so
+ * the experiments and tests can sweep them.
+ */
+
+#ifndef SYNCPERF_THREADLIB_LOCKS_HH
+#define SYNCPERF_THREADLIB_LOCKS_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace syncperf::threadlib
+{
+
+/** Common lock interface. */
+class Lock
+{
+  public:
+    virtual ~Lock() = default;
+    virtual void acquire() = 0;
+    virtual void release() = 0;
+
+    /** Try once without spinning; true on success. */
+    virtual bool tryAcquire() = 0;
+};
+
+/** Test-and-set: one atomic exchange per attempt. */
+class TasLock : public Lock
+{
+  public:
+    void acquire() override;
+    void release() override;
+    bool tryAcquire() override;
+
+  private:
+    alignas(64) std::atomic<std::uint32_t> flag_{0};
+};
+
+/**
+ * Test-and-test-and-set: spin on a plain load, attempt the exchange
+ * only when the lock looks free — far less coherence traffic under
+ * contention than TasLock.
+ */
+class TtasLock : public Lock
+{
+  public:
+    void acquire() override;
+    void release() override;
+    bool tryAcquire() override;
+
+  private:
+    alignas(64) std::atomic<std::uint32_t> flag_{0};
+};
+
+/** FIFO ticket lock: fair, one RMW to enter, contended spin on a
+ * shared now-serving counter. */
+class TicketLock : public Lock
+{
+  public:
+    void acquire() override;
+    void release() override;
+    bool tryAcquire() override;
+
+  private:
+    alignas(64) std::atomic<std::uint32_t> next_{0};
+    alignas(64) std::atomic<std::uint32_t> serving_{0};
+};
+
+/**
+ * MCS queue lock: each waiter spins on its own node, so handoff
+ * touches exactly one remote line. Uses a thread_local queue node,
+ * so a thread may hold at most one McsLock at a time.
+ */
+class McsLock : public Lock
+{
+  public:
+    void acquire() override;
+    void release() override;
+    bool tryAcquire() override;
+
+  private:
+    struct alignas(64) Node
+    {
+        std::atomic<Node *> next{nullptr};
+        std::atomic<std::uint32_t> locked{0};
+    };
+
+    static Node &myNode();
+
+    alignas(64) std::atomic<Node *> tail_{nullptr};
+};
+
+} // namespace syncperf::threadlib
+
+#endif // SYNCPERF_THREADLIB_LOCKS_HH

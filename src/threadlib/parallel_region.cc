@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Implementation of the fork/join substrate.
+ */
+
+#include "parallel_region.hh"
+
+#include <thread>
+#include <vector>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include "common/logging.hh"
+
+namespace syncperf::threadlib
+{
+
+int
+hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void
+bindThisThread(int tid, int n_threads, Affinity affinity)
+{
+    if (affinity == Affinity::System)
+        return;
+#ifdef __linux__
+    const int hw = hardwareThreads();
+    int cpu;
+    if (affinity == Affinity::Close) {
+        cpu = tid % hw;
+    } else {
+        // Spread: space threads out over the hardware threads.
+        const int step = std::max(1, hw / std::max(1, n_threads));
+        cpu = (tid * step) % hw;
+    }
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu, &set);
+    // Best effort: failures (e.g. restricted cpusets) are ignored.
+    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+    (void)tid;
+    (void)n_threads;
+#endif
+}
+
+void
+parallelRegion(int n_threads, const std::function<void(int)> &body,
+               Affinity affinity)
+{
+    SYNCPERF_ASSERT(n_threads >= 1);
+    if (n_threads == 1) {
+        body(0);
+        return;
+    }
+
+    std::vector<std::thread> team;
+    team.reserve(n_threads - 1);
+    for (int t = 1; t < n_threads; ++t) {
+        team.emplace_back([&body, t, n_threads, affinity] {
+            bindThisThread(t, n_threads, affinity);
+            body(t);
+        });
+    }
+    bindThisThread(0, n_threads, affinity);
+    body(0);
+    for (auto &thread : team)
+        thread.join();
+}
+
+} // namespace syncperf::threadlib

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fork/join parallel regions over std::thread, with optional CPU
+ * affinity binding -- the OpenMP-like execution substrate for the
+ * native measurement path.
+ */
+
+#ifndef SYNCPERF_THREADLIB_PARALLEL_REGION_HH
+#define SYNCPERF_THREADLIB_PARALLEL_REGION_HH
+
+#include <functional>
+
+#include "common/dtype.hh"
+
+namespace syncperf::threadlib
+{
+
+/**
+ * Run @p body on @p n_threads concurrent threads and join them all
+ * (the equivalent of "#pragma omp parallel num_threads(n)").
+ *
+ * @param n_threads Team size; must be >= 1. The calling thread acts
+ *        as team member 0 so a 1-thread region has no fork cost.
+ * @param body Receives the team rank in [0, n_threads).
+ * @param affinity Placement policy; binding is best-effort (silently
+ *        skipped where unsupported) and never binds for
+ *        Affinity::System.
+ */
+void parallelRegion(int n_threads, const std::function<void(int)> &body,
+                    Affinity affinity = Affinity::System);
+
+/**
+ * Number of hardware threads the host offers (never less than 1).
+ */
+int hardwareThreads();
+
+/**
+ * Bind the calling thread to a CPU chosen for (tid, n_threads,
+ * policy) over the host's hardware threads. Best effort.
+ */
+void bindThisThread(int tid, int n_threads, Affinity affinity);
+
+} // namespace syncperf::threadlib
+
+#endif // SYNCPERF_THREADLIB_PARALLEL_REGION_HH

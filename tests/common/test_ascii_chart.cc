@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the ASCII chart renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ascii_chart.hh"
+#include "common/logging.hh"
+
+namespace syncperf
+{
+namespace
+{
+
+TEST(AsciiChart, RendersTitleAxesAndLegend)
+{
+    AsciiChart chart({1.0, 2.0, 3.0});
+    chart.setTitle("Demo");
+    chart.setXLabel("threads");
+    chart.setYLabel("ops");
+    chart.addSeries("int", {1.0, 2.0, 3.0});
+    const std::string out = chart.render();
+    EXPECT_NE(out.find("Demo"), std::string::npos);
+    EXPECT_NE(out.find("threads"), std::string::npos);
+    EXPECT_NE(out.find("ops"), std::string::npos);
+    EXPECT_NE(out.find("legend: *=int"), std::string::npos);
+}
+
+TEST(AsciiChart, MultipleSeriesGetDistinctGlyphs)
+{
+    AsciiChart chart({1.0, 2.0});
+    chart.addSeries("a", {1.0, 1.0});
+    chart.addSeries("b", {2.0, 2.0});
+    const std::string out = chart.render();
+    EXPECT_NE(out.find("*=a"), std::string::npos);
+    EXPECT_NE(out.find("o=b"), std::string::npos);
+}
+
+TEST(AsciiChart, HighValuesPlotAboveLowValues)
+{
+    AsciiChart chart({1.0, 2.0});
+    chart.addSeries("s", {10.0, 1.0});
+    const std::string out = chart.render();
+    // The first column with a '*' must appear on an earlier line
+    // (higher on the canvas) than the last column's '*'.
+    const auto first_star = out.find('*');
+    const auto last_star = out.rfind('*');
+    const auto line_of = [&](std::size_t pos) {
+        return std::count(out.begin(), out.begin() + pos, '\n');
+    };
+    EXPECT_LT(line_of(first_star), line_of(last_star));
+}
+
+TEST(AsciiChart, SkipsNonFiniteValues)
+{
+    AsciiChart chart({1.0, 2.0, 3.0});
+    chart.addSeries("s", {1.0, std::nan(""), 2.0});
+    EXPECT_NO_THROW((void)chart.render());
+}
+
+TEST(AsciiChart, LogXAccepted)
+{
+    AsciiChart chart({2.0, 4.0, 8.0, 1024.0});
+    chart.setLogX(true);
+    chart.addSeries("s", {1.0, 1.0, 1.0, 1.0});
+    const std::string out = chart.render();
+    EXPECT_NE(out.find("log2 scale"), std::string::npos);
+}
+
+TEST(AsciiChart, VerticalMarkerDrawn)
+{
+    AsciiChart chart({1.0, 16.0, 32.0});
+    chart.setVerticalMarker(16.0);
+    chart.addSeries("s", {1.0, 1.0, 1.0});
+    EXPECT_NE(chart.render().find('|'), std::string::npos);
+}
+
+TEST(AsciiChart, MismatchedSeriesLengthPanics)
+{
+    AsciiChart chart({1.0, 2.0});
+    ScopedLogCapture capture;
+    EXPECT_THROW(chart.addSeries("bad", {1.0}), LogDeathException);
+}
+
+TEST(AsciiChart, NonIncreasingXPanics)
+{
+    ScopedLogCapture capture;
+    EXPECT_THROW(AsciiChart({2.0, 2.0}), LogDeathException);
+}
+
+TEST(AsciiChart, RenderWithoutSeriesPanics)
+{
+    AsciiChart chart({1.0});
+    ScopedLogCapture capture;
+    EXPECT_THROW((void)chart.render(), LogDeathException);
+}
+
+TEST(AsciiChart, YRangeOverrideRespected)
+{
+    AsciiChart chart({1.0, 2.0});
+    chart.setYRange(0.0, 100.0);
+    chart.addSeries("s", {1.0, 2.0});
+    EXPECT_NE(chart.render().find("100"), std::string::npos);
+}
+
+} // namespace
+} // namespace syncperf

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for CSV emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hh"
+
+namespace syncperf
+{
+namespace
+{
+
+TEST(CsvEscape, PlainTextUnchanged)
+{
+    EXPECT_EQ(csvEscape("hello"), "hello");
+}
+
+TEST(CsvEscape, QuotesFieldsWithCommas)
+{
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, DoublesEmbeddedQuotes)
+{
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, QuotesNewlines)
+{
+    EXPECT_EQ(csvEscape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, HeaderAndRows)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.header({"name", "value"});
+    csv.field("x").field(1.5);
+    csv.endRow();
+    csv.field("y").field(2LL);
+    csv.endRow();
+    EXPECT_EQ(out.str(), "name,value\nx,1.5\ny,2\n");
+    EXPECT_EQ(csv.rowCount(), 2u);
+}
+
+TEST(CsvWriter, DoubleRoundTrips)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.field(0.1).endRow();
+    EXPECT_EQ(out.str(), "0.1\n");
+}
+
+TEST(CsvWriter, EmptyRow)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.endRow();
+    EXPECT_EQ(out.str(), "\n");
+}
+
+TEST(CsvWriter, QuotedFieldInRow)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.field("a,b").field("c").endRow();
+    EXPECT_EQ(out.str(), "\"a,b\",c\n");
+}
+
+} // namespace
+} // namespace syncperf

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for CSV parsing, including a round trip through
+ * CsvWriter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/csv.hh"
+#include "common/csv_reader.hh"
+#include "common/logging.hh"
+
+namespace syncperf
+{
+namespace
+{
+
+CsvTable
+parse(const std::string &text)
+{
+    std::istringstream in(text);
+    return readCsv(in);
+}
+
+TEST(CsvReader, HeaderAndRows)
+{
+    const auto t = parse("a,b\n1,2\n3,4\n");
+    EXPECT_EQ(t.header(), (std::vector<std::string>{"a", "b"}));
+    ASSERT_EQ(t.rows().size(), 2u);
+    EXPECT_EQ(t.textAt(0, 0), "1");
+    EXPECT_EQ(t.textAt(1, 1), "4");
+}
+
+TEST(CsvReader, ColumnLookup)
+{
+    const auto t = parse("threads,throughput\n2,100\n");
+    EXPECT_EQ(t.columnIndex("threads"), 0);
+    EXPECT_EQ(t.columnIndex("throughput"), 1);
+    EXPECT_EQ(t.columnIndex("missing"), -1);
+}
+
+TEST(CsvReader, NumericCells)
+{
+    const auto t = parse("x\n2.5\n-3\n1e9\ninf\n");
+    EXPECT_DOUBLE_EQ(t.numberAt(0, 0), 2.5);
+    EXPECT_DOUBLE_EQ(t.numberAt(1, 0), -3.0);
+    EXPECT_DOUBLE_EQ(t.numberAt(2, 0), 1e9);
+    EXPECT_TRUE(std::isinf(t.numberAt(3, 0)));
+}
+
+TEST(CsvReader, NonNumericCellIsFatal)
+{
+    const auto t = parse("x\nhello\n");
+    ScopedLogCapture capture;
+    EXPECT_THROW((void)t.numberAt(0, 0), LogDeathException);
+}
+
+TEST(CsvReader, QuotedFields)
+{
+    const auto t = parse("label\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+    EXPECT_EQ(t.textAt(0, 0), "a,b");
+    EXPECT_EQ(t.textAt(1, 0), "say \"hi\"");
+}
+
+TEST(CsvReader, EmbeddedNewlineInQuotes)
+{
+    const auto t = parse("label\n\"two\nlines\"\n");
+    ASSERT_EQ(t.rows().size(), 1u);
+    EXPECT_EQ(t.textAt(0, 0), "two\nlines");
+}
+
+TEST(CsvReader, MissingFinalNewline)
+{
+    const auto t = parse("a,b\n1,2");
+    ASSERT_EQ(t.rows().size(), 1u);
+    EXPECT_EQ(t.textAt(0, 1), "2");
+}
+
+TEST(CsvReader, CrLfLineEndings)
+{
+    const auto t = parse("a,b\r\n1,2\r\n");
+    ASSERT_EQ(t.rows().size(), 1u);
+    EXPECT_EQ(t.textAt(0, 0), "1");
+}
+
+TEST(CsvReader, ShortRowReadsEmpty)
+{
+    const auto t = parse("a,b\n1\n");
+    EXPECT_EQ(t.textAt(0, 1), "");
+}
+
+TEST(CsvReader, UnterminatedQuoteIsFatal)
+{
+    ScopedLogCapture capture;
+    EXPECT_THROW(parse("a\n\"oops\n"), LogDeathException);
+}
+
+TEST(CsvReader, EmptyInputGivesEmptyTable)
+{
+    const auto t = parse("");
+    EXPECT_TRUE(t.header().empty());
+    EXPECT_TRUE(t.rows().empty());
+}
+
+TEST(CsvReader, RoundTripsThroughWriter)
+{
+    std::ostringstream out;
+    CsvWriter writer(out);
+    writer.header({"name", "value"});
+    writer.field("with,comma").field(0.125);
+    writer.endRow();
+    writer.field("plain").field(42LL);
+    writer.endRow();
+
+    const auto t = parse(out.str());
+    EXPECT_EQ(t.header(), (std::vector<std::string>{"name", "value"}));
+    EXPECT_EQ(t.textAt(0, 0), "with,comma");
+    EXPECT_DOUBLE_EQ(t.numberAt(0, 1), 0.125);
+    EXPECT_DOUBLE_EQ(t.numberAt(1, 1), 42.0);
+}
+
+} // namespace
+} // namespace syncperf

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Unit tests for the data-type / affinity vocabulary.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/dtype.hh"
+
+namespace syncperf
+{
+namespace
+{
+
+TEST(DataTypes, SizesMatchCTypes)
+{
+    EXPECT_EQ(dataTypeSize(DataType::Int32), sizeof(int));
+    EXPECT_EQ(dataTypeSize(DataType::UInt64), sizeof(unsigned long long));
+    EXPECT_EQ(dataTypeSize(DataType::Float32), sizeof(float));
+    EXPECT_EQ(dataTypeSize(DataType::Float64), sizeof(double));
+}
+
+TEST(DataTypes, IntegerClassification)
+{
+    EXPECT_TRUE(isIntegerType(DataType::Int32));
+    EXPECT_TRUE(isIntegerType(DataType::UInt64));
+    EXPECT_FALSE(isIntegerType(DataType::Float32));
+    EXPECT_FALSE(isIntegerType(DataType::Float64));
+}
+
+TEST(DataTypes, NamesMatchPaperLegends)
+{
+    EXPECT_EQ(dataTypeName(DataType::Int32), "int");
+    EXPECT_EQ(dataTypeName(DataType::UInt64), "ull");
+    EXPECT_EQ(dataTypeName(DataType::Float32), "float");
+    EXPECT_EQ(dataTypeName(DataType::Float64), "double");
+}
+
+TEST(DataTypes, AllDataTypesCoversEnum)
+{
+    EXPECT_EQ(all_data_types.size(), 4u);
+    EXPECT_EQ(all_data_types.front(), DataType::Int32);
+}
+
+TEST(Affinity, Names)
+{
+    EXPECT_EQ(affinityName(Affinity::System), "system");
+    EXPECT_EQ(affinityName(Affinity::Spread), "spread");
+    EXPECT_EQ(affinityName(Affinity::Close), "close");
+}
+
+} // namespace
+} // namespace syncperf

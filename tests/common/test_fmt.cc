@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the minimal formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/fmt.hh"
+
+namespace syncperf
+{
+namespace
+{
+
+TEST(Fmt, PlainText)
+{
+    EXPECT_EQ(format("hello"), "hello");
+}
+
+TEST(Fmt, IntegerPlaceholders)
+{
+    EXPECT_EQ(format("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(format("{}", -42), "-42");
+    EXPECT_EQ(format("{}", 18446744073709551615ULL),
+              "18446744073709551615");
+}
+
+TEST(Fmt, DoubleShortestRoundTrip)
+{
+    EXPECT_EQ(format("{}", 0.5), "0.5");
+    EXPECT_EQ(format("{}", 3.0), "3");
+}
+
+TEST(Fmt, DoublePrecisionSpecs)
+{
+    EXPECT_EQ(format("{:.2f}", 3.14159), "3.14");
+    EXPECT_EQ(format("{:.0f}", 2.7), "3");
+    EXPECT_EQ(format("{:.1e}", 12345.0), "1.2e+04");
+    EXPECT_EQ(format("{:.3g}", 0.0001234), "0.000123");
+}
+
+TEST(Fmt, Strings)
+{
+    EXPECT_EQ(format("{} {}", std::string("a"), "b"), "a b");
+    std::string_view sv = "c";
+    EXPECT_EQ(format("{}", sv), "c");
+}
+
+TEST(Fmt, BoolAndChar)
+{
+    EXPECT_EQ(format("{} {}", true, false), "true false");
+    EXPECT_EQ(format("{}", 'x'), "x");
+}
+
+TEST(Fmt, EscapedBraces)
+{
+    EXPECT_EQ(format("{{}}"), "{}");
+    EXPECT_EQ(format("{{{}}}", 5), "{5}");
+}
+
+TEST(Fmt, TooFewArgumentsDegradesGracefully)
+{
+    EXPECT_EQ(format("{} {}", 1), "1 {?}");
+}
+
+TEST(Fmt, MalformedSpecDegradesGracefully)
+{
+    EXPECT_EQ(format("{:.zf}", 1.0), "{?}");
+    EXPECT_EQ(format("{abc}", 1), "{?}");
+}
+
+TEST(Fmt, UnterminatedPlaceholder)
+{
+    EXPECT_EQ(format("x{", 1), "x{?}");
+}
+
+TEST(Fmt, PrecisionOnIntegerFallsBackToDouble)
+{
+    EXPECT_EQ(format("{:.1f}", 7), "7.0");
+}
+
+TEST(Fmt, ExtraArgumentsIgnored)
+{
+    EXPECT_EQ(format("{}", 1, 2, 3), "1");
+}
+
+} // namespace
+} // namespace syncperf

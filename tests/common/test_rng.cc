@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the deterministic PCG32 generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace syncperf
+{
+namespace
+{
+
+TEST(Pcg32, SameSeedSameStream)
+{
+    Pcg32 a(42, 7), b(42, 7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer)
+{
+    Pcg32 a(1), b(2);
+    int differences = 0;
+    for (int i = 0; i < 16; ++i)
+        differences += (a() != b());
+    EXPECT_GT(differences, 0);
+}
+
+TEST(Pcg32, DifferentStreamsDiffer)
+{
+    Pcg32 a(42, 1), b(42, 2);
+    int differences = 0;
+    for (int i = 0; i < 16; ++i)
+        differences += (a() != b());
+    EXPECT_GT(differences, 0);
+}
+
+TEST(Pcg32, BelowStaysInRange)
+{
+    Pcg32 rng(123);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.below(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Pcg32, BelowOneIsAlwaysZero)
+{
+    Pcg32 rng(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Pcg32, BelowCoversAllResidues)
+{
+    Pcg32 rng(99);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.below(8)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Pcg32, UniformInUnitInterval)
+{
+    Pcg32 rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    // Mean of U(0,1) over 10k draws should be close to 0.5.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Pcg32, UniformRangeRespectsBounds)
+{
+    Pcg32 rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-2.0, 3.0);
+        ASSERT_GE(u, -2.0);
+        ASSERT_LT(u, 3.0);
+    }
+}
+
+TEST(Pcg32, SatisfiesUniformRandomBitGenerator)
+{
+    static_assert(Pcg32::min() == 0);
+    static_assert(Pcg32::max() == 0xffffffffu);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace syncperf

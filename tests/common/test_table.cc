@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace syncperf
+{
+namespace
+{
+
+TEST(TablePrinter, RendersHeaderSeparatorAndRows)
+{
+    TablePrinter t({"a", "bb"});
+    t.addRow({"1", "2"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| a "), std::string::npos);
+    EXPECT_NE(out.find("| bb "), std::string::npos);
+    EXPECT_NE(out.find("|---"), std::string::npos);
+    EXPECT_NE(out.find("| 1 "), std::string::npos);
+}
+
+TEST(TablePrinter, PadsShortRows)
+{
+    TablePrinter t({"x", "y"});
+    t.addRow({"only"});
+    const std::string out = t.render();
+    // Row renders with an empty second cell, same column count.
+    EXPECT_EQ(t.rowCount(), 1u);
+    EXPECT_NE(out.find("| only "), std::string::npos);
+}
+
+TEST(TablePrinter, ColumnsWidenToData)
+{
+    TablePrinter t({"c"});
+    t.addRow({"wide-value"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| wide-value |"), std::string::npos);
+}
+
+TEST(TablePrinter, TitleAppearsFirst)
+{
+    TablePrinter t({"c"});
+    t.setTitle("My Table");
+    EXPECT_EQ(t.render().rfind("My Table\n", 0), 0u);
+}
+
+TEST(TablePrinter, TooWideRowPanics)
+{
+    TablePrinter t({"one"});
+    ScopedLogCapture capture;
+    EXPECT_THROW(t.addRow({"a", "b"}), LogDeathException);
+}
+
+TEST(TablePrinter, EmptyHeaderPanics)
+{
+    ScopedLogCapture capture;
+    EXPECT_THROW(TablePrinter t({}), LogDeathException);
+}
+
+} // namespace
+} // namespace syncperf

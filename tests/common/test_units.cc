@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Unit tests for unit formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/units.hh"
+
+namespace syncperf
+{
+namespace
+{
+
+TEST(FormatThroughput, ScalesWithSiPrefixes)
+{
+    EXPECT_EQ(formatThroughput(5.0), "5.0 op/s");
+    EXPECT_EQ(formatThroughput(5.0e3), "5.0 kop/s");
+    EXPECT_EQ(formatThroughput(2.5e6), "2.5 Mop/s");
+    EXPECT_EQ(formatThroughput(7.2e9), "7.2 Gop/s");
+    EXPECT_EQ(formatThroughput(1.5e12), "1.5 Top/s");
+}
+
+TEST(FormatThroughput, InfinityIsExplicit)
+{
+    EXPECT_EQ(formatThroughput(std::numeric_limits<double>::infinity()),
+              "inf op/s");
+}
+
+TEST(FormatSeconds, ScalesDownward)
+{
+    EXPECT_EQ(formatSeconds(2.0), "2.000 s");
+    EXPECT_EQ(formatSeconds(0.0), "0.000 s");
+    EXPECT_EQ(formatSeconds(1.5e-3), "1.5 ms");
+    EXPECT_EQ(formatSeconds(12.3e-9), "12.3 ns");
+    EXPECT_EQ(formatSeconds(3.0e-6), "3.0 us");
+}
+
+TEST(FormatCount, InsertsThousandsSeparators)
+{
+    EXPECT_EQ(formatCount(0), "0");
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1000), "1,000");
+    EXPECT_EQ(formatCount(1048576), "1,048,576");
+    EXPECT_EQ(formatCount(1000000000ULL), "1,000,000,000");
+}
+
+} // namespace
+} // namespace syncperf

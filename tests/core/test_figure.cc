@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for figure assembly (CSV + chart emission).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "core/figure.hh"
+
+namespace syncperf::core
+{
+namespace
+{
+
+Figure
+sample()
+{
+    Figure f("Fig. 1", "Barrier", "threads", {2.0, 4.0, 8.0});
+    f.addSeries("int", {10.0, 5.0, 2.0});
+    return f;
+}
+
+TEST(Figure, CsvHasHeaderAndOneRowPerPoint)
+{
+    std::ostringstream out;
+    sample().writeCsv(out);
+    const std::string csv = out.str();
+    EXPECT_EQ(csv.rfind("figure,series,x,throughput_per_thread\n", 0), 0u);
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+    EXPECT_NE(csv.find("Fig. 1,int,2,10"), std::string::npos);
+}
+
+TEST(Figure, CsvQuotesCommasInLabels)
+{
+    Figure f("F", "t", "x", {1.0});
+    f.addSeries("a,b", {1.0});
+    std::ostringstream out;
+    f.writeCsv(out);
+    EXPECT_NE(out.str().find("\"a,b\""), std::string::npos);
+}
+
+TEST(Figure, RenderIncludesIdTitleAndNote)
+{
+    Figure f = sample();
+    f.setNote("expected shape: decays");
+    const std::string out = f.render();
+    EXPECT_NE(out.find("Fig. 1: Barrier"), std::string::npos);
+    EXPECT_NE(out.find("expected shape: decays"), std::string::npos);
+}
+
+TEST(Figure, RenderSurvivesInfiniteValues)
+{
+    Figure f("F", "free primitive", "threads", {2.0, 4.0});
+    f.addSeries("int",
+                {std::numeric_limits<double>::infinity(), 5.0});
+    EXPECT_NO_THROW((void)f.render());
+}
+
+TEST(Figure, MultipleSeriesTracked)
+{
+    Figure f = sample();
+    f.addSeries("double", {8.0, 4.0, 1.0});
+    EXPECT_EQ(f.series().size(), 2u);
+    EXPECT_EQ(f.series()[1].label, "double");
+}
+
+TEST(Figure, MismatchedSeriesPanics)
+{
+    Figure f = sample();
+    ScopedLogCapture capture;
+    EXPECT_THROW(f.addSeries("bad", {1.0}), LogDeathException);
+}
+
+TEST(Figure, LogXAndCoreBoundaryRender)
+{
+    Figure f("F", "t", "threads", {2.0, 4.0, 8.0, 16.0});
+    f.addSeries("s", {1.0, 1.0, 1.0, 1.0});
+    f.setLogX(true);
+    f.setCoreBoundary(8.0);
+    const std::string out = f.render();
+    EXPECT_NE(out.find("log2 scale"), std::string::npos);
+}
+
+} // namespace
+} // namespace syncperf::core

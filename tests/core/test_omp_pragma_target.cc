@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Smoke tests for the OpenMP-pragma measurement target (the paper's
+ * literal implementation path). As with the native target, timing on
+ * a small CI host is meaningless; these verify protocol completion
+ * and coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/omp_pragma_target.hh"
+
+namespace syncperf::core
+{
+namespace
+{
+
+MeasurementConfig
+tinyConfig()
+{
+    MeasurementConfig cfg;
+    cfg.runs = 1;
+    cfg.attempts = 1;
+    cfg.n_iter = 50;
+    cfg.n_unroll = 4;
+    cfg.n_warmup = 1;
+    cfg.max_retries = 3;
+    return cfg;
+}
+
+TEST(OmpPragmaTarget, ReportsAvailability)
+{
+#ifdef _OPENMP
+    EXPECT_TRUE(OmpPragmaTarget::available());
+    EXPECT_GE(OmpPragmaTarget::maxThreads(), 1);
+#else
+    EXPECT_FALSE(OmpPragmaTarget::available());
+#endif
+}
+
+class OmpPragmaPrimitiveTest
+    : public ::testing::TestWithParam<OmpPrimitive>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!OmpPragmaTarget::available())
+            GTEST_SKIP() << "built without OpenMP";
+    }
+};
+
+TEST_P(OmpPragmaPrimitiveTest, TwoThreadMeasurementCompletes)
+{
+    OmpPragmaTarget target(tinyConfig());
+    OmpExperiment exp;
+    exp.primitive = GetParam();
+    const auto m = target.measure(exp, 2);
+    EXPECT_TRUE(std::isfinite(m.per_op_seconds));
+    EXPECT_EQ(m.run_values.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrimitives, OmpPragmaPrimitiveTest,
+    ::testing::Values(OmpPrimitive::Barrier, OmpPrimitive::AtomicUpdate,
+                      OmpPrimitive::AtomicCapture,
+                      OmpPrimitive::AtomicRead, OmpPrimitive::AtomicWrite,
+                      OmpPrimitive::Critical, OmpPrimitive::Flush),
+    [](const ::testing::TestParamInfo<OmpPrimitive> &info) {
+        std::string name(ompPrimitiveName(info.param).substr(4));
+        for (char &c : name) {
+            if (c == ' ')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(OmpPragmaTarget, AllDataTypesMeasure)
+{
+    if (!OmpPragmaTarget::available())
+        GTEST_SKIP() << "built without OpenMP";
+    OmpPragmaTarget target(tinyConfig());
+    for (DataType t : all_data_types) {
+        OmpExperiment exp;
+        exp.primitive = OmpPrimitive::AtomicUpdate;
+        exp.dtype = t;
+        EXPECT_TRUE(
+            std::isfinite(target.measure(exp, 2).per_op_seconds))
+            << dataTypeName(t);
+    }
+}
+
+TEST(OmpPragmaTarget, ArrayStrideMeasures)
+{
+    if (!OmpPragmaTarget::available())
+        GTEST_SKIP() << "built without OpenMP";
+    OmpPragmaTarget target(tinyConfig());
+    OmpExperiment exp;
+    exp.primitive = OmpPrimitive::AtomicUpdate;
+    exp.location = Location::PrivateArray;
+    exp.stride = 16;
+    EXPECT_TRUE(std::isfinite(target.measure(exp, 2).per_op_seconds));
+}
+
+TEST(OmpPragmaTarget, AffinityPoliciesRun)
+{
+    if (!OmpPragmaTarget::available())
+        GTEST_SKIP() << "built without OpenMP";
+    OmpPragmaTarget target(tinyConfig());
+    for (Affinity a :
+         {Affinity::System, Affinity::Spread, Affinity::Close}) {
+        OmpExperiment exp;
+        exp.primitive = OmpPrimitive::Flush;
+        exp.location = Location::PrivateArray;
+        exp.affinity = a;
+        EXPECT_NO_THROW((void)target.measure(exp, 2));
+    }
+}
+
+} // namespace
+} // namespace syncperf::core

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the baseline/test differencing protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/protocol.hh"
+
+namespace syncperf::core
+{
+namespace
+{
+
+MeasurementConfig
+tinyConfig()
+{
+    MeasurementConfig cfg;
+    cfg.runs = 3;
+    cfg.attempts = 3;
+    cfg.n_iter = 10;
+    cfg.n_unroll = 10;
+    cfg.max_retries = 5;
+    return cfg;
+}
+
+TEST(Protocol, SubtractsBaselineAndDividesByOps)
+{
+    const auto cfg = tinyConfig();
+    // baseline = 1 ms, test = 2 ms: one primitive costs
+    // 1 ms / 100 ops = 10 us.
+    const auto m = measurePrimitive(
+        [] { return std::vector<double>{1e-3}; },
+        [] { return std::vector<double>{2e-3}; }, cfg);
+    EXPECT_NEAR(m.per_op_seconds, 1e-5, 1e-12);
+    EXPECT_DOUBLE_EQ(m.stddev_seconds, 0.0);
+    EXPECT_EQ(m.run_values.size(), 3u);
+    EXPECT_EQ(m.retries, 0);
+}
+
+TEST(Protocol, UsesMaxAcrossThreads)
+{
+    const auto cfg = tinyConfig();
+    const auto m = measurePrimitive(
+        [] { return std::vector<double>{1e-3, 2e-3, 1.5e-3}; },
+        [] { return std::vector<double>{1e-3, 3e-3, 2e-3}; }, cfg);
+    // (3 ms - 2 ms) / 100.
+    EXPECT_NEAR(m.per_op_seconds, 1e-5, 1e-12);
+}
+
+TEST(Protocol, RetriesWhenTestBeatsBaseline)
+{
+    const auto cfg = tinyConfig();
+    int test_calls = 0;
+    const auto m = measurePrimitive(
+        [] { return std::vector<double>{2e-3}; },
+        [&] {
+            // First call of each run looks faulty (test < baseline).
+            ++test_calls;
+            return std::vector<double>{test_calls % 3 == 1 ? 1e-3
+                                                           : 3e-3};
+        },
+        cfg);
+    EXPECT_GT(m.retries, 0);
+    EXPECT_NEAR(m.per_op_seconds, 1e-5, 1e-12);
+}
+
+TEST(Protocol, RetryBudgetExhaustionWarnsAndAccepts)
+{
+    auto cfg = tinyConfig();
+    cfg.runs = 1;
+    cfg.attempts = 1;
+    cfg.max_retries = 2;
+    ScopedLogCapture capture;
+    const auto m = measurePrimitive(
+        [] { return std::vector<double>{2e-3}; },
+        [] { return std::vector<double>{1e-3}; }, cfg);
+    // Negative difference accepted after exhausting retries.
+    EXPECT_LT(m.per_op_seconds, 0.0);
+    EXPECT_EQ(m.retries, 2);
+    bool warned = false;
+    for (const auto &[level, msg] : capture.messages())
+        warned |= (level == LogLevel::Warn);
+    EXPECT_TRUE(warned);
+}
+
+TEST(Protocol, MedianOverRunsRejectsOutlierRun)
+{
+    auto cfg = tinyConfig();
+    cfg.runs = 3;
+    cfg.attempts = 1;
+    int run = 0;
+    const auto m = measurePrimitive(
+        [] { return std::vector<double>{1e-3}; },
+        [&] {
+            ++run;
+            // One run is wildly slow; the median ignores it.
+            return std::vector<double>{run == 2 ? 100e-3 : 2e-3};
+        },
+        cfg);
+    EXPECT_NEAR(m.per_op_seconds, 1e-5, 1e-12);
+    EXPECT_GT(m.stddev_seconds, 0.0);
+}
+
+TEST(Protocol, MedianWithinRunRejectsOutlierAttempt)
+{
+    auto cfg = tinyConfig();
+    cfg.runs = 1;
+    cfg.attempts = 5;
+    int call = 0;
+    const auto m = measurePrimitive(
+        [] { return std::vector<double>{1e-3}; },
+        [&] {
+            ++call;
+            return std::vector<double>{call == 3 ? 50e-3 : 2e-3};
+        },
+        cfg);
+    EXPECT_NEAR(m.per_op_seconds, 1e-5, 1e-12);
+}
+
+TEST(Protocol, ZeroDifferenceGivesInfiniteThroughput)
+{
+    const auto cfg = tinyConfig();
+    const auto m = measurePrimitive(
+        [] { return std::vector<double>{1e-3}; },
+        [] { return std::vector<double>{1e-3}; }, cfg);
+    EXPECT_DOUBLE_EQ(m.per_op_seconds, 0.0);
+    EXPECT_TRUE(std::isinf(m.opsPerSecondPerThread()));
+}
+
+TEST(Protocol, ThroughputIsReciprocal)
+{
+    Measurement m;
+    m.per_op_seconds = 2e-9;
+    EXPECT_DOUBLE_EQ(m.opsPerSecondPerThread(), 5e8);
+}
+
+TEST(Protocol, OpsPerMeasurementMultiplies)
+{
+    MeasurementConfig cfg;
+    cfg.n_iter = 1000;
+    cfg.n_unroll = 100;
+    EXPECT_EQ(cfg.opsPerMeasurement(), 100000L);
+}
+
+TEST(Protocol, PaperDefaultsMatchSectionFour)
+{
+    const auto cfg = MeasurementConfig::paperDefaults();
+    EXPECT_EQ(cfg.runs, 9);
+    EXPECT_EQ(cfg.attempts, 7);
+    EXPECT_EQ(cfg.n_iter, 1000);
+    EXPECT_EQ(cfg.n_unroll, 100);
+}
+
+TEST(Protocol, EmptyThreadTimesPanics)
+{
+    const auto cfg = tinyConfig();
+    ScopedLogCapture capture;
+    EXPECT_THROW(measurePrimitive([] { return std::vector<double>{}; },
+                                  [] { return std::vector<double>{}; },
+                                  cfg),
+                 LogDeathException);
+}
+
+} // namespace
+} // namespace syncperf::core

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the recommendation rules, using synthetic series with
+ * known shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/recommend.hh"
+
+namespace syncperf::core
+{
+namespace
+{
+
+const std::vector<int> threads{2, 4, 8, 16, 32};
+
+TEST(Recommend, BarrierPlateauDetected)
+{
+    // Falls until 8 threads, then flat: the paper's Fig 1.
+    const std::vector<double> thr{10.0, 6.0, 4.0, 3.9, 3.8};
+    const auto f = barrierPlateaus(threads, thr);
+    EXPECT_TRUE(f.supported);
+    EXPECT_EQ(f.id, "omp-1");
+}
+
+TEST(Recommend, BarrierPlateauRejectsPureDecay)
+{
+    const std::vector<double> thr{16.0, 8.0, 4.0, 2.0, 1.0};
+    EXPECT_FALSE(barrierPlateaus(threads, thr).supported);
+}
+
+TEST(Recommend, ContentionCollapseDetected)
+{
+    const std::vector<double> thr{16.0, 8.0, 4.0, 2.0, 1.0};
+    EXPECT_TRUE(contendedAtomicsCollapse(threads, thr).supported);
+}
+
+TEST(Recommend, ContentionCollapseRejectsFlatSeries)
+{
+    const std::vector<double> thr{4.0, 4.0, 4.1, 3.9, 4.0};
+    EXPECT_FALSE(contendedAtomicsCollapse(threads, thr).supported);
+}
+
+TEST(Recommend, PaddingRuleFiresOnFalseSharingKnee)
+{
+    const std::vector<int> strides{1, 4, 8, 16};
+    // int: 16 elements per 64-byte line; stride 16 escapes.
+    const std::vector<double> thr{1.0, 2.0, 4.0, 50.0};
+    EXPECT_TRUE(paddingRemovesFalseSharing(strides, thr, 16).supported);
+}
+
+TEST(Recommend, PaddingRuleRejectsFlatStrides)
+{
+    const std::vector<int> strides{1, 4, 8, 16};
+    const std::vector<double> thr{10.0, 10.0, 10.0, 11.0};
+    EXPECT_FALSE(paddingRemovesFalseSharing(strides, thr, 16).supported);
+}
+
+TEST(Recommend, AtomicReadFreeWhenTiny)
+{
+    EXPECT_TRUE(atomicReadIsFree(0.0, 1e-9).supported);
+    EXPECT_TRUE(atomicReadIsFree(1e-12, 1e-9).supported);
+    EXPECT_FALSE(atomicReadIsFree(1e-9, 1e-9).supported);
+}
+
+TEST(Recommend, CriticalSlowerRequiresUniformGap)
+{
+    const std::vector<double> atomic_thr{10.0, 5.0, 2.5};
+    const std::vector<double> critical{3.0, 1.5, 0.7};
+    EXPECT_TRUE(
+        criticalSlowerThanAtomic(atomic_thr, critical).supported);
+    const std::vector<double> mixed{30.0, 1.5, 0.7};
+    EXPECT_FALSE(criticalSlowerThanAtomic(atomic_thr, mixed).supported);
+}
+
+TEST(Recommend, HyperthreadingFineWhenTailHolds)
+{
+    const std::vector<double> thr{10.0, 6.0, 4.0, 3.5, 3.2};
+    EXPECT_TRUE(hyperthreadingIsFine(threads, thr, 16).supported);
+    const std::vector<double> bad{10.0, 6.0, 4.0, 3.5, 1.0};
+    EXPECT_FALSE(hyperthreadingIsFine(threads, bad, 16).supported);
+}
+
+TEST(Recommend, SyncwarpFlatterRule)
+{
+    const std::vector<double> syncthreads{10.0, 5.0, 2.0, 1.0, 0.5};
+    const std::vector<double> syncwarp{10.0, 10.0, 10.0, 9.5, 9.0};
+    EXPECT_TRUE(syncwarpFlatterThanSyncthreads(syncthreads, syncwarp)
+                    .supported);
+    EXPECT_FALSE(syncwarpFlatterThanSyncthreads(syncwarp, syncwarp)
+                     .supported);
+}
+
+TEST(Recommend, IntAtomicsFastestNeedsDominance)
+{
+    const std::vector<double> int_thr{10.0, 8.0, 6.0};
+    const std::vector<double> fp{5.0, 4.0, 3.0};
+    EXPECT_TRUE(intAtomicsFastest(int_thr, fp, "double").supported);
+    const std::vector<double> crossing{12.0, 8.0, 5.0};
+    EXPECT_FALSE(
+        intAtomicsFastest(int_thr, crossing, "double").supported);
+}
+
+TEST(Recommend, FenceFlatnessWithinFactor)
+{
+    const std::vector<double> flat{5.0, 5.5, 4.8, 5.2};
+    EXPECT_TRUE(fenceCostIsFlat(flat).supported);
+    const std::vector<double> wobbling{5.0, 9.0, 4.0, 7.0};
+    EXPECT_TRUE(fenceCostIsFlat(wobbling).supported) << "within 3x";
+    const std::vector<double> varying{5.0, 1.0, 5.0, 20.0};
+    EXPECT_FALSE(fenceCostIsFlat(varying).supported);
+}
+
+TEST(Recommend, WideShflKneeComparison)
+{
+    const std::vector<int> ts{64, 128, 256, 512, 1024};
+    const std::vector<double> thr32{10, 10, 10, 10, 5};
+    const std::vector<double> thr64{8, 8, 8, 4, 2};
+    EXPECT_TRUE(wideShflKneesEarlier(ts, thr32, thr64).supported);
+    EXPECT_FALSE(wideShflKneesEarlier(ts, thr32, thr32).supported);
+}
+
+TEST(Recommend, RenderIncludesVerdictAndEvidence)
+{
+    const std::vector<double> thr{16.0, 8.0, 4.0, 2.0, 1.0};
+    const Finding f = contendedAtomicsCollapse(threads, thr);
+    const std::string out = renderFindings(std::vector<Finding>{f});
+    EXPECT_NE(out.find("omp-2"), std::string::npos);
+    EXPECT_NE(out.find("SUPPORTED"), std::string::npos);
+    EXPECT_NE(out.find("evidence:"), std::string::npos);
+}
+
+} // namespace
+} // namespace syncperf::core

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the Listing 1 reduction kernels (construction and the
+ * paper's performance ordering).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/reductions.hh"
+
+namespace syncperf::core
+{
+namespace
+{
+
+constexpr long test_elems = 1L << 21;
+
+TEST(Reductions, PlansMatchListingStructure)
+{
+    const auto cfg = gpusim::GpuConfig::rtx4090();
+
+    const auto r1 =
+        buildReduction(ReductionVariant::GlobalAtomic, cfg, test_elems);
+    EXPECT_EQ(r1.launch.blocks, test_elems / 1024);
+    EXPECT_EQ(r1.kernel.body.size(), 2u);
+    EXPECT_TRUE(r1.kernel.epilogue.empty());
+
+    const auto r3 =
+        buildReduction(ReductionVariant::BlockAtomic, cfg, test_elems);
+    EXPECT_EQ(r3.kernel.body[1].kind, gpusim::GpuOpKind::SharedAtomic);
+    ASSERT_EQ(r3.kernel.epilogue.size(), 2u);
+    EXPECT_EQ(r3.kernel.epilogue[1].pred, gpusim::Predicate::Thread0);
+
+    const auto r5 = buildReduction(ReductionVariant::PersistentBlock, cfg,
+                                   test_elems);
+    EXPECT_EQ(r5.launch.blocks, 2 * cfg.sm_count);
+    EXPECT_GT(r5.kernel.body_iters, 1) << "grid-stride loop present";
+    EXPECT_EQ(r5.kernel.body_iters * r5.launch.blocks * 1024L,
+              test_elems);
+}
+
+TEST(Reductions, ShuffleVariantUsesButterfly)
+{
+    const auto cfg = gpusim::GpuConfig::rtx4090();
+    const auto r2 =
+        buildReduction(ReductionVariant::WarpShuffle, cfg, test_elems);
+    bool has_shfl = false;
+    for (const auto &op : r2.kernel.body) {
+        if (op.kind == gpusim::GpuOpKind::Shfl) {
+            has_shfl = true;
+            EXPECT_EQ(op.repeat, 5) << "log2(32) butterfly rounds";
+        }
+    }
+    EXPECT_TRUE(has_shfl);
+}
+
+TEST(Reductions, WarpReduceRequiresCc80)
+{
+    const auto turing = gpusim::GpuConfig::rtx2070Super();
+    ScopedLogCapture capture;
+    EXPECT_THROW(
+        buildReduction(ReductionVariant::WarpReduce, turing, test_elems),
+        LogDeathException);
+}
+
+TEST(Reductions, NonBlockMultipleInputIsFatal)
+{
+    const auto cfg = gpusim::GpuConfig::rtx4090();
+    ScopedLogCapture capture;
+    EXPECT_THROW(
+        buildReduction(ReductionVariant::GlobalAtomic, cfg, 1000),
+        LogDeathException);
+}
+
+TEST(Reductions, NamesAreNumbered)
+{
+    EXPECT_NE(reductionName(ReductionVariant::BlockAtomic)
+                  .find("Reduction 3"),
+              std::string_view::npos);
+}
+
+TEST(Reductions, PaperOrderingHoldsOnRtx4090)
+{
+    // The paper: R3 fastest of 1-4, then R4, then R1, R2 slowest;
+    // the persistent-thread R5 beats everything.
+    const auto cfg = gpusim::GpuConfig::rtx4090();
+    const auto timings = runAllReductions(cfg, test_elems);
+    ASSERT_EQ(timings.size(), 5u);
+
+    const auto cycles = [&](ReductionVariant v) {
+        for (const auto &t : timings) {
+            if (t.variant == v)
+                return t.cycles;
+        }
+        ADD_FAILURE() << "missing variant";
+        return sim::Tick{0};
+    };
+
+    const auto r1 = cycles(ReductionVariant::GlobalAtomic);
+    const auto r2 = cycles(ReductionVariant::WarpShuffle);
+    const auto r3 = cycles(ReductionVariant::BlockAtomic);
+    const auto r4 = cycles(ReductionVariant::WarpReduce);
+    const auto r5 = cycles(ReductionVariant::PersistentBlock);
+
+    EXPECT_LT(r3, r4) << "block atomics beat __reduce_max_sync";
+    EXPECT_LT(r4, r1) << "warp reduce beats plain global atomics";
+    EXPECT_LE(r1, r2) << "global atomics beat manual shuffles";
+    EXPECT_LT(r5, r3) << "persistent threads fastest overall";
+    // The paper reports R5 about 2.5x faster than R2.
+    EXPECT_GT(static_cast<double>(r2) / static_cast<double>(r5), 1.5);
+}
+
+TEST(Reductions, TuringSkipsWarpReduce)
+{
+    const auto turing = gpusim::GpuConfig::rtx2070Super();
+    const auto timings = runAllReductions(turing, test_elems);
+    EXPECT_EQ(timings.size(), 4u);
+    for (const auto &t : timings)
+        EXPECT_NE(t.variant, ReductionVariant::WarpReduce);
+}
+
+TEST(Reductions, TimingFieldsConsistent)
+{
+    const auto cfg = gpusim::GpuConfig::rtx4090();
+    const auto t = runReduction(ReductionVariant::PersistentBlock, cfg,
+                                test_elems);
+    EXPECT_GT(t.cycles, 0u);
+    EXPECT_NEAR(t.seconds,
+                static_cast<double>(t.cycles) / (cfg.clock_ghz * 1e9),
+                1e-12);
+    EXPECT_NEAR(t.elements_per_second,
+                static_cast<double>(test_elems) / t.seconds,
+                1.0);
+}
+
+} // namespace
+} // namespace syncperf::core

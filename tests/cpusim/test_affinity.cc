@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for software-to-hardware thread placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "cpusim/affinity.hh"
+
+namespace syncperf::cpusim
+{
+namespace
+{
+
+CpuConfig
+smallConfig()
+{
+    CpuConfig c;
+    c.sockets = 2;
+    c.cores_per_socket = 4;
+    c.threads_per_core = 2;
+    c.cores_per_complex = 4;
+    return c;
+}
+
+TEST(Affinity, ClosePacksSmtSiblingsFirst)
+{
+    const auto places = mapThreads(smallConfig(), Affinity::Close, 4);
+    EXPECT_EQ(places[0].core, 0);
+    EXPECT_EQ(places[0].smt_slot, 0);
+    EXPECT_EQ(places[1].core, 0);
+    EXPECT_EQ(places[1].smt_slot, 1);
+    EXPECT_EQ(places[2].core, 1);
+    EXPECT_EQ(places[3].core, 1);
+}
+
+TEST(Affinity, SpreadUsesDistinctCoresFirst)
+{
+    const auto places = mapThreads(smallConfig(), Affinity::Spread, 8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(places[i].smt_slot, 0) << "thread " << i;
+    // All 8 cores distinct.
+    std::set<int> cores;
+    for (const auto &p : places)
+        cores.insert(p.core);
+    EXPECT_EQ(cores.size(), 8u);
+}
+
+TEST(Affinity, SpreadAlternatesSockets)
+{
+    const auto places = mapThreads(smallConfig(), Affinity::Spread, 4);
+    EXPECT_EQ(places[0].socket, 0);
+    EXPECT_EQ(places[1].socket, 1);
+    EXPECT_EQ(places[2].socket, 0);
+    EXPECT_EQ(places[3].socket, 1);
+}
+
+TEST(Affinity, SpreadWrapsToSmtAfterAllCores)
+{
+    const auto places = mapThreads(smallConfig(), Affinity::Spread, 16);
+    EXPECT_EQ(places[8].smt_slot, 1);
+    EXPECT_EQ(places[15].smt_slot, 1);
+}
+
+TEST(Affinity, SystemUsesNaturalCoreOrder)
+{
+    const auto places = mapThreads(smallConfig(), Affinity::System, 10);
+    EXPECT_EQ(places[0].core, 0);
+    EXPECT_EQ(places[7].core, 7);
+    EXPECT_EQ(places[8].core, 0);
+    EXPECT_EQ(places[8].smt_slot, 1);
+}
+
+TEST(Affinity, ComplexIdFollowsCoresPerComplex)
+{
+    CpuConfig c = smallConfig();
+    c.cores_per_complex = 2;
+    const auto places = mapThreads(c, Affinity::System, 6);
+    EXPECT_EQ(places[0].complex_id, 0);
+    EXPECT_EQ(places[1].complex_id, 0);
+    EXPECT_EQ(places[2].complex_id, 1);
+    EXPECT_EQ(places[5].complex_id, 2);
+}
+
+TEST(Affinity, SocketDerivedFromCore)
+{
+    const auto places = mapThreads(smallConfig(), Affinity::System, 8);
+    EXPECT_EQ(places[3].socket, 0);
+    EXPECT_EQ(places[4].socket, 1);
+}
+
+TEST(Affinity, OversubscriptionIsFatal)
+{
+    ScopedLogCapture capture;
+    EXPECT_THROW(mapThreads(smallConfig(), Affinity::Close, 17),
+                 LogDeathException);
+}
+
+TEST(Affinity, PaperSystemsHaveExpectedHwThreadCounts)
+{
+    EXPECT_EQ(CpuConfig::system1().totalHwThreads(), 40);
+    EXPECT_EQ(CpuConfig::system2().totalHwThreads(), 64);
+    EXPECT_EQ(CpuConfig::system3().totalHwThreads(), 32);
+}
+
+TEST(Affinity, PaperSystemsCoreCounts)
+{
+    EXPECT_EQ(CpuConfig::system1().totalCores(), 20);
+    EXPECT_EQ(CpuConfig::system2().totalCores(), 32);
+    EXPECT_EQ(CpuConfig::system3().totalCores(), 16);
+}
+
+TEST(Affinity, System3HasJitterModel)
+{
+    EXPECT_GT(CpuConfig::system3().jitter_frac, 0.0);
+    EXPECT_DOUBLE_EQ(CpuConfig::system1().jitter_frac, 0.0);
+    EXPECT_DOUBLE_EQ(CpuConfig::system2().jitter_frac, 0.0);
+}
+
+} // namespace
+} // namespace syncperf::cpusim

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the barrier- and lock-algorithm ablation models in the
+ * CPU machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cpusim/machine.hh"
+
+namespace syncperf::cpusim
+{
+namespace
+{
+
+CpuConfig
+baseConfig()
+{
+    CpuConfig c;
+    c.sockets = 2;
+    c.cores_per_socket = 16;
+    c.threads_per_core = 2;
+    c.cores_per_complex = 16;
+    return c;
+}
+
+std::vector<CpuProgram>
+barrierPrograms(int n, long iters = 20)
+{
+    CpuProgram p;
+    CpuOp op;
+    op.kind = CpuOpKind::Barrier;
+    p.body = {op};
+    p.iterations = iters;
+    return std::vector<CpuProgram>(n, p);
+}
+
+std::vector<CpuProgram>
+criticalPrograms(int n, long iters = 30)
+{
+    CpuProgram p;
+    CpuOp acq;
+    acq.kind = CpuOpKind::LockAcquire;
+    acq.addr = 0x3000;
+    CpuOp body;
+    body.kind = CpuOpKind::Store;
+    body.addr = 0x4000;
+    CpuOp rel;
+    rel.kind = CpuOpKind::LockRelease;
+    rel.addr = 0x3000;
+    p.body = {acq, body, rel};
+    p.iterations = iters;
+    return std::vector<CpuProgram>(n, p);
+}
+
+sim::Tick
+barrierCycles(BarrierAlgorithm algo, int threads)
+{
+    CpuConfig cfg = baseConfig();
+    cfg.barrier_algorithm = algo;
+    CpuMachine machine(cfg, Affinity::System);
+    const auto result = machine.run(barrierPrograms(threads), 2);
+    sim::Tick max = 0;
+    for (auto c : result.thread_cycles)
+        max = std::max(max, c);
+    return max;
+}
+
+sim::Tick
+criticalCycles(LockAlgorithm algo, int threads)
+{
+    CpuConfig cfg = baseConfig();
+    cfg.lock_algorithm = algo;
+    CpuMachine machine(cfg, Affinity::System);
+    const auto result = machine.run(criticalPrograms(threads), 2);
+    sim::Tick max = 0;
+    for (auto c : result.thread_cycles)
+        max = std::max(max, c);
+    return max;
+}
+
+class BarrierAlgorithmTest
+    : public ::testing::TestWithParam<BarrierAlgorithm>
+{
+};
+
+TEST_P(BarrierAlgorithmTest, CompletesAndCostsMoreWithMoreThreads)
+{
+    const auto small = barrierCycles(GetParam(), 2);
+    const auto large = barrierCycles(GetParam(), 32);
+    EXPECT_GT(small, 0u);
+    EXPECT_GT(large, small);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, BarrierAlgorithmTest,
+    ::testing::Values(BarrierAlgorithm::SpinFutex,
+                      BarrierAlgorithm::Central, BarrierAlgorithm::Tree,
+                      BarrierAlgorithm::Dissemination),
+    [](const ::testing::TestParamInfo<BarrierAlgorithm> &info) {
+        switch (info.param) {
+          case BarrierAlgorithm::SpinFutex: return "spin_futex";
+          case BarrierAlgorithm::Central: return "central";
+          case BarrierAlgorithm::Tree: return "tree";
+          case BarrierAlgorithm::Dissemination: return "dissemination";
+        }
+        return "unknown";
+    });
+
+TEST(BarrierAlgorithms, CentralScalesWorstAtLargeTeams)
+{
+    const auto central = barrierCycles(BarrierAlgorithm::Central, 64);
+    const auto spin_futex =
+        barrierCycles(BarrierAlgorithm::SpinFutex, 64);
+    const auto tree = barrierCycles(BarrierAlgorithm::Tree, 64);
+    const auto dissem =
+        barrierCycles(BarrierAlgorithm::Dissemination, 64);
+    EXPECT_GT(central, spin_futex);
+    EXPECT_GT(central, tree);
+    EXPECT_GT(central, dissem);
+}
+
+TEST(BarrierAlgorithms, LogarithmicAlgorithmsNearlyFlat)
+{
+    // Doubling the team from 16 to 32 adds exactly one level/round.
+    const auto tree16 = barrierCycles(BarrierAlgorithm::Tree, 16);
+    const auto tree64 = barrierCycles(BarrierAlgorithm::Tree, 64);
+    EXPECT_LT(static_cast<double>(tree64),
+              1.5 * static_cast<double>(tree16));
+
+    const auto d16 = barrierCycles(BarrierAlgorithm::Dissemination, 16);
+    const auto d64 = barrierCycles(BarrierAlgorithm::Dissemination, 64);
+    EXPECT_LT(static_cast<double>(d64), 1.8 * static_cast<double>(d16));
+}
+
+TEST(BarrierAlgorithms, StatsIdentifyAlgorithm)
+{
+    CpuConfig cfg = baseConfig();
+    cfg.barrier_algorithm = BarrierAlgorithm::Tree;
+    CpuMachine machine(cfg, Affinity::System);
+    machine.run(barrierPrograms(8), 1);
+    EXPECT_GT(machine.stats().get("cpu.barrier_tree"), 0u);
+    EXPECT_EQ(machine.stats().get("cpu.barrier_futex"), 0u);
+}
+
+class LockAlgorithmTest
+    : public ::testing::TestWithParam<LockAlgorithm>
+{
+};
+
+TEST_P(LockAlgorithmTest, MutualExclusionCompletes)
+{
+    EXPECT_GT(criticalCycles(GetParam(), 8), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, LockAlgorithmTest,
+    ::testing::Values(LockAlgorithm::QueueHandoff, LockAlgorithm::TasSpin,
+                      LockAlgorithm::TtasSpin, LockAlgorithm::Ticket),
+    [](const ::testing::TestParamInfo<LockAlgorithm> &info) {
+        switch (info.param) {
+          case LockAlgorithm::QueueHandoff: return "queue";
+          case LockAlgorithm::TasSpin: return "tas";
+          case LockAlgorithm::TtasSpin: return "ttas";
+          case LockAlgorithm::Ticket: return "ticket";
+        }
+        return "unknown";
+    });
+
+TEST(LockAlgorithms, ContentionOrderingMatchesTheory)
+{
+    // Under heavy contention: TAS (line hammering) > TTAS/ticket
+    // (broadcast) > MCS-style queue handoff.
+    const auto queue = criticalCycles(LockAlgorithm::QueueHandoff, 24);
+    const auto tas = criticalCycles(LockAlgorithm::TasSpin, 24);
+    const auto ttas = criticalCycles(LockAlgorithm::TtasSpin, 24);
+    EXPECT_GT(tas, ttas);
+    EXPECT_GT(ttas, queue);
+}
+
+TEST(LockAlgorithms, UncontendedCostsAgree)
+{
+    // With 1 thread no handoffs occur, so the algorithms tie.
+    const auto queue = criticalCycles(LockAlgorithm::QueueHandoff, 1);
+    const auto tas = criticalCycles(LockAlgorithm::TasSpin, 1);
+    EXPECT_EQ(queue, tas);
+}
+
+} // namespace
+} // namespace syncperf::cpusim

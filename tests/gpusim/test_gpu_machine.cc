@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Unit and behavioral tests for the SIMT GPU timing machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "gpusim/machine.hh"
+
+namespace syncperf::gpusim
+{
+namespace
+{
+
+GpuConfig
+testGpu()
+{
+    GpuConfig c = GpuConfig::rtx4090();
+    c.name = "test gpu";
+    return c;
+}
+
+GpuKernel
+bodyKernel(std::vector<GpuOp> body, long iters = 40)
+{
+    GpuKernel k;
+    k.body = std::move(body);
+    k.body_iters = iters;
+    return k;
+}
+
+/** Mean timed cycles per body iteration across all threads. */
+double
+cyclesPerIteration(GpuMachine &machine, const GpuKernel &kernel,
+                   LaunchConfig launch, int warmup = 2)
+{
+    const auto result = machine.run(kernel, launch, warmup);
+    double sum = 0.0;
+    for (auto c : result.thread_cycles)
+        sum += static_cast<double>(c);
+    return sum / static_cast<double>(result.thread_cycles.size()) /
+           static_cast<double>(kernel.body_iters);
+}
+
+TEST(GpuMachine, RunsToCompletion)
+{
+    GpuMachine machine(testGpu());
+    const auto result =
+        machine.run(bodyKernel({GpuOp::alu()}), {2, 64}, 1);
+    EXPECT_EQ(result.thread_cycles.size(), 128u);
+    EXPECT_GT(result.total_cycles, 0u);
+}
+
+TEST(GpuMachine, Deterministic)
+{
+    const GpuKernel k = bodyKernel(
+        {GpuOp::globalAtomic(AtomicOp::Add, AddressMode::SingleShared,
+                             0x1000)});
+    GpuMachine a(testGpu(), 3);
+    GpuMachine b(testGpu(), 3);
+    EXPECT_EQ(a.run(k, {4, 128}, 2).thread_cycles,
+              b.run(k, {4, 128}, 2).thread_cycles);
+}
+
+TEST(GpuMachine, PartialWarpsGetLanesClamped)
+{
+    GpuMachine machine(testGpu());
+    const auto result = machine.run(bodyKernel({GpuOp::alu()}), {1, 40}, 1);
+    // 40 threads = one full warp + one 8-lane warp.
+    EXPECT_EQ(result.thread_cycles.size(), 40u);
+}
+
+TEST(GpuMachine, SyncThreadsConstantUpToOneWarp)
+{
+    const GpuKernel k = bodyKernel({GpuOp::syncThreads()});
+    GpuMachine m2(testGpu());
+    GpuMachine m32(testGpu());
+    const double c2 = cyclesPerIteration(m2, k, {1, 2});
+    const double c32 = cyclesPerIteration(m32, k, {1, 32});
+    EXPECT_DOUBLE_EQ(c2, c32);
+}
+
+TEST(GpuMachine, SyncThreadsSlowsWithWarps)
+{
+    const GpuKernel k = bodyKernel({GpuOp::syncThreads()});
+    GpuMachine m1(testGpu());
+    GpuMachine m8(testGpu());
+    const double c32 = cyclesPerIteration(m1, k, {1, 32});
+    const double c256 = cyclesPerIteration(m8, k, {1, 256});
+    EXPECT_GT(c256, 2.0 * c32);
+}
+
+TEST(GpuMachine, SyncThreadsIndependentOfBlockCount)
+{
+    const GpuKernel k = bodyKernel({GpuOp::syncThreads()});
+    GpuMachine m1(testGpu());
+    GpuMachine m64(testGpu());
+    const double one = cyclesPerIteration(m1, k, {1, 256});
+    const double many = cyclesPerIteration(m64, k, {64, 256});
+    EXPECT_DOUBLE_EQ(one, many);
+}
+
+TEST(GpuMachine, SyncWarpFullSpeedUntilIssueSaturates)
+{
+    const GpuKernel k = bodyKernel({GpuOp::syncWarp()});
+    // RTX 4090 preset: full rate up to 256 threads per SM.
+    GpuMachine a(testGpu());
+    GpuMachine b(testGpu());
+    GpuMachine c(testGpu());
+    const double c64 = cyclesPerIteration(a, k, {1, 64});
+    const double c256 = cyclesPerIteration(b, k, {1, 256});
+    const double c1024 = cyclesPerIteration(c, k, {1, 1024});
+    // A startup transient of a cycle or two is tolerated; the knee
+    // itself must be unambiguous.
+    EXPECT_NEAR(c64, c256, 0.02 * c64);
+    EXPECT_GT(c1024, 1.5 * c256);
+}
+
+TEST(GpuMachine, WarpAggregationCollapsesSameAddressAdds)
+{
+    const GpuKernel k = bodyKernel({GpuOp::globalAtomic(
+        AtomicOp::Add, AddressMode::SingleShared, 0x1000)});
+    GpuMachine machine(testGpu());
+    machine.run(k, {1, 32}, 1);
+    EXPECT_GT(machine.stats().get("gpu.atomic_aggregated"), 0u);
+    EXPECT_EQ(machine.stats().get("gpu.atomic_per_thread"), 0u);
+}
+
+TEST(GpuMachine, AggregatedAddConstantWithinTwoWarpsPerSm)
+{
+    const GpuKernel k = bodyKernel({GpuOp::globalAtomic(
+        AtomicOp::Add, AddressMode::SingleShared, 0x1000)});
+    GpuMachine a(testGpu());
+    GpuMachine b(testGpu());
+    GpuMachine c(testGpu());
+    const double one_warp = cyclesPerIteration(a, k, {1, 32});
+    const double two_warps = cyclesPerIteration(b, k, {1, 64});
+    const double four_warps = cyclesPerIteration(c, k, {1, 128});
+    EXPECT_NEAR(one_warp, two_warps, 0.02 * one_warp);
+    EXPECT_GT(four_warps, 1.5 * two_warps);
+}
+
+TEST(GpuMachine, CasNeverAggregates)
+{
+    const GpuKernel k = bodyKernel({GpuOp::globalAtomic(
+        AtomicOp::Cas, AddressMode::SingleShared, 0x1000)});
+    GpuMachine machine(testGpu());
+    machine.run(k, {1, 32}, 1);
+    EXPECT_EQ(machine.stats().get("gpu.atomic_aggregated"), 0u);
+    EXPECT_GT(machine.stats().get("gpu.atomic_cas_like"), 0u);
+}
+
+TEST(GpuMachine, CasConstantUpToPipelineLanes)
+{
+    const GpuKernel k = bodyKernel({GpuOp::globalAtomic(
+        AtomicOp::Cas, AddressMode::SingleShared, 0x1000)});
+    GpuMachine a(testGpu());
+    GpuMachine b(testGpu());
+    GpuMachine c(testGpu());
+    const double c1 = cyclesPerIteration(a, k, {1, 2});
+    const double c4 = cyclesPerIteration(b, k, {1, 4});
+    const double c32 = cyclesPerIteration(c, k, {1, 32});
+    EXPECT_NEAR(c1, c4, 0.05 * c1);
+    EXPECT_GT(c32, 2.0 * c4);
+}
+
+TEST(GpuMachine, PerThreadAtomicsUseUnits)
+{
+    const GpuKernel k = bodyKernel({GpuOp::globalAtomic(
+        AtomicOp::Add, AddressMode::PerThread, 0x100000,
+        DataType::Int32, 32)});
+    GpuMachine machine(testGpu());
+    machine.run(k, {1, 64}, 1);
+    EXPECT_GT(machine.stats().get("gpu.atomic_per_thread"), 0u);
+    EXPECT_EQ(machine.stats().get("gpu.atomic_aggregated"), 0u);
+}
+
+TEST(GpuMachine, IntAtomicsFasterThanDoubleAtScale)
+{
+    auto kernelFor = [](DataType t) {
+        return bodyKernel({GpuOp::globalAtomic(
+            AtomicOp::Add, AddressMode::SingleShared, 0x1000, t)});
+    };
+    GpuMachine mi(testGpu());
+    GpuMachine md(testGpu());
+    const double ci =
+        cyclesPerIteration(mi, kernelFor(DataType::Int32), {64, 256});
+    const double cd =
+        cyclesPerIteration(md, kernelFor(DataType::Float64), {64, 256});
+    EXPECT_LT(ci, cd);
+}
+
+TEST(GpuMachine, ShflSixtyFourBitCostsTwoMicroOps)
+{
+    GpuMachine machine(testGpu());
+    machine.run(bodyKernel({GpuOp::shfl(DataType::Float64)}), {1, 32}, 1);
+    const auto uops64 = machine.stats().get("gpu.shfl_uops");
+    GpuMachine machine32(testGpu());
+    machine32.run(bodyKernel({GpuOp::shfl(DataType::Int32)}), {1, 32}, 1);
+    const auto uops32 = machine32.stats().get("gpu.shfl_uops");
+    EXPECT_EQ(uops64, 2 * uops32);
+}
+
+TEST(GpuMachine, WideShflKneesAtHalfTheWarpCount)
+{
+    // 32-bit shuffles run at full speed at 512 threads/SM on the
+    // 4090 preset; 64-bit ones have already slowed down.
+    auto kernelFor = [](DataType t) {
+        return bodyKernel({GpuOp::shfl(t)});
+    };
+    GpuMachine a(testGpu());
+    GpuMachine b(testGpu());
+    GpuMachine c(testGpu());
+    GpuMachine d(testGpu());
+    const double w32_256 =
+        cyclesPerIteration(a, kernelFor(DataType::Int32), {1, 256});
+    const double w32_512 =
+        cyclesPerIteration(b, kernelFor(DataType::Int32), {1, 512});
+    const double w64_256 =
+        cyclesPerIteration(c, kernelFor(DataType::Float64), {1, 256});
+    const double w64_512 =
+        cyclesPerIteration(d, kernelFor(DataType::Float64), {1, 512});
+    EXPECT_NEAR(w32_256, w32_512, 0.02 * w32_256);
+    EXPECT_GT(w64_512, 1.2 * w64_256);
+}
+
+TEST(GpuMachine, VoteSlowerThanSyncWarpButFlat)
+{
+    GpuMachine a(testGpu());
+    GpuMachine b(testGpu());
+    const double sync =
+        cyclesPerIteration(a, bodyKernel({GpuOp::syncWarp()}), {1, 64});
+    const double vote =
+        cyclesPerIteration(b, bodyKernel({GpuOp::vote()}), {1, 64});
+    EXPECT_GT(vote, sync);
+}
+
+TEST(GpuMachine, FenceScopesOrderedByCost)
+{
+    auto kernelFor = [](FenceScope s) {
+        return bodyKernel({GpuOp::globalStore(0x100000),
+                           GpuOp::fence(s),
+                           GpuOp::globalStore(0x200000)});
+    };
+    GpuMachine mb(testGpu());
+    GpuMachine md(testGpu());
+    GpuMachine ms(testGpu());
+    const double block =
+        cyclesPerIteration(mb, kernelFor(FenceScope::Block), {1, 32});
+    const double device =
+        cyclesPerIteration(md, kernelFor(FenceScope::Device), {1, 32});
+    const double system =
+        cyclesPerIteration(ms, kernelFor(FenceScope::System), {1, 32});
+    EXPECT_LT(block, device);
+    EXPECT_LT(device, system);
+}
+
+TEST(GpuMachine, SystemFenceJitterIsSeedDependent)
+{
+    const GpuKernel k = bodyKernel(
+        {GpuOp::globalStore(0x100000), GpuOp::fence(FenceScope::System),
+         GpuOp::globalStore(0x200000)});
+    GpuMachine a(testGpu(), 1);
+    GpuMachine b(testGpu(), 2);
+    EXPECT_NE(a.run(k, {1, 32}, 1).total_cycles,
+              b.run(k, {1, 32}, 1).total_cycles);
+}
+
+TEST(GpuMachine, SharedAtomicsStayOnTheSm)
+{
+    const GpuKernel k = bodyKernel(
+        {GpuOp::sharedAtomic(AtomicOp::Max, 0x5000)});
+    GpuMachine machine(testGpu());
+    machine.run(k, {2, 64}, 1);
+    EXPECT_GT(machine.stats().get("gpu.smem_atomic"), 0u);
+    EXPECT_EQ(machine.stats().get("gpu.atomic_aggregated"), 0u);
+}
+
+TEST(GpuMachine, BlocksScheduleInWaves)
+{
+    // More blocks than can be resident: every block still runs.
+    GpuConfig cfg = testGpu();
+    cfg.sm_count = 2;
+    GpuMachine machine(cfg);
+    const auto result =
+        machine.run(bodyKernel({GpuOp::alu()}), {8, 1024}, 1);
+    EXPECT_EQ(machine.stats().get("gpu.blocks_launched"), 8u);
+    EXPECT_EQ(machine.stats().get("gpu.blocks_retired"), 8u);
+    EXPECT_EQ(result.thread_cycles.size(), 8u * 1024u);
+}
+
+TEST(GpuMachine, ResidencyRespectsThreadLimit)
+{
+    // 1536 threads/SM on the 4090: two 1024-thread blocks cannot
+    // share an SM, so with 1 SM the second block waits.
+    GpuConfig cfg = testGpu();
+    cfg.sm_count = 1;
+    GpuMachine serial(cfg);
+    const auto two_blocks =
+        serial.run(bodyKernel({GpuOp::alu()}, 100), {2, 1024}, 1);
+
+    GpuMachine parallel_m(cfg);
+    const auto one_block =
+        parallel_m.run(bodyKernel({GpuOp::alu()}, 100), {1, 1024}, 1);
+    EXPECT_GT(two_blocks.total_cycles,
+              static_cast<sim::Tick>(1.8 * one_block.total_cycles));
+}
+
+TEST(GpuMachine, ReduceSyncRequiresCc80)
+{
+    GpuConfig turing = GpuConfig::rtx2070Super();
+    GpuMachine machine(turing);
+    ScopedLogCapture capture;
+    EXPECT_THROW(machine.run(bodyKernel({GpuOp::reduceSync()}), {1, 32}, 1),
+                 LogDeathException);
+}
+
+TEST(GpuMachine, Thread0PredicateRunsOncePerBlock)
+{
+    const GpuKernel k = bodyKernel({GpuOp::globalAtomic(
+        AtomicOp::Max, AddressMode::SingleShared, 0x1000,
+        DataType::Int32, 1, Predicate::Thread0)});
+    GpuMachine machine(testGpu());
+    machine.run(k, {2, 128}, 1);
+    // 2 blocks x (1 warmup + 40 timed) iterations, warp 0 only.
+    EXPECT_EQ(machine.stats().get("gpu.atomic_aggregated"), 2u * 41u);
+}
+
+TEST(GpuMachine, InvalidLaunchPanics)
+{
+    GpuMachine machine(testGpu());
+    ScopedLogCapture capture;
+    EXPECT_THROW(machine.run(bodyKernel({GpuOp::alu()}), {0, 32}, 1),
+                 LogDeathException);
+    EXPECT_THROW(machine.run(bodyKernel({GpuOp::alu()}), {1, 2048}, 1),
+                 LogDeathException);
+}
+
+} // namespace
+} // namespace syncperf::gpusim

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for occupancy arithmetic and its consistency with the block
+ * scheduler's observable behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "gpusim/machine.hh"
+#include "gpusim/occupancy.hh"
+
+namespace syncperf::gpusim
+{
+namespace
+{
+
+TEST(Occupancy, Rtx4090FullBlocks)
+{
+    // 1536 threads/SM: exactly one 1024-thread block fits.
+    const auto o =
+        computeOccupancy(GpuConfig::rtx4090(), {128, 1024});
+    EXPECT_EQ(o.blocks_per_sm, 1);
+    EXPECT_EQ(o.threads_per_sm, 1024);
+    EXPECT_EQ(o.warps_per_sm, 32);
+    EXPECT_EQ(o.resident_blocks, 128);
+    EXPECT_EQ(o.waves, 1);
+    EXPECT_TRUE(o.coResident());
+    EXPECT_NEAR(o.fraction, 1024.0 / 1536.0, 1e-12);
+}
+
+TEST(Occupancy, A100FitsTwoFullBlocks)
+{
+    const auto o = computeOccupancy(GpuConfig::a100(), {216, 1024});
+    EXPECT_EQ(o.blocks_per_sm, 2);
+    EXPECT_EQ(o.threads_per_sm, 2048);
+    EXPECT_EQ(o.waves, 1);
+}
+
+TEST(Occupancy, HardwareBlockSlotsCapSmallBlocks)
+{
+    // 48 tiny blocks per SM would fit by threads, but the hardware
+    // caps at max_blocks_per_sm (16).
+    const auto cfg = GpuConfig::rtx4090();
+    const auto o = computeOccupancy(cfg, {1000, 32});
+    EXPECT_EQ(o.blocks_per_sm, cfg.max_blocks_per_sm);
+    EXPECT_EQ(o.threads_per_sm, 16 * 32);
+}
+
+TEST(Occupancy, WavesRoundUp)
+{
+    GpuConfig cfg = GpuConfig::rtx4090();
+    cfg.sm_count = 4;
+    // 1 block/SM at 1024 threads: 9 blocks on 4 SMs = 3 waves.
+    const auto o = computeOccupancy(cfg, {9, 1024});
+    EXPECT_EQ(o.waves, 3);
+    EXPECT_EQ(o.resident_blocks, 4);
+    EXPECT_FALSE(o.coResident());
+}
+
+TEST(Occupancy, PartialWarpsCountWholeWarps)
+{
+    const auto o = computeOccupancy(GpuConfig::rtx4090(), {1, 48});
+    // 48 threads = 2 warps (one partial).
+    EXPECT_EQ(o.warps_per_sm, o.blocks_per_sm * 2);
+}
+
+TEST(Occupancy, InvalidLaunchPanics)
+{
+    ScopedLogCapture capture;
+    EXPECT_THROW(computeOccupancy(GpuConfig::rtx4090(), {0, 32}),
+                 LogDeathException);
+    EXPECT_THROW(computeOccupancy(GpuConfig::rtx4090(), {1, 4096}),
+                 LogDeathException);
+}
+
+TEST(Occupancy, MatchesSchedulerWaveBehavior)
+{
+    // The machine must run exactly ceil(waves) sequential passes:
+    // total runtime scales with the wave count for a fixed kernel.
+    GpuConfig cfg = GpuConfig::rtx4090();
+    cfg.sm_count = 2;
+    GpuKernel k;
+    k.body = {GpuOp::alu()};
+    k.body_iters = 200;
+
+    const auto one_wave = computeOccupancy(cfg, {2, 1024});
+    const auto three_waves = computeOccupancy(cfg, {6, 1024});
+    ASSERT_EQ(one_wave.waves, 1);
+    ASSERT_EQ(three_waves.waves, 3);
+
+    GpuMachine m1(cfg);
+    GpuMachine m3(cfg);
+    const auto t1 = m1.run(k, {2, 1024}, 1).total_cycles;
+    const auto t3 = m3.run(k, {6, 1024}, 1).total_cycles;
+    EXPECT_GT(t3, 2 * t1);
+    EXPECT_LT(t3, 4 * t1);
+}
+
+TEST(Occupancy, GridSyncSafetyAgreesWithMachine)
+{
+    GpuConfig cfg = GpuConfig::rtx4090();
+    cfg.sm_count = 2;
+    GpuKernel k;
+    k.body = {GpuOp::gridSync()};
+    k.body_iters = 3;
+
+    const auto safe = computeOccupancy(cfg, {2, 1024});
+    ASSERT_TRUE(safe.coResident());
+    GpuMachine ok(cfg);
+    EXPECT_NO_THROW(ok.run(k, {2, 1024}, 1));
+
+    const auto unsafe = computeOccupancy(cfg, {4, 1024});
+    ASSERT_FALSE(unsafe.coResident());
+    GpuMachine bad(cfg);
+    ScopedLogCapture capture;
+    EXPECT_THROW(bad.run(k, {4, 1024}, 1), LogDeathException);
+}
+
+} // namespace
+} // namespace syncperf::gpusim

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Coverage for the non-default system presets: the paper reports
+ * Systems 1 and 2 and the A100 only where they differ from System 3;
+ * these tests pin down both the differences and the similarities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cpusim_target.hh"
+#include "core/gpusim_target.hh"
+
+namespace syncperf::core
+{
+namespace
+{
+
+MeasurementConfig
+ompCfg()
+{
+    auto c = MeasurementConfig::simDefaults();
+    c.runs = 1;
+    c.attempts = 1;
+    return c;
+}
+
+MeasurementConfig
+gpuCfg()
+{
+    auto c = MeasurementConfig::simGpuDefaults();
+    c.runs = 1;
+    c.attempts = 1;
+    return c;
+}
+
+TEST(OtherSystems, System1BarrierHasTheSameShape)
+{
+    CpuSimTarget target(cpusim::CpuConfig::system1(), ompCfg());
+    OmpExperiment exp;
+    exp.primitive = OmpPrimitive::Barrier;
+    exp.affinity = Affinity::Spread;
+    // System 1 has 40 hardware threads (2 x 10c x 2t).
+    const double t2 = target.measure(exp, 2).opsPerSecondPerThread();
+    const double t8 = target.measure(exp, 8).opsPerSecondPerThread();
+    const double t20 = target.measure(exp, 20).opsPerSecondPerThread();
+    const double t40 = target.measure(exp, 40).opsPerSecondPerThread();
+    EXPECT_GT(t2, 1.5 * t8);          // early decay
+    EXPECT_LT(t20 - t40, 0.5 * t20);  // late plateau
+}
+
+TEST(OtherSystems, DualSocketTransfersCostMoreSpreadThanClose)
+{
+    // On a 2-socket machine a small "close" team stays on one
+    // socket; "spread" ping-pongs the line across the QPI link.
+    CpuSimTarget spread(cpusim::CpuConfig::system2(), ompCfg());
+    CpuSimTarget close_t(cpusim::CpuConfig::system2(), ompCfg());
+    OmpExperiment exp;
+    exp.primitive = OmpPrimitive::AtomicUpdate;
+    exp.affinity = Affinity::Spread;
+    const double thr_spread =
+        spread.measure(exp, 4).opsPerSecondPerThread();
+    exp.affinity = Affinity::Close;
+    const double thr_close =
+        close_t.measure(exp, 4).opsPerSecondPerThread();
+    EXPECT_GT(thr_close, thr_spread);
+}
+
+TEST(OtherSystems, A100SyncWarpKneeMatchesAda)
+{
+    // The paper: "The behavior of System 2 [A100] is the same as
+    // System 3 [RTX 4090]": full rate up to 256 threads per SM.
+    const auto a100 = gpusim::GpuConfig::a100();
+    GpuSimTarget target(a100, gpuCfg());
+    CudaExperiment exp;
+    exp.primitive = CudaPrimitive::SyncWarp;
+    const double t256 =
+        target.measure(exp, {a100.sm_count, 256}).opsPerSecondPerThread();
+    const double t2 =
+        target.measure(exp, {a100.sm_count, 2}).opsPerSecondPerThread();
+    const double t512 =
+        target.measure(exp, {a100.sm_count, 512}).opsPerSecondPerThread();
+    EXPECT_DOUBLE_EQ(t256, t2);
+    EXPECT_LT(t512, t256);
+}
+
+TEST(OtherSystems, A100FitsTwoMaxBlocksPerSm)
+{
+    // 2048 threads/SM: two 1024-thread blocks are co-resident, so a
+    // 2-blocks-per-SM launch needs no second wave.
+    auto cfg = gpusim::GpuConfig::a100();
+    cfg.sm_count = 1;
+    gpusim::GpuKernel k;
+    k.body = {gpusim::GpuOp::alu()};
+    k.body_iters = 100;
+
+    gpusim::GpuMachine two_blocks(cfg);
+    const auto both = two_blocks.run(k, {2, 1024}, 1);
+    gpusim::GpuMachine one_block(cfg);
+    const auto one = one_block.run(k, {1, 1024}, 1);
+    // Resident together: far less than 2x serial time.
+    EXPECT_LT(both.total_cycles,
+              static_cast<sim::Tick>(1.5 * one.total_cycles));
+}
+
+TEST(OtherSystems, Rtx2070LacksReduceButRunsEverythingElse)
+{
+    const auto turing = gpusim::GpuConfig::rtx2070Super();
+    GpuSimTarget target(turing, gpuCfg());
+    for (auto prim :
+         {CudaPrimitive::SyncThreads, CudaPrimitive::AtomicAdd,
+          CudaPrimitive::ShflSync, CudaPrimitive::ThreadFence}) {
+        CudaExperiment exp;
+        exp.primitive = prim;
+        if (prim == CudaPrimitive::ThreadFence)
+            exp.location = Location::PrivateArray;
+        EXPECT_GE(target.measure(exp, {2, 64}).per_op_seconds, 0.0)
+            << cudaPrimitiveName(prim);
+    }
+}
+
+TEST(OtherSystems, ClockConversionDiffersPerDevice)
+{
+    // The same primitive in cycles converts to different wall times
+    // on the 1.41 GHz A100 vs the 2.625 GHz RTX 4090.
+    GpuSimTarget a100(gpusim::GpuConfig::a100(), gpuCfg());
+    GpuSimTarget ada(gpusim::GpuConfig::rtx4090(), gpuCfg());
+    CudaExperiment exp;
+    exp.primitive = CudaPrimitive::SyncWarp;
+    const auto ma = a100.measure(exp, {1, 32});
+    const auto md = ada.measure(exp, {1, 32});
+    // Same cycle count (identical latency params) but slower clock.
+    EXPECT_GT(ma.per_op_seconds, md.per_op_seconds);
+}
+
+} // namespace
+} // namespace syncperf::core

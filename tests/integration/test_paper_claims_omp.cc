@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Integration tests: the paper's OpenMP claims (Section V-A),
+ * asserted end-to-end through the measurement protocol on the CPU
+ * timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/cpusim_target.hh"
+#include "core/recommend.hh"
+#include "core/sweep.hh"
+
+namespace syncperf::core
+{
+namespace
+{
+
+MeasurementConfig
+cfg()
+{
+    auto c = MeasurementConfig::simDefaults();
+    c.runs = 1;
+    c.attempts = 1;
+    return c;
+}
+
+/** Sweep thread counts and return per-thread throughput. */
+std::vector<double>
+sweep(CpuSimTarget &target, const OmpExperiment &exp,
+      const std::vector<int> &threads)
+{
+    std::vector<double> out;
+    for (int t : threads)
+        out.push_back(target.measure(exp, t).opsPerSecondPerThread());
+    return out;
+}
+
+const std::vector<int> sweep_threads{2, 4, 8, 12, 16, 24, 32};
+
+TEST(PaperOmp, Fig1BarrierDecaysThenPlateaus)
+{
+    CpuSimTarget target(cpusim::CpuConfig::system3(), cfg());
+    OmpExperiment exp;
+    exp.primitive = OmpPrimitive::Barrier;
+    exp.affinity = Affinity::Spread;
+    const auto thr = sweep(target, exp, sweep_threads);
+
+    EXPECT_TRUE(barrierPlateaus(sweep_threads, thr).supported)
+        << renderFindings({{barrierPlateaus(sweep_threads, thr)}});
+    // Monotone non-increasing.
+    for (std::size_t i = 1; i < thr.size(); ++i)
+        EXPECT_LE(thr[i], thr[i - 1] * 1.02);
+    // Hyperthreads (beyond 16 cores) barely hurt.
+    EXPECT_TRUE(hyperthreadingIsFine(sweep_threads, thr, 16).supported);
+}
+
+TEST(PaperOmp, Fig2AtomicUpdateCollapsesAndIntBeatsFloat)
+{
+    CpuSimTarget target(cpusim::CpuConfig::system3(), cfg());
+    OmpExperiment exp;
+    exp.primitive = OmpPrimitive::AtomicUpdate;
+
+    std::map<DataType, std::vector<double>> thr;
+    for (DataType t : all_data_types) {
+        exp.dtype = t;
+        thr[t] = sweep(target, exp, sweep_threads);
+    }
+
+    EXPECT_TRUE(
+        contendedAtomicsCollapse(sweep_threads, thr[DataType::Int32])
+            .supported);
+    // Integer types beat floating-point types at every thread count.
+    for (std::size_t i = 0; i < sweep_threads.size(); ++i) {
+        EXPECT_GT(thr[DataType::Int32][i], thr[DataType::Float32][i]);
+        EXPECT_GT(thr[DataType::UInt64][i], thr[DataType::Float64][i]);
+    }
+    // Word size does not matter within a class (64-bit CPUs).
+    for (std::size_t i = 0; i < sweep_threads.size(); ++i) {
+        EXPECT_NEAR(thr[DataType::Int32][i], thr[DataType::UInt64][i],
+                    0.05 * thr[DataType::Int32][i]);
+    }
+}
+
+TEST(PaperOmp, Fig3StrideKneesFollowElementSize)
+{
+    CpuSimTarget target(cpusim::CpuConfig::system3(), cfg());
+    const std::vector<int> strides{1, 4, 8, 16};
+
+    auto throughputAt = [&](DataType t, int stride) {
+        OmpExperiment exp;
+        exp.primitive = OmpPrimitive::AtomicUpdate;
+        exp.location = Location::PrivateArray;
+        exp.dtype = t;
+        exp.stride = stride;
+        return target.measure(exp, 16).opsPerSecondPerThread();
+    };
+
+    // 8-byte types escape false sharing at stride 8 (64-byte lines).
+    const double ull_s4 = throughputAt(DataType::UInt64, 4);
+    const double ull_s8 = throughputAt(DataType::UInt64, 8);
+    EXPECT_GT(ull_s8, 3.0 * ull_s4);
+
+    // 4-byte types need stride 16.
+    const double int_s8 = throughputAt(DataType::Int32, 8);
+    const double int_s16 = throughputAt(DataType::Int32, 16);
+    EXPECT_GT(int_s16, 3.0 * int_s8);
+
+    // At stride 1 the 4-byte types are at most as fast as the 8-byte
+    // types (twice as many words share a line).
+    EXPECT_LE(throughputAt(DataType::Int32, 1),
+              throughputAt(DataType::UInt64, 1));
+
+    // Once padding removes false sharing, integer beats floating
+    // point (pure RMW cost), regardless of width.
+    EXPECT_GT(throughputAt(DataType::Int32, 16),
+              throughputAt(DataType::Float32, 16));
+
+    // The recommendation rule fires on the measured series.
+    std::vector<double> int_series;
+    for (int s : strides)
+        int_series.push_back(throughputAt(DataType::Int32, s));
+    EXPECT_TRUE(
+        paddingRemovesFalseSharing(strides, int_series, 16).supported);
+}
+
+TEST(PaperOmp, Fig4AtomicWriteTypeIndependentAndSystem3Jitters)
+{
+    CpuSimTarget target(cpusim::CpuConfig::system2(), cfg());
+    OmpExperiment exp;
+    exp.primitive = OmpPrimitive::AtomicWrite;
+
+    exp.dtype = DataType::Int32;
+    const auto thr_int = sweep(target, exp, sweep_threads);
+    exp.dtype = DataType::Float64;
+    const auto thr_dbl = sweep(target, exp, sweep_threads);
+    for (std::size_t i = 0; i < thr_int.size(); ++i)
+        EXPECT_NEAR(thr_int[i], thr_dbl[i], 0.02 * thr_int[i]);
+
+    // System 3 (Threadripper) results jitter run to run; System 2's
+    // do not.
+    auto c = cfg();
+    c.runs = 2;
+    c.attempts = 2;
+    CpuSimTarget sys3(cpusim::CpuConfig::system3(), c);
+    exp.dtype = DataType::Int32;
+    const auto m3 = sys3.measure(exp, 16);
+    EXPECT_GT(m3.stddev_seconds, 0.0);
+
+    CpuSimTarget sys2(cpusim::CpuConfig::system2(), c);
+    const auto m2 = sys2.measure(exp, 16);
+    EXPECT_DOUBLE_EQ(m2.stddev_seconds, 0.0);
+}
+
+TEST(PaperOmp, AtomicReadHasNoOverhead)
+{
+    CpuSimTarget target(cpusim::CpuConfig::system3(), cfg());
+    OmpExperiment exp;
+    exp.primitive = OmpPrimitive::AtomicRead;
+    for (int threads : {2, 8, 32}) {
+        const auto m = target.measure(exp, threads);
+        EXPECT_DOUBLE_EQ(m.per_op_seconds, 0.0) << threads;
+    }
+}
+
+TEST(PaperOmp, Fig5CriticalSlowerThanAtomicEverywhere)
+{
+    CpuSimTarget ta(cpusim::CpuConfig::system3(), cfg());
+    CpuSimTarget tc(cpusim::CpuConfig::system3(), cfg());
+    OmpExperiment atomic;
+    atomic.primitive = OmpPrimitive::AtomicUpdate;
+    OmpExperiment critical;
+    critical.primitive = OmpPrimitive::Critical;
+    critical.affinity = Affinity::Spread;
+
+    const auto thr_atomic = sweep(ta, atomic, sweep_threads);
+    const auto thr_critical = sweep(tc, critical, sweep_threads);
+    EXPECT_TRUE(
+        criticalSlowerThanAtomic(thr_atomic, thr_critical).supported);
+}
+
+TEST(PaperOmp, Fig6FlushCheapWithoutFalseSharingExpensiveWith)
+{
+    CpuSimTarget target(cpusim::CpuConfig::system2(), cfg());
+    OmpExperiment exp;
+    exp.primitive = OmpPrimitive::Flush;
+    exp.location = Location::PrivateArray;
+    exp.affinity = Affinity::Close;
+    exp.dtype = DataType::UInt64;
+
+    exp.stride = 1;
+    const double contended =
+        target.measure(exp, 32).opsPerSecondPerThread();
+    exp.stride = 8;  // 8 * 8 bytes = one full line
+    const double padded =
+        target.measure(exp, 32).opsPerSecondPerThread();
+    EXPECT_GT(padded, 5.0 * contended);
+
+    // Without false sharing, flush throughput is flat across thread
+    // counts ("little per-thread performance impact").
+    const auto flat = sweep(target, exp, sweep_threads);
+    for (double v : flat)
+        EXPECT_NEAR(v, flat.front(), 0.2 * flat.front());
+}
+
+} // namespace
+} // namespace syncperf::core

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Property-style sweeps over the measurement stack: invariants that
+ * must hold for every primitive, data type, and configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <tuple>
+#include <string>
+#include <vector>
+
+#include "core/cpusim_target.hh"
+#include "core/gpusim_target.hh"
+
+namespace syncperf::core
+{
+namespace
+{
+
+MeasurementConfig
+ompCfg()
+{
+    auto c = MeasurementConfig::simDefaults();
+    c.runs = 1;
+    c.attempts = 1;
+    c.n_iter = 20;
+    c.n_unroll = 3;
+    return c;
+}
+
+MeasurementConfig
+gpuCfg()
+{
+    auto c = MeasurementConfig::simGpuDefaults();
+    c.runs = 1;
+    c.attempts = 1;
+    c.n_iter = 10;
+    c.n_unroll = 2;
+    return c;
+}
+
+std::string
+dtypeSuffix(DataType t)
+{
+    return std::string(dataTypeName(t));
+}
+
+// ------------------------------------------------------------------
+// Property 1: every (OpenMP primitive x data type) measurement is
+// reproducible bit-for-bit and non-negative on jitter-free systems.
+// ------------------------------------------------------------------
+
+using OmpCase = std::tuple<OmpPrimitive, DataType>;
+
+class OmpDeterminism : public ::testing::TestWithParam<OmpCase>
+{
+};
+
+TEST_P(OmpDeterminism, RepeatedMeasurementIdenticalAndNonNegative)
+{
+    const auto [prim, dtype] = GetParam();
+    OmpExperiment exp;
+    exp.primitive = prim;
+    exp.dtype = dtype;
+
+    CpuSimTarget a(cpusim::CpuConfig::system2(), ompCfg(), 1);
+    CpuSimTarget b(cpusim::CpuConfig::system2(), ompCfg(), 777);
+    const auto ma = a.measure(exp, 8);
+    const auto mb = b.measure(exp, 8);
+    EXPECT_DOUBLE_EQ(ma.per_op_seconds, mb.per_op_seconds);
+    EXPECT_GE(ma.per_op_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrimitivesAllTypes, OmpDeterminism,
+    ::testing::Combine(
+        ::testing::Values(OmpPrimitive::Barrier,
+                          OmpPrimitive::AtomicUpdate,
+                          OmpPrimitive::AtomicCapture,
+                          OmpPrimitive::AtomicRead,
+                          OmpPrimitive::AtomicWrite,
+                          OmpPrimitive::Critical, OmpPrimitive::Flush),
+        ::testing::ValuesIn(all_data_types)),
+    [](const ::testing::TestParamInfo<OmpCase> &info) {
+        std::string name(
+            ompPrimitiveName(std::get<0>(info.param)).substr(4));
+        for (char &c : name) {
+            if (c == ' ')
+                c = '_';
+        }
+        return name + "_" + dtypeSuffix(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------------------------
+// Property 2: contended per-thread throughput never increases with
+// the team size, for every contended OpenMP primitive.
+// ------------------------------------------------------------------
+
+class OmpMonotonicity : public ::testing::TestWithParam<OmpPrimitive>
+{
+};
+
+TEST_P(OmpMonotonicity, ThroughputNonIncreasingInThreads)
+{
+    CpuSimTarget target(cpusim::CpuConfig::system2(), ompCfg());
+    OmpExperiment exp;
+    exp.primitive = GetParam();
+
+    double previous = std::numeric_limits<double>::infinity();
+    for (int threads : {2, 4, 8, 16, 32, 48, 64}) {
+        const double thr =
+            target.measure(exp, threads).opsPerSecondPerThread();
+        EXPECT_LE(thr, previous * 1.02)
+            << "throughput rose at " << threads << " threads";
+        previous = thr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ContendedPrimitives, OmpMonotonicity,
+    ::testing::Values(OmpPrimitive::Barrier, OmpPrimitive::AtomicUpdate,
+                      OmpPrimitive::AtomicWrite, OmpPrimitive::Critical),
+    [](const ::testing::TestParamInfo<OmpPrimitive> &info) {
+        std::string name(ompPrimitiveName(info.param).substr(4));
+        for (char &c : name) {
+            if (c == ' ')
+                c = '_';
+        }
+        return name;
+    });
+
+// ------------------------------------------------------------------
+// Property 3: once the stride clears a cache line, throughput is
+// stride-invariant (no residual false-sharing artifacts) for every
+// data type.
+// ------------------------------------------------------------------
+
+class StrideInvariance : public ::testing::TestWithParam<DataType>
+{
+};
+
+TEST_P(StrideInvariance, BeyondOneLinePaddingChangesNothing)
+{
+    CpuSimTarget target(cpusim::CpuConfig::system3(), ompCfg());
+    const int elems_per_line =
+        64 / static_cast<int>(dataTypeSize(GetParam()));
+
+    auto throughputAt = [&](int stride) {
+        OmpExperiment exp;
+        exp.primitive = OmpPrimitive::AtomicUpdate;
+        exp.location = Location::PrivateArray;
+        exp.dtype = GetParam();
+        exp.stride = stride;
+        return target.measure(exp, 16).opsPerSecondPerThread();
+    };
+
+    const double at_line = throughputAt(elems_per_line);
+    const double at_double = throughputAt(2 * elems_per_line);
+    const double at_quad = throughputAt(4 * elems_per_line);
+    EXPECT_DOUBLE_EQ(at_line, at_double);
+    EXPECT_DOUBLE_EQ(at_line, at_quad);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, StrideInvariance,
+                         ::testing::ValuesIn(all_data_types),
+                         [](const auto &info) {
+                             return dtypeSuffix(info.param);
+                         });
+
+// ------------------------------------------------------------------
+// Property 4: every CUDA primitive measurement is deterministic
+// (jitter only exists for the system fence) and positive for
+// non-free primitives.
+// ------------------------------------------------------------------
+
+using CudaCase = std::tuple<CudaPrimitive, DataType>;
+
+class CudaDeterminism : public ::testing::TestWithParam<CudaCase>
+{
+};
+
+TEST_P(CudaDeterminism, RepeatedMeasurementIdentical)
+{
+    const auto [prim, dtype] = GetParam();
+    if (!cudaPrimitiveIsTypeless(prim) &&
+        !cudaPrimitiveSupports(prim, dtype)) {
+        GTEST_SKIP() << "unsupported type for primitive";
+    }
+    if (prim == CudaPrimitive::ThreadFenceSystem)
+        GTEST_SKIP() << "system fences have modeled PCIe jitter";
+
+    CudaExperiment exp;
+    exp.primitive = prim;
+    exp.dtype = dtype;
+    if (prim == CudaPrimitive::ThreadFence ||
+        prim == CudaPrimitive::ThreadFenceBlock) {
+        exp.location = Location::PrivateArray;
+    }
+
+    GpuSimTarget a(gpusim::GpuConfig::rtx4090(), gpuCfg(), 5);
+    GpuSimTarget b(gpusim::GpuConfig::rtx4090(), gpuCfg(), 999);
+    EXPECT_DOUBLE_EQ(a.measure(exp, {2, 64}).per_op_seconds,
+                     b.measure(exp, {2, 64}).per_op_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrimitives, CudaDeterminism,
+    ::testing::Combine(
+        ::testing::Values(CudaPrimitive::SyncThreads,
+                          CudaPrimitive::SyncWarp,
+                          CudaPrimitive::AtomicAdd,
+                          CudaPrimitive::AtomicCas,
+                          CudaPrimitive::AtomicExch,
+                          CudaPrimitive::ThreadFence,
+                          CudaPrimitive::ThreadFenceBlock,
+                          CudaPrimitive::ShflSync,
+                          CudaPrimitive::VoteSync),
+        ::testing::Values(DataType::Int32, DataType::Float64)),
+    [](const ::testing::TestParamInfo<CudaCase> &info) {
+        std::string name(cudaPrimitiveName(std::get<0>(info.param)));
+        std::string clean;
+        for (char c : name) {
+            if (std::isalnum(static_cast<unsigned char>(c)))
+                clean.push_back(c);
+        }
+        return clean + "_" + dtypeSuffix(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------------------------
+// Property 5: block-count invariance of block-local primitives --
+// __syncthreads and __syncwarp per-thread cost must not depend on
+// how many OTHER blocks run (given one block per SM).
+// ------------------------------------------------------------------
+
+class BlockInvariance : public ::testing::TestWithParam<CudaPrimitive>
+{
+};
+
+TEST_P(BlockInvariance, OneBlockPerSmIsBlockCountInvariant)
+{
+    GpuSimTarget target(gpusim::GpuConfig::rtx4090(), gpuCfg());
+    CudaExperiment exp;
+    exp.primitive = GetParam();
+    const auto reference = target.measure(exp, {1, 128}).per_op_seconds;
+    for (int blocks : {2, 16, 64, 128}) {
+        EXPECT_DOUBLE_EQ(
+            target.measure(exp, {blocks, 128}).per_op_seconds,
+            reference)
+            << blocks << " blocks";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BlockLocalPrimitives, BlockInvariance,
+    ::testing::Values(CudaPrimitive::SyncThreads, CudaPrimitive::SyncWarp,
+                      CudaPrimitive::ShflSync, CudaPrimitive::VoteSync),
+    [](const ::testing::TestParamInfo<CudaPrimitive> &info) {
+        std::string clean;
+        for (char c : std::string(cudaPrimitiveName(info.param))) {
+            if (std::isalnum(static_cast<unsigned char>(c)))
+                clean.push_back(c);
+        }
+        return clean;
+    });
+
+// ------------------------------------------------------------------
+// Property 6: protocol linearity -- doubling n_iter must not change
+// the reported per-op cost (the division normalizes it away).
+// ------------------------------------------------------------------
+
+TEST(ProtocolLinearity, PerOpCostIndependentOfIterationCount)
+{
+    OmpExperiment exp;
+    exp.primitive = OmpPrimitive::AtomicUpdate;
+
+    auto short_cfg = ompCfg();
+    auto long_cfg = ompCfg();
+    long_cfg.n_iter = 2 * short_cfg.n_iter;
+
+    CpuSimTarget a(cpusim::CpuConfig::system2(), short_cfg);
+    CpuSimTarget b(cpusim::CpuConfig::system2(), long_cfg);
+    const double pa = a.measure(exp, 8).per_op_seconds;
+    const double pb = b.measure(exp, 8).per_op_seconds;
+    EXPECT_NEAR(pa, pb, 0.02 * pa);
+}
+
+// ------------------------------------------------------------------
+// Property 7: warmup sufficiency -- more warmup must not change a
+// steady-state measurement.
+// ------------------------------------------------------------------
+
+TEST(ProtocolWarmup, ExtraWarmupChangesNothing)
+{
+    OmpExperiment exp;
+    exp.primitive = OmpPrimitive::AtomicUpdate;
+    exp.location = Location::PrivateArray;
+    exp.stride = 16;
+
+    auto cfg1 = ompCfg();
+    auto cfg2 = ompCfg();
+    cfg2.n_warmup = 5 * cfg1.n_warmup;
+
+    CpuSimTarget a(cpusim::CpuConfig::system2(), cfg1);
+    CpuSimTarget b(cpusim::CpuConfig::system2(), cfg2);
+    EXPECT_DOUBLE_EQ(a.measure(exp, 8).per_op_seconds,
+                     b.measure(exp, 8).per_op_seconds);
+}
+
+} // namespace
+} // namespace syncperf::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for clock domains and stat counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.hh"
+#include "sim/stat.hh"
+
+namespace syncperf::sim
+{
+namespace
+{
+
+TEST(ClockDomain, CyclesToSeconds)
+{
+    const ClockDomain clk(2.0e9);  // 2 GHz
+    EXPECT_DOUBLE_EQ(clk.toSeconds(2000000000ULL), 1.0);
+    EXPECT_DOUBLE_EQ(clk.toSeconds(1), 0.5e-9);
+}
+
+TEST(ClockDomain, SecondsToCycles)
+{
+    const ClockDomain clk(3.5e9);
+    EXPECT_EQ(clk.toCycles(1.0), 3500000000ULL);
+    EXPECT_EQ(clk.toCycles(0.0), 0ULL);
+}
+
+TEST(ClockDomain, PeriodIsReciprocal)
+{
+    const ClockDomain clk(1.0e9);
+    EXPECT_DOUBLE_EQ(clk.period(), 1.0e-9);
+    EXPECT_DOUBLE_EQ(clk.frequencyHz(), 1.0e9);
+}
+
+TEST(ClockDomain, RoundTripIsConsistent)
+{
+    const ClockDomain clk(2.625e9);  // the RTX 4090 preset clock
+    const Tick cycles = 123456789;
+    EXPECT_NEAR(static_cast<double>(clk.toCycles(clk.toSeconds(cycles))),
+                static_cast<double>(cycles), 1.0);
+}
+
+TEST(StatSet, DefaultsToZero)
+{
+    StatSet stats;
+    EXPECT_EQ(stats.get("nothing"), 0u);
+}
+
+TEST(StatSet, IncrementAccumulates)
+{
+    StatSet stats;
+    stats.inc("a");
+    stats.inc("a", 4);
+    EXPECT_EQ(stats.get("a"), 5u);
+}
+
+TEST(StatSet, AllIsSortedByName)
+{
+    StatSet stats;
+    stats.inc("zeta");
+    stats.inc("alpha");
+    const auto &all = stats.all();
+    EXPECT_EQ(all.begin()->first, "alpha");
+}
+
+TEST(StatSet, ClearResets)
+{
+    StatSet stats;
+    stats.inc("x", 10);
+    stats.clear();
+    EXPECT_EQ(stats.get("x"), 0u);
+    EXPECT_TRUE(stats.all().empty());
+}
+
+} // namespace
+} // namespace syncperf::sim

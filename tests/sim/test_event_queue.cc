@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/event_queue.hh"
+
+namespace syncperf::sim
+{
+namespace
+{
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(1); }, 1);
+    eq.schedule(5, [&] { order.push_back(0); }, 0);
+    eq.schedule(5, [&] { order.push_back(2); }, 1);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(10, [&] {
+        eq.scheduleIn(5, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 15u);
+}
+
+TEST(EventQueue, DescheduleCancels)
+{
+    EventQueue eq;
+    bool ran = false;
+    const EventId id = eq.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(eq.deschedule(id));
+    eq.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, DoubleDescheduleIsNoop)
+{
+    EventQueue eq;
+    const EventId id = eq.schedule(10, [] {});
+    EXPECT_TRUE(eq.deschedule(id));
+    EXPECT_FALSE(eq.deschedule(id));
+}
+
+TEST(EventQueue, DescheduleUnknownIdReturnsFalse)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.deschedule(12345));
+}
+
+TEST(EventQueue, DescheduleExecutedEventReturnsFalse)
+{
+    EventQueue eq;
+    const EventId id = eq.schedule(1, [] {});
+    eq.run();
+    EXPECT_FALSE(eq.deschedule(id));
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    std::vector<Tick> seen;
+    eq.schedule(10, [&] { seen.push_back(10); });
+    eq.schedule(20, [&] { seen.push_back(20); });
+    eq.runUntil(15);
+    EXPECT_EQ(seen, (std::vector<Tick>{10}));
+    EXPECT_EQ(eq.now(), 15u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(seen, (std::vector<Tick>{10, 20}));
+}
+
+TEST(EventQueue, EventsMaySpawnEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 5)
+            eq.scheduleIn(1, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 4u);
+    EXPECT_EQ(eq.executed(), 5u);
+}
+
+TEST(EventQueue, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    ScopedLogCapture capture;
+    EXPECT_THROW(eq.schedule(5, [] {}), LogDeathException);
+}
+
+TEST(EventQueue, PendingCountsLiveEvents)
+{
+    EventQueue eq;
+    eq.schedule(1, [] {});
+    eq.schedule(2, [] {});
+    EXPECT_EQ(eq.pending(), 2u);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue eq;
+    Tick last = 0;
+    bool monotonic = true;
+    for (int i = 1000; i >= 1; --i) {
+        eq.schedule(static_cast<Tick>(i), [&, i] {
+            if (static_cast<Tick>(i) < last)
+                monotonic = false;
+            last = static_cast<Tick>(i);
+        });
+    }
+    eq.run();
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(eq.executed(), 1000u);
+}
+
+} // namespace
+} // namespace syncperf::sim

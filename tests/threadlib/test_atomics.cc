@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Correctness tests for the OpenMP-flavor atomic wrappers, including
+ * multithreaded races on every data type.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "threadlib/atomics.hh"
+#include "threadlib/parallel_region.hh"
+
+namespace syncperf::threadlib
+{
+namespace
+{
+
+template <typename T>
+class AtomicsTypedTest : public ::testing::Test
+{
+};
+
+using TestedTypes =
+    ::testing::Types<int, unsigned long long, float, double>;
+TYPED_TEST_SUITE(AtomicsTypedTest, TestedTypes);
+
+TYPED_TEST(AtomicsTypedTest, UpdateAddsSequentially)
+{
+    std::atomic<TypeParam> x{TypeParam{0}};
+    for (int i = 0; i < 10; ++i)
+        atomicUpdate(x, TypeParam{2});
+    EXPECT_EQ(x.load(), TypeParam{20});
+}
+
+TYPED_TEST(AtomicsTypedTest, CaptureReturnsOldValue)
+{
+    std::atomic<TypeParam> x{TypeParam{5}};
+    const TypeParam old = atomicCapture(x, TypeParam{3});
+    EXPECT_EQ(old, TypeParam{5});
+    EXPECT_EQ(x.load(), TypeParam{8});
+}
+
+TYPED_TEST(AtomicsTypedTest, ReadAndWrite)
+{
+    std::atomic<TypeParam> x{TypeParam{0}};
+    atomicWrite(x, TypeParam{7});
+    EXPECT_EQ(atomicRead(x), TypeParam{7});
+}
+
+TYPED_TEST(AtomicsTypedTest, ConcurrentUpdatesLoseNothing)
+{
+    constexpr int threads = 4;
+    constexpr int iters = 5000;
+    std::atomic<TypeParam> x{TypeParam{0}};
+    parallelRegion(threads, [&](int) {
+        for (int i = 0; i < iters; ++i)
+            atomicUpdate(x, TypeParam{1});
+    });
+    EXPECT_EQ(static_cast<long>(x.load()),
+              static_cast<long>(threads) * iters);
+}
+
+TYPED_TEST(AtomicsTypedTest, ConcurrentCapturesAreUnique)
+{
+    // Integer captures must each observe a distinct old value.
+    if constexpr (std::is_integral_v<TypeParam>) {
+        constexpr int threads = 4;
+        constexpr int iters = 2000;
+        std::atomic<TypeParam> x{TypeParam{0}};
+        std::vector<std::vector<TypeParam>> seen(threads);
+        parallelRegion(threads, [&](int tid) {
+            seen[tid].reserve(iters);
+            for (int i = 0; i < iters; ++i)
+                seen[tid].push_back(atomicCapture(x, TypeParam{1}));
+        });
+        std::vector<TypeParam> all;
+        for (const auto &v : seen)
+            all.insert(all.end(), v.begin(), v.end());
+        std::sort(all.begin(), all.end());
+        EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) ==
+                    all.end());
+        EXPECT_EQ(all.size(),
+                  static_cast<std::size_t>(threads) * iters);
+    } else {
+        GTEST_SKIP() << "uniqueness only meaningful for integer types";
+    }
+}
+
+TYPED_TEST(AtomicsTypedTest, AtomicMaxConverges)
+{
+    std::atomic<TypeParam> x{TypeParam{0}};
+    parallelRegion(4, [&](int tid) {
+        for (int i = 0; i < 1000; ++i)
+            atomicMax(x, static_cast<TypeParam>(tid * 1000 + i));
+    });
+    EXPECT_EQ(x.load(), TypeParam{3999});
+}
+
+TEST(Flush, OrdersFlaggedHandoff)
+{
+    // Producer writes data then flag (flush between); the consumer
+    // polls the flag and must observe the data.
+    for (int round = 0; round < 50; ++round) {
+        long data = 0;
+        std::atomic<int> flag{0};
+        bool ok = true;
+        parallelRegion(2, [&](int tid) {
+            if (tid == 0) {
+                data = 42;
+                flush();
+                flag.store(1, std::memory_order_relaxed);
+            } else {
+                unsigned spins = 0;
+                while (flag.load(std::memory_order_relaxed) == 0) {
+                    if (++spins % 64 == 0)
+                        std::this_thread::yield();
+                }
+                flush();
+                if (data != 42)
+                    ok = false;
+            }
+        });
+        ASSERT_TRUE(ok) << "round " << round;
+    }
+}
+
+} // namespace
+} // namespace syncperf::threadlib

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the fork/join substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "common/logging.hh"
+#include "threadlib/parallel_region.hh"
+
+namespace syncperf::threadlib
+{
+namespace
+{
+
+TEST(ParallelRegion, RunsEveryRankExactlyOnce)
+{
+    std::atomic<unsigned> mask{0};
+    parallelRegion(5, [&](int tid) {
+        mask.fetch_or(1u << tid);
+    });
+    EXPECT_EQ(mask.load(), 0b11111u);
+}
+
+TEST(ParallelRegion, SingleThreadRunsInline)
+{
+    const auto caller = std::this_thread::get_id();
+    std::thread::id seen;
+    parallelRegion(1, [&](int tid) {
+        EXPECT_EQ(tid, 0);
+        seen = std::this_thread::get_id();
+    });
+    EXPECT_EQ(seen, caller);
+}
+
+TEST(ParallelRegion, RankZeroIsCaller)
+{
+    const auto caller = std::this_thread::get_id();
+    std::thread::id rank0;
+    parallelRegion(3, [&](int tid) {
+        if (tid == 0)
+            rank0 = std::this_thread::get_id();
+    });
+    EXPECT_EQ(rank0, caller);
+}
+
+TEST(ParallelRegion, WorkersAreDistinctThreads)
+{
+    std::set<std::thread::id> ids;
+    std::mutex m;
+    parallelRegion(4, [&](int) {
+        std::scoped_lock lock(m);
+        ids.insert(std::this_thread::get_id());
+    });
+    EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(ParallelRegion, JoinsBeforeReturning)
+{
+    std::atomic<int> done{0};
+    parallelRegion(6, [&](int) { done.fetch_add(1); });
+    EXPECT_EQ(done.load(), 6);
+}
+
+TEST(ParallelRegion, AffinityPoliciesDoNotBreakExecution)
+{
+    for (Affinity a :
+         {Affinity::System, Affinity::Spread, Affinity::Close}) {
+        std::atomic<int> count{0};
+        parallelRegion(3, [&](int) { count.fetch_add(1); }, a);
+        EXPECT_EQ(count.load(), 3);
+    }
+}
+
+TEST(ParallelRegion, ZeroThreadsPanics)
+{
+    ScopedLogCapture capture;
+    EXPECT_THROW(parallelRegion(0, [](int) {}), LogDeathException);
+}
+
+TEST(HardwareThreads, ReportsAtLeastOne)
+{
+    EXPECT_GE(hardwareThreads(), 1);
+}
+
+TEST(BindThisThread, SystemPolicyIsNoop)
+{
+    bindThisThread(0, 4, Affinity::System);
+    SUCCEED();
+}
+
+TEST(BindThisThread, BestEffortBindingDoesNotFail)
+{
+    bindThisThread(0, 2, Affinity::Spread);
+    bindThisThread(1, 2, Affinity::Close);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace syncperf::threadlib
