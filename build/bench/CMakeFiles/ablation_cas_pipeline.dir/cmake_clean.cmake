@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cas_pipeline.dir/ablation_cas_pipeline.cc.o"
+  "CMakeFiles/ablation_cas_pipeline.dir/ablation_cas_pipeline.cc.o.d"
+  "ablation_cas_pipeline"
+  "ablation_cas_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cas_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

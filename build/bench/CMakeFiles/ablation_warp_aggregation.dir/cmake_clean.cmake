@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_warp_aggregation.dir/ablation_warp_aggregation.cc.o"
+  "CMakeFiles/ablation_warp_aggregation.dir/ablation_warp_aggregation.cc.o.d"
+  "ablation_warp_aggregation"
+  "ablation_warp_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_warp_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign.dir/campaign.cc.o"
+  "CMakeFiles/campaign.dir/campaign.cc.o.d"
+  "campaign"
+  "campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

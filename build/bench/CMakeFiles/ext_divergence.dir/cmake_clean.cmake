@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_divergence.dir/ext_divergence.cc.o"
+  "CMakeFiles/ext_divergence.dir/ext_divergence.cc.o.d"
+  "ext_divergence"
+  "ext_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

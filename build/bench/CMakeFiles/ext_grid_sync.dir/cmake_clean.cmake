@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_grid_sync.dir/ext_grid_sync.cc.o"
+  "CMakeFiles/ext_grid_sync.dir/ext_grid_sync.cc.o.d"
+  "ext_grid_sync"
+  "ext_grid_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_grid_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_omp_barrier.dir/fig01_omp_barrier.cc.o"
+  "CMakeFiles/fig01_omp_barrier.dir/fig01_omp_barrier.cc.o.d"
+  "fig01_omp_barrier"
+  "fig01_omp_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_omp_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

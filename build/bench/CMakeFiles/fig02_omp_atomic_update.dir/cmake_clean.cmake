@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_omp_atomic_update.dir/fig02_omp_atomic_update.cc.o"
+  "CMakeFiles/fig02_omp_atomic_update.dir/fig02_omp_atomic_update.cc.o.d"
+  "fig02_omp_atomic_update"
+  "fig02_omp_atomic_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_omp_atomic_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02b_omp_atomic_capture.dir/fig02b_omp_atomic_capture.cc.o"
+  "CMakeFiles/fig02b_omp_atomic_capture.dir/fig02b_omp_atomic_capture.cc.o.d"
+  "fig02b_omp_atomic_capture"
+  "fig02b_omp_atomic_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02b_omp_atomic_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02b_omp_atomic_capture.
+# This may be replaced when dependencies are built.

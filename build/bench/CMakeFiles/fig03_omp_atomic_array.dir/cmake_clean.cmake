@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_omp_atomic_array.dir/fig03_omp_atomic_array.cc.o"
+  "CMakeFiles/fig03_omp_atomic_array.dir/fig03_omp_atomic_array.cc.o.d"
+  "fig03_omp_atomic_array"
+  "fig03_omp_atomic_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_omp_atomic_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

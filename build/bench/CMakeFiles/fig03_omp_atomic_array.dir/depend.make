@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_omp_atomic_array.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_omp_atomic_write.dir/fig04_omp_atomic_write.cc.o"
+  "CMakeFiles/fig04_omp_atomic_write.dir/fig04_omp_atomic_write.cc.o.d"
+  "fig04_omp_atomic_write"
+  "fig04_omp_atomic_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_omp_atomic_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04b_omp_atomic_read.dir/fig04b_omp_atomic_read.cc.o"
+  "CMakeFiles/fig04b_omp_atomic_read.dir/fig04b_omp_atomic_read.cc.o.d"
+  "fig04b_omp_atomic_read"
+  "fig04b_omp_atomic_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04b_omp_atomic_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

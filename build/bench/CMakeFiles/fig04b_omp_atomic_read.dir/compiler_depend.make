@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04b_omp_atomic_read.
+# This may be replaced when dependencies are built.

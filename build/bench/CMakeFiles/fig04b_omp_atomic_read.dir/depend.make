@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04b_omp_atomic_read.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_omp_critical.dir/fig05_omp_critical.cc.o"
+  "CMakeFiles/fig05_omp_critical.dir/fig05_omp_critical.cc.o.d"
+  "fig05_omp_critical"
+  "fig05_omp_critical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_omp_critical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

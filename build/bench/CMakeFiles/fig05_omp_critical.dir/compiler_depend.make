@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_omp_critical.
+# This may be replaced when dependencies are built.

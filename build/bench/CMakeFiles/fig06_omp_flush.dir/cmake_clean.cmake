@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_omp_flush.dir/fig06_omp_flush.cc.o"
+  "CMakeFiles/fig06_omp_flush.dir/fig06_omp_flush.cc.o.d"
+  "fig06_omp_flush"
+  "fig06_omp_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_omp_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

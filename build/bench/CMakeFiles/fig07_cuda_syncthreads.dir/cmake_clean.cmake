@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cuda_syncthreads.dir/fig07_cuda_syncthreads.cc.o"
+  "CMakeFiles/fig07_cuda_syncthreads.dir/fig07_cuda_syncthreads.cc.o.d"
+  "fig07_cuda_syncthreads"
+  "fig07_cuda_syncthreads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cuda_syncthreads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_cuda_syncwarp.dir/fig08_cuda_syncwarp.cc.o"
+  "CMakeFiles/fig08_cuda_syncwarp.dir/fig08_cuda_syncwarp.cc.o.d"
+  "fig08_cuda_syncwarp"
+  "fig08_cuda_syncwarp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cuda_syncwarp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

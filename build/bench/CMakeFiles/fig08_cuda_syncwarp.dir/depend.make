@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_cuda_syncwarp.
+# This may be replaced when dependencies are built.

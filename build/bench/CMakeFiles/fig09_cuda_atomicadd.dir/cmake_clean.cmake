@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_cuda_atomicadd.dir/fig09_cuda_atomicadd.cc.o"
+  "CMakeFiles/fig09_cuda_atomicadd.dir/fig09_cuda_atomicadd.cc.o.d"
+  "fig09_cuda_atomicadd"
+  "fig09_cuda_atomicadd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cuda_atomicadd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

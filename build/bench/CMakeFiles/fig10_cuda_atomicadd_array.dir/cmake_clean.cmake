@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cuda_atomicadd_array.dir/fig10_cuda_atomicadd_array.cc.o"
+  "CMakeFiles/fig10_cuda_atomicadd_array.dir/fig10_cuda_atomicadd_array.cc.o.d"
+  "fig10_cuda_atomicadd_array"
+  "fig10_cuda_atomicadd_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cuda_atomicadd_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

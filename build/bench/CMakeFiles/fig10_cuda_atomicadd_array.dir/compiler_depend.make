@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_cuda_atomicadd_array.
+# This may be replaced when dependencies are built.

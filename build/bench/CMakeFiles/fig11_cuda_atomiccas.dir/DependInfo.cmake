@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_cuda_atomiccas.cc" "bench/CMakeFiles/fig11_cuda_atomiccas.dir/fig11_cuda_atomiccas.cc.o" "gcc" "bench/CMakeFiles/fig11_cuda_atomiccas.dir/fig11_cuda_atomiccas.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/syncperf_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/syncperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpusim/CMakeFiles/syncperf_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/syncperf_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/syncperf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/threadlib/CMakeFiles/syncperf_threadlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/syncperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cuda_atomiccas.dir/fig11_cuda_atomiccas.cc.o"
+  "CMakeFiles/fig11_cuda_atomiccas.dir/fig11_cuda_atomiccas.cc.o.d"
+  "fig11_cuda_atomiccas"
+  "fig11_cuda_atomiccas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cuda_atomiccas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

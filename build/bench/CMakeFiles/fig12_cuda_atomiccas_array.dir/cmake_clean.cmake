@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cuda_atomiccas_array.dir/fig12_cuda_atomiccas_array.cc.o"
+  "CMakeFiles/fig12_cuda_atomiccas_array.dir/fig12_cuda_atomiccas_array.cc.o.d"
+  "fig12_cuda_atomiccas_array"
+  "fig12_cuda_atomiccas_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cuda_atomiccas_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

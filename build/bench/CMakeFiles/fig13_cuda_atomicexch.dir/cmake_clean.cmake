@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cuda_atomicexch.dir/fig13_cuda_atomicexch.cc.o"
+  "CMakeFiles/fig13_cuda_atomicexch.dir/fig13_cuda_atomicexch.cc.o.d"
+  "fig13_cuda_atomicexch"
+  "fig13_cuda_atomicexch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cuda_atomicexch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

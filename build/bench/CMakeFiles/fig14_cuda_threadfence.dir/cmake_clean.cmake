@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_cuda_threadfence.dir/fig14_cuda_threadfence.cc.o"
+  "CMakeFiles/fig14_cuda_threadfence.dir/fig14_cuda_threadfence.cc.o.d"
+  "fig14_cuda_threadfence"
+  "fig14_cuda_threadfence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_cuda_threadfence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

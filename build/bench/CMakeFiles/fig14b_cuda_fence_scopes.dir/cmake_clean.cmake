@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14b_cuda_fence_scopes.dir/fig14b_cuda_fence_scopes.cc.o"
+  "CMakeFiles/fig14b_cuda_fence_scopes.dir/fig14b_cuda_fence_scopes.cc.o.d"
+  "fig14b_cuda_fence_scopes"
+  "fig14b_cuda_fence_scopes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14b_cuda_fence_scopes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_cuda_shfl.dir/fig15_cuda_shfl.cc.o"
+  "CMakeFiles/fig15_cuda_shfl.dir/fig15_cuda_shfl.cc.o.d"
+  "fig15_cuda_shfl"
+  "fig15_cuda_shfl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_cuda_shfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15b_cuda_vote.dir/fig15b_cuda_vote.cc.o"
+  "CMakeFiles/fig15b_cuda_vote.dir/fig15b_cuda_vote.cc.o.d"
+  "fig15b_cuda_vote"
+  "fig15b_cuda_vote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15b_cuda_vote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listing1_reductions.dir/listing1_reductions.cc.o"
+  "CMakeFiles/listing1_reductions.dir/listing1_reductions.cc.o.d"
+  "listing1_reductions"
+  "listing1_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listing1_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_threadlib_gbench.dir/native_threadlib_gbench.cc.o"
+  "CMakeFiles/native_threadlib_gbench.dir/native_threadlib_gbench.cc.o.d"
+  "native_threadlib_gbench"
+  "native_threadlib_gbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_threadlib_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plot_results.dir/plot_results.cc.o"
+  "CMakeFiles/plot_results.dir/plot_results.cc.o.d"
+  "plot_results"
+  "plot_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plot_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncperf_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/syncperf_bench_common.dir/bench_common.cc.o.d"
+  "libsyncperf_bench_common.a"
+  "libsyncperf_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncperf_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

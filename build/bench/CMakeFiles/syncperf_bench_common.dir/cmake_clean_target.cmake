@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsyncperf_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_systems.dir/tab1_systems.cc.o"
+  "CMakeFiles/tab1_systems.dir/tab1_systems.cc.o.d"
+  "tab1_systems"
+  "tab1_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_reduction.dir/cpu_reduction.cpp.o"
+  "CMakeFiles/cpu_reduction.dir/cpu_reduction.cpp.o.d"
+  "cpu_reduction"
+  "cpu_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

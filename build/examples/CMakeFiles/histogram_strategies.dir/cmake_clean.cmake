@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_strategies.dir/histogram_strategies.cpp.o"
+  "CMakeFiles/histogram_strategies.dir/histogram_strategies.cpp.o.d"
+  "histogram_strategies"
+  "histogram_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_probe.dir/native_probe.cpp.o"
+  "CMakeFiles/native_probe.dir/native_probe.cpp.o.d"
+  "native_probe"
+  "native_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_showdown.dir/reduction_showdown.cpp.o"
+  "CMakeFiles/reduction_showdown.dir/reduction_showdown.cpp.o.d"
+  "reduction_showdown"
+  "reduction_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

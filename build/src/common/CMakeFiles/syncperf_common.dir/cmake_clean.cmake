@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncperf_common.dir/ascii_chart.cc.o"
+  "CMakeFiles/syncperf_common.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/syncperf_common.dir/csv.cc.o"
+  "CMakeFiles/syncperf_common.dir/csv.cc.o.d"
+  "CMakeFiles/syncperf_common.dir/csv_reader.cc.o"
+  "CMakeFiles/syncperf_common.dir/csv_reader.cc.o.d"
+  "CMakeFiles/syncperf_common.dir/fmt.cc.o"
+  "CMakeFiles/syncperf_common.dir/fmt.cc.o.d"
+  "CMakeFiles/syncperf_common.dir/logging.cc.o"
+  "CMakeFiles/syncperf_common.dir/logging.cc.o.d"
+  "CMakeFiles/syncperf_common.dir/stats.cc.o"
+  "CMakeFiles/syncperf_common.dir/stats.cc.o.d"
+  "CMakeFiles/syncperf_common.dir/table.cc.o"
+  "CMakeFiles/syncperf_common.dir/table.cc.o.d"
+  "CMakeFiles/syncperf_common.dir/units.cc.o"
+  "CMakeFiles/syncperf_common.dir/units.cc.o.d"
+  "libsyncperf_common.a"
+  "libsyncperf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncperf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cc" "src/core/CMakeFiles/syncperf_core.dir/campaign.cc.o" "gcc" "src/core/CMakeFiles/syncperf_core.dir/campaign.cc.o.d"
+  "/root/repo/src/core/cpusim_target.cc" "src/core/CMakeFiles/syncperf_core.dir/cpusim_target.cc.o" "gcc" "src/core/CMakeFiles/syncperf_core.dir/cpusim_target.cc.o.d"
+  "/root/repo/src/core/figure.cc" "src/core/CMakeFiles/syncperf_core.dir/figure.cc.o" "gcc" "src/core/CMakeFiles/syncperf_core.dir/figure.cc.o.d"
+  "/root/repo/src/core/gpusim_target.cc" "src/core/CMakeFiles/syncperf_core.dir/gpusim_target.cc.o" "gcc" "src/core/CMakeFiles/syncperf_core.dir/gpusim_target.cc.o.d"
+  "/root/repo/src/core/native_target.cc" "src/core/CMakeFiles/syncperf_core.dir/native_target.cc.o" "gcc" "src/core/CMakeFiles/syncperf_core.dir/native_target.cc.o.d"
+  "/root/repo/src/core/omp_pragma_target.cc" "src/core/CMakeFiles/syncperf_core.dir/omp_pragma_target.cc.o" "gcc" "src/core/CMakeFiles/syncperf_core.dir/omp_pragma_target.cc.o.d"
+  "/root/repo/src/core/protocol.cc" "src/core/CMakeFiles/syncperf_core.dir/protocol.cc.o" "gcc" "src/core/CMakeFiles/syncperf_core.dir/protocol.cc.o.d"
+  "/root/repo/src/core/recommend.cc" "src/core/CMakeFiles/syncperf_core.dir/recommend.cc.o" "gcc" "src/core/CMakeFiles/syncperf_core.dir/recommend.cc.o.d"
+  "/root/repo/src/core/reductions.cc" "src/core/CMakeFiles/syncperf_core.dir/reductions.cc.o" "gcc" "src/core/CMakeFiles/syncperf_core.dir/reductions.cc.o.d"
+  "/root/repo/src/core/sweep.cc" "src/core/CMakeFiles/syncperf_core.dir/sweep.cc.o" "gcc" "src/core/CMakeFiles/syncperf_core.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/syncperf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/syncperf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpusim/CMakeFiles/syncperf_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/syncperf_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/threadlib/CMakeFiles/syncperf_threadlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncperf_core.dir/campaign.cc.o"
+  "CMakeFiles/syncperf_core.dir/campaign.cc.o.d"
+  "CMakeFiles/syncperf_core.dir/cpusim_target.cc.o"
+  "CMakeFiles/syncperf_core.dir/cpusim_target.cc.o.d"
+  "CMakeFiles/syncperf_core.dir/figure.cc.o"
+  "CMakeFiles/syncperf_core.dir/figure.cc.o.d"
+  "CMakeFiles/syncperf_core.dir/gpusim_target.cc.o"
+  "CMakeFiles/syncperf_core.dir/gpusim_target.cc.o.d"
+  "CMakeFiles/syncperf_core.dir/native_target.cc.o"
+  "CMakeFiles/syncperf_core.dir/native_target.cc.o.d"
+  "CMakeFiles/syncperf_core.dir/omp_pragma_target.cc.o"
+  "CMakeFiles/syncperf_core.dir/omp_pragma_target.cc.o.d"
+  "CMakeFiles/syncperf_core.dir/protocol.cc.o"
+  "CMakeFiles/syncperf_core.dir/protocol.cc.o.d"
+  "CMakeFiles/syncperf_core.dir/recommend.cc.o"
+  "CMakeFiles/syncperf_core.dir/recommend.cc.o.d"
+  "CMakeFiles/syncperf_core.dir/reductions.cc.o"
+  "CMakeFiles/syncperf_core.dir/reductions.cc.o.d"
+  "CMakeFiles/syncperf_core.dir/sweep.cc.o"
+  "CMakeFiles/syncperf_core.dir/sweep.cc.o.d"
+  "libsyncperf_core.a"
+  "libsyncperf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncperf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpusim/affinity.cc" "src/cpusim/CMakeFiles/syncperf_cpusim.dir/affinity.cc.o" "gcc" "src/cpusim/CMakeFiles/syncperf_cpusim.dir/affinity.cc.o.d"
+  "/root/repo/src/cpusim/cpu_config.cc" "src/cpusim/CMakeFiles/syncperf_cpusim.dir/cpu_config.cc.o" "gcc" "src/cpusim/CMakeFiles/syncperf_cpusim.dir/cpu_config.cc.o.d"
+  "/root/repo/src/cpusim/machine.cc" "src/cpusim/CMakeFiles/syncperf_cpusim.dir/machine.cc.o" "gcc" "src/cpusim/CMakeFiles/syncperf_cpusim.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/syncperf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/syncperf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncperf_cpusim.dir/affinity.cc.o"
+  "CMakeFiles/syncperf_cpusim.dir/affinity.cc.o.d"
+  "CMakeFiles/syncperf_cpusim.dir/cpu_config.cc.o"
+  "CMakeFiles/syncperf_cpusim.dir/cpu_config.cc.o.d"
+  "CMakeFiles/syncperf_cpusim.dir/machine.cc.o"
+  "CMakeFiles/syncperf_cpusim.dir/machine.cc.o.d"
+  "libsyncperf_cpusim.a"
+  "libsyncperf_cpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncperf_cpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

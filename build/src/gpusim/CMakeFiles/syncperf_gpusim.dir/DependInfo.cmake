@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/gpu_config.cc" "src/gpusim/CMakeFiles/syncperf_gpusim.dir/gpu_config.cc.o" "gcc" "src/gpusim/CMakeFiles/syncperf_gpusim.dir/gpu_config.cc.o.d"
+  "/root/repo/src/gpusim/machine.cc" "src/gpusim/CMakeFiles/syncperf_gpusim.dir/machine.cc.o" "gcc" "src/gpusim/CMakeFiles/syncperf_gpusim.dir/machine.cc.o.d"
+  "/root/repo/src/gpusim/occupancy.cc" "src/gpusim/CMakeFiles/syncperf_gpusim.dir/occupancy.cc.o" "gcc" "src/gpusim/CMakeFiles/syncperf_gpusim.dir/occupancy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/syncperf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/syncperf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

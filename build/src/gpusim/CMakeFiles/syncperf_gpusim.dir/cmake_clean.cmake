@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncperf_gpusim.dir/gpu_config.cc.o"
+  "CMakeFiles/syncperf_gpusim.dir/gpu_config.cc.o.d"
+  "CMakeFiles/syncperf_gpusim.dir/machine.cc.o"
+  "CMakeFiles/syncperf_gpusim.dir/machine.cc.o.d"
+  "CMakeFiles/syncperf_gpusim.dir/occupancy.cc.o"
+  "CMakeFiles/syncperf_gpusim.dir/occupancy.cc.o.d"
+  "libsyncperf_gpusim.a"
+  "libsyncperf_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncperf_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncperf_sim.dir/event_queue.cc.o"
+  "CMakeFiles/syncperf_sim.dir/event_queue.cc.o.d"
+  "libsyncperf_sim.a"
+  "libsyncperf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncperf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/threadlib/barrier.cc" "src/threadlib/CMakeFiles/syncperf_threadlib.dir/barrier.cc.o" "gcc" "src/threadlib/CMakeFiles/syncperf_threadlib.dir/barrier.cc.o.d"
+  "/root/repo/src/threadlib/locks.cc" "src/threadlib/CMakeFiles/syncperf_threadlib.dir/locks.cc.o" "gcc" "src/threadlib/CMakeFiles/syncperf_threadlib.dir/locks.cc.o.d"
+  "/root/repo/src/threadlib/parallel_region.cc" "src/threadlib/CMakeFiles/syncperf_threadlib.dir/parallel_region.cc.o" "gcc" "src/threadlib/CMakeFiles/syncperf_threadlib.dir/parallel_region.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/syncperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

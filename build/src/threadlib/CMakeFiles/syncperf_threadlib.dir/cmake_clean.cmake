@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syncperf_threadlib.dir/barrier.cc.o"
+  "CMakeFiles/syncperf_threadlib.dir/barrier.cc.o.d"
+  "CMakeFiles/syncperf_threadlib.dir/locks.cc.o"
+  "CMakeFiles/syncperf_threadlib.dir/locks.cc.o.d"
+  "CMakeFiles/syncperf_threadlib.dir/parallel_region.cc.o"
+  "CMakeFiles/syncperf_threadlib.dir/parallel_region.cc.o.d"
+  "libsyncperf_threadlib.a"
+  "libsyncperf_threadlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syncperf_threadlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for syncperf_threadlib.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for syncperf_threadlib.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bench/test_bench_common.cc" "tests/CMakeFiles/syncperf_tests.dir/bench/test_bench_common.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/bench/test_bench_common.cc.o.d"
+  "/root/repo/tests/common/test_ascii_chart.cc" "tests/CMakeFiles/syncperf_tests.dir/common/test_ascii_chart.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/common/test_ascii_chart.cc.o.d"
+  "/root/repo/tests/common/test_csv.cc" "tests/CMakeFiles/syncperf_tests.dir/common/test_csv.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/common/test_csv.cc.o.d"
+  "/root/repo/tests/common/test_csv_reader.cc" "tests/CMakeFiles/syncperf_tests.dir/common/test_csv_reader.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/common/test_csv_reader.cc.o.d"
+  "/root/repo/tests/common/test_dtype.cc" "tests/CMakeFiles/syncperf_tests.dir/common/test_dtype.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/common/test_dtype.cc.o.d"
+  "/root/repo/tests/common/test_fmt.cc" "tests/CMakeFiles/syncperf_tests.dir/common/test_fmt.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/common/test_fmt.cc.o.d"
+  "/root/repo/tests/common/test_logging.cc" "tests/CMakeFiles/syncperf_tests.dir/common/test_logging.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/common/test_logging.cc.o.d"
+  "/root/repo/tests/common/test_rng.cc" "tests/CMakeFiles/syncperf_tests.dir/common/test_rng.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/common/test_rng.cc.o.d"
+  "/root/repo/tests/common/test_stats.cc" "tests/CMakeFiles/syncperf_tests.dir/common/test_stats.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/common/test_stats.cc.o.d"
+  "/root/repo/tests/common/test_table.cc" "tests/CMakeFiles/syncperf_tests.dir/common/test_table.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/common/test_table.cc.o.d"
+  "/root/repo/tests/common/test_units.cc" "tests/CMakeFiles/syncperf_tests.dir/common/test_units.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/common/test_units.cc.o.d"
+  "/root/repo/tests/core/test_campaign.cc" "tests/CMakeFiles/syncperf_tests.dir/core/test_campaign.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/core/test_campaign.cc.o.d"
+  "/root/repo/tests/core/test_cpusim_target.cc" "tests/CMakeFiles/syncperf_tests.dir/core/test_cpusim_target.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/core/test_cpusim_target.cc.o.d"
+  "/root/repo/tests/core/test_figure.cc" "tests/CMakeFiles/syncperf_tests.dir/core/test_figure.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/core/test_figure.cc.o.d"
+  "/root/repo/tests/core/test_gpusim_target.cc" "tests/CMakeFiles/syncperf_tests.dir/core/test_gpusim_target.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/core/test_gpusim_target.cc.o.d"
+  "/root/repo/tests/core/test_native_target.cc" "tests/CMakeFiles/syncperf_tests.dir/core/test_native_target.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/core/test_native_target.cc.o.d"
+  "/root/repo/tests/core/test_omp_pragma_target.cc" "tests/CMakeFiles/syncperf_tests.dir/core/test_omp_pragma_target.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/core/test_omp_pragma_target.cc.o.d"
+  "/root/repo/tests/core/test_primitives_sweep.cc" "tests/CMakeFiles/syncperf_tests.dir/core/test_primitives_sweep.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/core/test_primitives_sweep.cc.o.d"
+  "/root/repo/tests/core/test_protocol.cc" "tests/CMakeFiles/syncperf_tests.dir/core/test_protocol.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/core/test_protocol.cc.o.d"
+  "/root/repo/tests/core/test_recommend.cc" "tests/CMakeFiles/syncperf_tests.dir/core/test_recommend.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/core/test_recommend.cc.o.d"
+  "/root/repo/tests/core/test_reductions.cc" "tests/CMakeFiles/syncperf_tests.dir/core/test_reductions.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/core/test_reductions.cc.o.d"
+  "/root/repo/tests/cpusim/test_affinity.cc" "tests/CMakeFiles/syncperf_tests.dir/cpusim/test_affinity.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/cpusim/test_affinity.cc.o.d"
+  "/root/repo/tests/cpusim/test_algorithms.cc" "tests/CMakeFiles/syncperf_tests.dir/cpusim/test_algorithms.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/cpusim/test_algorithms.cc.o.d"
+  "/root/repo/tests/cpusim/test_cpu_machine.cc" "tests/CMakeFiles/syncperf_tests.dir/cpusim/test_cpu_machine.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/cpusim/test_cpu_machine.cc.o.d"
+  "/root/repo/tests/gpusim/test_divergence.cc" "tests/CMakeFiles/syncperf_tests.dir/gpusim/test_divergence.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/gpusim/test_divergence.cc.o.d"
+  "/root/repo/tests/gpusim/test_gpu_extensions.cc" "tests/CMakeFiles/syncperf_tests.dir/gpusim/test_gpu_extensions.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/gpusim/test_gpu_extensions.cc.o.d"
+  "/root/repo/tests/gpusim/test_gpu_machine.cc" "tests/CMakeFiles/syncperf_tests.dir/gpusim/test_gpu_machine.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/gpusim/test_gpu_machine.cc.o.d"
+  "/root/repo/tests/gpusim/test_occupancy.cc" "tests/CMakeFiles/syncperf_tests.dir/gpusim/test_occupancy.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/gpusim/test_occupancy.cc.o.d"
+  "/root/repo/tests/integration/test_fuzz.cc" "tests/CMakeFiles/syncperf_tests.dir/integration/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/integration/test_fuzz.cc.o.d"
+  "/root/repo/tests/integration/test_other_systems.cc" "tests/CMakeFiles/syncperf_tests.dir/integration/test_other_systems.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/integration/test_other_systems.cc.o.d"
+  "/root/repo/tests/integration/test_paper_claims_cuda.cc" "tests/CMakeFiles/syncperf_tests.dir/integration/test_paper_claims_cuda.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/integration/test_paper_claims_cuda.cc.o.d"
+  "/root/repo/tests/integration/test_paper_claims_omp.cc" "tests/CMakeFiles/syncperf_tests.dir/integration/test_paper_claims_omp.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/integration/test_paper_claims_omp.cc.o.d"
+  "/root/repo/tests/integration/test_properties.cc" "tests/CMakeFiles/syncperf_tests.dir/integration/test_properties.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/integration/test_properties.cc.o.d"
+  "/root/repo/tests/sim/test_clock_stat.cc" "tests/CMakeFiles/syncperf_tests.dir/sim/test_clock_stat.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/sim/test_clock_stat.cc.o.d"
+  "/root/repo/tests/sim/test_event_queue.cc" "tests/CMakeFiles/syncperf_tests.dir/sim/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/sim/test_event_queue.cc.o.d"
+  "/root/repo/tests/threadlib/test_atomics.cc" "tests/CMakeFiles/syncperf_tests.dir/threadlib/test_atomics.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/threadlib/test_atomics.cc.o.d"
+  "/root/repo/tests/threadlib/test_barrier.cc" "tests/CMakeFiles/syncperf_tests.dir/threadlib/test_barrier.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/threadlib/test_barrier.cc.o.d"
+  "/root/repo/tests/threadlib/test_locks.cc" "tests/CMakeFiles/syncperf_tests.dir/threadlib/test_locks.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/threadlib/test_locks.cc.o.d"
+  "/root/repo/tests/threadlib/test_parallel_region.cc" "tests/CMakeFiles/syncperf_tests.dir/threadlib/test_parallel_region.cc.o" "gcc" "tests/CMakeFiles/syncperf_tests.dir/threadlib/test_parallel_region.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/syncperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/syncperf_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpusim/CMakeFiles/syncperf_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/syncperf_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/syncperf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/threadlib/CMakeFiles/syncperf_threadlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/syncperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
