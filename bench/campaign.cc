@@ -3,15 +3,56 @@
  * Campaign driver: the repository's analog of the paper artifact's
  * "./launch.py all". Runs the full measurement campaign for every
  * modeled system and writes one CSV per experiment under results/.
+ *
+ * Resilient by design: every CSV lands via an atomic rename, every
+ * experiment is journaled in results/<system>/manifest.json, a
+ * failed experiment is recorded and skipped rather than aborting,
+ * and --resume continues an interrupted campaign without redoing
+ * journaled-complete work. Exits nonzero (with a summary) when any
+ * experiment failed. See docs/robustness.md.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "core/campaign.hh"
 
 using namespace syncperf;
 using namespace syncperf::core;
+
+namespace
+{
+
+/** Accumulated outcome across all systems. */
+struct Totals
+{
+    int run = 0;
+    int skipped = 0;
+    std::vector<ExperimentFailure> failures;
+    int files = 0;
+
+    void
+    fold(const std::string &system, const CampaignResult &r)
+    {
+        run += r.experiments_run;
+        skipped += r.experiments_skipped;
+        files += static_cast<int>(r.files_written.size());
+        for (const auto &f : r.failures)
+            failures.push_back({system + "/" + f.file, f.error});
+    }
+};
+
+void
+printSystemLine(const CampaignResult &r)
+{
+    std::printf("  %d experiments -> %zu files (%d skipped, %zu "
+                "failed)\n",
+                r.experiments_run, r.files_written.size(),
+                r.experiments_skipped, r.failures.size());
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -30,27 +71,49 @@ main(int argc, char **argv)
             options.output_dir = argv[++i];
         } else if (std::strcmp(argv[i], "--thorough") == 0) {
             options.quick = false;
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            options.resume = true;
+        } else if (std::strcmp(argv[i], "--cov-gate") == 0 &&
+                   i + 1 < argc) {
+            const double gate = std::atof(argv[++i]);
+            omp_protocol.cov_gate = gate;
+            cuda_protocol.cov_gate = gate;
         } else if (std::strcmp(argv[i], "omp") == 0) {
             omp_only = true;
         } else if (std::strcmp(argv[i], "cuda") == 0) {
             cuda_only = true;
         } else if (std::strcmp(argv[i], "--help") == 0) {
-            std::printf("usage: %s [omp|cuda] [--out DIR] "
-                        "[--thorough]\n", argv[0]);
+            std::printf("usage: %s [omp|cuda] [--out DIR] [--thorough] "
+                        "[--resume] [--cov-gate COV]\n", argv[0]);
             return 0;
+        } else if (std::strcmp(argv[i], "--out") == 0 ||
+                   std::strcmp(argv[i], "--cov-gate") == 0) {
+            std::fprintf(stderr, "%s: %s requires a value\n", argv[0],
+                         argv[i]);
+            return 2;
+        } else {
+            std::fprintf(stderr,
+                         "%s: unknown argument '%s' (try --help)\n",
+                         argv[0], argv[i]);
+            return 2;
         }
     }
 
-    int files = 0;
+    // The CoV gate needs more than one run to see variance.
+    if (omp_protocol.cov_gate > 0.0) {
+        omp_protocol.runs = 3;
+        cuda_protocol.runs = 3;
+    }
+
+    Totals totals;
     if (!cuda_only) {
         for (const auto &cpu :
              {cpusim::CpuConfig::system1(), cpusim::CpuConfig::system2(),
               cpusim::CpuConfig::system3()}) {
             std::printf("OpenMP campaign on %s...\n", cpu.name.c_str());
             const auto r = runOmpCampaign(cpu, omp_protocol, options);
-            std::printf("  %d experiments -> %zu files\n",
-                        r.experiments_run, r.files_written.size());
-            files += static_cast<int>(r.files_written.size());
+            printSystemLine(r);
+            totals.fold(sanitizeName(cpu.name), r);
         }
     }
     if (!omp_only) {
@@ -59,12 +122,22 @@ main(int argc, char **argv)
               gpusim::GpuConfig::rtx4090()}) {
             std::printf("CUDA campaign on %s...\n", gpu.name.c_str());
             const auto r = runCudaCampaign(gpu, cuda_protocol, options);
-            std::printf("  %d experiments -> %zu files\n",
-                        r.experiments_run, r.files_written.size());
-            files += static_cast<int>(r.files_written.size());
+            printSystemLine(r);
+            totals.fold(sanitizeName(gpu.name), r);
         }
     }
-    std::printf("\ncampaign complete: %d CSV files under %s/\n", files,
-                options.output_dir.c_str());
+
+    std::printf("\ncampaign %s: %d CSV files under %s/ "
+                "(%d experiments run, %d resumed-skipped, %zu failed)\n",
+                totals.failures.empty() ? "complete" : "DEGRADED",
+                totals.files, options.output_dir.c_str(), totals.run,
+                totals.skipped, totals.failures.size());
+    if (!totals.failures.empty()) {
+        std::printf("failed experiments (journaled in each system's "
+                    "manifest.json; rerun with --resume):\n");
+        for (const auto &f : totals.failures)
+            std::printf("  %s: %s\n", f.file.c_str(), f.error.c_str());
+        return 1;
+    }
     return 0;
 }

@@ -5,16 +5,20 @@
  *
  * Auto-detects the campaign schemas: OpenMP files plot throughput vs
  * threads; CUDA files plot one series per block count on a log2
- * thread axis.
+ * thread axis. With --out the rendered charts are written to a file
+ * through the same atomic temp-file rename the campaign uses, so an
+ * interrupted invocation never leaves a truncated report.
  */
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/ascii_chart.hh"
+#include "common/atomic_file.hh"
 #include "common/csv_reader.hh"
 #include "common/logging.hh"
 
@@ -23,7 +27,7 @@ using namespace syncperf;
 namespace
 {
 
-int
+std::string
 plotOmp(const CsvTable &table, const std::string &title)
 {
     const int x_col = table.columnIndex("threads");
@@ -38,11 +42,10 @@ plotOmp(const CsvTable &table, const std::string &title)
     chart.setXLabel("threads");
     chart.setYLabel("throughput (op/s per thread)");
     chart.addSeries("measured", std::move(ys));
-    std::fputs(chart.render().c_str(), stdout);
-    return 0;
+    return chart.render();
 }
 
-int
+std::string
 plotCuda(const CsvTable &table, const std::string &title)
 {
     const int blocks_col = table.columnIndex("blocks");
@@ -74,8 +77,7 @@ plotCuda(const CsvTable &table, const std::string &title)
         chart.addSeries(std::to_string(blocks) + " block(s)",
                         std::move(ys));
     }
-    std::fputs(chart.render().c_str(), stdout);
-    return 0;
+    return chart.render();
 }
 
 } // namespace
@@ -83,26 +85,53 @@ plotCuda(const CsvTable &table, const std::string &title)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::printf("usage: %s <campaign csv>...\n", argv[0]);
+    std::string out_file;
+    std::vector<const char *> inputs;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_file = argv[++i];
+        } else {
+            inputs.push_back(argv[i]);
+        }
+    }
+    if (inputs.empty()) {
+        std::printf("usage: %s [--out FILE] <campaign csv>...\n",
+                    argv[0]);
         return 1;
     }
-    for (int i = 1; i < argc; ++i) {
-        std::ifstream in(argv[i]);
+
+    std::string rendered;
+    for (const char *input : inputs) {
+        std::ifstream in(input);
         if (!in) {
-            std::fprintf(stderr, "cannot open %s\n", argv[i]);
+            std::fprintf(stderr, "cannot open %s\n", input);
             return 1;
         }
         const CsvTable table = readCsv(in);
         if (table.columnIndex("blocks") >= 0) {
-            plotCuda(table, argv[i]);
+            rendered += plotCuda(table, input);
         } else if (table.columnIndex("threads") >= 0) {
-            plotOmp(table, argv[i]);
+            rendered += plotOmp(table, input);
         } else {
-            std::fprintf(stderr, "%s: unrecognized schema\n", argv[i]);
+            std::fprintf(stderr, "%s: unrecognized schema\n", input);
             return 1;
         }
-        std::printf("\n");
+        rendered += "\n";
+    }
+
+    if (out_file.empty()) {
+        std::fputs(rendered.c_str(), stdout);
+        return 0;
+    }
+    AtomicFile out;
+    if (Status s = out.open(out_file); !s.isOk()) {
+        std::fprintf(stderr, "%s\n", s.toString().c_str());
+        return 1;
+    }
+    out.stream() << rendered;
+    if (Status s = out.commit(); !s.isOk()) {
+        std::fprintf(stderr, "%s\n", s.toString().c_str());
+        return 1;
     }
     return 0;
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the default build + full test suite, followed by
+# a second build of the error-path tests under ASan/UBSan (the
+# `sanitize` CMake preset, ctest label `sanitize`).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: default build + full suite =="
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+echo "== tier-1: sanitize preset (ASan + UBSan) =="
+cmake --preset sanitize
+cmake --build --preset sanitize -j "$(nproc)"
+ctest --preset sanitize -j "$(nproc)"
+
+echo "== tier-1: all green =="

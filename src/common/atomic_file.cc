@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Implementation of crash-safe file emission.
+ */
+
+#include "atomic_file.hh"
+
+#include <utility>
+
+namespace syncperf
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+AtomicFile::FaultHook g_fault_hook;
+
+Status
+consultHook(const fs::path &path, std::string_view op)
+{
+    if (!g_fault_hook)
+        return Status::ok();
+    return g_fault_hook(path, op);
+}
+
+} // namespace
+
+AtomicFile::~AtomicFile()
+{
+    discard();
+}
+
+AtomicFile::AtomicFile(AtomicFile &&other) noexcept
+    : path_(std::move(other.path_)),
+      tmp_path_(std::move(other.tmp_path_)),
+      out_(std::move(other.out_))
+{
+    other.path_.clear();
+    other.tmp_path_.clear();
+}
+
+AtomicFile &
+AtomicFile::operator=(AtomicFile &&other) noexcept
+{
+    if (this != &other) {
+        discard();
+        path_ = std::move(other.path_);
+        tmp_path_ = std::move(other.tmp_path_);
+        out_ = std::move(other.out_);
+        other.path_.clear();
+        other.tmp_path_.clear();
+    }
+    return *this;
+}
+
+fs::path
+AtomicFile::tempPathFor(const fs::path &path)
+{
+    fs::path tmp = path;
+    tmp += ".tmp";
+    return tmp;
+}
+
+AtomicFile::FaultHook
+AtomicFile::setFaultHook(FaultHook hook)
+{
+    return std::exchange(g_fault_hook, std::move(hook));
+}
+
+Status
+AtomicFile::open(const fs::path &path)
+{
+    SYNCPERF_ASSERT(!isOpen(), "open() on an already-open AtomicFile");
+    if (Status s = consultHook(path, "open"); !s.isOk())
+        return s;
+
+    std::error_code ec;
+    if (!path.parent_path().empty()) {
+        fs::create_directories(path.parent_path(), ec);
+        if (ec) {
+            return Status::error(ErrorCode::IoError,
+                                 "cannot create {}: {}",
+                                 path.parent_path().string(),
+                                 ec.message());
+        }
+    }
+
+    const fs::path tmp = tempPathFor(path);
+    out_.open(tmp, std::ios::out | std::ios::trunc);
+    if (!out_) {
+        return Status::error(ErrorCode::IoError,
+                             "cannot open {} for writing",
+                             tmp.string());
+    }
+    path_ = path;
+    tmp_path_ = tmp;
+    return Status::ok();
+}
+
+std::ostream &
+AtomicFile::stream()
+{
+    SYNCPERF_ASSERT(isOpen(), "stream() on a closed AtomicFile");
+    return out_;
+}
+
+Status
+AtomicFile::commit()
+{
+    SYNCPERF_ASSERT(isOpen(), "commit() on a closed AtomicFile");
+    if (Status s = consultHook(path_, "commit"); !s.isOk()) {
+        discard();
+        return s;
+    }
+
+    out_.flush();
+    const bool wrote_cleanly = out_.good();
+    out_.close();
+    if (!wrote_cleanly || out_.fail()) {
+        Status s = Status::error(ErrorCode::IoError,
+                                 "write to {} failed",
+                                 tmp_path_.string());
+        discard();
+        return s;
+    }
+
+    std::error_code ec;
+    fs::rename(tmp_path_, path_, ec);
+    if (ec) {
+        Status s = Status::error(ErrorCode::IoError,
+                                 "cannot rename {} to {}: {}",
+                                 tmp_path_.string(), path_.string(),
+                                 ec.message());
+        discard();
+        return s;
+    }
+    path_.clear();
+    tmp_path_.clear();
+    return Status::ok();
+}
+
+void
+AtomicFile::discard()
+{
+    if (out_.is_open())
+        out_.close();
+    if (!tmp_path_.empty()) {
+        std::error_code ec;
+        fs::remove(tmp_path_, ec); // best effort
+    }
+    path_.clear();
+    tmp_path_.clear();
+}
+
+} // namespace syncperf

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Crash-safe file emission: write to a .tmp sibling, then atomically
+ * rename over the destination on commit. An interrupted campaign
+ * (even kill -9) can leave a stale .tmp behind but never a truncated
+ * result file, which is what makes checkpoint/resume trustworthy.
+ */
+
+#ifndef SYNCPERF_COMMON_ATOMIC_FILE_HH
+#define SYNCPERF_COMMON_ATOMIC_FILE_HH
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string_view>
+
+#include "common/status.hh"
+
+namespace syncperf
+{
+
+/**
+ * Move-only writer for one atomically-replaced file.
+ *
+ * Usage: open(), stream() any amount of output, commit(). Destroying
+ * an uncommitted writer discards the temporary, leaving any previous
+ * committed content untouched.
+ */
+class AtomicFile
+{
+  public:
+    /**
+     * Hook consulted on every open and commit; a non-ok return is
+     * surfaced as that operation's failure. Installed by the fault
+     * injector (sim/fault_injector.hh) so tests can force transient
+     * write failures without touching the filesystem layer.
+     *
+     * @param path Destination (final) path of the operation.
+     * @param op "open" or "commit".
+     */
+    using FaultHook =
+        std::function<Status(const std::filesystem::path &path,
+                             std::string_view op)>;
+
+    AtomicFile() = default;
+    ~AtomicFile();
+
+    AtomicFile(AtomicFile &&other) noexcept;
+    AtomicFile &operator=(AtomicFile &&other) noexcept;
+    AtomicFile(const AtomicFile &) = delete;
+    AtomicFile &operator=(const AtomicFile &) = delete;
+
+    /**
+     * Create parent directories and open the .tmp sibling for
+     * writing, truncating any stale leftover from a crashed run.
+     */
+    Status open(const std::filesystem::path &path);
+
+    /** Destination stream; open() must have succeeded. */
+    std::ostream &stream();
+
+    /**
+     * Flush, close, and rename the temporary over the destination.
+     * After a successful commit the writer is closed and inert.
+     */
+    Status commit();
+
+    /** Close and remove the temporary without touching the
+     * destination. Safe to call in any state. */
+    void discard();
+
+    bool isOpen() const { return out_.is_open(); }
+
+    /** Destination path of the current open() (empty when closed). */
+    const std::filesystem::path &path() const { return path_; }
+
+    /** The .tmp sibling used for @p path. */
+    static std::filesystem::path
+    tempPathFor(const std::filesystem::path &path);
+
+    /**
+     * Install (or clear, with nullptr) the process-wide fault hook.
+     * Returns the previous hook so scoped users can restore it.
+     */
+    static FaultHook setFaultHook(FaultHook hook);
+
+  private:
+    std::filesystem::path path_;
+    std::filesystem::path tmp_path_;
+    std::ofstream out_;
+};
+
+} // namespace syncperf
+
+#endif // SYNCPERF_COMMON_ATOMIC_FILE_HH

@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Implementation of the minimal JSON library.
+ */
+
+#include "json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace syncperf
+{
+namespace
+{
+
+/** Recursive-descent parser over a string_view. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Result<JsonValue>
+    parseDocument()
+    {
+        auto value = parseValue();
+        if (!value.isOk())
+            return value;
+        skipWs();
+        if (pos_ != text_.size()) {
+            return fail("trailing characters after JSON value");
+        }
+        return value;
+    }
+
+  private:
+    Status
+    fail(std::string_view what) const
+    {
+        return Status::error(ErrorCode::ParseError,
+                             "JSON parse error at offset {}: {}",
+                             static_cast<long long>(pos_), what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) == word) {
+            pos_ += word.size();
+            return true;
+        }
+        return false;
+    }
+
+    Result<JsonValue>
+    parseValue()
+    {
+        if (++depth_ > max_depth)
+            return fail("nesting too deep");
+        struct Depth
+        {
+            int &d;
+            ~Depth() { --d; }
+        } guard{depth_};
+
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't':
+            if (consumeWord("true"))
+                return JsonValue(true);
+            return fail("invalid literal");
+          case 'f':
+            if (consumeWord("false"))
+                return JsonValue(false);
+            return fail("invalid literal");
+          case 'n':
+            if (consumeWord("null"))
+                return JsonValue();
+            return fail("invalid literal");
+          default: return parseNumber();
+        }
+    }
+
+    Result<JsonValue>
+    parseString()
+    {
+        ++pos_; // opening quote
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return JsonValue(std::move(out));
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    break;
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"': out.push_back('"'); break;
+                  case '\\': out.push_back('\\'); break;
+                  case '/': out.push_back('/'); break;
+                  case 'b': out.push_back('\b'); break;
+                  case 'f': out.push_back('\f'); break;
+                  case 'n': out.push_back('\n'); break;
+                  case 'r': out.push_back('\r'); break;
+                  case 't': out.push_back('\t'); break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') {
+                            code |= static_cast<unsigned>(h - '0');
+                        } else if (h >= 'a' && h <= 'f') {
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        } else if (h >= 'A' && h <= 'F') {
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        } else {
+                            return fail("bad hex digit in \\u escape");
+                        }
+                    }
+                    // The manifest only needs ASCII; encode the rest
+                    // as UTF-8 without surrogate-pair handling.
+                    if (code < 0x80) {
+                        out.push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        out.push_back(
+                            static_cast<char>(0xC0 | (code >> 6)));
+                        out.push_back(
+                            static_cast<char>(0x80 | (code & 0x3F)));
+                    } else {
+                        out.push_back(
+                            static_cast<char>(0xE0 | (code >> 12)));
+                        out.push_back(static_cast<char>(
+                            0x80 | ((code >> 6) & 0x3F)));
+                        out.push_back(
+                            static_cast<char>(0x80 | (code & 0x3F)));
+                    }
+                    break;
+                  }
+                  default: return fail("unknown escape");
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    Result<JsonValue>
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '-' || text_[pos_] == '+')) {
+            ++pos_;
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '-' ||
+                text_[pos_] == '+')) {
+            ++pos_;
+        }
+        double value = 0.0;
+        const auto [end, ec] = std::from_chars(
+            text_.data() + start, text_.data() + pos_, value);
+        if (ec != std::errc{} || end != text_.data() + pos_ ||
+            start == pos_) {
+            return fail("invalid number");
+        }
+        return JsonValue(value);
+    }
+
+    Result<JsonValue>
+    parseArray()
+    {
+        ++pos_; // '['
+        JsonValue out = JsonValue::array();
+        if (consume(']'))
+            return out;
+        while (true) {
+            auto element = parseValue();
+            if (!element.isOk())
+                return element;
+            out.push(std::move(element).value());
+            if (consume(']'))
+                return out;
+            if (!consume(','))
+                return fail("expected ',' or ']' in array");
+        }
+    }
+
+    Result<JsonValue>
+    parseObject()
+    {
+        ++pos_; // '{'
+        JsonValue out = JsonValue::object();
+        if (consume('}'))
+            return out;
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected string key in object");
+            auto key = parseString();
+            if (!key.isOk())
+                return key;
+            if (!consume(':'))
+                return fail("expected ':' after object key");
+            auto value = parseValue();
+            if (!value.isOk())
+                return value;
+            out.set(key.value().asString(), std::move(value).value());
+            if (consume('}'))
+                return out;
+            if (!consume(','))
+                return fail("expected ',' or '}' in object");
+        }
+    }
+
+    static constexpr int max_depth = 64;
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+void
+dumpString(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+dumpNumber(std::string &out, double n)
+{
+    if (!std::isfinite(n)) {
+        // JSON has no NaN/Inf; null is the conventional stand-in.
+        out += "null";
+        return;
+    }
+    if (n == std::floor(n) && std::fabs(n) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", n);
+        out += buf;
+    } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", n);
+        out += buf;
+    }
+}
+
+} // namespace
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+bool
+JsonValue::asBool() const
+{
+    SYNCPERF_ASSERT(isBool());
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    SYNCPERF_ASSERT(isNumber());
+    return num_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    SYNCPERF_ASSERT(isString());
+    return str_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    SYNCPERF_ASSERT(isArray());
+    return arr_;
+}
+
+const std::vector<JsonValue::Member> &
+JsonValue::asObject() const
+{
+    SYNCPERF_ASSERT(isObject());
+    return obj_;
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    SYNCPERF_ASSERT(isArray());
+    arr_.push_back(std::move(v));
+}
+
+void
+JsonValue::set(std::string_view key, JsonValue v)
+{
+    SYNCPERF_ASSERT(isObject());
+    for (auto &[k, existing] : obj_) {
+        if (k == key) {
+            existing = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(std::string(key), std::move(v));
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (!isObject())
+        return nullptr;
+    for (const auto &[k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+double
+JsonValue::numberOr(std::string_view key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->asNumber() : fallback;
+}
+
+std::string
+JsonValue::stringOr(std::string_view key,
+                    std::string_view fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->asString() : std::string(fallback);
+}
+
+namespace
+{
+
+void
+dumpValue(std::string &out, const JsonValue &v, int indent, int level)
+{
+    const std::string pad(static_cast<std::size_t>(indent) * level, ' ');
+    const std::string pad_in(
+        static_cast<std::size_t>(indent) * (level + 1), ' ');
+    const char *nl = indent > 0 ? "\n" : "";
+    const char *kv_sep = indent > 0 ? ": " : ":";
+
+    switch (v.kind()) {
+      case JsonValue::Kind::Null: out += "null"; break;
+      case JsonValue::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        break;
+      case JsonValue::Kind::Number: dumpNumber(out, v.asNumber()); break;
+      case JsonValue::Kind::String: dumpString(out, v.asString()); break;
+      case JsonValue::Kind::Array: {
+        const auto &arr = v.asArray();
+        if (arr.empty()) {
+            out += "[]";
+            break;
+        }
+        out += "[";
+        out += nl;
+        for (std::size_t i = 0; i < arr.size(); ++i) {
+            out += pad_in;
+            dumpValue(out, arr[i], indent, level + 1);
+            if (i + 1 < arr.size())
+                out += ",";
+            out += nl;
+        }
+        out += pad;
+        out += "]";
+        break;
+      }
+      case JsonValue::Kind::Object: {
+        const auto &obj = v.asObject();
+        if (obj.empty()) {
+            out += "{}";
+            break;
+        }
+        out += "{";
+        out += nl;
+        for (std::size_t i = 0; i < obj.size(); ++i) {
+            out += pad_in;
+            dumpString(out, obj[i].first);
+            out += kv_sep;
+            dumpValue(out, obj[i].second, indent, level + 1);
+            if (i + 1 < obj.size())
+                out += ",";
+            out += nl;
+        }
+        out += pad;
+        out += "}";
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpValue(out, *this, indent, 0);
+    return out;
+}
+
+Result<JsonValue>
+parseJson(std::string_view text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace syncperf

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Minimal JSON value, parser, and serializer.
+ *
+ * The campaign's manifest journal is plain JSON so humans and
+ * external tooling can read it; the container images bake in no JSON
+ * dependency, so this implements the needed subset: objects, arrays,
+ * strings (with \uXXXX escapes emitted for control characters),
+ * numbers, booleans, and null. Object keys keep insertion order.
+ */
+
+#ifndef SYNCPERF_COMMON_JSON_HH
+#define SYNCPERF_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.hh"
+
+namespace syncperf
+{
+
+/** One JSON value of any type. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    /** An object member; insertion order is preserved. */
+    using Member = std::pair<std::string, JsonValue>;
+
+    JsonValue() = default;
+    JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    JsonValue(double n) : kind_(Kind::Number), num_(n) {}
+    JsonValue(int n) : JsonValue(static_cast<double>(n)) {}
+    JsonValue(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+    JsonValue(const char *s) : JsonValue(std::string(s)) {}
+
+    /** An empty array. */
+    static JsonValue array();
+
+    /** An empty object. */
+    static JsonValue object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; the kind must match (asserted). */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+    const std::vector<Member> &asObject() const;
+
+    /** Append @p v to an array value. */
+    void push(JsonValue v);
+
+    /** Set (insert or overwrite) member @p key of an object value. */
+    void set(std::string_view key, JsonValue v);
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /**
+     * Convenience lookups with defaults, for tolerant readers of
+     * journals written by other versions.
+     */
+    double numberOr(std::string_view key, double fallback) const;
+    std::string stringOr(std::string_view key,
+                         std::string_view fallback) const;
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces
+     * per level; 0 emits a compact single line.
+     */
+    std::string dump(int indent = 0) const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::vector<Member> obj_;
+};
+
+/** Parse a complete JSON document (trailing junk is an error). */
+Result<JsonValue> parseJson(std::string_view text);
+
+} // namespace syncperf
+
+#endif // SYNCPERF_COMMON_JSON_HH

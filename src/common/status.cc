@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Implementation of the recoverable error channel.
+ */
+
+#include "status.hh"
+
+namespace syncperf
+{
+
+std::string_view
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok: return "ok";
+      case ErrorCode::IoError: return "io_error";
+      case ErrorCode::ParseError: return "parse_error";
+      case ErrorCode::InvalidArgument: return "invalid_argument";
+      case ErrorCode::MeasurementError: return "measurement_error";
+      case ErrorCode::FaultInjected: return "fault_injected";
+    }
+    return "unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "ok";
+    return format("{}: {}", errorCodeName(code_), message_);
+}
+
+} // namespace syncperf

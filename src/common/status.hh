@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Recoverable error channel for the measurement pipeline.
+ *
+ * fatal()/panic() (common/logging.hh) terminate the process, which is
+ * the right call for invariant violations and unusable configuration
+ * -- but a campaign that sweeps hundreds of experiments must survive
+ * a single failed CSV open or a pathological measurement. Status and
+ * Result<T> carry such failures up to the campaign driver, which
+ * journals them and moves on to the next experiment.
+ */
+
+#ifndef SYNCPERF_COMMON_STATUS_HH
+#define SYNCPERF_COMMON_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/fmt.hh"
+#include "common/logging.hh"
+
+namespace syncperf
+{
+
+/** Broad failure categories; the message carries the detail. */
+enum class ErrorCode
+{
+    Ok = 0,
+    IoError,          ///< filesystem open/write/rename failed
+    ParseError,       ///< malformed input (manifest, CSV, JSON)
+    InvalidArgument,  ///< caller passed something unusable
+    MeasurementError, ///< protocol could not produce a finite value
+    FaultInjected,    ///< deliberately injected by a test hook
+};
+
+/** Human-readable name of an ErrorCode. */
+std::string_view errorCodeName(ErrorCode code);
+
+/**
+ * The outcome of an operation that can fail recoverably. Cheap to
+ * copy when ok (no allocation); carries a code and message otherwise.
+ */
+class Status
+{
+  public:
+    /** Success. */
+    Status() = default;
+
+    /** Success, spelled explicitly. */
+    static Status ok() { return Status(); }
+
+    /** Failure with a formatted message. */
+    template <typename... Args>
+    static Status
+    error(ErrorCode code, std::string_view fmt, const Args &...args)
+    {
+        Status s;
+        s.code_ = code;
+        s.message_ = format(fmt, args...);
+        return s;
+    }
+
+    /** True when the operation succeeded. */
+    bool isOk() const { return code_ == ErrorCode::Ok; }
+
+    ErrorCode code() const { return code_; }
+
+    /** Failure detail; empty when ok. */
+    const std::string &message() const { return message_; }
+
+    /** "ok" or "<code>: <message>" for logs and journals. */
+    std::string toString() const;
+
+  private:
+    ErrorCode code_ = ErrorCode::Ok;
+    std::string message_;
+};
+
+/**
+ * A value or the Status explaining why there is none. Accessing the
+ * value of a failed Result is an invariant violation (panics).
+ */
+template <typename T>
+class Result
+{
+  public:
+    /** Success carrying @p value. */
+    Result(T value) : value_(std::move(value)) {}
+
+    /** Failure; @p status must not be ok. */
+    Result(Status status) : status_(std::move(status))
+    {
+        SYNCPERF_ASSERT(!status_.isOk(),
+                        "Result constructed from an ok Status");
+    }
+
+    bool isOk() const { return value_.has_value(); }
+
+    /** Why the value is absent; Status::ok() when it is present. */
+    const Status &status() const { return status_; }
+
+    const T &
+    value() const &
+    {
+        SYNCPERF_ASSERT(isOk(), "value() on failed Result");
+        return *value_;
+    }
+
+    T &
+    value() &
+    {
+        SYNCPERF_ASSERT(isOk(), "value() on failed Result");
+        return *value_;
+    }
+
+    /** Move the value out (for move-only payloads). */
+    T &&
+    value() &&
+    {
+        SYNCPERF_ASSERT(isOk(), "value() on failed Result");
+        return std::move(*value_);
+    }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace syncperf
+
+#endif // SYNCPERF_COMMON_STATUS_HH

@@ -7,10 +7,12 @@
 
 #include <cctype>
 #include <filesystem>
-#include <fstream>
+#include <functional>
 
+#include "common/atomic_file.hh"
 #include "common/csv.hh"
 #include "common/logging.hh"
+#include "core/manifest.hh"
 #include "core/sweep.hh"
 
 namespace syncperf::core
@@ -20,28 +22,150 @@ namespace
 
 namespace fs = std::filesystem;
 
-/** Open an output CSV, creating directories as needed. */
-std::ofstream
-openCsv(const fs::path &path)
-{
-    std::error_code ec;
-    fs::create_directories(path.parent_path(), ec);
-    if (ec) {
-        fatal("cannot create {}: {}", path.parent_path().string(),
-              ec.message());
-    }
-    std::ofstream out(path);
-    if (!out)
-        fatal("cannot open {} for writing", path.string());
-    return out;
-}
-
 /** Strides the paper sweeps; quick mode keeps the knee-revealing ones. */
 std::vector<int>
 ompStrides(bool quick)
 {
     return quick ? std::vector<int>{1, 8, 16}
                  : std::vector<int>{1, 4, 8, 16};
+}
+
+/** Fold the protocol knobs into @p h: any change reruns the point. */
+void
+hashProtocol(ConfigHasher &h, const MeasurementConfig &p)
+{
+    h.add(p.runs)
+        .add(p.attempts)
+        .add(p.n_iter)
+        .add(p.n_unroll)
+        .add(p.n_warmup)
+        .add(p.max_retries)
+        .add(p.cov_gate)
+        .add(p.max_noise_retries);
+}
+
+/**
+ * Shared per-system campaign mechanics: stray-temp cleanup, journal
+ * lifecycle, skip-on-resume, atomic CSV emission, and failure
+ * accounting. The OpenMP and CUDA sweeps differ only in how they
+ * enumerate points and emit rows.
+ */
+class CampaignRunner
+{
+  public:
+    CampaignRunner(const fs::path &dir, const std::string &system,
+                   const CampaignOptions &options,
+                   CampaignResult &result)
+        : dir_(dir), options_(options), result_(result),
+          manifest_(dir / "manifest.json")
+    {
+        removeStrayTemps();
+        if (options.resume) {
+            auto loaded = Manifest::load(dir / "manifest.json");
+            if (loaded.isOk()) {
+                manifest_ = std::move(loaded).value();
+            } else {
+                warn("{}; restarting the journal",
+                     loaded.status().message());
+            }
+        }
+        manifest_.setSystem(system);
+    }
+
+    /**
+     * Run one experiment: skip it when the journal already has it,
+     * otherwise measure and write through an atomic temp file,
+     * journaling the outcome either way.
+     *
+     * @param file CSV name (the journal key).
+     * @param hash ConfigHasher digest of the point's configuration.
+     * @param header CSV header row.
+     * @param emit Writes all data rows and fills the journal entry's
+     *        retry/noise statistics; returns non-ok to fail the
+     *        experiment (e.g. an invalid measurement).
+     */
+    void
+    runExperiment(const std::string &file, std::uint64_t hash,
+                  const std::vector<std::string> &header,
+                  const std::function<Status(CsvWriter &,
+                                             ManifestEntry &)> &emit)
+    {
+        if (options_.resume && manifest_.isComplete(file, hash)) {
+            ++result_.experiments_skipped;
+            return;
+        }
+
+        ManifestEntry entry;
+        entry.key = file;
+        entry.config_hash = hash;
+
+        const fs::path path = dir_ / file;
+        Status status = writeCsv(path, header, emit, entry);
+        if (status.isOk()) {
+            manifest_.recordComplete(std::move(entry));
+            result_.files_written.push_back(path.string());
+            ++result_.experiments_run;
+        } else {
+            warn("experiment {} failed: {}", file, status.toString());
+            manifest_.recordFailure(file, hash, status.toString());
+            result_.failures.push_back({file, status.toString()});
+        }
+        checkpoint();
+    }
+
+  private:
+    Status
+    writeCsv(const fs::path &path,
+             const std::vector<std::string> &header,
+             const std::function<Status(CsvWriter &,
+                                        ManifestEntry &)> &emit,
+             ManifestEntry &entry)
+    {
+        AtomicFile out;
+        if (Status s = out.open(path); !s.isOk())
+            return s;
+        CsvWriter csv(out.stream());
+        csv.header(header);
+        if (Status s = emit(csv, entry); !s.isOk())
+            return s; // destructor discards the temp file
+        return out.commit();
+    }
+
+    /** Persist the journal; losing it only costs re-measurement. */
+    void
+    checkpoint()
+    {
+        if (Status s = manifest_.save(); !s.isOk())
+            warn("cannot checkpoint manifest: {}", s.toString());
+    }
+
+    /** Drop .tmp leftovers of a previously killed campaign. */
+    void
+    removeStrayTemps()
+    {
+        std::error_code ec;
+        if (!fs::is_directory(dir_, ec))
+            return;
+        for (const auto &e : fs::directory_iterator(dir_, ec)) {
+            if (e.is_regular_file() && e.path().extension() == ".tmp")
+                fs::remove(e.path(), ec);
+        }
+    }
+
+    const fs::path dir_;
+    const CampaignOptions &options_;
+    CampaignResult &result_;
+    Manifest manifest_;
+};
+
+/** Fold a finished point's Measurement into its journal entry. */
+void
+accumulate(ManifestEntry &entry, const Measurement &m)
+{
+    entry.protocol_retries += m.retries;
+    entry.noise_retries += m.noise_retries;
+    if (m.cov > entry.max_cov)
+        entry.max_cov = m.cov;
 }
 
 } // namespace
@@ -69,8 +193,8 @@ runOmpCampaign(const cpusim::CpuConfig &cfg,
                const CampaignOptions &options)
 {
     CampaignResult result;
-    const fs::path dir =
-        fs::path(options.output_dir) / sanitizeName(cfg.name);
+    const std::string system = sanitizeName(cfg.name);
+    const fs::path dir = fs::path(options.output_dir) / system;
     const auto threads =
         ompThreadCounts(cfg.totalHwThreads(), options.quick ? 4 : 1);
 
@@ -119,23 +243,41 @@ runOmpCampaign(const cpusim::CpuConfig &cfg,
         }
     }
 
+    CampaignRunner runner(dir, system, options, result);
     for (const auto &point : points) {
-        CpuSimTarget target(cfg, protocol);
-        const fs::path path = dir / point.file;
-        auto out = openCsv(path);
-        CsvWriter csv(out);
-        csv.header({"threads", "per_op_seconds",
-                    "throughput_per_thread", "stddev_seconds"});
-        for (int n : threads) {
-            const auto m = target.measure(point.exp, n);
-            csv.field(static_cast<long long>(n))
-                .field(m.per_op_seconds)
-                .field(m.opsPerSecondPerThread())
-                .field(m.stddev_seconds);
-            csv.endRow();
-        }
-        result.files_written.push_back(path.string());
-        ++result.experiments_run;
+        ConfigHasher hasher;
+        hasher.add(system).add(point.file);
+        hasher.add(static_cast<int>(point.exp.primitive))
+            .add(static_cast<int>(point.exp.dtype))
+            .add(static_cast<int>(point.exp.location))
+            .add(point.exp.stride)
+            .add(static_cast<int>(point.exp.affinity));
+        for (int n : threads)
+            hasher.add(n);
+        hashProtocol(hasher, protocol);
+
+        runner.runExperiment(
+            point.file, hasher.digest(),
+            {"threads", "per_op_seconds", "throughput_per_thread",
+             "stddev_seconds"},
+            [&](CsvWriter &csv, ManifestEntry &entry) -> Status {
+                CpuSimTarget target(cfg, protocol);
+                for (int n : threads) {
+                    const auto m = target.measure(point.exp, n);
+                    if (!m.valid) {
+                        return Status::error(
+                            ErrorCode::MeasurementError,
+                            "{} threads: {}", n, m.error);
+                    }
+                    accumulate(entry, m);
+                    csv.field(static_cast<long long>(n))
+                        .field(m.per_op_seconds)
+                        .field(m.opsPerSecondPerThread())
+                        .field(m.stddev_seconds);
+                    csv.endRow();
+                }
+                return Status::ok();
+            });
     }
     return result;
 }
@@ -146,8 +288,8 @@ runCudaCampaign(const gpusim::GpuConfig &cfg,
                 const CampaignOptions &options)
 {
     CampaignResult result;
-    const fs::path dir =
-        fs::path(options.output_dir) / sanitizeName(cfg.name);
+    const std::string system = sanitizeName(cfg.name);
+    const fs::path dir = fs::path(options.output_dir) / system;
 
     auto thread_counts = cudaThreadCounts();
     if (options.quick) {
@@ -214,25 +356,46 @@ runCudaCampaign(const gpusim::GpuConfig &cfg,
         }
     }
 
+    CampaignRunner runner(dir, system, options, result);
     for (const auto &point : points) {
-        GpuSimTarget target(cfg, protocol);
-        const fs::path path = dir / point.file;
-        auto out = openCsv(path);
-        CsvWriter csv(out);
-        csv.header({"blocks", "threads_per_block", "per_op_seconds",
-                    "throughput_per_thread"});
-        for (int blocks : block_counts) {
-            for (int n : thread_counts) {
-                const auto m = target.measure(point.exp, {blocks, n});
-                csv.field(static_cast<long long>(blocks))
-                    .field(static_cast<long long>(n))
-                    .field(m.per_op_seconds)
-                    .field(m.opsPerSecondPerThread());
-                csv.endRow();
-            }
-        }
-        result.files_written.push_back(path.string());
-        ++result.experiments_run;
+        ConfigHasher hasher;
+        hasher.add(system).add(point.file);
+        hasher.add(static_cast<int>(point.exp.primitive))
+            .add(static_cast<int>(point.exp.dtype))
+            .add(static_cast<int>(point.exp.location))
+            .add(point.exp.stride);
+        for (int blocks : block_counts)
+            hasher.add(blocks);
+        for (int n : thread_counts)
+            hasher.add(n);
+        hashProtocol(hasher, protocol);
+
+        runner.runExperiment(
+            point.file, hasher.digest(),
+            {"blocks", "threads_per_block", "per_op_seconds",
+             "throughput_per_thread"},
+            [&](CsvWriter &csv, ManifestEntry &entry) -> Status {
+                GpuSimTarget target(cfg, protocol);
+                for (int blocks : block_counts) {
+                    for (int n : thread_counts) {
+                        const auto m =
+                            target.measure(point.exp, {blocks, n});
+                        if (!m.valid) {
+                            return Status::error(
+                                ErrorCode::MeasurementError,
+                                "{} blocks x {} threads: {}", blocks,
+                                n, m.error);
+                        }
+                        accumulate(entry, m);
+                        csv.field(static_cast<long long>(blocks))
+                            .field(static_cast<long long>(n))
+                            .field(m.per_op_seconds)
+                            .field(m.opsPerSecondPerThread());
+                        csv.endRow();
+                    }
+                }
+                return Status::ok();
+            });
     }
     return result;
 }

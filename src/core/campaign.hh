@@ -5,6 +5,13 @@
  * Runs the full measurement campaign for a machine and writes one
  * CSV per experiment into results/<system>/..., mirroring the
  * artifact's results layout (Section F of the paper's appendix).
+ *
+ * Resilience: every CSV is written through an atomic temp-file
+ * rename, every experiment is journaled in a per-system
+ * manifest.json (see core/manifest.hh), failed experiments are
+ * recorded and skipped instead of aborting the campaign, and a
+ * resumed campaign skips experiments whose journal entry matches
+ * the requested configuration. docs/robustness.md has the details.
  */
 
 #ifndef SYNCPERF_CORE_CAMPAIGN_HH
@@ -26,6 +33,21 @@ struct CampaignOptions
 
     /** Coarsen sweeps (every 4th thread count, key strides only). */
     bool quick = true;
+
+    /**
+     * Skip experiments the manifest journals as complete under an
+     * identical configuration (checkpoint/resume after an
+     * interruption). When false the journal is started afresh and
+     * everything reruns.
+     */
+    bool resume = false;
+};
+
+/** One experiment the campaign could not complete. */
+struct ExperimentFailure
+{
+    std::string file;  ///< destination CSV (relative key)
+    std::string error; ///< cause, as journaled
 };
 
 /** What a campaign produced. */
@@ -33,6 +55,15 @@ struct CampaignResult
 {
     std::vector<std::string> files_written;
     int experiments_run = 0;
+
+    /** Journaled-complete experiments skipped by --resume. */
+    int experiments_skipped = 0;
+
+    /** Experiments recorded as failed and passed over. */
+    std::vector<ExperimentFailure> failures;
+
+    /** True when nothing failed (skips are fine). */
+    bool ok() const { return failures.empty(); }
 };
 
 /**

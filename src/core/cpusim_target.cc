@@ -5,7 +5,10 @@
 
 #include "cpusim_target.hh"
 
+#include <limits>
+
 #include "common/logging.hh"
+#include "sim/fault_injector.hh"
 
 namespace syncperf::core
 {
@@ -157,6 +160,15 @@ CpuSimTarget::runOnce(const std::vector<cpusim::CpuProgram> &programs,
     seconds.reserve(result.thread_cycles.size());
     for (auto cycles : result.thread_cycles)
         seconds.push_back(static_cast<double>(cycles) / hz);
+    if (auto *faults = sim::FaultInjector::active()) {
+        if (faults->shouldPoisonMeasurement()) {
+            seconds.assign(seconds.size(),
+                           std::numeric_limits<double>::quiet_NaN());
+        } else {
+            for (double &s : seconds)
+                s = faults->perturbSeconds(s);
+        }
+    }
     return seconds;
 }
 

@@ -25,17 +25,33 @@ struct MeasurementConfig
     int n_warmup = 3;      ///< untimed warmup iterations
     int max_retries = 50;  ///< cap on invalid-measurement retries per run
 
+    /**
+     * Noise gate: when the coefficient of variation of the per-run
+     * values (stddev / |median|) exceeds this, the whole measurement
+     * is redone with doubled attempts (bounded exponential backoff),
+     * up to max_noise_retries times. <= 0 disables the gate; it also
+     * never applies to free primitives (|median| ~ 0), whose relative
+     * noise is unbounded by construction.
+     */
+    double cov_gate = 0.0;
+
+    /** Re-measurement cap for the noise gate. */
+    int max_noise_retries = 3;
+
     /** Total primitive executions the measured difference covers. */
     long opsPerMeasurement() const
     {
         return static_cast<long>(n_iter) * n_unroll;
     }
 
-    /** The paper's configuration for physical hardware. */
+    /** The paper's configuration for physical hardware, plus the
+     * noise gate at its hardware default (25% CoV). */
     static MeasurementConfig
     paperDefaults()
     {
-        return MeasurementConfig{};
+        MeasurementConfig c;
+        c.cov_gate = 0.25;
+        return c;
     }
 
     /** Reduced repetition for the deterministic simulators. */

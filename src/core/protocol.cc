@@ -5,46 +5,71 @@
 
 #include "protocol.hh"
 
+#include <cmath>
 #include <limits>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "common/status.hh"
 
 namespace syncperf::core
 {
-
-double
-Measurement::opsPerSecondPerThread() const
+namespace
 {
-    if (per_op_seconds <= 0.0)
-        return std::numeric_limits<double>::infinity();
-    return 1.0 / per_op_seconds;
+
+/** CoV of @p values around its median; 0 for free primitives whose
+ * median is indistinguishable from zero. */
+double
+coefficientOfVariation(const std::vector<double> &values)
+{
+    const double med = std::fabs(median(values));
+    if (med < 1e-18)
+        return 0.0;
+    return stddev(values) / med;
 }
 
-Measurement
-measurePrimitive(const TimedFunction &baseline, const TimedFunction &test,
-                 const MeasurementConfig &cfg)
+/**
+ * One full pass of the paper's procedure: cfg.runs runs of
+ * @p attempts valid pairs each. Fills @p out.run_values and
+ * accumulates out.retries; non-ok when pathological (non-finite)
+ * timing exhausts the retry budget.
+ */
+Status
+measureOnce(const TimedFunction &baseline, const TimedFunction &test,
+            const MeasurementConfig &cfg, int attempts, Measurement &out)
 {
-    SYNCPERF_ASSERT(cfg.runs >= 1 && cfg.attempts >= 1);
-    SYNCPERF_ASSERT(cfg.opsPerMeasurement() >= 1);
-
-    Measurement out;
+    out.run_values.clear();
     out.run_values.reserve(cfg.runs);
 
     for (int run = 0; run < cfg.runs; ++run) {
         std::vector<double> base_maxes;
         std::vector<double> test_maxes;
-        base_maxes.reserve(cfg.attempts);
-        test_maxes.reserve(cfg.attempts);
+        base_maxes.reserve(attempts);
+        test_maxes.reserve(attempts);
 
         int retries_left = cfg.max_retries;
-        while (static_cast<int>(test_maxes.size()) < cfg.attempts) {
+        while (static_cast<int>(test_maxes.size()) < attempts) {
             const std::vector<double> b = baseline();
             const std::vector<double> t = test();
             SYNCPERF_ASSERT(!b.empty() && !t.empty(),
                             "timed function returned no thread times");
             const double b_max = maxOf(b);
             const double t_max = maxOf(t);
+            if (!std::isfinite(b_max) || !std::isfinite(t_max)) {
+                // Pathological sample (hardware hiccup, injected
+                // fault): retry like any other invalid attempt, but
+                // never accept it -- a non-finite value would poison
+                // every statistic downstream.
+                if (retries_left-- > 0) {
+                    ++out.retries;
+                    continue;
+                }
+                return Status::error(
+                    ErrorCode::MeasurementError,
+                    "non-finite runtime persisted through {} retries "
+                    "(run {}, attempt {})", cfg.max_retries, run,
+                    static_cast<int>(test_maxes.size()));
+            }
             if (t_max < b_max && retries_left-- > 0) {
                 // Faulty measurement (system jitter); re-attempt.
                 ++out.retries;
@@ -62,10 +87,58 @@ measurePrimitive(const TimedFunction &baseline, const TimedFunction &test,
         out.run_values.push_back(
             diff / static_cast<double>(cfg.opsPerMeasurement()));
     }
+    return Status::ok();
+}
 
-    out.per_op_seconds = median(out.run_values);
-    out.stddev_seconds = stddev(out.run_values);
-    return out;
+} // namespace
+
+double
+Measurement::opsPerSecondPerThread() const
+{
+    if (!valid || !std::isfinite(per_op_seconds))
+        return std::numeric_limits<double>::quiet_NaN();
+    if (per_op_seconds <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 1.0 / per_op_seconds;
+}
+
+Measurement
+measurePrimitive(const TimedFunction &baseline, const TimedFunction &test,
+                 const MeasurementConfig &cfg)
+{
+    SYNCPERF_ASSERT(cfg.runs >= 1 && cfg.attempts >= 1);
+    SYNCPERF_ASSERT(cfg.opsPerMeasurement() >= 1);
+
+    Measurement out;
+    int attempts = cfg.attempts;
+    while (true) {
+        const Status status =
+            measureOnce(baseline, test, cfg, attempts, out);
+        if (!status.isOk()) {
+            out.valid = false;
+            out.error = status.message();
+            out.per_op_seconds =
+                std::numeric_limits<double>::quiet_NaN();
+            out.stddev_seconds =
+                std::numeric_limits<double>::quiet_NaN();
+            return out;
+        }
+        out.per_op_seconds = median(out.run_values);
+        out.stddev_seconds = stddev(out.run_values);
+        out.cov = coefficientOfVariation(out.run_values);
+        if (cfg.cov_gate <= 0.0 || out.cov <= cfg.cov_gate ||
+            out.noise_retries >= cfg.max_noise_retries) {
+            if (cfg.cov_gate > 0.0 && out.cov > cfg.cov_gate) {
+                warn("noise gate still exceeded after {} re-measures "
+                     "(CoV {:.3f} > {:.3f}); accepting",
+                     out.noise_retries, out.cov, cfg.cov_gate);
+            }
+            return out;
+        }
+        // Too noisy: back off by doubling the sample size.
+        ++out.noise_retries;
+        attempts *= 2;
+    }
 }
 
 } // namespace syncperf::core

@@ -12,6 +12,7 @@
 #define SYNCPERF_CORE_PROTOCOL_HH
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/measure_config.hh"
@@ -42,10 +43,26 @@ struct Measurement
     /** Invalid (test < baseline) attempts that were re-tried. */
     int retries = 0;
 
+    /** Coefficient of variation (stddev / |median|) of the final
+     * per-run values; 0 for free primitives (|median| ~ 0). */
+    double cov = 0.0;
+
+    /** Full re-measurements triggered by the CoV noise gate. */
+    int noise_retries = 0;
+
+    /** False when no finite value could be produced (pathological
+     * timing that exhausted the retry budget); @ref error says why.
+     * Invalid measurements report NaN cost and throughput. */
+    bool valid = true;
+
+    /** Why the measurement is invalid; empty when valid. */
+    std::string error;
+
     /**
      * Per-thread throughput in operations per second, the paper's
      * reporting metric (1 / runtime). Infinity when the measured
-     * cost is zero or negative (primitive is free).
+     * cost is zero or negative (primitive is free); NaN when the
+     * measurement is invalid.
      */
     double opsPerSecondPerThread() const;
 };
@@ -59,6 +76,17 @@ struct Measurement
  * runtime; invalid attempts are re-tried (Section IV). The run's
  * value is (median test - median baseline) / ops. The final value is
  * the median over runs.
+ *
+ * Non-finite runtimes (a pathological sample, e.g. injected by
+ * sim::FaultInjector) also count as invalid attempts; when they
+ * exhaust cfg.max_retries the returned Measurement has valid ==
+ * false instead of terminating the process, so a campaign can
+ * journal the failure and continue.
+ *
+ * When cfg.cov_gate > 0 and the per-run values are noisier than the
+ * gate allows, the whole procedure is redone with doubled attempts
+ * (bounded exponential backoff, at most cfg.max_noise_retries
+ * times); the result records the retry count and the final CoV.
  *
  * @param baseline Times cfg.opsPerMeasurement() baseline iterations.
  * @param test Same, with one extra primitive per iteration.

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Implementation of the fault injector.
+ */
+
+#include "fault_injector.hh"
+
+namespace syncperf::sim
+{
+namespace
+{
+
+FaultInjector *g_active = nullptr;
+
+} // namespace
+
+bool
+FaultInjector::shouldPoisonMeasurement()
+{
+    const int n = ++measurement_count_;
+    return poison_first_ > 0 && n >= poison_first_ &&
+           n < poison_first_ + poison_count_;
+}
+
+Status
+FaultInjector::onWriteOp(const std::filesystem::path &path,
+                         std::string_view op)
+{
+    const int n = ++write_op_count_;
+    if (fail_write_first_ > 0 && n >= fail_write_first_ &&
+        n < fail_write_first_ + fail_write_count_) {
+        return Status::error(ErrorCode::FaultInjected,
+                             "injected {} failure for {} (write op {})",
+                             op, path.string(),
+                             static_cast<long long>(n));
+    }
+    return Status::ok();
+}
+
+FaultInjector *
+FaultInjector::active()
+{
+    return g_active;
+}
+
+FaultInjector::Scope::Scope(FaultInjector &injector)
+    : previous_(g_active)
+{
+    g_active = &injector;
+    previous_hook_ = AtomicFile::setFaultHook(
+        [&injector](const std::filesystem::path &path,
+                    std::string_view op) {
+            return injector.onWriteOp(path, op);
+        });
+}
+
+FaultInjector::Scope::~Scope()
+{
+    g_active = previous_;
+    AtomicFile::setFaultHook(previous_hook_);
+}
+
+} // namespace syncperf::sim

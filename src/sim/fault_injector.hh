@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Deterministic fault injection for robustness testing.
+ *
+ * The simulators are deterministic by design, which makes them ideal
+ * for proving that the campaign layer degrades gracefully: a test
+ * installs a FaultInjector, dials in exactly the failure it wants --
+ * skewed clocks, spurious runtime jitter, poisoned (non-finite)
+ * measurements, or transient CSV write failures on the Nth write
+ * operation -- and asserts the pipeline's response. All perturbations
+ * are seeded, so a failing test reproduces bit-for-bit.
+ *
+ * Hook points:
+ *  - CpuSimTarget/GpuSimTarget::runOnce() consult active() to skew,
+ *    jitter, or poison the per-thread runtimes they report;
+ *  - AtomicFile::open()/commit() consult the installed fault hook,
+ *    which Scope wires to failWrites().
+ */
+
+#ifndef SYNCPERF_SIM_FAULT_INJECTOR_HH
+#define SYNCPERF_SIM_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <filesystem>
+#include <string_view>
+
+#include "common/atomic_file.hh"
+#include "common/rng.hh"
+#include "common/status.hh"
+
+namespace syncperf::sim
+{
+
+/** One configurable fault source; see file comment for the modes. */
+class FaultInjector
+{
+  public:
+    FaultInjector() = default;
+
+    // ------------------------------------------------ configuration
+
+    /** Multiply every reported runtime by @p factor (clock skew). */
+    void setClockSkew(double factor) { clock_skew_ = factor; }
+
+    /**
+     * Add uniform spurious latency in [0, fraction * runtime] to
+     * every reported runtime, drawn from a stream seeded with
+     * @p seed (deterministic across reruns).
+     */
+    void
+    setJitter(double fraction, std::uint64_t seed = 1)
+    {
+        jitter_fraction_ = fraction;
+        jitter_rng_ = Pcg32(seed);
+    }
+
+    /**
+     * Poison measurements numbered [first, first+count): the timed
+     * launch reports non-finite runtimes, modeling a pathological
+     * sample the protocol must retry or surface. 1-based.
+     */
+    void
+    poisonMeasurements(int first, int count = 1)
+    {
+        poison_first_ = first;
+        poison_count_ = count;
+    }
+
+    /**
+     * Fail write operations numbered [first, first+count): every
+     * AtomicFile open/commit counts as one operation. 1-based.
+     */
+    void
+    failWrites(int first, int count = 1)
+    {
+        fail_write_first_ = first;
+        fail_write_count_ = count;
+    }
+
+    // ------------------------------------------------- hook queries
+
+    /** Apply clock skew and jitter to one reported runtime. */
+    double
+    perturbSeconds(double seconds)
+    {
+        double out = seconds * clock_skew_;
+        if (jitter_fraction_ > 0.0)
+            out += seconds * jitter_fraction_ * jitter_rng_.uniform();
+        return out;
+    }
+
+    /** Count one timed launch; true when it should be poisoned. */
+    bool shouldPoisonMeasurement();
+
+    /** Count one write operation; non-ok when it should fail. */
+    Status onWriteOp(const std::filesystem::path &path,
+                     std::string_view op);
+
+    /** Timed launches observed so far. */
+    int measurementCount() const { return measurement_count_; }
+
+    /** Write operations observed so far. */
+    int writeOpCount() const { return write_op_count_; }
+
+    // ---------------------------------------------------- lifecycle
+
+    /** The injector consulted by the hook points; nullptr when none
+     * is installed (the common case -- production never pays for
+     * fault injection beyond this null check). */
+    static FaultInjector *active();
+
+    /**
+     * RAII installer: makes @p injector the active one and routes
+     * the AtomicFile fault hook through it; restores both on
+     * destruction. Scopes must nest LIFO.
+     */
+    class Scope
+    {
+      public:
+        explicit Scope(FaultInjector &injector);
+        ~Scope();
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        FaultInjector *previous_;
+        AtomicFile::FaultHook previous_hook_;
+    };
+
+  private:
+    double clock_skew_ = 1.0;
+    double jitter_fraction_ = 0.0;
+    Pcg32 jitter_rng_{1};
+
+    int poison_first_ = 0; ///< 0 disables
+    int poison_count_ = 0;
+    int measurement_count_ = 0;
+
+    int fail_write_first_ = 0; ///< 0 disables
+    int fail_write_count_ = 0;
+    int write_op_count_ = 0;
+};
+
+} // namespace syncperf::sim
+
+#endif // SYNCPERF_SIM_FAULT_INJECTOR_HH

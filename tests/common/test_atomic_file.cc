@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for crash-safe (temp file + atomic rename) emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/atomic_file.hh"
+
+namespace syncperf
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+class AtomicFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("syncperf_atomic_file_test_" +
+                std::to_string(::getpid()));
+        fs::remove_all(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        AtomicFile::setFaultHook(nullptr);
+        fs::remove_all(dir_);
+    }
+
+    static std::string
+    contents(const fs::path &p)
+    {
+        std::ifstream in(p);
+        std::ostringstream out;
+        out << in.rdbuf();
+        return out.str();
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(AtomicFileTest, CommitCreatesDirectoriesAndFile)
+{
+    const fs::path target = dir_ / "a" / "b" / "out.csv";
+    AtomicFile out;
+    ASSERT_TRUE(out.open(target).isOk());
+    EXPECT_TRUE(out.isOpen());
+    out.stream() << "x,y\n1,2\n";
+    ASSERT_TRUE(out.commit().isOk());
+    EXPECT_FALSE(out.isOpen());
+    EXPECT_EQ(contents(target), "x,y\n1,2\n");
+    EXPECT_FALSE(fs::exists(AtomicFile::tempPathFor(target)));
+}
+
+TEST_F(AtomicFileTest, UncommittedWriterLeavesNoTrace)
+{
+    const fs::path target = dir_ / "out.csv";
+    {
+        AtomicFile out;
+        ASSERT_TRUE(out.open(target).isOk());
+        out.stream() << "partial";
+        EXPECT_TRUE(fs::exists(AtomicFile::tempPathFor(target)));
+    }
+    EXPECT_FALSE(fs::exists(target));
+    EXPECT_FALSE(fs::exists(AtomicFile::tempPathFor(target)));
+}
+
+TEST_F(AtomicFileTest, DiscardPreservesPreviousCommit)
+{
+    const fs::path target = dir_ / "out.csv";
+    {
+        AtomicFile out;
+        ASSERT_TRUE(out.open(target).isOk());
+        out.stream() << "good";
+        ASSERT_TRUE(out.commit().isOk());
+    }
+    {
+        AtomicFile out;
+        ASSERT_TRUE(out.open(target).isOk());
+        out.stream() << "bad half-written";
+        out.discard();
+    }
+    EXPECT_EQ(contents(target), "good");
+}
+
+TEST_F(AtomicFileTest, CommitReplacesExistingFileAtomically)
+{
+    const fs::path target = dir_ / "out.csv";
+    for (const char *text : {"first", "second"}) {
+        AtomicFile out;
+        ASSERT_TRUE(out.open(target).isOk());
+        out.stream() << text;
+        ASSERT_TRUE(out.commit().isOk());
+    }
+    EXPECT_EQ(contents(target), "second");
+}
+
+TEST_F(AtomicFileTest, OpenFailsOnUnwritableParent)
+{
+    // A file where a directory is needed makes create_directories
+    // (or the open) fail without needing special permissions.
+    const fs::path blocker = dir_ / "blocker";
+    fs::create_directories(dir_);
+    std::ofstream(blocker) << "file";
+    AtomicFile out;
+    const Status s = out.open(blocker / "nested" / "out.csv");
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::IoError);
+    EXPECT_FALSE(out.isOpen());
+}
+
+TEST_F(AtomicFileTest, FaultHookFailsOpenAndCommit)
+{
+    int calls = 0;
+    AtomicFile::setFaultHook(
+        [&calls](const fs::path &, std::string_view op) {
+            ++calls;
+            if (calls == 1) {
+                EXPECT_EQ(op, "open");
+                return Status::error(ErrorCode::FaultInjected,
+                                     "injected open failure");
+            }
+            if (op == "commit") {
+                return Status::error(ErrorCode::FaultInjected,
+                                     "injected commit failure");
+            }
+            return Status::ok();
+        });
+
+    const fs::path target = dir_ / "out.csv";
+    AtomicFile first;
+    EXPECT_EQ(first.open(target).code(), ErrorCode::FaultInjected);
+
+    AtomicFile second;
+    ASSERT_TRUE(second.open(target).isOk());
+    second.stream() << "data";
+    EXPECT_EQ(second.commit().code(), ErrorCode::FaultInjected);
+    // A failed commit must not leave either file behind.
+    EXPECT_FALSE(fs::exists(target));
+    EXPECT_FALSE(fs::exists(AtomicFile::tempPathFor(target)));
+
+    AtomicFile::setFaultHook(nullptr);
+    AtomicFile third;
+    ASSERT_TRUE(third.open(target).isOk());
+    third.stream() << "clean";
+    ASSERT_TRUE(third.commit().isOk());
+    EXPECT_EQ(contents(target), "clean");
+}
+
+TEST_F(AtomicFileTest, MoveTransfersOwnershipOfTheTemp)
+{
+    const fs::path target = dir_ / "out.csv";
+    AtomicFile a;
+    ASSERT_TRUE(a.open(target).isOk());
+    a.stream() << "moved";
+    AtomicFile b(std::move(a));
+    EXPECT_FALSE(a.isOpen());
+    ASSERT_TRUE(b.commit().isOk());
+    EXPECT_EQ(contents(target), "moved");
+}
+
+} // namespace
+} // namespace syncperf

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the minimal JSON library backing the campaign manifest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "common/json.hh"
+
+namespace syncperf
+{
+namespace
+{
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(parseJson("null").value().isNull());
+    EXPECT_TRUE(parseJson("true").value().asBool());
+    EXPECT_FALSE(parseJson("false").value().asBool());
+    EXPECT_DOUBLE_EQ(parseJson("-3.25e2").value().asNumber(), -325.0);
+    EXPECT_EQ(parseJson("\"hi\"").value().asString(), "hi");
+}
+
+TEST(Json, ParsesNestedStructure)
+{
+    const auto doc = parseJson(
+        R"({"a": [1, 2, {"b": "c"}], "d": {"e": true}, "f": null})");
+    ASSERT_TRUE(doc.isOk());
+    const JsonValue &root = doc.value();
+    ASSERT_TRUE(root.isObject());
+    const JsonValue *a = root.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->asArray().size(), 3u);
+    EXPECT_DOUBLE_EQ(a->asArray()[0].asNumber(), 1.0);
+    EXPECT_EQ(a->asArray()[2].find("b")->asString(), "c");
+    EXPECT_TRUE(root.find("d")->find("e")->asBool());
+    EXPECT_TRUE(root.find("f")->isNull());
+    EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+TEST(Json, StringEscapes)
+{
+    const auto doc = parseJson(R"("a\"b\\c\n\tA")");
+    ASSERT_TRUE(doc.isOk());
+    EXPECT_EQ(doc.value().asString(), "a\"b\\c\n\tA");
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_FALSE(parseJson("").isOk());
+    EXPECT_FALSE(parseJson("{").isOk());
+    EXPECT_FALSE(parseJson("[1,]").isOk());
+    EXPECT_FALSE(parseJson("{\"a\" 1}").isOk());
+    EXPECT_FALSE(parseJson("tru").isOk());
+    EXPECT_FALSE(parseJson("1 2").isOk());
+    EXPECT_FALSE(parseJson("\"unterminated").isOk());
+    EXPECT_EQ(parseJson("[1,]").status().code(), ErrorCode::ParseError);
+}
+
+TEST(Json, RejectsRunawayNesting)
+{
+    std::string deep(100, '[');
+    EXPECT_FALSE(parseJson(deep).isOk());
+}
+
+TEST(Json, DumpRoundTripsThroughParse)
+{
+    JsonValue root = JsonValue::object();
+    root.set("version", JsonValue(1));
+    root.set("name", JsonValue("system \"3\""));
+    JsonValue arr = JsonValue::array();
+    arr.push(JsonValue(0.125));
+    arr.push(JsonValue(false));
+    arr.push(JsonValue());
+    root.set("values", std::move(arr));
+
+    for (int indent : {0, 2}) {
+        const std::string text = root.dump(indent);
+        const auto parsed = parseJson(text);
+        ASSERT_TRUE(parsed.isOk()) << text;
+        const JsonValue &back = parsed.value();
+        EXPECT_DOUBLE_EQ(back.numberOr("version", -1), 1.0);
+        EXPECT_EQ(back.stringOr("name", ""), "system \"3\"");
+        EXPECT_DOUBLE_EQ(back.find("values")->asArray()[0].asNumber(),
+                         0.125);
+    }
+}
+
+TEST(Json, SetOverwritesExistingKeyInPlace)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("a", JsonValue(1));
+    obj.set("b", JsonValue(2));
+    obj.set("a", JsonValue(3));
+    ASSERT_EQ(obj.asObject().size(), 2u);
+    EXPECT_EQ(obj.asObject()[0].first, "a");
+    EXPECT_DOUBLE_EQ(obj.find("a")->asNumber(), 3.0);
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull)
+{
+    JsonValue v(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(v.dump(), "null");
+}
+
+} // namespace
+} // namespace syncperf

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the recoverable error channel (Status / Result<T>).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/status.hh"
+
+namespace syncperf
+{
+namespace
+{
+
+TEST(Status, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::Ok);
+    EXPECT_EQ(s.message(), "");
+    EXPECT_EQ(s.toString(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndFormattedMessage)
+{
+    const Status s = Status::error(ErrorCode::IoError,
+                                   "cannot open {}: errno {}",
+                                   "a/b.csv", 13);
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::IoError);
+    EXPECT_EQ(s.message(), "cannot open a/b.csv: errno 13");
+    EXPECT_EQ(s.toString(), "io_error: cannot open a/b.csv: errno 13");
+}
+
+TEST(Status, EveryCodeHasAName)
+{
+    EXPECT_EQ(errorCodeName(ErrorCode::Ok), "ok");
+    EXPECT_EQ(errorCodeName(ErrorCode::IoError), "io_error");
+    EXPECT_EQ(errorCodeName(ErrorCode::ParseError), "parse_error");
+    EXPECT_EQ(errorCodeName(ErrorCode::InvalidArgument),
+              "invalid_argument");
+    EXPECT_EQ(errorCodeName(ErrorCode::MeasurementError),
+              "measurement_error");
+    EXPECT_EQ(errorCodeName(ErrorCode::FaultInjected), "fault_injected");
+}
+
+TEST(Result, HoldsValue)
+{
+    Result<int> r(42);
+    ASSERT_TRUE(r.isOk());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_TRUE(r.status().isOk());
+}
+
+TEST(Result, HoldsError)
+{
+    Result<int> r(Status::error(ErrorCode::ParseError, "bad input"));
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), ErrorCode::ParseError);
+    EXPECT_EQ(r.status().message(), "bad input");
+}
+
+TEST(Result, MovesOutMoveOnlyPayloads)
+{
+    Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+    ASSERT_TRUE(r.isOk());
+    std::unique_ptr<int> owned = std::move(r).value();
+    ASSERT_NE(owned, nullptr);
+    EXPECT_EQ(*owned, 7);
+}
+
+TEST(Result, ValueOnErrorPanics)
+{
+    ScopedLogCapture capture;
+    Result<int> r(Status::error(ErrorCode::IoError, "nope"));
+    EXPECT_THROW((void)r.value(), LogDeathException);
+}
+
+TEST(Result, ConstructingFromOkStatusPanics)
+{
+    ScopedLogCapture capture;
+    EXPECT_THROW(Result<int>{Status::ok()}, LogDeathException);
+}
+
+} // namespace
+} // namespace syncperf
