@@ -12,9 +12,12 @@
  * experiment failed. See docs/robustness.md.
  */
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/campaign.hh"
 
@@ -52,13 +55,50 @@ printSystemLine(const CampaignResult &r)
                 r.experiments_skipped, r.failures.size());
 }
 
+/** Split a comma-separated --only value into lowercase fragments. */
+std::vector<std::string>
+parseOnly(const char *arg)
+{
+    std::vector<std::string> out;
+    std::string fragment;
+    for (const char *p = arg;; ++p) {
+        if (*p == ',' || *p == '\0') {
+            if (!fragment.empty())
+                out.push_back(fragment);
+            fragment.clear();
+            if (*p == '\0')
+                break;
+        } else {
+            fragment.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(*p))));
+        }
+    }
+    return out;
+}
+
+/** True when @p system matches any --only fragment (or none given). */
+bool
+systemSelected(const std::vector<std::string> &only,
+               const std::string &system)
+{
+    if (only.empty())
+        return true;
+    for (const auto &fragment : only) {
+        if (system.find(fragment) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     CampaignOptions options;
+    options.jobs = 0; // CLI default: one worker per hardware thread
     bool omp_only = false, cuda_only = false;
+    std::vector<std::string> only;
     MeasurementConfig omp_protocol = MeasurementConfig::simDefaults();
     MeasurementConfig cuda_protocol = MeasurementConfig::simGpuDefaults();
     omp_protocol.runs = 1;
@@ -73,6 +113,18 @@ main(int argc, char **argv)
             options.quick = false;
         } else if (std::strcmp(argv[i], "--resume") == 0) {
             options.resume = true;
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            options.jobs = std::atoi(argv[++i]);
+            if (options.jobs < 1) {
+                std::fprintf(stderr, "%s: --jobs wants a count >= 1\n",
+                             argv[0]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
+                   i + 1 < argc) {
+            options.checkpoint_every = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+            only = parseOnly(argv[++i]);
         } else if (std::strcmp(argv[i], "--cov-gate") == 0 &&
                    i + 1 < argc) {
             const double gate = std::atof(argv[++i]);
@@ -83,10 +135,22 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "cuda") == 0) {
             cuda_only = true;
         } else if (std::strcmp(argv[i], "--help") == 0) {
-            std::printf("usage: %s [omp|cuda] [--out DIR] [--thorough] "
-                        "[--resume] [--cov-gate COV]\n", argv[0]);
+            std::printf(
+                "usage: %s [omp|cuda] [--out DIR] [--thorough] "
+                "[--resume] [--cov-gate COV] [--jobs N] "
+                "[--checkpoint-every N] [--only NAME[,NAME...]]\n"
+                "  --jobs N   concurrent experiments (default: all "
+                "hardware threads; 1 = serial).\n"
+                "             Output is byte-identical at every job "
+                "count.\n"
+                "  --only     run only systems whose sanitized name "
+                "contains a given fragment.\n",
+                argv[0]);
             return 0;
         } else if (std::strcmp(argv[i], "--out") == 0 ||
+                   std::strcmp(argv[i], "--jobs") == 0 ||
+                   std::strcmp(argv[i], "--checkpoint-every") == 0 ||
+                   std::strcmp(argv[i], "--only") == 0 ||
                    std::strcmp(argv[i], "--cov-gate") == 0) {
             std::fprintf(stderr, "%s: %s requires a value\n", argv[0],
                          argv[i]);
@@ -110,6 +174,8 @@ main(int argc, char **argv)
         for (const auto &cpu :
              {cpusim::CpuConfig::system1(), cpusim::CpuConfig::system2(),
               cpusim::CpuConfig::system3()}) {
+            if (!systemSelected(only, sanitizeName(cpu.name)))
+                continue;
             std::printf("OpenMP campaign on %s...\n", cpu.name.c_str());
             const auto r = runOmpCampaign(cpu, omp_protocol, options);
             printSystemLine(r);
@@ -120,6 +186,8 @@ main(int argc, char **argv)
         for (const auto &gpu :
              {gpusim::GpuConfig::rtx2070Super(), gpusim::GpuConfig::a100(),
               gpusim::GpuConfig::rtx4090()}) {
+            if (!systemSelected(only, sanitizeName(gpu.name)))
+                continue;
             std::printf("CUDA campaign on %s...\n", gpu.name.c_str());
             const auto r = runCudaCampaign(gpu, cuda_protocol, options);
             printSystemLine(r);

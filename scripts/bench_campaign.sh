@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Perf-regression harness for the parallel campaign engine.
+#
+# Runs a two-system quick campaign (one CPU, one GPU model) serially
+# and again at --jobs N, verifies the two result trees are
+# byte-identical, and writes BENCH_campaign.json at the repo root with
+# wall-clock times, speedup, and experiments/sec. Compare the JSON
+# across commits to catch scheduler or per-experiment regressions.
+#
+# Usage: scripts/bench_campaign.sh [JOBS]
+#   JOBS  worker count for the parallel leg (default: nproc).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+ONLY="threadripper,rtx_4090"
+OUT_JSON="BENCH_campaign.json"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/syncperf_bench_campaign.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+CAMPAIGN="build/bench/campaign"
+if [[ ! -x "$CAMPAIGN" ]]; then
+    echo "== bench: building $CAMPAIGN =="
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$(nproc)" --target campaign >/dev/null
+fi
+
+now_ns() { date +%s%N; }
+
+run_leg() { # run_leg <jobs> <outdir>  -> prints elapsed seconds
+    local jobs="$1" outdir="$2" t0 t1
+    t0="$(now_ns)"
+    "$CAMPAIGN" --only "$ONLY" --jobs "$jobs" --out "$outdir" \
+        >"$outdir.log" 2>&1
+    t1="$(now_ns)"
+    awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", (b - a) / 1e9 }'
+}
+
+echo "== bench: serial leg (--jobs 1) =="
+SERIAL_S="$(run_leg 1 "$WORK/serial")"
+echo "   ${SERIAL_S}s"
+
+echo "== bench: parallel leg (--jobs $JOBS) =="
+PARALLEL_S="$(run_leg "$JOBS" "$WORK/parallel")"
+echo "   ${PARALLEL_S}s"
+
+echo "== bench: byte-identity check =="
+if diff -r "$WORK/serial" "$WORK/parallel" >/dev/null; then
+    IDENTICAL=true
+    echo "   byte-identical"
+else
+    IDENTICAL=false
+    echo "   OUTPUT DIFFERS between --jobs 1 and --jobs $JOBS" >&2
+fi
+
+# Experiment count from the campaign's own summary line.
+EXPERIMENTS="$(awk '/^campaign /{for (i=1;i<=NF;i++) if ($(i+1)=="experiments") print $i}' \
+    "$WORK/serial.log" | tr -d '(' | head -n1)"
+EXPERIMENTS="${EXPERIMENTS:-0}"
+
+SPEEDUP="$(awk -v s="$SERIAL_S" -v p="$PARALLEL_S" \
+    'BEGIN { printf "%.2f", (p > 0) ? s / p : 0 }')"
+SERIAL_EPS="$(awk -v n="$EXPERIMENTS" -v s="$SERIAL_S" \
+    'BEGIN { printf "%.1f", (s > 0) ? n / s : 0 }')"
+PARALLEL_EPS="$(awk -v n="$EXPERIMENTS" -v p="$PARALLEL_S" \
+    'BEGIN { printf "%.1f", (p > 0) ? n / p : 0 }')"
+
+cat > "$OUT_JSON" <<EOF
+{
+  "benchmark": "campaign_parallel_execution",
+  "systems": "$ONLY",
+  "experiments": $EXPERIMENTS,
+  "host_cores": $(nproc),
+  "jobs": $JOBS,
+  "serial_wall_s": $SERIAL_S,
+  "parallel_wall_s": $PARALLEL_S,
+  "speedup": $SPEEDUP,
+  "serial_experiments_per_s": $SERIAL_EPS,
+  "parallel_experiments_per_s": $PARALLEL_EPS,
+  "byte_identical": $IDENTICAL
+}
+EOF
+
+echo "== bench: wrote $OUT_JSON =="
+cat "$OUT_JSON"
+[[ "$IDENTICAL" == true ]]

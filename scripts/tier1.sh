@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the default build + full test suite, followed by
 # a second build of the error-path tests under ASan/UBSan (the
-# `sanitize` CMake preset, ctest label `sanitize`).
+# `sanitize` CMake preset, ctest label `sanitize`) and a third build of
+# the concurrency tests under ThreadSanitizer (the `tsan` preset,
+# ctest label `tsan`).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,5 +17,10 @@ echo "== tier-1: sanitize preset (ASan + UBSan) =="
 cmake --preset sanitize
 cmake --build --preset sanitize -j "$(nproc)"
 ctest --preset sanitize -j "$(nproc)"
+
+echo "== tier-1: tsan preset (ThreadSanitizer) =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+ctest --preset tsan -j "$(nproc)"
 
 echo "== tier-1: all green =="

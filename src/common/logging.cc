@@ -18,6 +18,18 @@ namespace
 std::vector<std::pair<LogLevel, std::string>> *capture_sink = nullptr;
 std::mutex log_mutex;
 
+/** Per-thread message prefix installed by ScopedLogPrefix. */
+thread_local std::string t_log_prefix;
+
+/** @p msg with the calling thread's prefix applied. */
+std::string
+withPrefix(const std::string &msg)
+{
+    if (t_log_prefix.empty())
+        return msg;
+    return "[" + t_log_prefix + "] " + msg;
+}
+
 const char *
 levelTag(LogLevel level)
 {
@@ -38,26 +50,28 @@ namespace detail
 void
 logMessage(LogLevel level, const std::string &msg)
 {
+    const std::string prefixed = withPrefix(msg);
     std::scoped_lock lock(log_mutex);
     if (capture_sink) {
-        capture_sink->emplace_back(level, msg);
+        capture_sink->emplace_back(level, prefixed);
         return;
     }
-    std::fprintf(stderr, "[%s] %s\n", levelTag(level), msg.c_str());
+    std::fprintf(stderr, "[%s] %s\n", levelTag(level), prefixed.c_str());
 }
 
 void
 logAndDie(LogLevel level, const std::string &msg,
           const std::source_location &loc)
 {
+    const std::string prefixed = withPrefix(msg);
     {
         std::scoped_lock lock(log_mutex);
         if (capture_sink) {
-            capture_sink->emplace_back(level, msg);
-            throw LogDeathException{level, msg};
+            capture_sink->emplace_back(level, prefixed);
+            throw LogDeathException{level, prefixed};
         }
         std::fprintf(stderr, "[%s] %s (%s:%u)\n", levelTag(level),
-                     msg.c_str(), loc.file_name(), loc.line());
+                     prefixed.c_str(), loc.file_name(), loc.line());
     }
     if (level == LogLevel::Panic)
         std::abort();
@@ -84,6 +98,23 @@ const std::vector<std::pair<LogLevel, std::string>> &
 ScopedLogCapture::messages() const
 {
     return captured_;
+}
+
+ScopedLogPrefix::ScopedLogPrefix(std::string_view prefix)
+    : previous_(std::move(t_log_prefix))
+{
+    t_log_prefix = prefix;
+}
+
+ScopedLogPrefix::~ScopedLogPrefix()
+{
+    t_log_prefix = std::move(previous_);
+}
+
+const std::string &
+ScopedLogPrefix::current()
+{
+    return t_log_prefix;
 }
 
 } // namespace syncperf

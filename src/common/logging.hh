@@ -110,6 +110,29 @@ inform(std::string_view fmt, const Args &...args)
     } while (0)
 
 /**
+ * RAII thread-local log prefix: while alive, every message emitted
+ * by the calling thread is prefixed with "[prefix] ". Nestable
+ * (restores the previous prefix on destruction). The campaign
+ * executor scopes one around each experiment so interleaved worker
+ * output stays attributable; see docs/performance.md.
+ */
+class ScopedLogPrefix
+{
+  public:
+    explicit ScopedLogPrefix(std::string_view prefix);
+    ~ScopedLogPrefix();
+
+    ScopedLogPrefix(const ScopedLogPrefix &) = delete;
+    ScopedLogPrefix &operator=(const ScopedLogPrefix &) = delete;
+
+    /** The calling thread's active prefix ("" when none). */
+    static const std::string &current();
+
+  private:
+    std::string previous_;
+};
+
+/**
  * Exception thrown instead of process exit when a test hook is
  * installed via ScopedLogCapture. Carries the original severity.
  */

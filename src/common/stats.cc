@@ -14,17 +14,27 @@ namespace syncperf
 {
 
 double
+medianInPlace(std::span<double> values)
+{
+    SYNCPERF_ASSERT(!values.empty());
+    const std::size_t mid = values.size() / 2;
+    std::nth_element(values.begin(), values.begin() + mid, values.end());
+    double hi = values[mid];
+    if (values.size() % 2 == 1)
+        return hi;
+    double lo = *std::max_element(values.begin(), values.begin() + mid);
+    return 0.5 * (lo + hi);
+}
+
+double
 median(std::span<const double> values)
 {
     SYNCPERF_ASSERT(!values.empty());
-    std::vector<double> sorted(values.begin(), values.end());
-    const std::size_t mid = sorted.size() / 2;
-    std::nth_element(sorted.begin(), sorted.begin() + mid, sorted.end());
-    double hi = sorted[mid];
-    if (sorted.size() % 2 == 1)
-        return hi;
-    double lo = *std::max_element(sorted.begin(), sorted.begin() + mid);
-    return 0.5 * (lo + hi);
+    // Reused per thread: the measurement protocol calls this in a
+    // tight loop, and a fresh vector per call dominated its profile.
+    thread_local std::vector<double> scratch;
+    scratch.assign(values.begin(), values.end());
+    return medianInPlace(scratch);
 }
 
 double

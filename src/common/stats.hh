@@ -16,12 +16,22 @@ namespace syncperf
 
 /**
  * Median of a sample; averages the two central elements for even
- * sizes. The input is copied, not reordered.
+ * sizes. The input is not modified (it is staged through a
+ * thread-local scratch buffer, so repeated calls on a hot path --
+ * the measurement protocol invokes this thousands of times per
+ * experiment point -- allocate nothing in steady state).
  *
  * @param values Non-empty sample.
  * @return The sample median.
  */
 double median(std::span<const double> values);
+
+/**
+ * Median of a sample the caller no longer needs in order: partially
+ * reorders @p values via std::nth_element instead of copying it.
+ * The allocation-free choice for scratch vectors on hot paths.
+ */
+double medianInPlace(std::span<double> values);
 
 /** Arithmetic mean of a non-empty sample. */
 double mean(std::span<const double> values);

@@ -1,6 +1,16 @@
 /**
  * @file
  * Implementation of the campaign driver.
+ *
+ * Execution model: each sweep enumerates every experiment point up
+ * front, then hands the points to CampaignRunner::runAll(), which
+ * measures them concurrently (CampaignOptions::jobs workers) and
+ * commits outcomes -- journal entries, result accounting, the
+ * checkpoint cadence -- strictly in point order on the calling
+ * thread. The measurement side of a point touches only its own
+ * state (its own simulator target, its own CSV temp file), which is
+ * what makes the fan-out safe; the ordered commit is what makes the
+ * output byte-identical at every job count.
  */
 
 #include "campaign.hh"
@@ -8,10 +18,13 @@
 #include <cctype>
 #include <filesystem>
 #include <functional>
+#include <utility>
 
 #include "common/atomic_file.hh"
 #include "common/csv.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "core/executor.hh"
 #include "core/manifest.hh"
 #include "core/sweep.hh"
 
@@ -21,6 +34,11 @@ namespace
 {
 
 namespace fs = std::filesystem;
+
+/** Checkpoint batch used when running parallel and no explicit
+ * cadence was requested (serial auto-cadence is 1, the historical
+ * save-per-experiment behavior). */
+constexpr int parallel_checkpoint_batch = 8;
 
 /** Strides the paper sweeps; quick mode keeps the knee-revealing ones. */
 std::vector<int>
@@ -44,15 +62,40 @@ hashProtocol(ConfigHasher &h, const MeasurementConfig &p)
         .add(p.max_noise_retries);
 }
 
+/** Worker count options.jobs resolves to. */
+int
+resolveJobs(const CampaignOptions &options)
+{
+    if (options.jobs > 1)
+        return options.jobs;
+    if (options.jobs == 0)
+        return ThreadPool::hardwareConcurrency();
+    return 1;
+}
+
 /**
  * Shared per-system campaign mechanics: stray-temp cleanup, journal
- * lifecycle, skip-on-resume, atomic CSV emission, and failure
- * accounting. The OpenMP and CUDA sweeps differ only in how they
- * enumerate points and emit rows.
+ * lifecycle, skip-on-resume, atomic CSV emission, parallel
+ * execution with ordered commits, and failure accounting. The
+ * OpenMP and CUDA sweeps differ only in how they enumerate points
+ * and emit rows.
  */
 class CampaignRunner
 {
   public:
+    /** One enumerated experiment point, ready to run. */
+    struct Experiment
+    {
+        std::string file;        ///< CSV name (the journal key)
+        std::uint64_t hash = 0;  ///< ConfigHasher digest
+
+        /** Writes all data rows and fills the journal entry's
+         * retry/noise statistics; returns non-ok to fail the
+         * experiment. Runs on a worker thread: it must touch only
+         * its own state (build its own target). */
+        std::function<Status(CsvWriter &, ManifestEntry &)> emit;
+    };
+
     CampaignRunner(const fs::path &dir, const std::string &system,
                    const CampaignOptions &options,
                    CampaignResult &result)
@@ -73,47 +116,91 @@ class CampaignRunner
     }
 
     /**
-     * Run one experiment: skip it when the journal already has it,
-     * otherwise measure and write through an atomic temp file,
-     * journaling the outcome either way.
-     *
-     * @param file CSV name (the journal key).
-     * @param hash ConfigHasher digest of the point's configuration.
-     * @param header CSV header row.
-     * @param emit Writes all data rows and fills the journal entry's
-     *        retry/noise statistics; returns non-ok to fail the
-     *        experiment (e.g. an invalid measurement).
+     * Run every experiment: resume-skip against the journal, then
+     * measure the rest -- concurrently when options.jobs allows --
+     * and commit each outcome in point order (journal entry, result
+     * accounting, debounced checkpoint). Returns with the journal
+     * flushed to disk.
      */
     void
-    runExperiment(const std::string &file, std::uint64_t hash,
-                  const std::vector<std::string> &header,
-                  const std::function<Status(CsvWriter &,
-                                             ManifestEntry &)> &emit)
+    runAll(const std::vector<std::string> &header,
+           std::vector<Experiment> experiments)
     {
-        if (options_.resume && manifest_.isComplete(file, hash)) {
-            ++result_.experiments_skipped;
-            return;
+        std::vector<Experiment> pending;
+        pending.reserve(experiments.size());
+        for (auto &exp : experiments) {
+            if (options_.resume &&
+                manifest_.isComplete(exp.file, exp.hash)) {
+                ++result_.experiments_skipped;
+                continue;
+            }
+            pending.push_back(std::move(exp));
         }
 
-        ManifestEntry entry;
-        entry.key = file;
-        entry.config_hash = hash;
+        const int jobs = std::min(
+            resolveJobs(options_),
+            pending.empty() ? 1 : static_cast<int>(pending.size()));
+        checkpoint_every_ =
+            options_.checkpoint_every > 0
+                ? options_.checkpoint_every
+                : (jobs > 1 ? parallel_checkpoint_batch : 1);
 
-        const fs::path path = dir_ / file;
-        Status status = writeCsv(path, header, emit, entry);
-        if (status.isOk()) {
-            manifest_.recordComplete(std::move(entry));
-            result_.files_written.push_back(path.string());
-            ++result_.experiments_run;
+        std::vector<OrderedExecutor::Job> fanout;
+        fanout.reserve(pending.size());
+        for (const Experiment &exp : pending)
+            fanout.push_back([this, &header, &exp] {
+                return runExperiment(header, exp);
+            });
+
+        if (jobs <= 1) {
+            OrderedExecutor::run(nullptr, std::move(fanout));
         } else {
-            warn("experiment {} failed: {}", file, status.toString());
-            manifest_.recordFailure(file, hash, status.toString());
-            result_.failures.push_back({file, status.toString()});
+            ThreadPool pool(jobs);
+            OrderedExecutor::run(&pool, std::move(fanout));
         }
-        checkpoint();
+        flushCheckpoint();
     }
 
   private:
+    /**
+     * Measure one experiment and write its CSV (worker side), then
+     * hand back the closure that journals the outcome (commit side,
+     * invoked in point order by OrderedExecutor).
+     */
+    OrderedExecutor::CommitFn
+    runExperiment(const std::vector<std::string> &header,
+                  const Experiment &exp)
+    {
+        ScopedLogPrefix log_prefix(exp.file);
+
+        ManifestEntry entry;
+        entry.key = exp.file;
+        entry.config_hash = exp.hash;
+
+        const fs::path path = dir_ / exp.file;
+        Status status = writeCsv(path, header, exp.emit, entry);
+
+        return [this, &exp, path, entry = std::move(entry),
+                status = std::move(status)]() mutable {
+            if (status.isOk()) {
+                manifest_.recordComplete(std::move(entry));
+                result_.files_written.push_back(path.string());
+                ++result_.experiments_run;
+                checkpoint(/*force=*/false);
+            } else {
+                warn("experiment {} failed: {}", exp.file,
+                     status.toString());
+                manifest_.recordFailure(exp.file, exp.hash,
+                                        status.toString());
+                result_.failures.push_back(
+                    {exp.file, status.toString()});
+                // A failure is worth a write of its own: the journal
+                // must know about it even if we die right after.
+                checkpoint(/*force=*/true);
+            }
+        };
+    }
+
     Status
     writeCsv(const fs::path &path,
              const std::vector<std::string> &header,
@@ -131,12 +218,29 @@ class CampaignRunner
         return out.commit();
     }
 
+    /**
+     * Debounced journal persistence: a full manifest rewrite per
+     * experiment is O(points^2) over a campaign, so commits are
+     * batched (checkpoint_every_) and losing a batch only costs
+     * re-measuring it on resume. Failures force a write.
+     */
+    void
+    checkpoint(bool force)
+    {
+        ++unsaved_commits_;
+        if (force || unsaved_commits_ >= checkpoint_every_)
+            flushCheckpoint();
+    }
+
     /** Persist the journal; losing it only costs re-measurement. */
     void
-    checkpoint()
+    flushCheckpoint()
     {
+        if (unsaved_commits_ == 0)
+            return;
         if (Status s = manifest_.save(); !s.isOk())
             warn("cannot checkpoint manifest: {}", s.toString());
+        unsaved_commits_ = 0;
     }
 
     /** Drop .tmp leftovers of a previously killed campaign. */
@@ -156,6 +260,8 @@ class CampaignRunner
     const CampaignOptions &options_;
     CampaignResult &result_;
     Manifest manifest_;
+    int checkpoint_every_ = 1;
+    int unsaved_commits_ = 0;
 };
 
 /** Fold a finished point's Measurement into its journal entry. */
@@ -166,6 +272,40 @@ accumulate(ManifestEntry &entry, const Measurement &m)
     entry.noise_retries += m.noise_retries;
     if (m.cov > entry.max_cov)
         entry.max_cov = m.cov;
+}
+
+/**
+ * Per-point digest: @p base already folds in everything shared by
+ * the whole sweep (system, thread/block counts, protocol), computed
+ * once instead of per point.
+ */
+template <typename ExperimentT>
+std::uint64_t
+pointDigest(const ConfigHasher &base, const std::string &file,
+            const ExperimentT &exp)
+{
+    ConfigHasher h = base; // cheap: the hasher is one uint64
+    h.add(file)
+        .add(static_cast<int>(exp.primitive))
+        .add(static_cast<int>(exp.dtype))
+        .add(static_cast<int>(exp.location))
+        .add(exp.stride);
+    return h.digest();
+}
+
+/** OpenMP points additionally pin their affinity policy. */
+std::uint64_t
+pointDigest(const ConfigHasher &base, const std::string &file,
+            const OmpExperiment &exp)
+{
+    ConfigHasher h = base;
+    h.add(file)
+        .add(static_cast<int>(exp.primitive))
+        .add(static_cast<int>(exp.dtype))
+        .add(static_cast<int>(exp.location))
+        .add(exp.stride)
+        .add(static_cast<int>(exp.affinity));
+    return h.digest();
 }
 
 } // namespace
@@ -198,12 +338,14 @@ runOmpCampaign(const cpusim::CpuConfig &cfg,
     const auto threads =
         ompThreadCounts(cfg.totalHwThreads(), options.quick ? 4 : 1);
 
-    struct Point
-    {
-        OmpExperiment exp;
-        std::string file;
-    };
-    std::vector<Point> points;
+    // Everything the whole sweep shares is hashed exactly once.
+    ConfigHasher base_hash;
+    base_hash.add(system);
+    for (int n : threads)
+        base_hash.add(n);
+    hashProtocol(base_hash, protocol);
+
+    std::vector<CampaignRunner::Experiment> experiments;
 
     auto add = [&](OmpPrimitive prim, DataType dtype, Location loc,
                    int stride, Affinity affinity, std::string file) {
@@ -213,7 +355,34 @@ runOmpCampaign(const cpusim::CpuConfig &cfg,
         e.location = loc;
         e.stride = stride;
         e.affinity = affinity;
-        points.push_back({e, std::move(file)});
+
+        CampaignRunner::Experiment exp;
+        exp.hash = pointDigest(base_hash, file, e);
+        // The emit closure runs on a worker thread: one simulator
+        // target per experiment file, built fresh from a fixed seed,
+        // reused across the whole thread sweep -- results depend
+        // only on the point, never on scheduling.
+        exp.emit = [e, &cfg, &protocol,
+                    &threads](CsvWriter &csv,
+                              ManifestEntry &entry) -> Status {
+            CpuSimTarget target(cfg, protocol);
+            for (int n : threads) {
+                const auto m = target.measure(e, n);
+                if (!m.valid) {
+                    return Status::error(ErrorCode::MeasurementError,
+                                         "{} threads: {}", n, m.error);
+                }
+                accumulate(entry, m);
+                csv.field(static_cast<long long>(n))
+                    .field(m.per_op_seconds)
+                    .field(m.opsPerSecondPerThread())
+                    .field(m.stddev_seconds);
+                csv.endRow();
+            }
+            return Status::ok();
+        };
+        exp.file = std::move(file);
+        experiments.push_back(std::move(exp));
     };
 
     add(OmpPrimitive::Barrier, DataType::Int32, Location::SharedVariable,
@@ -224,6 +393,14 @@ runOmpCampaign(const cpusim::CpuConfig &cfg,
         Location::SharedVariable, 1, Affinity::System,
         "omp_atomic_read.csv");
 
+    // File-name fragments are built once per dtype/stride, not once
+    // per point.
+    const auto strides = ompStrides(options.quick);
+    std::vector<std::string> stride_tags;
+    stride_tags.reserve(strides.size());
+    for (int stride : strides)
+        stride_tags.push_back("_s" + std::to_string(stride) + "_");
+
     for (DataType t : all_data_types) {
         const std::string suffix = std::string(dataTypeName(t)) + ".csv";
         add(OmpPrimitive::AtomicUpdate, t, Location::SharedVariable, 1,
@@ -232,53 +409,20 @@ runOmpCampaign(const cpusim::CpuConfig &cfg,
             Affinity::System, "omp_atomic_capture_" + suffix);
         add(OmpPrimitive::AtomicWrite, t, Location::SharedVariable, 1,
             Affinity::System, "omp_atomic_write_" + suffix);
-        for (int stride : ompStrides(options.quick)) {
+        for (std::size_t i = 0; i < strides.size(); ++i) {
             add(OmpPrimitive::AtomicUpdate, t, Location::PrivateArray,
-                stride, Affinity::System,
-                "omp_atomic_array_s" + std::to_string(stride) + "_" +
-                    suffix);
-            add(OmpPrimitive::Flush, t, Location::PrivateArray, stride,
-                Affinity::Close,
-                "omp_flush_s" + std::to_string(stride) + "_" + suffix);
+                strides[i], Affinity::System,
+                "omp_atomic_array" + stride_tags[i] + suffix);
+            add(OmpPrimitive::Flush, t, Location::PrivateArray,
+                strides[i], Affinity::Close,
+                "omp_flush" + stride_tags[i] + suffix);
         }
     }
 
     CampaignRunner runner(dir, system, options, result);
-    for (const auto &point : points) {
-        ConfigHasher hasher;
-        hasher.add(system).add(point.file);
-        hasher.add(static_cast<int>(point.exp.primitive))
-            .add(static_cast<int>(point.exp.dtype))
-            .add(static_cast<int>(point.exp.location))
-            .add(point.exp.stride)
-            .add(static_cast<int>(point.exp.affinity));
-        for (int n : threads)
-            hasher.add(n);
-        hashProtocol(hasher, protocol);
-
-        runner.runExperiment(
-            point.file, hasher.digest(),
-            {"threads", "per_op_seconds", "throughput_per_thread",
-             "stddev_seconds"},
-            [&](CsvWriter &csv, ManifestEntry &entry) -> Status {
-                CpuSimTarget target(cfg, protocol);
-                for (int n : threads) {
-                    const auto m = target.measure(point.exp, n);
-                    if (!m.valid) {
-                        return Status::error(
-                            ErrorCode::MeasurementError,
-                            "{} threads: {}", n, m.error);
-                    }
-                    accumulate(entry, m);
-                    csv.field(static_cast<long long>(n))
-                        .field(m.per_op_seconds)
-                        .field(m.opsPerSecondPerThread())
-                        .field(m.stddev_seconds);
-                    csv.endRow();
-                }
-                return Status::ok();
-            });
-    }
+    runner.runAll({"threads", "per_op_seconds", "throughput_per_thread",
+                   "stddev_seconds"},
+                  std::move(experiments));
     return result;
 }
 
@@ -304,12 +448,15 @@ runCudaCampaign(const gpusim::GpuConfig &cfg,
         options.quick ? std::vector<int>{1, 2, cfg.sm_count / 2}
                       : cudaBlockCounts(cfg.sm_count);
 
-    struct Point
-    {
-        CudaExperiment exp;
-        std::string file;
-    };
-    std::vector<Point> points;
+    ConfigHasher base_hash;
+    base_hash.add(system);
+    for (int blocks : block_counts)
+        base_hash.add(blocks);
+    for (int n : thread_counts)
+        base_hash.add(n);
+    hashProtocol(base_hash, protocol);
+
+    std::vector<CampaignRunner::Experiment> experiments;
 
     auto add = [&](CudaPrimitive prim, DataType dtype, Location loc,
                    int stride, std::string file) {
@@ -318,7 +465,34 @@ runCudaCampaign(const gpusim::GpuConfig &cfg,
         e.dtype = dtype;
         e.location = loc;
         e.stride = stride;
-        points.push_back({e, std::move(file)});
+
+        CampaignRunner::Experiment exp;
+        exp.hash = pointDigest(base_hash, file, e);
+        exp.emit = [e, &cfg, &protocol, &block_counts,
+                    &thread_counts](CsvWriter &csv,
+                                    ManifestEntry &entry) -> Status {
+            GpuSimTarget target(cfg, protocol);
+            for (int blocks : block_counts) {
+                for (int n : thread_counts) {
+                    const auto m = target.measure(e, {blocks, n});
+                    if (!m.valid) {
+                        return Status::error(
+                            ErrorCode::MeasurementError,
+                            "{} blocks x {} threads: {}", blocks, n,
+                            m.error);
+                    }
+                    accumulate(entry, m);
+                    csv.field(static_cast<long long>(blocks))
+                        .field(static_cast<long long>(n))
+                        .field(m.per_op_seconds)
+                        .field(m.opsPerSecondPerThread());
+                    csv.endRow();
+                }
+            }
+            return Status::ok();
+        };
+        exp.file = std::move(file);
+        experiments.push_back(std::move(exp));
     };
 
     add(CudaPrimitive::SyncThreads, DataType::Int32,
@@ -357,46 +531,9 @@ runCudaCampaign(const gpusim::GpuConfig &cfg,
     }
 
     CampaignRunner runner(dir, system, options, result);
-    for (const auto &point : points) {
-        ConfigHasher hasher;
-        hasher.add(system).add(point.file);
-        hasher.add(static_cast<int>(point.exp.primitive))
-            .add(static_cast<int>(point.exp.dtype))
-            .add(static_cast<int>(point.exp.location))
-            .add(point.exp.stride);
-        for (int blocks : block_counts)
-            hasher.add(blocks);
-        for (int n : thread_counts)
-            hasher.add(n);
-        hashProtocol(hasher, protocol);
-
-        runner.runExperiment(
-            point.file, hasher.digest(),
-            {"blocks", "threads_per_block", "per_op_seconds",
-             "throughput_per_thread"},
-            [&](CsvWriter &csv, ManifestEntry &entry) -> Status {
-                GpuSimTarget target(cfg, protocol);
-                for (int blocks : block_counts) {
-                    for (int n : thread_counts) {
-                        const auto m =
-                            target.measure(point.exp, {blocks, n});
-                        if (!m.valid) {
-                            return Status::error(
-                                ErrorCode::MeasurementError,
-                                "{} blocks x {} threads: {}", blocks,
-                                n, m.error);
-                        }
-                        accumulate(entry, m);
-                        csv.field(static_cast<long long>(blocks))
-                            .field(static_cast<long long>(n))
-                            .field(m.per_op_seconds)
-                            .field(m.opsPerSecondPerThread());
-                        csv.endRow();
-                    }
-                }
-                return Status::ok();
-            });
-    }
+    runner.runAll({"blocks", "threads_per_block", "per_op_seconds",
+                   "throughput_per_thread"},
+                  std::move(experiments));
     return result;
 }
 

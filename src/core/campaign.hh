@@ -12,6 +12,13 @@
  * recorded and skipped instead of aborting the campaign, and a
  * resumed campaign skips experiments whose journal entry matches
  * the requested configuration. docs/robustness.md has the details.
+ *
+ * Throughput: experiment points are independent, so the campaign
+ * enumerates them up front and fans them out over a work-stealing
+ * thread pool (CampaignOptions::jobs), committing results in
+ * deterministic point order via core::OrderedExecutor -- output is
+ * byte-identical at every job count. docs/performance.md has the
+ * executor design and the determinism argument.
  */
 
 #ifndef SYNCPERF_CORE_CAMPAIGN_HH
@@ -41,6 +48,27 @@ struct CampaignOptions
      * everything reruns.
      */
     bool resume = false;
+
+    /**
+     * Concurrent experiments. 1 runs everything serially on the
+     * calling thread (the historical behavior); 0 means "one per
+     * hardware thread". Results are committed in deterministic point
+     * order, so CSVs, manifest.json, and the degradation summary are
+     * byte-identical at every job count (see docs/performance.md).
+     * Ordinal-based fault injection is the one order-sensitive
+     * feature; it is only deterministic at jobs == 1.
+     */
+    int jobs = 1;
+
+    /**
+     * Manifest checkpoint cadence: the journal is saved to disk
+     * after this many experiment commits. Failures checkpoint
+     * immediately and the final state is always saved, so a larger
+     * batch only widens the window of *successful* work a kill can
+     * force a resume to redo. 0 means auto: 1 (checkpoint every
+     * experiment) when serial, 8 when parallel.
+     */
+    int checkpoint_every = 0;
 };
 
 /** One experiment the campaign could not complete. */

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Implementation of the ordered executor.
+ */
+
+#include "executor.hh"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace syncperf::core
+{
+
+void
+OrderedExecutor::run(ThreadPool *pool, std::vector<Job> jobs)
+{
+    if (jobs.empty())
+        return;
+
+    if (pool == nullptr || pool->size() <= 1) {
+        // Serial fast path: run and commit each job back to back,
+        // exactly like the pre-parallel campaign loop.
+        for (Job &job : jobs) {
+            if (CommitFn commit = job())
+                commit();
+        }
+        return;
+    }
+
+    struct Slot
+    {
+        CommitFn commit;
+        bool done = false;
+    };
+
+    std::mutex mutex;
+    std::condition_variable finished;
+    std::vector<Slot> slots(jobs.size());
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        pool->submit([&, i] {
+            CommitFn commit = jobs[i]();
+            std::scoped_lock lock(mutex);
+            slots[i].commit = std::move(commit);
+            slots[i].done = true;
+            finished.notify_all();
+        });
+    }
+
+    // Commit in index order, pipelined with still-running jobs.
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        CommitFn commit;
+        {
+            std::unique_lock lock(mutex);
+            finished.wait(lock, [&] { return slots[i].done; });
+            commit = std::move(slots[i].commit);
+        }
+        if (commit)
+            commit();
+    }
+}
+
+} // namespace syncperf::core

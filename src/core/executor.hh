@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic fan-out for the campaign driver.
+ *
+ * OrderedExecutor::run() executes independent jobs concurrently on a
+ * ThreadPool but applies their side effects in submission order: each
+ * job does its expensive, self-contained work on a worker thread and
+ * returns a commit closure; the closures are invoked strictly in
+ * index order on the calling thread. Shared state touched only by
+ * commit closures therefore needs no locking, and every run produces
+ * byte-identical output regardless of worker count or completion
+ * order -- the deterministic-commit rule documented in
+ * docs/performance.md.
+ */
+
+#ifndef SYNCPERF_CORE_EXECUTOR_HH
+#define SYNCPERF_CORE_EXECUTOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace syncperf::core
+{
+
+/** Runs jobs concurrently, commits their results in order. */
+class OrderedExecutor
+{
+  public:
+    /** Applies one finished job's side effects; run on the caller. */
+    using CommitFn = std::function<void()>;
+
+    /**
+     * One unit of concurrent work. Runs on a pool worker; everything
+     * it touches must be private to the job (or internally
+     * synchronized, like logging). Returns the job's commit closure;
+     * returning nullptr commits nothing.
+     */
+    using Job = std::function<CommitFn()>;
+
+    /**
+     * Run every job and invoke the commit closures in index order on
+     * the calling thread.
+     *
+     * With a null @p pool (or a single-worker pool) the jobs run
+     * inline on the calling thread in index order -- byte-for-byte
+     * the serial behavior, with zero threading overhead. Otherwise
+     * jobs are submitted to the pool up front and commits are
+     * pipelined: index i commits as soon as jobs 0..i have finished,
+     * while later jobs are still running.
+     */
+    static void run(ThreadPool *pool, std::vector<Job> jobs);
+};
+
+} // namespace syncperf::core
+
+#endif // SYNCPERF_CORE_EXECUTOR_HH

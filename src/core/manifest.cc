@@ -72,6 +72,26 @@ ConfigHasher::add(std::string_view v)
 
 Manifest::Manifest(fs::path file) : file_(std::move(file)) {}
 
+// Moves transfer the journal, not the lock: the source must be
+// quiescent (they exist so Result<Manifest> and load() can hand a
+// journal over, never to move one mid-campaign).
+Manifest::Manifest(Manifest &&other) noexcept
+    : file_(std::move(other.file_)), system_(std::move(other.system_)),
+      entries_(std::move(other.entries_))
+{
+}
+
+Manifest &
+Manifest::operator=(Manifest &&other) noexcept
+{
+    if (this != &other) {
+        file_ = std::move(other.file_);
+        system_ = std::move(other.system_);
+        entries_ = std::move(other.entries_);
+    }
+    return *this;
+}
+
 Result<Manifest>
 Manifest::load(const fs::path &file)
 {
@@ -132,6 +152,7 @@ Manifest::findEntry(std::string_view key)
 bool
 Manifest::isComplete(std::string_view key, std::uint64_t hash) const
 {
+    std::scoped_lock lock(mutex_);
     for (const auto &entry : entries_) {
         if (entry.key == key)
             return entry.complete && entry.config_hash == hash;
@@ -144,6 +165,7 @@ Manifest::recordComplete(ManifestEntry entry)
 {
     entry.complete = true;
     entry.error.clear();
+    std::scoped_lock lock(mutex_);
     if (ManifestEntry *existing = findEntry(entry.key)) {
         *existing = std::move(entry);
     } else {
@@ -160,6 +182,7 @@ Manifest::recordFailure(std::string_view key, std::uint64_t hash,
     entry.config_hash = hash;
     entry.complete = false;
     entry.error = error;
+    std::scoped_lock lock(mutex_);
     if (ManifestEntry *existing = findEntry(entry.key)) {
         *existing = std::move(entry);
     } else {
@@ -170,6 +193,7 @@ Manifest::recordFailure(std::string_view key, std::uint64_t hash,
 Status
 Manifest::save() const
 {
+    std::scoped_lock lock(mutex_);
     JsonValue root = JsonValue::object();
     root.set("version", JsonValue(manifest_version));
     root.set("system", JsonValue(system_));
@@ -202,6 +226,7 @@ Manifest::save() const
 int
 Manifest::completeCount() const
 {
+    std::scoped_lock lock(mutex_);
     int n = 0;
     for (const auto &entry : entries_)
         n += entry.complete ? 1 : 0;
@@ -211,7 +236,11 @@ Manifest::completeCount() const
 int
 Manifest::failedCount() const
 {
-    return static_cast<int>(entries_.size()) - completeCount();
+    std::scoped_lock lock(mutex_);
+    int n = 0;
+    for (const auto &entry : entries_)
+        n += entry.complete ? 0 : 1;
+    return n;
 }
 
 } // namespace syncperf::core

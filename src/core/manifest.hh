@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -57,12 +58,24 @@ struct ManifestEntry
     double max_cov = 0.0;           ///< worst per-point CoV observed
 };
 
-/** The journal for one system's campaign. */
+/**
+ * The journal for one system's campaign.
+ *
+ * Record/query/save are individually thread-safe (internally
+ * locked), so a parallel campaign may consult the journal from any
+ * thread. The campaign driver nevertheless funnels all mutation
+ * through its ordered commit step, which is what keeps the entry
+ * order -- and therefore the saved file -- byte-identical across
+ * worker counts; the lock is the safety net, not the design.
+ */
 class Manifest
 {
   public:
     /** An empty journal that will save to @p file. */
     explicit Manifest(std::filesystem::path file);
+
+    Manifest(Manifest &&other) noexcept;
+    Manifest &operator=(Manifest &&other) noexcept;
 
     /**
      * Load an existing journal; a missing file yields an empty
@@ -87,6 +100,8 @@ class Manifest
     void setSystem(std::string_view name) { system_ = name; }
     const std::string &system() const { return system_; }
 
+    /** Direct entry access; only safe while no other thread is
+     * recording (e.g. after a campaign has finished). */
     const std::vector<ManifestEntry> &entries() const
     {
         return entries_;
@@ -103,6 +118,7 @@ class Manifest
     std::filesystem::path file_;
     std::string system_;
     std::vector<ManifestEntry> entries_;
+    mutable std::mutex mutex_; ///< guards entries_ (see class comment)
 };
 
 } // namespace syncperf::core

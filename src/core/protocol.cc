@@ -17,15 +17,15 @@ namespace syncperf::core
 namespace
 {
 
-/** CoV of @p values around its median; 0 for free primitives whose
- * median is indistinguishable from zero. */
+/** CoV from an already-computed median and stddev; 0 for free
+ * primitives whose median is indistinguishable from zero. */
 double
-coefficientOfVariation(const std::vector<double> &values)
+coefficientOfVariation(double med, double sd)
 {
-    const double med = std::fabs(median(values));
+    med = std::fabs(med);
     if (med < 1e-18)
         return 0.0;
-    return stddev(values) / med;
+    return sd / med;
 }
 
 /**
@@ -83,7 +83,10 @@ measureOnce(const TimedFunction &baseline, const TimedFunction &test,
             test_maxes.push_back(t_max);
         }
 
-        const double diff = median(test_maxes) - median(base_maxes);
+        // Both vectors are dead after this, so the in-place median
+        // (no copy, no allocation) is safe on this hot path.
+        const double diff =
+            medianInPlace(test_maxes) - medianInPlace(base_maxes);
         out.run_values.push_back(
             diff / static_cast<double>(cfg.opsPerMeasurement()));
     }
@@ -125,7 +128,8 @@ measurePrimitive(const TimedFunction &baseline, const TimedFunction &test,
         }
         out.per_op_seconds = median(out.run_values);
         out.stddev_seconds = stddev(out.run_values);
-        out.cov = coefficientOfVariation(out.run_values);
+        out.cov = coefficientOfVariation(out.per_op_seconds,
+                                         out.stddev_seconds);
         if (cfg.cov_gate <= 0.0 || out.cov <= cfg.cov_gate ||
             out.noise_retries >= cfg.max_noise_retries) {
             if (cfg.cov_gate > 0.0 && out.cov > cfg.cov_gate) {

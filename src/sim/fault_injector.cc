@@ -17,7 +17,7 @@ FaultInjector *g_active = nullptr;
 bool
 FaultInjector::shouldPoisonMeasurement()
 {
-    const int n = ++measurement_count_;
+    const int n = measurement_count_.fetch_add(1) + 1;
     return poison_first_ > 0 && n >= poison_first_ &&
            n < poison_first_ + poison_count_;
 }
@@ -26,7 +26,7 @@ Status
 FaultInjector::onWriteOp(const std::filesystem::path &path,
                          std::string_view op)
 {
-    const int n = ++write_op_count_;
+    const int n = write_op_count_.fetch_add(1) + 1;
     if (fail_write_first_ > 0 && n >= fail_write_first_ &&
         n < fail_write_first_ + fail_write_count_) {
         return Status::error(ErrorCode::FaultInjected,

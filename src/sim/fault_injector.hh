@@ -20,8 +20,10 @@
 #ifndef SYNCPERF_SIM_FAULT_INJECTOR_HH
 #define SYNCPERF_SIM_FAULT_INJECTOR_HH
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <mutex>
 #include <string_view>
 
 #include "common/atomic_file.hh"
@@ -78,14 +80,24 @@ class FaultInjector
     }
 
     // ------------------------------------------------- hook queries
+    //
+    // The hook queries are thread-safe: a parallel campaign
+    // (--jobs > 1) consults the active injector from every worker.
+    // Counting is exact under concurrency, but which experiment
+    // observes the Nth operation then depends on scheduling, so
+    // ordinal-based faults (poisonMeasurements/failWrites) are only
+    // deterministic at --jobs 1; rate-style perturbations (skew,
+    // jitter) remain safe at any job count.
 
     /** Apply clock skew and jitter to one reported runtime. */
     double
     perturbSeconds(double seconds)
     {
         double out = seconds * clock_skew_;
-        if (jitter_fraction_ > 0.0)
+        if (jitter_fraction_ > 0.0) {
+            std::scoped_lock lock(jitter_mutex_);
             out += seconds * jitter_fraction_ * jitter_rng_.uniform();
+        }
         return out;
     }
 
@@ -97,10 +109,10 @@ class FaultInjector
                      std::string_view op);
 
     /** Timed launches observed so far. */
-    int measurementCount() const { return measurement_count_; }
+    int measurementCount() const { return measurement_count_.load(); }
 
     /** Write operations observed so far. */
-    int writeOpCount() const { return write_op_count_; }
+    int writeOpCount() const { return write_op_count_.load(); }
 
     // ---------------------------------------------------- lifecycle
 
@@ -131,15 +143,16 @@ class FaultInjector
   private:
     double clock_skew_ = 1.0;
     double jitter_fraction_ = 0.0;
+    std::mutex jitter_mutex_; ///< the RNG stream is shared state
     Pcg32 jitter_rng_{1};
 
     int poison_first_ = 0; ///< 0 disables
     int poison_count_ = 0;
-    int measurement_count_ = 0;
+    std::atomic<int> measurement_count_{0};
 
     int fail_write_first_ = 0; ///< 0 disables
     int fail_write_count_ = 0;
-    int write_op_count_ = 0;
+    std::atomic<int> write_op_count_{0};
 };
 
 } // namespace syncperf::sim

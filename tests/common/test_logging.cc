@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+
 #include "common/logging.hh"
 
 namespace syncperf
@@ -62,6 +65,59 @@ TEST(Logging, AssertMacroFailsWithMessage)
         EXPECT_NE(e.message.find("extra 7 context"), std::string::npos);
     }
     EXPECT_TRUE(threw);
+}
+
+TEST(Logging, ScopedPrefixTagsMessages)
+{
+    ScopedLogCapture capture;
+    {
+        ScopedLogPrefix prefix("omp_atomic.csv");
+        warn("retrying");
+    }
+    warn("after scope");
+    ASSERT_EQ(capture.messages().size(), 2u);
+    EXPECT_EQ(capture.messages()[0].second, "[omp_atomic.csv] retrying");
+    EXPECT_EQ(capture.messages()[1].second, "after scope");
+}
+
+TEST(Logging, ScopedPrefixNests)
+{
+    ScopedLogCapture capture;
+    ScopedLogPrefix outer("outer");
+    {
+        ScopedLogPrefix inner("inner");
+        EXPECT_EQ(ScopedLogPrefix::current(), "inner");
+        inform("deep");
+    }
+    EXPECT_EQ(ScopedLogPrefix::current(), "outer");
+    inform("shallow");
+    ASSERT_EQ(capture.messages().size(), 2u);
+    EXPECT_EQ(capture.messages()[0].second, "[inner] deep");
+    EXPECT_EQ(capture.messages()[1].second, "[outer] shallow");
+}
+
+TEST(Logging, ScopedPrefixAppliesToDeathMessages)
+{
+    ScopedLogCapture capture;
+    ScopedLogPrefix prefix("exp42");
+    bool threw = false;
+    try {
+        fatal("boom");
+    } catch (const LogDeathException &e) {
+        threw = true;
+        EXPECT_EQ(e.message, "[exp42] boom");
+    }
+    EXPECT_TRUE(threw);
+}
+
+TEST(Logging, PrefixIsPerThread)
+{
+    ScopedLogPrefix prefix("main-thread");
+    std::string other;
+    std::thread worker([&other] { other = ScopedLogPrefix::current(); });
+    worker.join();
+    EXPECT_EQ(other, "");
+    EXPECT_EQ(ScopedLogPrefix::current(), "main-thread");
 }
 
 TEST(Logging, CaptureScopeEnds)

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/logging.hh"
@@ -56,6 +57,43 @@ TEST(Median, EmptyInputPanics)
 {
     ScopedLogCapture capture;
     EXPECT_THROW((void)median(std::vector<double>{}), LogDeathException);
+}
+
+TEST(MedianInPlace, AgreesWithMedianOnOddAndEvenCounts)
+{
+    std::vector<double> odd{5.0, 1.0, 3.0};
+    std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(medianInPlace(odd), 3.0);
+    EXPECT_DOUBLE_EQ(medianInPlace(even), 2.5);
+}
+
+TEST(MedianInPlace, MayPermuteButKeepsTheMultiset)
+{
+    std::vector<double> v{9.0, 1.0, 5.0, 3.0, 7.0};
+    std::vector<double> sorted_before = v;
+    std::sort(sorted_before.begin(), sorted_before.end());
+    EXPECT_DOUBLE_EQ(medianInPlace(v), 5.0);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted_before);
+}
+
+TEST(MedianInPlace, EmptyInputPanics)
+{
+    ScopedLogCapture capture;
+    std::vector<double> v;
+    EXPECT_THROW((void)medianInPlace(v), LogDeathException);
+}
+
+TEST(MedianInPlace, AgreesWithMedianOnRandomizedSamples)
+{
+    // median() copies into scratch and defers to medianInPlace, so
+    // the two must agree on every input shape.
+    std::vector<double> v;
+    for (int n = 1; n <= 33; ++n) {
+        v.push_back(static_cast<double>((n * 7919) % 101));
+        std::vector<double> copy = v;
+        EXPECT_DOUBLE_EQ(medianInPlace(copy), median(v)) << "n=" << n;
+    }
 }
 
 TEST(MeanStddev, ConstantSample)

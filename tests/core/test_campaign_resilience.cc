@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <csignal>
 #include <filesystem>
 #include <string>
@@ -272,6 +273,79 @@ TEST_F(CampaignResilienceTest, KillResumeRoundTrip)
     EXPECT_EQ(final_manifest.value().failedCount(), 0);
     EXPECT_EQ(final_manifest.value().completeCount(),
               kill_after_commits + resumed.experiments_run);
+    for (const auto &entry : final_manifest.value().entries()) {
+        const fs::path csv = system_dir_ / entry.key;
+        EXPECT_TRUE(fs::exists(csv)) << entry.key;
+        EXPECT_GT(fs::file_size(csv), 0u) << entry.key;
+    }
+}
+
+/**
+ * The same round trip with four concurrent experiments and batched
+ * manifest checkpointing. Under --jobs N the journal may lag CSV
+ * commits (it is flushed every checkpoint_every commits), so a crash
+ * can leave committed-but-unjournaled CSVs and several in-flight
+ * temp files at once; resume must redo that work, never trust it.
+ */
+TEST_F(CampaignResilienceTest, KillResumeRoundTripUnderParallelExecution)
+{
+    CampaignOptions parallel = options();
+    parallel.jobs = 4;
+    parallel.checkpoint_every = 3;
+
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        // Child: several workers commit CSVs concurrently; die during
+        // the seventh commit, whichever worker gets there.
+        std::atomic<int> csv_commits{0};
+        AtomicFile::setFaultHook(
+            [&](const fs::path &path, std::string_view op) {
+                if (op == "commit" && path.extension() == ".csv" &&
+                    csv_commits.fetch_add(1) + 1 > 6) {
+                    ::kill(::getpid(), SIGKILL);
+                }
+                return Status::ok();
+            });
+        (void)runOmpCampaign(cpu_, tinyProtocol(), parallel);
+        ::_exit(42); // not reached: the campaign dies first
+    }
+
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(wstatus));
+    ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+    // Crash-safety invariant under concurrency: the journal may lag
+    // the CSVs but never lead them -- every journaled completion has
+    // its file on disk. (The manifest may not exist at all if the
+    // crash beat the first checkpoint; that is equally safe.)
+    const auto partial = Manifest::load(system_dir_ / "manifest.json");
+    if (partial.isOk()) {
+        for (const auto &entry : partial.value().entries()) {
+            if (entry.complete) {
+                EXPECT_TRUE(fs::exists(system_dir_ / entry.key))
+                    << entry.key;
+            }
+        }
+    }
+
+    CampaignOptions resume_opts = options(/*resume=*/true);
+    resume_opts.jobs = 4;
+    resume_opts.checkpoint_every = 3;
+    const auto resumed =
+        runOmpCampaign(cpu_, tinyProtocol(), resume_opts);
+    EXPECT_TRUE(resumed.ok());
+    EXPECT_GT(resumed.experiments_run, 0);
+
+    // Zero truncated or temporary CSVs anywhere in the results tree.
+    EXPECT_EQ(countTempFiles(), 0);
+    const auto final_manifest =
+        Manifest::load(system_dir_ / "manifest.json");
+    ASSERT_TRUE(final_manifest.isOk());
+    EXPECT_EQ(final_manifest.value().failedCount(), 0);
+    EXPECT_EQ(final_manifest.value().completeCount(),
+              resumed.experiments_run + resumed.experiments_skipped);
     for (const auto &entry : final_manifest.value().entries()) {
         const fs::path csv = system_dir_ / entry.key;
         EXPECT_TRUE(fs::exists(csv)) << entry.key;
