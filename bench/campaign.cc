@@ -19,7 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.hh"
 #include "core/campaign.hh"
+#include "core/metrics.hh"
 
 using namespace syncperf;
 using namespace syncperf::core;
@@ -98,6 +100,9 @@ main(int argc, char **argv)
     CampaignOptions options;
     options.jobs = 0; // CLI default: one worker per hardware thread
     bool omp_only = false, cuda_only = false;
+    bool metrics_summary = false;
+    std::string trace_file;
+    std::string metrics_file;
     std::vector<std::string> only;
     MeasurementConfig omp_protocol = MeasurementConfig::simDefaults();
     MeasurementConfig cuda_protocol = MeasurementConfig::simGpuDefaults();
@@ -125,6 +130,14 @@ main(int argc, char **argv)
             options.checkpoint_every = std::atoi(argv[++i]);
         } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
             only = parseOnly(argv[++i]);
+        } else if (std::strcmp(argv[i], "--trace") == 0 &&
+                   i + 1 < argc) {
+            trace_file = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics") == 0 &&
+                   i + 1 < argc) {
+            metrics_file = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics-summary") == 0) {
+            metrics_summary = true;
         } else if (std::strcmp(argv[i], "--cov-gate") == 0 &&
                    i + 1 < argc) {
             const double gate = std::atof(argv[++i]);
@@ -138,19 +151,28 @@ main(int argc, char **argv)
             std::printf(
                 "usage: %s [omp|cuda] [--out DIR] [--thorough] "
                 "[--resume] [--cov-gate COV] [--jobs N] "
-                "[--checkpoint-every N] [--only NAME[,NAME...]]\n"
+                "[--checkpoint-every N] [--only NAME[,NAME...]] "
+                "[--trace FILE] [--metrics FILE] [--metrics-summary]\n"
                 "  --jobs N   concurrent experiments (default: all "
                 "hardware threads; 1 = serial).\n"
                 "             Output is byte-identical at every job "
                 "count.\n"
                 "  --only     run only systems whose sanitized name "
-                "contains a given fragment.\n",
+                "contains a given fragment.\n"
+                "  --trace FILE     record spans, write Chrome trace "
+                "JSON (Perfetto / chrome://tracing).\n"
+                "  --metrics FILE   write the metrics.json snapshot "
+                "(see docs/observability.md).\n"
+                "  --metrics-summary  print the counter table at "
+                "campaign end.\n",
                 argv[0]);
             return 0;
         } else if (std::strcmp(argv[i], "--out") == 0 ||
                    std::strcmp(argv[i], "--jobs") == 0 ||
                    std::strcmp(argv[i], "--checkpoint-every") == 0 ||
                    std::strcmp(argv[i], "--only") == 0 ||
+                   std::strcmp(argv[i], "--trace") == 0 ||
+                   std::strcmp(argv[i], "--metrics") == 0 ||
                    std::strcmp(argv[i], "--cov-gate") == 0) {
             std::fprintf(stderr, "%s: %s requires a value\n", argv[0],
                          argv[i]);
@@ -169,30 +191,77 @@ main(int argc, char **argv)
         cuda_protocol.runs = 3;
     }
 
+    if (!trace_file.empty()) {
+        if (auto s = trace::start(trace_file); !s.isOk()) {
+            std::fprintf(stderr, "%s: %s\n", argv[0],
+                         s.toString().c_str());
+            return 2;
+        }
+        trace::setThreadName("campaign-main");
+    }
+    // One fresh window per invocation: counters cover this campaign
+    // only, so two snapshots of the same configuration are diffable.
+    core::CampaignMetrics::global().reset();
+
     Totals totals;
-    if (!cuda_only) {
-        for (const auto &cpu :
-             {cpusim::CpuConfig::system1(), cpusim::CpuConfig::system2(),
-              cpusim::CpuConfig::system3()}) {
-            if (!systemSelected(only, sanitizeName(cpu.name)))
-                continue;
-            std::printf("OpenMP campaign on %s...\n", cpu.name.c_str());
-            const auto r = runOmpCampaign(cpu, omp_protocol, options);
-            printSystemLine(r);
-            totals.fold(sanitizeName(cpu.name), r);
+    {
+        // Scoped so the campaign-level span closes before the trace
+        // session flushes below.
+        trace::Span campaign_span("campaign", "campaign");
+        if (!cuda_only) {
+            for (const auto &cpu : {cpusim::CpuConfig::system1(),
+                                    cpusim::CpuConfig::system2(),
+                                    cpusim::CpuConfig::system3()}) {
+                if (!systemSelected(only, sanitizeName(cpu.name)))
+                    continue;
+                std::printf("OpenMP campaign on %s...\n",
+                            cpu.name.c_str());
+                const auto r =
+                    runOmpCampaign(cpu, omp_protocol, options);
+                printSystemLine(r);
+                totals.fold(sanitizeName(cpu.name), r);
+            }
+        }
+        if (!omp_only) {
+            for (const auto &gpu : {gpusim::GpuConfig::rtx2070Super(),
+                                    gpusim::GpuConfig::a100(),
+                                    gpusim::GpuConfig::rtx4090()}) {
+                if (!systemSelected(only, sanitizeName(gpu.name)))
+                    continue;
+                std::printf("CUDA campaign on %s...\n",
+                            gpu.name.c_str());
+                const auto r =
+                    runCudaCampaign(gpu, cuda_protocol, options);
+                printSystemLine(r);
+                totals.fold(sanitizeName(gpu.name), r);
+            }
         }
     }
-    if (!omp_only) {
-        for (const auto &gpu :
-             {gpusim::GpuConfig::rtx2070Super(), gpusim::GpuConfig::a100(),
-              gpusim::GpuConfig::rtx4090()}) {
-            if (!systemSelected(only, sanitizeName(gpu.name)))
-                continue;
-            std::printf("CUDA campaign on %s...\n", gpu.name.c_str());
-            const auto r = runCudaCampaign(gpu, cuda_protocol, options);
-            printSystemLine(r);
-            totals.fold(sanitizeName(gpu.name), r);
+
+    if (!trace_file.empty()) {
+        if (auto s = trace::stop(); !s.isOk()) {
+            std::fprintf(stderr, "%s: cannot write trace: %s\n",
+                         argv[0], s.toString().c_str());
+        } else {
+            std::printf("trace written to %s (open in "
+                        "ui.perfetto.dev or chrome://tracing)\n",
+                        trace_file.c_str());
         }
+    }
+    if (!metrics_file.empty()) {
+        const auto &m = core::CampaignMetrics::global();
+        if (auto s = m.writeSnapshot(metrics_file); !s.isOk()) {
+            std::fprintf(stderr, "%s: cannot write metrics: %s\n",
+                         argv[0], s.toString().c_str());
+        } else {
+            std::printf("metrics written to %s\n",
+                        metrics_file.c_str());
+        }
+    }
+    if (metrics_summary) {
+        std::fputs(
+            core::CampaignMetrics::global().summaryTable().c_str(),
+            stdout);
     }
 
     std::printf("\ncampaign %s: %d CSV files under %s/ "

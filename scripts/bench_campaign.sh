@@ -1,48 +1,146 @@
 #!/usr/bin/env bash
 # Perf-regression harness for the parallel campaign engine.
 #
-# Runs a two-system quick campaign (one CPU, one GPU model) serially
-# and again at --jobs N, verifies the two result trees are
-# byte-identical, and writes BENCH_campaign.json at the repo root with
-# wall-clock times, speedup, and experiments/sec. Compare the JSON
-# across commits to catch scheduler or per-experiment regressions.
+# Default mode runs a two-system quick campaign (one CPU, one GPU
+# model) serially and again at --jobs N, verifies the two result
+# trees are byte-identical, and writes BENCH_campaign.json at the
+# repo root with wall-clock times, speedup, and experiments/sec.
+# Compare the JSON across commits to catch scheduler or
+# per-experiment regressions.
 #
-# Usage: scripts/bench_campaign.sh [JOBS]
+# Usage: scripts/bench_campaign.sh [options] [JOBS]
 #   JOBS  worker count for the parallel leg (default: nproc).
+#
+# Options:
+#   --build-dir DIR    campaign binary's build tree (default: $BUILD_DIR
+#                      or ./build)
+#   --check            regression gate: rerun the benchmark and fail
+#                      when wall-clock regresses >15% against the
+#                      committed BENCH_campaign.json (which is left
+#                      untouched). Used by CI; see docs/performance.md.
+#   --trace-overhead [PCT]
+#                      overhead gate: time the serial leg with and
+#                      without --trace and fail when tracing costs
+#                      more than PCT percent (default 2).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-JOBS="${1:-$(nproc)}"
+usage() { sed -n '2,25p' "$0" | sed 's/^# \{0,1\}//'; }
+
+MODE=bench
+BUILD_DIR="${BUILD_DIR:-build}"
+OVERHEAD_LIMIT_PCT=2
+CHECK_LIMIT_PCT=15
+JOBS=""
+
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --build-dir)
+            [[ $# -ge 2 ]] || { echo "--build-dir wants a path" >&2; exit 2; }
+            BUILD_DIR="$2"; shift 2 ;;
+        --check)
+            MODE=check; shift ;;
+        --trace-overhead)
+            MODE=overhead; shift
+            if [[ "${1:-}" =~ ^[0-9]+([.][0-9]+)?$ ]]; then
+                OVERHEAD_LIMIT_PCT="$1"; shift
+            fi ;;
+        --help|-h)
+            usage; exit 0 ;;
+        [0-9]*)
+            JOBS="$1"; shift ;;
+        *)
+            echo "unknown argument '$1' (try --help)" >&2; exit 2 ;;
+    esac
+done
+JOBS="${JOBS:-$(nproc)}"
+
 ONLY="threadripper,rtx_4090"
-OUT_JSON="BENCH_campaign.json"
+BASELINE_JSON="BENCH_campaign.json"
 WORK="$(mktemp -d "${TMPDIR:-/tmp}/syncperf_bench_campaign.XXXXXX")"
 trap 'rm -rf "$WORK"' EXIT
 
-CAMPAIGN="build/bench/campaign"
+CAMPAIGN="$BUILD_DIR/bench/campaign"
 if [[ ! -x "$CAMPAIGN" ]]; then
     echo "== bench: building $CAMPAIGN =="
-    cmake -B build -S . >/dev/null
-    cmake --build build -j "$(nproc)" --target campaign >/dev/null
+    cmake -B "$BUILD_DIR" -S . >/dev/null
+    cmake --build "$BUILD_DIR" -j "$(nproc)" --target campaign >/dev/null
 fi
 
 now_ns() { date +%s%N; }
 
-run_leg() { # run_leg <jobs> <outdir>  -> prints elapsed seconds
-    local jobs="$1" outdir="$2" t0 t1
+run_leg() { # run_leg <outdir> <campaign-args...>  -> elapsed seconds
+    local outdir="$1" t0 t1
+    shift
     t0="$(now_ns)"
-    "$CAMPAIGN" --only "$ONLY" --jobs "$jobs" --out "$outdir" \
+    "$CAMPAIGN" --only "$ONLY" --out "$outdir" "$@" \
         >"$outdir.log" 2>&1
     t1="$(now_ns)"
     awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", (b - a) / 1e9 }'
 }
 
+json_field() { # json_field <file> <key>  -> numeric value
+    awk -F'[:,]' -v key="\"$2\"" \
+        '$1 ~ key { gsub(/[ \t]/, "", $2); print $2 }' "$1"
+}
+
+# --------------------------------------------------- overhead mode
+#
+# Best-of-3 on each leg: on shared CI runners a single measurement of
+# a few seconds carries more scheduler noise than the 2% budget being
+# asserted, while minima are stable.
+if [[ "$MODE" == overhead ]]; then
+    echo "== bench: tracing overhead gate (limit ${OVERHEAD_LIMIT_PCT}%) =="
+    PLAIN_MIN=""
+    TRACED_MIN=""
+    for i in 1 2 3; do
+        s="$(run_leg "$WORK/plain$i" --jobs 1)"
+        echo "   plain  run $i: ${s}s"
+        PLAIN_MIN="$(awk -v a="${PLAIN_MIN:-$s}" -v b="$s" \
+            'BEGIN { print (b < a) ? b : a }')"
+    done
+    for i in 1 2 3; do
+        s="$(run_leg "$WORK/traced$i" --jobs 1 \
+            --trace "$WORK/trace$i.json")"
+        echo "   traced run $i: ${s}s"
+        TRACED_MIN="$(awk -v a="${TRACED_MIN:-$s}" -v b="$s" \
+            'BEGIN { print (b < a) ? b : a }')"
+    done
+    [[ -s "$WORK/trace1.json" ]] || {
+        echo "   FAIL: no trace was written" >&2; exit 1; }
+    OVERHEAD_PCT="$(awk -v p="$PLAIN_MIN" -v t="$TRACED_MIN" \
+        'BEGIN { printf "%.2f", (p > 0) ? (t - p) / p * 100 : 0 }')"
+    echo "   plain ${PLAIN_MIN}s, traced ${TRACED_MIN}s:" \
+         "overhead ${OVERHEAD_PCT}%"
+    awk -v o="$OVERHEAD_PCT" -v lim="$OVERHEAD_LIMIT_PCT" \
+        'BEGIN { exit !(o <= lim) }' || {
+        echo "   FAIL: tracing overhead ${OVERHEAD_PCT}% exceeds" \
+             "${OVERHEAD_LIMIT_PCT}%" >&2
+        exit 1
+    }
+    echo "   OK"
+    exit 0
+fi
+
+# ------------------------------------------------ bench/check modes
+
+if [[ "$MODE" == check ]]; then
+    [[ -f "$BASELINE_JSON" ]] || {
+        echo "== bench: no committed $BASELINE_JSON to check against" >&2
+        exit 1
+    }
+    OUT_JSON="$WORK/current.json"
+else
+    OUT_JSON="$BASELINE_JSON"
+fi
+
 echo "== bench: serial leg (--jobs 1) =="
-SERIAL_S="$(run_leg 1 "$WORK/serial")"
+SERIAL_S="$(run_leg "$WORK/serial" --jobs 1)"
 echo "   ${SERIAL_S}s"
 
 echo "== bench: parallel leg (--jobs $JOBS) =="
-PARALLEL_S="$(run_leg "$JOBS" "$WORK/parallel")"
+PARALLEL_S="$(run_leg "$WORK/parallel" --jobs "$JOBS")"
 echo "   ${PARALLEL_S}s"
 
 echo "== bench: byte-identity check =="
@@ -85,3 +183,32 @@ EOF
 echo "== bench: wrote $OUT_JSON =="
 cat "$OUT_JSON"
 [[ "$IDENTICAL" == true ]]
+
+if [[ "$MODE" == check ]]; then
+    echo "== bench: regression gate vs $BASELINE_JSON (limit ${CHECK_LIMIT_PCT}%) =="
+    FAILED=0
+    for key in serial_wall_s parallel_wall_s; do
+        base="$(json_field "$BASELINE_JSON" "$key")"
+        cur="$(json_field "$OUT_JSON" "$key")"
+        if [[ -z "$base" || -z "$cur" ]]; then
+            echo "   FAIL: $key missing from baseline or current run" >&2
+            FAILED=1
+            continue
+        fi
+        delta="$(awk -v b="$base" -v c="$cur" \
+            'BEGIN { printf "%.1f", (b > 0) ? (c - b) / b * 100 : 0 }')"
+        echo "   $key: baseline ${base}s, current ${cur}s (${delta}%)"
+        awk -v b="$base" -v c="$cur" -v lim="$CHECK_LIMIT_PCT" \
+            'BEGIN { exit !(b <= 0 || c <= b * (1 + lim / 100)) }' || {
+            echo "   FAIL: $key regressed ${delta}% (> ${CHECK_LIMIT_PCT}%)" >&2
+            FAILED=1
+        }
+    done
+    if [[ "$FAILED" -ne 0 ]]; then
+        echo "   Re-baseline by running scripts/bench_campaign.sh on" \
+             "a quiet machine and committing $BASELINE_JSON, or apply" \
+             "the perf-regression-approved PR label." >&2
+        exit 1
+    fi
+    echo "   OK"
+fi

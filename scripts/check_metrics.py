@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""CI gate over a campaign metrics.json snapshot.
+
+Reads the snapshot written by `campaign --metrics FILE` (schema in
+docs/observability.md) and fails when the campaign's efficiency
+signals regress:
+
+  * retry_rate     -- protocol retries per measured point. A jump
+                      means the measurement protocol is fighting the
+                      simulator (or a change made attempts invalid).
+  * idle_fraction  -- fraction of pooled worker time spent waiting.
+                      A jump means the executor is serializing work
+                      it used to overlap.
+
+Both are checked against absolute ceilings, and -- when --baseline
+is given -- against the previous snapshot with relative slack, so a
+slow drift under the ceiling still fails the gate.
+
+Exit status: 0 ok, 1 gate failed, 2 bad invocation/input.
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+    except (OSError, ValueError) as err:
+        sys.exit(f"check_metrics: cannot read {path}: {err}")
+    if not isinstance(snapshot, dict) or "timing" not in snapshot:
+        sys.exit(f"check_metrics: {path} is not a metrics snapshot")
+    return snapshot
+
+
+def rate(snapshot, key):
+    value = snapshot.get("timing", {}).get(key)
+    if not isinstance(value, (int, float)):
+        sys.exit(f"check_metrics: snapshot has no timing.{key}")
+    return float(value)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate a campaign metrics.json snapshot.")
+    parser.add_argument("metrics", help="metrics.json to check")
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="previous metrics.json to compare against")
+    parser.add_argument(
+        "--max-retry-rate", type=float, default=0.25, metavar="X",
+        help="absolute ceiling on retry_rate (default %(default)s)")
+    parser.add_argument(
+        "--max-idle-fraction", type=float, default=0.60, metavar="X",
+        help="absolute ceiling on idle_fraction (default %(default)s)")
+    parser.add_argument(
+        "--slack", type=float, default=10.0, metavar="PCT",
+        help="allowed relative growth over the baseline, percent "
+             "(default %(default)s)")
+    args = parser.parse_args()
+
+    current = load(args.metrics)
+    baseline = load(args.baseline) if args.baseline else None
+
+    ceilings = {
+        "retry_rate": args.max_retry_rate,
+        "idle_fraction": args.max_idle_fraction,
+    }
+    # Relative slack alone would flag 0 -> 0.001; the absolute floor
+    # keeps the baseline comparison meaningful only above noise.
+    noise_floor = 0.02
+
+    failed = False
+    for key, ceiling in ceilings.items():
+        value = rate(current, key)
+        verdict = "ok"
+        if value > ceiling:
+            verdict = f"FAIL (ceiling {ceiling})"
+            failed = True
+        print(f"check_metrics: {key} = {value:.4f} [{verdict}]")
+
+        if baseline is None:
+            continue
+        previous = rate(baseline, key)
+        allowed = max(previous * (1 + args.slack / 100),
+                      previous + noise_floor)
+        if value > allowed:
+            print(f"check_metrics: {key} regressed: baseline "
+                  f"{previous:.4f}, current {value:.4f}, allowed "
+                  f"{allowed:.4f} (+{args.slack}% slack)")
+            failed = True
+
+    counters = current.get("counters", {})
+    committed = counters.get("points_committed", 0)
+    failed_points = counters.get("points_failed", 0)
+    print(f"check_metrics: {committed} points committed, "
+          f"{failed_points} failed")
+    if failed_points:
+        print("check_metrics: campaign had failed points")
+        failed = True
+
+    if failed:
+        print("check_metrics: GATE FAILED", file=sys.stderr)
+        return 1
+    print("check_metrics: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Source hygiene gate, wired into CI's format job.
+#
+# Two layers:
+#   1. Mechanical checks that need no tooling and always run:
+#      trailing whitespace, tab indentation, and missing final
+#      newlines in tracked source files. These are hard failures.
+#   2. clang-format --dry-run against .clang-format, when
+#      clang-format is installed. Advisory by default (the tree is
+#      hand-formatted in the same style, but formatter versions
+#      disagree on edge cases); --strict promotes it to a failure,
+#      which is what CI uses, pinning the formatter version it
+#      installs.
+#
+# Usage: scripts/format.sh [--check] [--strict] [--fix]
+#   --check   report problems, exit nonzero on hard failures (default)
+#   --strict  also fail on clang-format diffs
+#   --fix     rewrite files: strip trailing whitespace, add final
+#             newlines, and apply clang-format -i when available
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MODE=check
+STRICT=0
+for arg in "$@"; do
+    case "$arg" in
+        --check) MODE=check ;;
+        --fix) MODE=fix ;;
+        --strict) STRICT=1 ;;
+        --help|-h) sed -n '2,19p' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+        *) echo "unknown argument '$arg' (try --help)" >&2; exit 2 ;;
+    esac
+done
+
+# Code files only: the generated reference .md docs legitimately use
+# markdown's trailing-space line breaks.
+mapfile -t FILES < <(git ls-files \
+    '*.cc' '*.hh' '*.py' '*.sh' '*.cmake' 'CMakeLists.txt' \
+    '*/CMakeLists.txt' '*.yml' '*.yaml')
+mapfile -t CXX_FILES < <(git ls-files '*.cc' '*.hh')
+
+FAILED=0
+
+if [[ "$MODE" == fix ]]; then
+    for f in "${FILES[@]}"; do
+        sed -i 's/[ \t]*$//' "$f"
+        [[ -n "$(tail -c1 "$f")" ]] && echo >> "$f"
+    done
+    echo "format: mechanical fixes applied to ${#FILES[@]} files"
+else
+    for f in "${FILES[@]}"; do
+        if grep -nP '[ \t]+$' "$f" /dev/null | head -n3; then
+            echo "format: trailing whitespace in $f" >&2
+            FAILED=1
+        fi
+        if [[ -s "$f" && -n "$(tail -c1 "$f")" ]]; then
+            echo "format: missing final newline in $f" >&2
+            FAILED=1
+        fi
+    done
+    for f in "${CXX_FILES[@]}"; do
+        if grep -nP '^\t' "$f" /dev/null | head -n3; then
+            echo "format: tab indentation in $f" >&2
+            FAILED=1
+        fi
+    done
+fi
+
+if command -v clang-format >/dev/null 2>&1; then
+    echo "format: running $(clang-format --version | head -n1)"
+    CF_FAILED=0
+    for f in "${CXX_FILES[@]}"; do
+        if [[ "$MODE" == fix ]]; then
+            clang-format -i "$f"
+        elif ! clang-format --dry-run -Werror "$f" >/dev/null 2>&1; then
+            echo "format: clang-format diff in $f" >&2
+            CF_FAILED=1
+        fi
+    done
+    if [[ "$CF_FAILED" -ne 0 ]]; then
+        if [[ "$STRICT" -eq 1 ]]; then
+            echo "format: clang-format failures are fatal (--strict)" >&2
+            FAILED=1
+        else
+            echo "format: clang-format diffs are advisory" \
+                 "(pass --strict to enforce; --fix to apply)"
+        fi
+    fi
+else
+    echo "format: clang-format not installed; mechanical checks only"
+fi
+
+if [[ "$FAILED" -ne 0 ]]; then
+    echo "format: FAILED (scripts/format.sh --fix repairs the" \
+         "mechanical findings)" >&2
+    exit 1
+fi
+echo "format: OK"

@@ -5,6 +5,7 @@
 
 #include "thread_pool.hh"
 
+#include <chrono>
 #include <exception>
 
 #include "logging.hh"
@@ -23,6 +24,15 @@ struct WorkerIdentity
 
 thread_local WorkerIdentity t_identity;
 
+/** Monotonic nanoseconds for the busy/idle worker clocks. */
+long long
+nowNanos()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
 } // namespace
 
 ThreadPool::ThreadPool(int n_threads)
@@ -31,6 +41,9 @@ ThreadPool::ThreadPool(int n_threads)
     queues_.reserve(n);
     for (int i = 0; i < n; ++i)
         queues_.push_back(std::make_unique<WorkerQueue>());
+    counters_.reserve(n);
+    for (int i = 0; i < n; ++i)
+        counters_.push_back(std::make_unique<WorkerCounters>());
     workers_.reserve(n);
     for (int i = 0; i < n; ++i)
         workers_.emplace_back([this, i] { workerLoop(i); });
@@ -52,6 +65,21 @@ int
 ThreadPool::currentWorker()
 {
     return t_identity.index;
+}
+
+std::vector<ThreadPool::WorkerStats>
+ThreadPool::workerStats() const
+{
+    std::vector<WorkerStats> out;
+    out.reserve(counters_.size());
+    for (const auto &c : counters_) {
+        out.push_back(
+            {c->tasks_run.load(std::memory_order_relaxed),
+             c->tasks_stolen.load(std::memory_order_relaxed),
+             c->busy_nanos.load(std::memory_order_relaxed),
+             c->idle_nanos.load(std::memory_order_relaxed)});
+    }
+    return out;
 }
 
 int
@@ -127,19 +155,30 @@ void
 ThreadPool::workerLoop(int index)
 {
     t_identity = {this, index};
+    WorkerCounters &stats =
+        *counters_[static_cast<std::size_t>(index)];
     for (;;) {
         Task task;
-        if (popOwn(index, task) || steal(index, task)) {
+        bool stolen = false;
+        if (popOwn(index, task) ||
+            (stolen = steal(index, task))) {
             {
                 std::scoped_lock lock(state_mutex_);
                 --queued_;
             }
+            if (stolen)
+                stats.tasks_stolen.fetch_add(
+                    1, std::memory_order_relaxed);
+            const long long t0 = nowNanos();
             try {
                 task();
             } catch (...) {
                 // No caller to rethrow to; a throwing task is a bug.
                 panic("unhandled exception escaped a ThreadPool task");
             }
+            stats.busy_nanos.fetch_add(nowNanos() - t0,
+                                       std::memory_order_relaxed);
+            stats.tasks_run.fetch_add(1, std::memory_order_relaxed);
             std::scoped_lock lock(state_mutex_);
             if (--unfinished_ == 0)
                 all_idle_.notify_all();
@@ -148,8 +187,11 @@ ThreadPool::workerLoop(int index)
         std::unique_lock lock(state_mutex_);
         if (queued_ == 0 && stopping_)
             return;
+        const long long t0 = nowNanos();
         work_available_.wait(
             lock, [this] { return queued_ > 0 || stopping_; });
+        stats.idle_nanos.fetch_add(nowNanos() - t0,
+                                   std::memory_order_relaxed);
         if (queued_ == 0 && stopping_)
             return;
     }

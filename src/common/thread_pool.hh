@@ -21,6 +21,7 @@
 #ifndef SYNCPERF_COMMON_THREAD_POOL_HH
 #define SYNCPERF_COMMON_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -52,6 +53,20 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /**
+     * Per-worker observability counters, snapshotted by
+     * workerStats(). Times are wall-clock nanoseconds: busy covers
+     * task execution, idle covers waiting for work to appear.
+     * Scheduling-dependent by nature -- never compare across runs.
+     */
+    struct WorkerStats
+    {
+        long long tasks_run = 0;
+        long long tasks_stolen = 0; ///< tasks obtained from a victim
+        long long busy_nanos = 0;
+        long long idle_nanos = 0;
+    };
+
+    /**
      * Enqueue @p task. Safe from any thread, including pool workers
      * (a worker enqueues onto its own deque).
      */
@@ -62,6 +77,13 @@ class ThreadPool
 
     /** Number of worker threads. */
     int size() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Snapshot of every worker's counters, indexed by worker. Safe
+     * to call at any time (counters are atomics); call after
+     * waitIdle() for totals that cover all submitted work.
+     */
+    std::vector<WorkerStats> workerStats() const;
 
     /**
      * Index of the calling pool worker in [0, size()), or -1 when
@@ -80,11 +102,22 @@ class ThreadPool
         std::deque<Task> tasks;
     };
 
+    /** Atomic mirror of WorkerStats, one per worker, padded so a
+     * worker's hot updates never share a line with a neighbor's. */
+    struct alignas(64) WorkerCounters
+    {
+        std::atomic<long long> tasks_run{0};
+        std::atomic<long long> tasks_stolen{0};
+        std::atomic<long long> busy_nanos{0};
+        std::atomic<long long> idle_nanos{0};
+    };
+
     void workerLoop(int index);
     bool popOwn(int index, Task &task);
     bool steal(int thief, Task &task);
 
     std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::unique_ptr<WorkerCounters>> counters_;
     std::vector<std::thread> workers_;
 
     std::mutex state_mutex_;

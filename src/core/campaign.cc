@@ -23,9 +23,12 @@
 #include "common/atomic_file.hh"
 #include "common/csv.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "common/thread_pool.hh"
+#include "common/trace.hh"
 #include "core/executor.hh"
 #include "core/manifest.hh"
+#include "core/metrics.hh"
 #include "core/sweep.hh"
 
 namespace syncperf::core
@@ -132,6 +135,7 @@ class CampaignRunner
             if (options_.resume &&
                 manifest_.isComplete(exp.file, exp.hash)) {
                 ++result_.experiments_skipped;
+                metrics::add(metrics::Counter::PointsSkipped);
                 continue;
             }
             pending.push_back(std::move(exp));
@@ -157,6 +161,7 @@ class CampaignRunner
         } else {
             ThreadPool pool(jobs);
             OrderedExecutor::run(&pool, std::move(fanout));
+            CampaignMetrics::global().foldPool(pool.workerStats());
         }
         flushCheckpoint();
     }
@@ -172,6 +177,7 @@ class CampaignRunner
                   const Experiment &exp)
     {
         ScopedLogPrefix log_prefix(exp.file);
+        trace::Span span(exp.file, "experiment");
 
         ManifestEntry entry;
         entry.key = exp.file;
@@ -182,10 +188,12 @@ class CampaignRunner
 
         return [this, &exp, path, entry = std::move(entry),
                 status = std::move(status)]() mutable {
+            trace::Span commit_span(exp.file, "commit");
             if (status.isOk()) {
                 manifest_.recordComplete(std::move(entry));
                 result_.files_written.push_back(path.string());
                 ++result_.experiments_run;
+                metrics::add(metrics::Counter::PointsCommitted);
                 checkpoint(/*force=*/false);
             } else {
                 warn("experiment {} failed: {}", exp.file,
@@ -194,6 +202,7 @@ class CampaignRunner
                                         status.toString());
                 result_.failures.push_back(
                     {exp.file, status.toString()});
+                metrics::add(metrics::Counter::PointsFailed);
                 // A failure is worth a write of its own: the journal
                 // must know about it even if we die right after.
                 checkpoint(/*force=*/true);
@@ -240,6 +249,7 @@ class CampaignRunner
             return;
         if (Status s = manifest_.save(); !s.isOk())
             warn("cannot checkpoint manifest: {}", s.toString());
+        metrics::add(metrics::Counter::CheckpointFlushes);
         unsaved_commits_ = 0;
     }
 
@@ -334,6 +344,7 @@ runOmpCampaign(const cpusim::CpuConfig &cfg,
 {
     CampaignResult result;
     const std::string system = sanitizeName(cfg.name);
+    trace::Span system_span("omp:" + system, "system");
     const fs::path dir = fs::path(options.output_dir) / system;
     const auto threads =
         ompThreadCounts(cfg.totalHwThreads(), options.quick ? 4 : 1);
@@ -433,6 +444,7 @@ runCudaCampaign(const gpusim::GpuConfig &cfg,
 {
     CampaignResult result;
     const std::string system = sanitizeName(cfg.name);
+    trace::Span system_span("cuda:" + system, "system");
     const fs::path dir = fs::path(options.output_dir) / system;
 
     auto thread_counts = cudaThreadCounts();

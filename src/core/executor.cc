@@ -5,8 +5,11 @@
 
 #include "executor.hh"
 
+#include <algorithm>
 #include <condition_variable>
 #include <mutex>
+
+#include "common/metrics.hh"
 
 namespace syncperf::core
 {
@@ -36,6 +39,12 @@ OrderedExecutor::run(ThreadPool *pool, std::vector<Job> jobs)
     std::mutex mutex;
     std::condition_variable finished;
     std::vector<Slot> slots(jobs.size());
+    // Commit-queue depth: jobs finished but not yet committed. Its
+    // high-water mark shows how far ahead of the committer the
+    // workers run (metrics: executor_max_queue_depth).
+    std::size_t done_count = 0;
+    std::size_t committed_count = 0;
+    std::size_t max_queue_depth = 0;
 
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         pool->submit([&, i] {
@@ -43,6 +52,9 @@ OrderedExecutor::run(ThreadPool *pool, std::vector<Job> jobs)
             std::scoped_lock lock(mutex);
             slots[i].commit = std::move(commit);
             slots[i].done = true;
+            ++done_count;
+            max_queue_depth = std::max(max_queue_depth,
+                                       done_count - committed_count);
             finished.notify_all();
         });
     }
@@ -54,10 +66,14 @@ OrderedExecutor::run(ThreadPool *pool, std::vector<Job> jobs)
             std::unique_lock lock(mutex);
             finished.wait(lock, [&] { return slots[i].done; });
             commit = std::move(slots[i].commit);
+            ++committed_count;
         }
         if (commit)
             commit();
     }
+
+    metrics::recordMax(metrics::Counter::ExecutorMaxQueueDepth,
+                       static_cast<long long>(max_queue_depth));
 }
 
 } // namespace syncperf::core

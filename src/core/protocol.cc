@@ -9,8 +9,10 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "common/stats.hh"
 #include "common/status.hh"
+#include "common/trace.hh"
 
 namespace syncperf::core
 {
@@ -62,6 +64,7 @@ measureOnce(const TimedFunction &baseline, const TimedFunction &test,
                 // every statistic downstream.
                 if (retries_left-- > 0) {
                     ++out.retries;
+                    metrics::add(metrics::Counter::FaultsSurvived);
                     continue;
                 }
                 return Status::error(
@@ -93,6 +96,16 @@ measureOnce(const TimedFunction &baseline, const TimedFunction &test,
     return Status::ok();
 }
 
+/** Publish a finished measurement's retry totals to the registry. */
+void
+recordRetryCounters(const Measurement &m)
+{
+    if (m.retries > 0)
+        metrics::add(metrics::Counter::ProtocolRetries, m.retries);
+    if (m.noise_retries > 0)
+        metrics::add(metrics::Counter::NoiseRetries, m.noise_retries);
+}
+
 } // namespace
 
 double
@@ -115,8 +128,13 @@ measurePrimitive(const TimedFunction &baseline, const TimedFunction &test,
     Measurement out;
     int attempts = cfg.attempts;
     while (true) {
-        const Status status =
-            measureOnce(baseline, test, cfg, attempts, out);
+        Status status;
+        {
+            // The "attempt" trace level: one span per full pass of
+            // the protocol (a CoV-gate retry shows as another pass).
+            trace::Span pass_span("measure_pass", "attempt");
+            status = measureOnce(baseline, test, cfg, attempts, out);
+        }
         if (!status.isOk()) {
             out.valid = false;
             out.error = status.message();
@@ -124,6 +142,7 @@ measurePrimitive(const TimedFunction &baseline, const TimedFunction &test,
                 std::numeric_limits<double>::quiet_NaN();
             out.stddev_seconds =
                 std::numeric_limits<double>::quiet_NaN();
+            recordRetryCounters(out);
             return out;
         }
         out.per_op_seconds = median(out.run_values);
@@ -137,6 +156,7 @@ measurePrimitive(const TimedFunction &baseline, const TimedFunction &test,
                      "(CoV {:.3f} > {:.3f}); accepting",
                      out.noise_retries, out.cov, cfg.cov_gate);
             }
+            recordRetryCounters(out);
             return out;
         }
         // Too noisy: back off by doubling the sample size.

@@ -5,6 +5,8 @@
 
 #include "fault_injector.hh"
 
+#include "common/metrics.hh"
+
 namespace syncperf::sim
 {
 namespace
@@ -18,8 +20,13 @@ bool
 FaultInjector::shouldPoisonMeasurement()
 {
     const int n = measurement_count_.fetch_add(1) + 1;
-    return poison_first_ > 0 && n >= poison_first_ &&
-           n < poison_first_ + poison_count_;
+    const bool poison = poison_first_ > 0 && n >= poison_first_ &&
+                        n < poison_first_ + poison_count_;
+    if (poison) {
+        injected_count_.fetch_add(1);
+        metrics::add(metrics::Counter::FaultsInjected);
+    }
+    return poison;
 }
 
 Status
@@ -29,6 +36,8 @@ FaultInjector::onWriteOp(const std::filesystem::path &path,
     const int n = write_op_count_.fetch_add(1) + 1;
     if (fail_write_first_ > 0 && n >= fail_write_first_ &&
         n < fail_write_first_ + fail_write_count_) {
+        injected_count_.fetch_add(1);
+        metrics::add(metrics::Counter::FaultsInjected);
         return Status::error(ErrorCode::FaultInjected,
                              "injected {} failure for {} (write op {})",
                              op, path.string(),

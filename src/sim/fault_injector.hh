@@ -114,6 +114,10 @@ class FaultInjector
     /** Write operations observed so far. */
     int writeOpCount() const { return write_op_count_.load(); }
 
+    /** Faults actually delivered (poisons + failed writes). Also
+     * mirrored into metrics::Counter::FaultsInjected. */
+    int injectedCount() const { return injected_count_.load(); }
+
     // ---------------------------------------------------- lifecycle
 
     /** The injector consulted by the hook points; nullptr when none
@@ -153,6 +157,7 @@ class FaultInjector
     int fail_write_first_ = 0; ///< 0 disables
     int fail_write_count_ = 0;
     std::atomic<int> write_op_count_{0};
+    std::atomic<int> injected_count_{0};
 };
 
 } // namespace syncperf::sim
