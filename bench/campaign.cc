@@ -143,6 +143,9 @@ main(int argc, char **argv)
             const double gate = std::atof(argv[++i]);
             omp_protocol.cov_gate = gate;
             cuda_protocol.cov_gate = gate;
+        } else if (std::strcmp(argv[i], "--no-sim-cache") == 0) {
+            omp_protocol.sim_cache = false;
+            cuda_protocol.sim_cache = false;
         } else if (std::strcmp(argv[i], "omp") == 0) {
             omp_only = true;
         } else if (std::strcmp(argv[i], "cuda") == 0) {
@@ -152,11 +155,16 @@ main(int argc, char **argv)
                 "usage: %s [omp|cuda] [--out DIR] [--thorough] "
                 "[--resume] [--cov-gate COV] [--jobs N] "
                 "[--checkpoint-every N] [--only NAME[,NAME...]] "
-                "[--trace FILE] [--metrics FILE] [--metrics-summary]\n"
+                "[--no-sim-cache] [--trace FILE] [--metrics FILE] "
+                "[--metrics-summary]\n"
                 "  --jobs N   concurrent experiments (default: all "
                 "hardware threads; 1 = serial).\n"
                 "             Output is byte-identical at every job "
                 "count.\n"
+                "  --no-sim-cache  re-simulate every launch instead "
+                "of memoizing deterministic results\n"
+                "             (output is byte-identical either way; "
+                "this only trades speed for memory).\n"
                 "  --only     run only systems whose sanitized name "
                 "contains a given fragment.\n"
                 "  --trace FILE     record spans, write Chrome trace "

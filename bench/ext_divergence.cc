@@ -47,9 +47,9 @@ divergenceCost(core::GpuSimTarget &, const gpusim::GpuConfig &cfg,
         }
         return seconds;
     };
-    const auto m = core::measurePrimitive([&] { return run(baseline); },
-                                          [&] { return run(test); },
-                                          protocol);
+    const auto m = core::measurePrimitive(
+        [&](std::vector<double> &out) { out = run(baseline); },
+        [&](std::vector<double> &out) { out = run(test); }, protocol);
     return m.per_op_seconds;
 }
 

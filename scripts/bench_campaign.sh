@@ -15,9 +15,10 @@
 #   --build-dir DIR    campaign binary's build tree (default: $BUILD_DIR
 #                      or ./build)
 #   --check            regression gate: rerun the benchmark and fail
-#                      when wall-clock regresses >15% against the
-#                      committed BENCH_campaign.json (which is left
-#                      untouched). Used by CI; see docs/performance.md.
+#                      when wall-clock or experiments/sec regresses
+#                      >15% against the committed BENCH_campaign.json
+#                      (which is left untouched). Used by CI; see
+#                      docs/performance.md.
 #   --trace-overhead [PCT]
 #                      overhead gate: time the serial leg with and
 #                      without --trace and fail when tracing costs
@@ -201,6 +202,25 @@ if [[ "$MODE" == check ]]; then
         awk -v b="$base" -v c="$cur" -v lim="$CHECK_LIMIT_PCT" \
             'BEGIN { exit !(b <= 0 || c <= b * (1 + lim / 100)) }' || {
             echo "   FAIL: $key regressed ${delta}% (> ${CHECK_LIMIT_PCT}%)" >&2
+            FAILED=1
+        }
+    done
+    # Throughput gates the opposite direction: fewer experiments per
+    # second is the regression.
+    for key in serial_experiments_per_s parallel_experiments_per_s; do
+        base="$(json_field "$BASELINE_JSON" "$key")"
+        cur="$(json_field "$OUT_JSON" "$key")"
+        if [[ -z "$base" || -z "$cur" ]]; then
+            echo "   FAIL: $key missing from baseline or current run" >&2
+            FAILED=1
+            continue
+        fi
+        delta="$(awk -v b="$base" -v c="$cur" \
+            'BEGIN { printf "%.1f", (b > 0) ? (c - b) / b * 100 : 0 }')"
+        echo "   $key: baseline ${base}/s, current ${cur}/s (${delta}%)"
+        awk -v b="$base" -v c="$cur" -v lim="$CHECK_LIMIT_PCT" \
+            'BEGIN { exit !(b <= 0 || c >= b * (1 - lim / 100)) }' || {
+            echo "   FAIL: $key dropped ${delta}% (> ${CHECK_LIMIT_PCT}%)" >&2
             FAILED=1
         }
     done

@@ -25,6 +25,8 @@ constexpr CounterInfo counter_info[counter_count] = {
     {"faults_injected", true},
     {"faults_survived", true},
     {"checkpoint_flushes", true},
+    {"sim_cache_hits", true},
+    {"sim_cache_misses", true},
     {"pool_tasks_run", false},
     {"pool_tasks_stolen", false},
     {"pool_busy_nanos", false},

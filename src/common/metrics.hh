@@ -42,6 +42,8 @@ enum class Counter : int
     FaultsInjected,    ///< faults the injector actually delivered
     FaultsSurvived,    ///< poisoned samples absorbed by the retry budget
     CheckpointFlushes, ///< manifest.json rewrites (cadence-dependent)
+    SimCacheHits,      ///< sim measurements served from the result cache
+    SimCacheMisses,    ///< cacheable sim measurements actually simulated
 
     // Timing: scheduling/wall-clock dependent, never compared
     // across job counts.

@@ -8,6 +8,8 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "core/manifest.hh"
 #include "sim/fault_injector.hh"
 
 namespace syncperf::core
@@ -149,27 +151,86 @@ CpuSimTarget::buildPrograms(const OmpExperiment &exp, int n_threads,
     return pair;
 }
 
-std::vector<double>
-CpuSimTarget::runOnce(const std::vector<cpusim::CpuProgram> &programs,
-                      Affinity affinity)
+cpusim::CpuMachine &
+CpuSimTarget::machineFor(Affinity affinity)
 {
-    cpusim::CpuMachine machine(cfg_, affinity, next_seed_++);
-    const auto result = machine.run(programs, mcfg_.n_warmup);
-    const double hz = cfg_.base_clock_ghz * 1e9;
-    std::vector<double> seconds;
-    seconds.reserve(result.thread_cycles.size());
-    for (auto cycles : result.thread_cycles)
-        seconds.push_back(static_cast<double>(cycles) / hz);
+    if (!machine_ || machine_affinity_ != affinity) {
+        machine_.emplace(cfg_, affinity);
+        machine_affinity_ = affinity;
+    }
+    return *machine_;
+}
+
+std::uint64_t
+CpuSimTarget::cacheKey(const std::vector<cpusim::CpuProgram> &programs,
+                       Affinity affinity) const
+{
+    ConfigHasher h;
+    h.add(static_cast<int>(affinity)).add(mcfg_.n_warmup);
+    h.add(static_cast<std::uint64_t>(programs.size()));
+    for (const auto &prog : programs) {
+        h.add(static_cast<std::uint64_t>(prog.iterations));
+        h.add(static_cast<std::uint64_t>(prog.body.size()));
+        for (const auto &o : prog.body) {
+            h.add(static_cast<int>(o.kind))
+                .add(o.addr)
+                .add(static_cast<int>(o.dtype))
+                .add(o.lock_id);
+        }
+    }
+    return h.digest();
+}
+
+void
+CpuSimTarget::runOnce(const std::vector<cpusim::CpuProgram> &programs,
+                      Affinity affinity, std::vector<double> &out)
+{
+    // The seed is consumed unconditionally so the stream of seeds --
+    // and therefore any jittered launch that follows -- is identical
+    // whether or not earlier launches hit the cache.
+    const std::uint64_t seed = next_seed_++;
+
+    // Only a jitter-free model is a pure function of its inputs;
+    // with jitter_frac > 0 every launch draws from its own rng
+    // stream and must be simulated.
+    const bool cacheable = mcfg_.sim_cache && cfg_.jitter_frac == 0.0;
+
+    std::uint64_t key = 0;
+    bool hit = false;
+    if (cacheable) {
+        key = cacheKey(programs, affinity);
+        if (auto it = cache_.find(key); it != cache_.end()) {
+            out = it->second;
+            hit = true;
+            metrics::add(metrics::Counter::SimCacheHits);
+        }
+    }
+    if (!hit) {
+        cpusim::CpuMachine &machine = machineFor(affinity);
+        machine.reseed(seed);
+        const auto result = machine.run(programs, mcfg_.n_warmup);
+        const double hz = cfg_.base_clock_ghz * 1e9;
+        out.clear();
+        out.reserve(result.thread_cycles.size());
+        for (auto cycles : result.thread_cycles)
+            out.push_back(static_cast<double>(cycles) / hz);
+        if (cacheable) {
+            cache_.emplace(key, out);
+            metrics::add(metrics::Counter::SimCacheMisses);
+        }
+    }
+    // Faults perturb after the cache stage: cached entries hold pure
+    // simulator output, and the injector's own rng advances once per
+    // launch either way.
     if (auto *faults = sim::FaultInjector::active()) {
         if (faults->shouldPoisonMeasurement()) {
-            seconds.assign(seconds.size(),
-                           std::numeric_limits<double>::quiet_NaN());
+            out.assign(out.size(),
+                       std::numeric_limits<double>::quiet_NaN());
         } else {
-            for (double &s : seconds)
+            for (double &s : out)
                 s = faults->perturbSeconds(s);
         }
     }
-    return seconds;
 }
 
 Measurement
@@ -182,8 +243,13 @@ CpuSimTarget::measure(const OmpExperiment &exp, int n_threads)
     const auto pair =
         buildPrograms(exp, n_threads, mcfg_.opsPerMeasurement());
     return measurePrimitive(
-        [&] { return runOnce(pair.baseline, exp.affinity); },
-        [&] { return runOnce(pair.test, exp.affinity); }, mcfg_);
+        [&](std::vector<double> &out) {
+            runOnce(pair.baseline, exp.affinity, out);
+        },
+        [&](std::vector<double> &out) {
+            runOnce(pair.test, exp.affinity, out);
+        },
+        mcfg_);
 }
 
 } // namespace syncperf::core

@@ -9,6 +9,8 @@
 #define SYNCPERF_CORE_CPUSIM_TARGET_HH
 
 #include <cstdint>
+#include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -30,10 +32,19 @@ struct OmpProgramPair
 /**
  * Measurement target backed by cpusim.
  *
- * Stateless apart from the machine configuration and a seed counter
- * that gives every simulated launch an independent deterministic
- * jitter stream (so the protocol's runs/attempts see run-to-run
- * variation exactly where the model has jitter).
+ * Holds the machine configuration, a seed counter that gives every
+ * simulated launch an independent deterministic jitter stream (so
+ * the protocol's runs/attempts see run-to-run variation exactly
+ * where the model has jitter), a reused machine instance (warm event
+ * queue and decode buffers across the thousands of launches a sweep
+ * performs), and a result cache keyed by the simulated input.
+ *
+ * The cache only ever serves jitter-free configurations
+ * (cfg.jitter_frac == 0), where a launch's outcome is a pure
+ * function of (programs, affinity, warmup) -- a hit is bit-identical
+ * to re-simulating. Jittered models (the paper's Threadripper) take
+ * a fresh seed per launch and always re-simulate. Seeds are consumed
+ * on hits too, so cache state never shifts the jitter stream.
  */
 class CpuSimTarget
 {
@@ -60,12 +71,26 @@ class CpuSimTarget
     const cpusim::CpuConfig &config() const { return cfg_; }
 
   private:
-    std::vector<double> runOnce(const std::vector<cpusim::CpuProgram> &p,
-                                Affinity affinity);
+    /** Simulate one launch, filling @p out with per-thread seconds. */
+    void runOnce(const std::vector<cpusim::CpuProgram> &p,
+                 Affinity affinity, std::vector<double> &out);
+
+    /** The reusable machine, (re)built when the affinity changes. */
+    cpusim::CpuMachine &machineFor(Affinity affinity);
+
+    /** Digest of everything a jitter-free launch's outcome depends on. */
+    std::uint64_t cacheKey(const std::vector<cpusim::CpuProgram> &p,
+                           Affinity affinity) const;
 
     cpusim::CpuConfig cfg_;
     MeasurementConfig mcfg_;
     std::uint64_t next_seed_;
+
+    std::optional<cpusim::CpuMachine> machine_;
+    Affinity machine_affinity_ = Affinity::Spread;
+
+    /** Pure simulator output (pre fault injection) per cache key. */
+    std::unordered_map<std::uint64_t, std::vector<double>> cache_;
 };
 
 } // namespace syncperf::core

@@ -8,6 +8,8 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "core/manifest.hh"
 #include "sim/fault_injector.hh"
 
 namespace syncperf::core
@@ -113,11 +115,44 @@ buildBody(const CudaExperiment &exp, int copies)
     return body;
 }
 
+/** True when any op of @p ops is a system-scope fence (the one GPU
+ * op that draws per-launch jitter). */
+bool
+hasSystemFence(const std::vector<GpuOp> &ops)
+{
+    for (const auto &o : ops) {
+        if (o.kind == gpusim::GpuOpKind::Fence &&
+            o.scope == FenceScope::System) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Fold one op sequence into @p h, delimited by its length. */
+void
+hashOps(ConfigHasher &h, const std::vector<GpuOp> &ops)
+{
+    h.add(static_cast<std::uint64_t>(ops.size()));
+    for (const auto &o : ops) {
+        h.add(static_cast<int>(o.kind))
+            .add(static_cast<int>(o.aop))
+            .add(static_cast<int>(o.dtype))
+            .add(static_cast<int>(o.amode))
+            .add(static_cast<int>(o.scope))
+            .add(static_cast<int>(o.pred))
+            .add(o.stride)
+            .add(o.base_addr)
+            .add(o.repeat)
+            .add(o.diverge_paths);
+    }
+}
+
 } // namespace
 
 GpuSimTarget::GpuSimTarget(gpusim::GpuConfig cfg, MeasurementConfig mcfg,
                            std::uint64_t seed)
-    : cfg_(std::move(cfg)), mcfg_(mcfg), next_seed_(seed)
+    : cfg_(std::move(cfg)), mcfg_(mcfg), next_seed_(seed), machine_(cfg_)
 {
 }
 
@@ -138,27 +173,73 @@ GpuSimTarget::paperBlockCounts() const
     return {1, 2, cfg_.sm_count / 2, cfg_.sm_count, cfg_.sm_count * 2};
 }
 
-std::vector<double>
-GpuSimTarget::runOnce(const gpusim::GpuKernel &kernel,
-                      gpusim::LaunchConfig launch)
+std::uint64_t
+GpuSimTarget::cacheKey(const gpusim::GpuKernel &kernel,
+                       gpusim::LaunchConfig launch) const
 {
-    gpusim::GpuMachine machine(cfg_, next_seed_++);
-    const auto result = machine.run(kernel, launch, mcfg_.n_warmup);
-    const double hz = cfg_.clock_ghz * 1e9;
-    std::vector<double> seconds;
-    seconds.reserve(result.thread_cycles.size());
-    for (auto cycles : result.thread_cycles)
-        seconds.push_back(static_cast<double>(cycles) / hz);
+    ConfigHasher h;
+    h.add(launch.blocks)
+        .add(launch.threads_per_block)
+        .add(mcfg_.n_warmup)
+        .add(static_cast<std::uint64_t>(kernel.body_iters));
+    hashOps(h, kernel.prologue);
+    hashOps(h, kernel.body);
+    hashOps(h, kernel.epilogue);
+    return h.digest();
+}
+
+void
+GpuSimTarget::runOnce(const gpusim::GpuKernel &kernel,
+                      gpusim::LaunchConfig launch,
+                      std::vector<double> &out)
+{
+    // The seed is consumed unconditionally so the stream of seeds --
+    // and therefore any jittered launch that follows -- is identical
+    // whether or not earlier launches hit the cache.
+    const std::uint64_t seed = next_seed_++;
+
+    // A system-scope fence draws per-launch PCIe jitter from the rng
+    // stream; every other kernel is a pure function of its inputs.
+    const bool cacheable = mcfg_.sim_cache &&
+                           !hasSystemFence(kernel.prologue) &&
+                           !hasSystemFence(kernel.body) &&
+                           !hasSystemFence(kernel.epilogue);
+
+    std::uint64_t key = 0;
+    bool hit = false;
+    if (cacheable) {
+        key = cacheKey(kernel, launch);
+        if (auto it = cache_.find(key); it != cache_.end()) {
+            out = it->second;
+            hit = true;
+            metrics::add(metrics::Counter::SimCacheHits);
+        }
+    }
+    if (!hit) {
+        machine_.reseed(seed);
+        const auto result = machine_.run(kernel, launch, mcfg_.n_warmup);
+        const double hz = cfg_.clock_ghz * 1e9;
+        out.clear();
+        out.reserve(result.thread_cycles.size());
+        for (auto cycles : result.thread_cycles)
+            out.push_back(static_cast<double>(cycles) / hz);
+        if (cacheable) {
+            cache_.emplace(key, out);
+            metrics::add(metrics::Counter::SimCacheMisses);
+        }
+    }
+    // Faults perturb after the cache stage: cached entries hold pure
+    // simulator output, and the injector's own rng advances once per
+    // launch either way.
     if (auto *faults = sim::FaultInjector::active()) {
         if (faults->shouldPoisonMeasurement()) {
-            seconds.assign(seconds.size(),
-                           std::numeric_limits<double>::quiet_NaN());
+            out.assign(out.size(),
+                       std::numeric_limits<double>::quiet_NaN());
         } else {
-            for (double &s : seconds)
+            for (double &s : out)
                 s = faults->perturbSeconds(s);
         }
     }
-    return seconds;
 }
 
 Measurement
@@ -169,8 +250,11 @@ GpuSimTarget::measure(const CudaExperiment &exp,
                     cudaPrimitiveSupports(exp.primitive, exp.dtype));
     const auto pair = buildKernels(exp, mcfg_.opsPerMeasurement());
     return measurePrimitive(
-        [&] { return runOnce(pair.baseline, launch); },
-        [&] { return runOnce(pair.test, launch); }, mcfg_);
+        [&](std::vector<double> &out) {
+            runOnce(pair.baseline, launch, out);
+        },
+        [&](std::vector<double> &out) { runOnce(pair.test, launch, out); },
+        mcfg_);
 }
 
 } // namespace syncperf::core

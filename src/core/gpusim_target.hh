@@ -9,7 +9,9 @@
 #define SYNCPERF_CORE_GPUSIM_TARGET_HH
 
 #include <cstdint>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "core/measure_config.hh"
 #include "core/primitives.hh"
@@ -26,7 +28,18 @@ struct CudaKernelPair
     gpusim::GpuKernel test;
 };
 
-/** Measurement target backed by gpusim. */
+/**
+ * Measurement target backed by gpusim.
+ *
+ * Reuses one machine instance across launches (warm event-queue and
+ * decode buffers) and memoizes results keyed by the simulated input.
+ * Only kernels without a system-scope fence are cached: every other
+ * op sequence is deterministic per (kernel, launch, warmup), so a
+ * hit is bit-identical to re-simulating, while __threadfence_system
+ * draws per-launch PCIe jitter and always re-simulates. Seeds are
+ * consumed on hits too, so cache state never shifts the jitter
+ * stream.
+ */
 class GpuSimTarget
 {
   public:
@@ -54,12 +67,22 @@ class GpuSimTarget
     std::vector<int> paperBlockCounts() const;
 
   private:
-    std::vector<double> runOnce(const gpusim::GpuKernel &kernel,
-                                gpusim::LaunchConfig launch);
+    /** Simulate one launch, filling @p out with per-thread seconds. */
+    void runOnce(const gpusim::GpuKernel &kernel,
+                 gpusim::LaunchConfig launch, std::vector<double> &out);
+
+    /** Digest of everything a jitter-free launch's outcome depends on. */
+    std::uint64_t cacheKey(const gpusim::GpuKernel &kernel,
+                           gpusim::LaunchConfig launch) const;
 
     gpusim::GpuConfig cfg_;
     MeasurementConfig mcfg_;
     std::uint64_t next_seed_;
+
+    gpusim::GpuMachine machine_;
+
+    /** Pure simulator output (pre fault injection) per cache key. */
+    std::unordered_map<std::uint64_t, std::vector<double>> cache_;
 };
 
 } // namespace syncperf::core

@@ -38,6 +38,17 @@ struct MeasurementConfig
     /** Re-measurement cap for the noise gate. */
     int max_noise_retries = 3;
 
+    /**
+     * Memoize simulator results keyed by the exact simulated input
+     * (program/kernel, placement, warmup). Only jitter-free
+     * configurations are ever cached, so cached and re-simulated
+     * results are bit-identical and this knob cannot change any
+     * output -- it is deliberately left out of the campaign's
+     * config hash. Disable to force every run through the machine
+     * (--no-sim-cache; used by the determinism tests).
+     */
+    bool sim_cache = true;
+
     /** Total primitive executions the measured difference covers. */
     long opsPerMeasurement() const
     {

@@ -180,13 +180,13 @@ measureTyped(const OmpExperiment &exp, int n_threads,
     TypedExperiment<T> state(exp, n_threads);
     threadlib::CentralBarrier align(n_threads);
     return measurePrimitive(
-        [&] {
-            return timedRegion(n_threads, cfg, exp.affinity, align, state,
-                               1);
+        [&](std::vector<double> &out) {
+            out = timedRegion(n_threads, cfg, exp.affinity, align, state,
+                              1);
         },
-        [&] {
-            return timedRegion(n_threads, cfg, exp.affinity, align, state,
-                               2);
+        [&](std::vector<double> &out) {
+            out = timedRegion(n_threads, cfg, exp.affinity, align, state,
+                              2);
         },
         cfg);
 }

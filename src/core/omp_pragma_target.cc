@@ -215,8 +215,9 @@ measurePrim(const OmpExperiment &exp, int n_threads,
         return timedRun<T, P>(state, n_threads, cfg, exp.affinity,
                               copies);
     };
-    return measurePrimitive([&] { return run(1); },
-                            [&] { return run(2); }, cfg);
+    return measurePrimitive(
+        [&](std::vector<double> &out) { out = run(1); },
+        [&](std::vector<double> &out) { out = run(2); }, cfg);
 }
 
 template <typename T>

@@ -43,6 +43,12 @@ measureOnce(const TimedFunction &baseline, const TimedFunction &test,
     out.run_values.clear();
     out.run_values.reserve(cfg.runs);
 
+    // Per-attempt thread-time buffers, hoisted and refilled in place:
+    // a sweep performs thousands of attempts, and the timed functions
+    // write into warm storage instead of allocating a vector each.
+    std::vector<double> b;
+    std::vector<double> t;
+
     for (int run = 0; run < cfg.runs; ++run) {
         std::vector<double> base_maxes;
         std::vector<double> test_maxes;
@@ -51,8 +57,8 @@ measureOnce(const TimedFunction &baseline, const TimedFunction &test,
 
         int retries_left = cfg.max_retries;
         while (static_cast<int>(test_maxes.size()) < attempts) {
-            const std::vector<double> b = baseline();
-            const std::vector<double> t = test();
+            baseline(b);
+            test(t);
             SYNCPERF_ASSERT(!b.empty() && !t.empty(),
                             "timed function returned no thread times");
             const double b_max = maxOf(b);

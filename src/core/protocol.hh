@@ -21,10 +21,13 @@ namespace syncperf::core
 {
 
 /**
- * One timed execution of a baseline or test function: returns the
- * runtime of every participating thread, in seconds.
+ * One timed execution of a baseline or test function: overwrites
+ * @p out with the runtime of every participating thread, in seconds.
+ * Fill-style so the protocol can hand every attempt the same reused
+ * buffer instead of allocating a fresh vector per timing (the
+ * simulator targets run hundreds of launches per sweep point).
  */
-using TimedFunction = std::function<std::vector<double>()>;
+using TimedFunction = std::function<void(std::vector<double> &out)>;
 
 /** Outcome of the full measurement procedure for one primitive. */
 struct Measurement

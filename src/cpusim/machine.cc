@@ -12,17 +12,44 @@
 
 namespace syncperf::cpusim
 {
+namespace
+{
+
+/** Pcg32 stream selector for the CPU jitter model. */
+constexpr std::uint64_t rng_stream = 0x9e3779b97f4a7c15ULL;
+
+} // namespace
 
 CpuMachine::CpuMachine(CpuConfig cfg, Affinity affinity, std::uint64_t seed)
-    : cfg_(std::move(cfg)), affinity_(affinity),
-      rng_(seed, 0x9e3779b97f4a7c15ULL)
+    : cfg_(std::move(cfg)), affinity_(affinity), rng_(seed, rng_stream)
 {
 }
 
-CpuMachine::Line &
-CpuMachine::lineFor(std::uint64_t addr)
+void
+CpuMachine::reseed(std::uint64_t seed)
 {
-    return lines_[addr / cfg_.cache_line_bytes];
+    rng_ = Pcg32(seed, rng_stream);
+}
+
+int
+CpuMachine::internLine(std::uint64_t addr)
+{
+    const std::uint64_t key = addr / cfg_.cache_line_bytes;
+    const auto [it, fresh] =
+        line_index_.try_emplace(key, static_cast<int>(lines_.size()));
+    if (fresh)
+        lines_.emplace_back();
+    return it->second;
+}
+
+int
+CpuMachine::internLock(int lock_id)
+{
+    const auto [it, fresh] =
+        lock_index_.try_emplace(lock_id, static_cast<int>(locks_.size()));
+    if (fresh)
+        locks_.emplace_back();
+    return it->second;
 }
 
 CpuMachine::Tick
@@ -31,7 +58,7 @@ CpuMachine::transferLatency(const Line &line, const HwPlace &to)
     Tick base;
     if (line.owner_core < 0 && line.copies == 0) {
         base = cfg_.remote_transfer;  // memory fetch
-        stats_.inc("cpu.mem_fetch");
+        ++hot_.mem_fetch;
     } else {
         const int src = line.owner_core >= 0
             ? line.owner_core
@@ -41,10 +68,10 @@ CpuMachine::transferLatency(const Line &line, const HwPlace &to)
             base = cfg_.l1_hit_latency;
         } else if (src_complex == to.complex_id) {
             base = cfg_.local_transfer;
-            stats_.inc("cpu.transfer_local");
+            ++hot_.transfer_local;
         } else {
             base = cfg_.remote_transfer;
-            stats_.inc("cpu.transfer_remote");
+            ++hot_.transfer_remote;
         }
     }
     if (cfg_.jitter_frac > 0.0) {
@@ -106,25 +133,25 @@ CpuMachine::barrierLatency(int team_size)
         const Tick spin_cost =
             cfg_.barrier_base + t * cfg_.barrier_arrival;
         if (spin_cost <= cfg_.barrier_spin_budget) {
-            stats_.inc("cpu.barrier_spin");
+            ++hot_.barrier_spin;
             return spin_cost;
         }
-        stats_.inc("cpu.barrier_futex");
+        ++hot_.barrier_futex;
         return cfg_.barrier_futex_wake + t * cfg_.barrier_wake_stagger;
       }
       case BarrierAlgorithm::Central:
         // Pure centralized spinning: every arrival serializes on the
         // counter line, forever.
-        stats_.inc("cpu.barrier_spin");
+        ++hot_.barrier_spin;
         return cfg_.barrier_base + t * cfg_.barrier_arrival;
       case BarrierAlgorithm::Tree:
-        stats_.inc("cpu.barrier_tree");
+        ++hot_.barrier_tree;
         return cfg_.barrier_base +
                static_cast<Tick>(
                    ceilLog(team_size, cfg_.barrier_tree_fanin)) *
                    cfg_.barrier_tree_level;
       case BarrierAlgorithm::Dissemination:
-        stats_.inc("cpu.barrier_dissemination");
+        ++hot_.barrier_dissemination;
         return cfg_.barrier_base +
                static_cast<Tick>(ceilLog(team_size, 2)) *
                    cfg_.barrier_dissem_round;
@@ -161,7 +188,7 @@ CpuMachine::finishOp(int tid, Tick done)
 {
     ThreadCtx &ctx = threads_[tid];
     ++ctx.pc;
-    if (ctx.pc < ctx.prog->body.size()) {
+    if (ctx.pc < ctx.code->size()) {
         eq_.schedule(done, [this, tid] { step(tid); }, tid);
         return;
     }
@@ -205,7 +232,7 @@ CpuMachine::step(int tid)
 {
     ThreadCtx &ctx = threads_[tid];
     SYNCPERF_ASSERT(!ctx.done);
-    const CpuOp &op = ctx.prog->body[ctx.pc];
+    const DecodedOp &op = (*ctx.code)[ctx.pc];
     const Tick now = eq_.now();
 
     // Issue through the core pipeline (shared by SMT siblings).
@@ -213,168 +240,254 @@ CpuMachine::step(int tid)
     core_free_[ctx.place.core] = start + cfg_.issue_cycles;
     start += cfg_.issue_cycles;
 
-    switch (op.kind) {
-      case CpuOpKind::Load:
-      case CpuOpKind::AtomicLoad: {
-        // x86-style: an atomic read is an ordinary aligned load.
-        Line &line = lineFor(op.addr);
-        const std::uint64_t bit = 1ULL << ctx.place.core;
-        Tick done;
-        if (line.copies & bit) {
-            done = start + cfg_.l1_hit_latency;
-            stats_.inc("cpu.l1_hit");
-        } else {
-            done = start + transferLatency(line, ctx.place);
-            line.copies |= bit;
-            line.exclusive = false;
-        }
-        finishOp(tid, done);
-        return;
-      }
+    (this->*op.handler)(tid, op, start);
+}
 
-      case CpuOpKind::Store:
-      case CpuOpKind::AtomicStore:
-      case CpuOpKind::AtomicRmw: {
-        Line &line = lineFor(op.addr);
-        const std::uint64_t bit = 1ULL << ctx.place.core;
-        Tick done;
-        if (line.exclusive && line.owner_core == ctx.place.core) {
-            done = start + cfg_.l1_hit_latency + aluCost(op.kind, op.dtype);
-            stats_.inc("cpu.l1_hit");
-        } else {
-            // Exclusive acquisitions of a line serialize: wait for the
-            // next service slot at the coherence point. Atomic stores
-            // additionally pass the machine-wide ordering point: they
-            // carry release ordering, so ownership changes cannot
-            // overlap across lines (this keeps Fig 4's second write
-            // additive instead of hiding in the other line's queue).
-            // The RMW's ALU cost extends the occupancy while the line
-            // is held (the int-vs-float gap of Fig 2).
-            Tick svc = std::max(start, line.free_at);
-            if (op.kind == CpuOpKind::AtomicStore)
-                svc = coherencePointSlot(svc);
-            line.free_at =
-                svc + cfg_.line_occupancy + aluCost(op.kind, op.dtype);
-            done = svc + transferLatency(line, ctx.place) +
-                   aluCost(op.kind, op.dtype);
-            line.owner_core = ctx.place.core;
-            line.exclusive = true;
-            line.copies = bit;
-        }
-        if (op.kind == CpuOpKind::Store) {
-            ctx.has_pending_store = true;
-            ctx.pending_store_line = op.addr / cfg_.cache_line_bytes;
-        } else {
-            // x86 locked operations drain the store buffer.
-            ctx.has_pending_store = false;
-        }
-        finishOp(tid, done);
-        return;
-      }
+void
+CpuMachine::execLoad(int tid, const DecodedOp &op, Tick start)
+{
+    // x86-style: an atomic read is an ordinary aligned load.
+    ThreadCtx &ctx = threads_[tid];
+    Line &line = lines_[op.line];
+    const std::uint64_t bit = 1ULL << ctx.place.core;
+    Tick done;
+    if (line.copies & bit) {
+        done = start + cfg_.l1_hit_latency;
+        ++hot_.l1_hit;
+    } else {
+        done = start + transferLatency(line, ctx.place);
+        line.copies |= bit;
+        line.exclusive = false;
+    }
+    finishOp(tid, done);
+}
 
-      case CpuOpKind::Fence: {
-        Tick done = start + cfg_.fence_drain;
-        if (ctx.has_pending_store) {
-            Line &line = lines_[ctx.pending_store_line];
-            if (!(line.exclusive && line.owner_core == ctx.place.core)) {
-                // The pending store's line was stolen (false sharing):
-                // the drain must re-acquire it like a store would.
-                // (No machine-wide ordering slot here: the drain's
-                // re-acquisition is a replay of the store's own
-                // ownership change, not a new one.)
-                const Tick svc = std::max(start, line.free_at);
-                line.free_at = svc + cfg_.line_occupancy;
-                done = svc + transferLatency(line, ctx.place) +
-                       cfg_.fence_drain;
-                line.owner_core = ctx.place.core;
-                line.exclusive = true;
-                line.copies = 1ULL << ctx.place.core;
-                stats_.inc("cpu.fence_contended");
-            } else {
-                stats_.inc("cpu.fence_clean");
-            }
-            ctx.has_pending_store = false;
-        } else {
-            stats_.inc("cpu.fence_clean");
-        }
-        finishOp(tid, done);
-        return;
-      }
+CpuMachine::Tick
+CpuMachine::acquireExclusive(Line &line, const HwPlace &place, Tick start,
+                             Tick alu_cost, bool ordering_point)
+{
+    // Exclusive acquisitions of a line serialize: wait for the next
+    // service slot at the coherence point. Atomic stores additionally
+    // pass the machine-wide ordering point: they carry release
+    // ordering, so ownership changes cannot overlap across lines
+    // (this keeps Fig 4's second write additive instead of hiding in
+    // the other line's queue). The RMW's ALU cost extends the
+    // occupancy while the line is held (the int-vs-float gap of
+    // Fig 2).
+    Tick svc = std::max(start, line.free_at);
+    if (ordering_point)
+        svc = coherencePointSlot(svc);
+    line.free_at = svc + cfg_.line_occupancy + alu_cost;
+    const Tick done = svc + transferLatency(line, place) + alu_cost;
+    line.owner_core = place.core;
+    line.exclusive = true;
+    line.copies = 1ULL << place.core;
+    return done;
+}
 
-      case CpuOpKind::Barrier:
-        arriveBarrier(tid, start);
-        return;
+void
+CpuMachine::execStore(int tid, const DecodedOp &op, Tick start)
+{
+    ThreadCtx &ctx = threads_[tid];
+    Line &line = lines_[op.line];
+    Tick done;
+    if (line.exclusive && line.owner_core == ctx.place.core) {
+        done = start + cfg_.l1_hit_latency;
+        ++hot_.l1_hit;
+    } else {
+        done = acquireExclusive(line, ctx.place, start, 0, false);
+    }
+    ctx.has_pending_store = true;
+    ctx.pending_store_line = op.line;
+    finishOp(tid, done);
+}
 
-      case CpuOpKind::LockAcquire: {
-        LockState &lock = locks_[op.lock_id];
-        if (lock.held) {
-            lock.waiters.push_back(tid);
-            return;  // blocked; granted on release
-        }
-        lock.held = true;
-        // Acquire performs a CAS on the lock line.
-        Line &line = lineFor(op.addr);
-        Tick done;
-        if (line.exclusive && line.owner_core == ctx.place.core) {
-            done = start + cfg_.l1_hit_latency + cfg_.alu_int_rmw;
-        } else {
+void
+CpuMachine::execAtomicStore(int tid, const DecodedOp &op, Tick start)
+{
+    ThreadCtx &ctx = threads_[tid];
+    Line &line = lines_[op.line];
+    Tick done;
+    if (line.exclusive && line.owner_core == ctx.place.core) {
+        done = start + cfg_.l1_hit_latency;
+        ++hot_.l1_hit;
+    } else {
+        done = acquireExclusive(line, ctx.place, start, 0, true);
+    }
+    // x86 locked operations drain the store buffer.
+    ctx.has_pending_store = false;
+    finishOp(tid, done);
+}
+
+void
+CpuMachine::execAtomicRmw(int tid, const DecodedOp &op, Tick start)
+{
+    ThreadCtx &ctx = threads_[tid];
+    Line &line = lines_[op.line];
+    Tick done;
+    if (line.exclusive && line.owner_core == ctx.place.core) {
+        done = start + cfg_.l1_hit_latency + op.alu_cost;
+        ++hot_.l1_hit;
+    } else {
+        done = acquireExclusive(line, ctx.place, start, op.alu_cost,
+                                false);
+    }
+    ctx.has_pending_store = false;
+    finishOp(tid, done);
+}
+
+void
+CpuMachine::execFence(int tid, const DecodedOp &, Tick start)
+{
+    ThreadCtx &ctx = threads_[tid];
+    Tick done = start + cfg_.fence_drain;
+    if (ctx.has_pending_store) {
+        Line &line = lines_[ctx.pending_store_line];
+        if (!(line.exclusive && line.owner_core == ctx.place.core)) {
+            // The pending store's line was stolen (false sharing):
+            // the drain must re-acquire it like a store would.
+            // (No machine-wide ordering slot here: the drain's
+            // re-acquisition is a replay of the store's own
+            // ownership change, not a new one.)
             const Tick svc = std::max(start, line.free_at);
             line.free_at = svc + cfg_.line_occupancy;
             done = svc + transferLatency(line, ctx.place) +
-                   cfg_.alu_int_rmw;
+                   cfg_.fence_drain;
             line.owner_core = ctx.place.core;
             line.exclusive = true;
             line.copies = 1ULL << ctx.place.core;
-        }
-        finishOp(tid, done);
-        return;
-      }
-
-      case CpuOpKind::LockRelease: {
-        LockState &lock = locks_[op.lock_id];
-        SYNCPERF_ASSERT(lock.held, "release of unheld lock");
-        const Tick done = start + cfg_.l1_hit_latency;
-        if (!lock.waiters.empty()) {
-            const int next = lock.waiters.front();
-            lock.waiters.pop_front();
-            const auto waiters =
-                static_cast<Tick>(lock.waiters.size());
-            // Handoff cost depends on the locking algorithm: MCS
-            // touches one remote line; spinning algorithms add
-            // traffic proportional to the waiter crowd.
-            Tick extra = 0;
-            switch (cfg_.lock_algorithm) {
-              case LockAlgorithm::QueueHandoff:
-                break;
-              case LockAlgorithm::TasSpin:
-                // Every waiter's failed exchange steals the line.
-                extra = waiters * cfg_.lock_tas_retry;
-                break;
-              case LockAlgorithm::TtasSpin:
-                // One invalidation broadcast, then one winner's RMW.
-                extra = waiters * cfg_.lock_broadcast;
-                break;
-              case LockAlgorithm::Ticket:
-                // All waiters re-read the serving counter.
-                extra = waiters * cfg_.lock_broadcast +
-                        cfg_.lock_broadcast;
-                break;
-            }
-            const Tick grant = done + cfg_.lock_handoff + extra;
-            stats_.inc("cpu.lock_handoff");
-            eq_.schedule(grant, [this, next, grant] {
-                finishOp(next, grant);
-            }, next);
+            ++hot_.fence_contended;
         } else {
-            lock.held = false;
+            ++hot_.fence_clean;
         }
-        finishOp(tid, done);
-        return;
-      }
+        ctx.has_pending_store = false;
+    } else {
+        ++hot_.fence_clean;
+    }
+    finishOp(tid, done);
+}
 
+void
+CpuMachine::execBarrier(int tid, const DecodedOp &, Tick start)
+{
+    arriveBarrier(tid, start);
+}
+
+void
+CpuMachine::execLockAcquire(int tid, const DecodedOp &op, Tick start)
+{
+    ThreadCtx &ctx = threads_[tid];
+    LockState &lock = locks_[op.lock];
+    if (lock.held) {
+        lock.waiters.push_back(tid);
+        return;  // blocked; granted on release
+    }
+    lock.held = true;
+    // Acquire performs a CAS on the lock line.
+    Line &line = lines_[op.line];
+    Tick done;
+    if (line.exclusive && line.owner_core == ctx.place.core) {
+        done = start + cfg_.l1_hit_latency + cfg_.alu_int_rmw;
+    } else {
+        const Tick svc = std::max(start, line.free_at);
+        line.free_at = svc + cfg_.line_occupancy;
+        done = svc + transferLatency(line, ctx.place) +
+               cfg_.alu_int_rmw;
+        line.owner_core = ctx.place.core;
+        line.exclusive = true;
+        line.copies = 1ULL << ctx.place.core;
+    }
+    finishOp(tid, done);
+}
+
+void
+CpuMachine::execLockRelease(int tid, const DecodedOp &op, Tick start)
+{
+    LockState &lock = locks_[op.lock];
+    SYNCPERF_ASSERT(lock.held, "release of unheld lock");
+    const Tick done = start + cfg_.l1_hit_latency;
+    if (!lock.waiters.empty()) {
+        const int next = lock.waiters.front();
+        lock.waiters.pop_front();
+        const auto waiters = static_cast<Tick>(lock.waiters.size());
+        // Handoff cost depends on the locking algorithm: MCS
+        // touches one remote line; spinning algorithms add
+        // traffic proportional to the waiter crowd.
+        Tick extra = 0;
+        switch (cfg_.lock_algorithm) {
+          case LockAlgorithm::QueueHandoff:
+            break;
+          case LockAlgorithm::TasSpin:
+            // Every waiter's failed exchange steals the line.
+            extra = waiters * cfg_.lock_tas_retry;
+            break;
+          case LockAlgorithm::TtasSpin:
+            // One invalidation broadcast, then one winner's RMW.
+            extra = waiters * cfg_.lock_broadcast;
+            break;
+          case LockAlgorithm::Ticket:
+            // All waiters re-read the serving counter.
+            extra = waiters * cfg_.lock_broadcast + cfg_.lock_broadcast;
+            break;
+        }
+        const Tick grant = done + cfg_.lock_handoff + extra;
+        ++hot_.lock_handoff;
+        eq_.schedule(grant, [this, next, grant] {
+            finishOp(next, grant);
+        }, next);
+    } else {
+        lock.held = false;
+    }
+    finishOp(tid, done);
+}
+
+void
+CpuMachine::execAlu(int tid, const DecodedOp &op, Tick start)
+{
+    finishOp(tid, start + op.alu_cost);
+}
+
+CpuMachine::DecodedOp
+CpuMachine::decodeOp(const CpuOp &op)
+{
+    DecodedOp d;
+    d.alu_cost = aluCost(op.kind, op.dtype);
+    switch (op.kind) {
+      case CpuOpKind::Load:
+      case CpuOpKind::AtomicLoad:
+        d.handler = &CpuMachine::execLoad;
+        d.line = internLine(op.addr);
+        return d;
+      case CpuOpKind::Store:
+        d.handler = &CpuMachine::execStore;
+        d.line = internLine(op.addr);
+        return d;
+      case CpuOpKind::AtomicStore:
+        d.handler = &CpuMachine::execAtomicStore;
+        d.line = internLine(op.addr);
+        return d;
+      case CpuOpKind::AtomicRmw:
+        d.handler = &CpuMachine::execAtomicRmw;
+        d.line = internLine(op.addr);
+        return d;
+      case CpuOpKind::Fence:
+        d.handler = &CpuMachine::execFence;
+        return d;
+      case CpuOpKind::Barrier:
+        d.handler = &CpuMachine::execBarrier;
+        return d;
+      case CpuOpKind::LockAcquire:
+        d.handler = &CpuMachine::execLockAcquire;
+        d.line = internLine(op.addr);
+        d.lock = internLock(op.lock_id);
+        return d;
+      case CpuOpKind::LockRelease:
+        d.handler = &CpuMachine::execLockRelease;
+        d.lock = internLock(op.lock_id);
+        return d;
       case CpuOpKind::Alu:
-        finishOp(tid, start + cfg_.plain_alu);
-        return;
+        d.handler = &CpuMachine::execAlu;
+        return d;
     }
     panic("unhandled op kind");
 }
@@ -395,9 +508,13 @@ CpuMachine::run(const std::vector<CpuProgram> &programs,
     places_ = mapThreads(cfg_, affinity_, n);
     core_free_.assign(cfg_.totalCores(), 0);
     lines_.clear();
+    line_index_.clear();
     locks_.clear();
+    lock_index_.clear();
     coherence_point_free_ = 0;
-    eq_ = sim::EventQueue{};
+    eq_.reset();
+    stats_.clear();
+    hot_ = HotStats{};
     threads_.assign(n, ThreadCtx{});
     warm_left_.assign(n, warmup_iterations);
     align_arrivals_ = 0;
@@ -407,8 +524,20 @@ CpuMachine::run(const std::vector<CpuProgram> &programs,
     barrier_last_arrival_ = 0;
     barrier_waiters_.clear();
 
+    // Decode once per program: dense handler+operand arrays with all
+    // config-dependent costs and container lookups hoisted out of
+    // the execution loop.
+    decoded_.resize(n);
     for (int t = 0; t < n; ++t) {
-        threads_[t].prog = &programs[t];
+        auto &code = decoded_[t];
+        code.clear();
+        code.reserve(programs[t].body.size());
+        for (const CpuOp &op : programs[t].body)
+            code.push_back(decodeOp(op));
+    }
+
+    for (int t = 0; t < n; ++t) {
+        threads_[t].code = &decoded_[t];
         threads_[t].place = places_[t];
         threads_[t].iters_left = programs[t].iterations;
         eq_.schedule(0, [this, t] { step(t); }, t);
@@ -423,6 +552,24 @@ CpuMachine::run(const std::vector<CpuProgram> &programs,
         SYNCPERF_ASSERT(ctx.done, "thread did not finish (deadlock?)");
         result.thread_cycles.push_back(ctx.end_tick - ctx.start_tick);
     }
+
+    // Fold the hot counters into the named stats exactly once per
+    // run; zero counters stay absent so dumps are unchanged.
+    const auto fold = [this](const char *name, std::uint64_t v) {
+        if (v > 0)
+            stats_.inc(name, v);
+    };
+    fold("cpu.l1_hit", hot_.l1_hit);
+    fold("cpu.mem_fetch", hot_.mem_fetch);
+    fold("cpu.transfer_local", hot_.transfer_local);
+    fold("cpu.transfer_remote", hot_.transfer_remote);
+    fold("cpu.fence_clean", hot_.fence_clean);
+    fold("cpu.fence_contended", hot_.fence_contended);
+    fold("cpu.lock_handoff", hot_.lock_handoff);
+    fold("cpu.barrier_spin", hot_.barrier_spin);
+    fold("cpu.barrier_futex", hot_.barrier_futex);
+    fold("cpu.barrier_tree", hot_.barrier_tree);
+    fold("cpu.barrier_dissemination", hot_.barrier_dissemination);
     return result;
 }
 

@@ -18,6 +18,13 @@
  * - a spin-then-futex barrier whose OS wake constant dominates at
  *   high thread counts (the paper's plateau);
  * - FIFO lock handoff for critical sections.
+ *
+ * Execution uses precompiled dispatch: run() decodes every program
+ * once into a dense handler+operand array (config costs hoisted,
+ * cache lines and locks interned to dense indices), and the event
+ * loop then jumps straight into per-op handlers with no switch and
+ * no hash lookups. Event ordering is identical to the historical
+ * switch interpreter, so results stay bit-for-bit reproducible.
  */
 
 #ifndef SYNCPERF_CPUSIM_MACHINE_HH
@@ -50,8 +57,10 @@ struct CpuRunResult
 };
 
 /**
- * The machine. One instance simulates one program launch; create a
- * fresh instance (cheap) for independent launches.
+ * The machine. One instance simulates one program launch at a time;
+ * run() fully re-initializes, so an instance may be reused for
+ * independent launches (reseed() between launches restores the
+ * fresh-machine jitter stream while keeping warm buffers).
  */
 class CpuMachine
 {
@@ -77,6 +86,13 @@ class CpuMachine
      */
     CpuRunResult run(const std::vector<CpuProgram> &programs,
                      int warmup_iterations = 2);
+
+    /**
+     * Restart the jitter stream as if the machine had been freshly
+     * constructed with @p seed: a reused machine produces the exact
+     * cycle counts a new CpuMachine(cfg, affinity, seed) would.
+     */
+    void reseed(std::uint64_t seed);
 
     /** Activity counters from the most recent run. */
     const sim::StatSet &stats() const { return stats_; }
@@ -105,10 +121,21 @@ class CpuMachine
         std::deque<int> waiters;   ///< software thread ids
     };
 
+    /** One decoded op: handler plus hoisted operands. */
+    struct DecodedOp
+    {
+        /** Receives the post-issue start tick; finishes or blocks. */
+        void (CpuMachine::*handler)(int tid, const DecodedOp &op,
+                                    Tick start) = nullptr;
+        int line = -1;      ///< interned cache-line index
+        int lock = -1;      ///< interned lock index
+        Tick alu_cost = 0;  ///< aluCost(kind, dtype), hoisted
+    };
+
     /** Per-thread execution cursor. */
     struct ThreadCtx
     {
-        const CpuProgram *prog = nullptr;
+        const std::vector<DecodedOp> *code = nullptr;
         HwPlace place;
         long iters_left = 0;
         std::size_t pc = 0;
@@ -116,11 +143,32 @@ class CpuMachine
         bool done = false;
         Tick start_tick = 0;
         Tick end_tick = 0;
-        std::uint64_t pending_store_line = 0;
+        int pending_store_line = -1;  ///< interned index
         bool has_pending_store = false;
     };
 
-    Line &lineFor(std::uint64_t addr);
+    /** Hot-path counters, folded into stats_ at the end of run() so
+     * the StatSet's string map stays off the per-op path. */
+    struct HotStats
+    {
+        std::uint64_t l1_hit = 0;
+        std::uint64_t mem_fetch = 0;
+        std::uint64_t transfer_local = 0;
+        std::uint64_t transfer_remote = 0;
+        std::uint64_t fence_clean = 0;
+        std::uint64_t fence_contended = 0;
+        std::uint64_t lock_handoff = 0;
+        std::uint64_t barrier_spin = 0;
+        std::uint64_t barrier_futex = 0;
+        std::uint64_t barrier_tree = 0;
+        std::uint64_t barrier_dissemination = 0;
+    };
+
+    /** Dense index for the cache line containing @p addr. */
+    int internLine(std::uint64_t addr);
+    int internLock(int lock_id);
+    DecodedOp decodeOp(const CpuOp &op);
+
     Tick transferLatency(const Line &line, const HwPlace &to);
 
     /** Reserve a slot at the machine-wide ordering point. */
@@ -137,17 +185,36 @@ class CpuMachine
     /** Handle team-wide barrier arrival; returns true if blocked. */
     void arriveBarrier(int tid, Tick when);
 
+    // --- Decoded-op handlers (one per CpuOpKind family) ---
+    void execLoad(int tid, const DecodedOp &op, Tick start);
+    void execStore(int tid, const DecodedOp &op, Tick start);
+    void execAtomicStore(int tid, const DecodedOp &op, Tick start);
+    void execAtomicRmw(int tid, const DecodedOp &op, Tick start);
+    void execFence(int tid, const DecodedOp &op, Tick start);
+    void execBarrier(int tid, const DecodedOp &op, Tick start);
+    void execLockAcquire(int tid, const DecodedOp &op, Tick start);
+    void execLockRelease(int tid, const DecodedOp &op, Tick start);
+    void execAlu(int tid, const DecodedOp &op, Tick start);
+
+    /** Acquire exclusive ownership for a store-family op. */
+    Tick acquireExclusive(Line &line, const HwPlace &place, Tick start,
+                          Tick alu_cost, bool ordering_point);
+
     CpuConfig cfg_;
     Affinity affinity_;
     Pcg32 rng_;
     sim::EventQueue eq_;
     sim::StatSet stats_;
+    HotStats hot_;
 
     std::vector<ThreadCtx> threads_;
     std::vector<HwPlace> places_;
     std::vector<Tick> core_free_;
-    std::unordered_map<std::uint64_t, Line> lines_;
-    std::unordered_map<int, LockState> locks_;
+    std::vector<std::vector<DecodedOp>> decoded_;
+    std::vector<Line> lines_;
+    std::vector<LockState> locks_;
+    std::unordered_map<std::uint64_t, int> line_index_;
+    std::unordered_map<int, int> lock_index_;
     Tick coherence_point_free_ = 0;
 
     std::vector<int> warm_left_;

@@ -14,6 +14,9 @@ namespace syncperf::gpusim
 namespace
 {
 
+/** Pcg32 stream selector for the GPU jitter model. */
+constexpr std::uint64_t rng_stream = 0xb5ad4eceda1ce2a9ULL;
+
 /** Composite key for per-SM per-line gating. */
 std::uint64_t
 smLineKey(int sm, std::uint64_t line)
@@ -24,11 +27,20 @@ smLineKey(int sm, std::uint64_t line)
 /** 32-byte sector granularity used by the L2 atomic path. */
 constexpr std::uint64_t sector_shift = 5;
 
+/** Upper bound on lanes per warp for stack-local sector grouping. */
+constexpr int max_lanes = 64;
+
 } // namespace
 
 GpuMachine::GpuMachine(GpuConfig cfg, std::uint64_t seed)
-    : cfg_(std::move(cfg)), rng_(seed, 0xb5ad4eceda1ce2a9ULL)
+    : cfg_(std::move(cfg)), rng_(seed, rng_stream)
 {
+}
+
+void
+GpuMachine::reseed(std::uint64_t seed)
+{
+    rng_ = Pcg32(seed, rng_stream);
 }
 
 GpuMachine::Tick
@@ -51,7 +63,7 @@ GpuMachine::gateDelay(DataType t) const
 }
 
 int
-GpuMachine::activeLanes(const WarpCtx &warp, const GpuOp &op) const
+GpuMachine::activeLanes(const WarpCtx &warp, const DecodedGpuOp &op) const
 {
     switch (op.pred) {
       case Predicate::All:
@@ -65,17 +77,16 @@ GpuMachine::activeLanes(const WarpCtx &warp, const GpuOp &op) const
 }
 
 std::uint64_t
-GpuMachine::resolveAddr(const WarpCtx &warp, const GpuOp &op,
+GpuMachine::resolveAddr(const WarpCtx &warp, const DecodedGpuOp &op,
                         int lane) const
 {
-    const auto esize = dataTypeSize(op.dtype);
     switch (op.amode) {
       case AddressMode::SingleShared:
         return op.base_addr;
       case AddressMode::PerThread:
         return op.base_addr +
                static_cast<std::uint64_t>(warp.first_tid + lane) *
-                   op.stride * esize;
+                   op.stride * op.esize;
       case AddressMode::PerBlock:
         // One variable per block, padded to separate sectors.
         return op.base_addr +
@@ -84,14 +95,111 @@ GpuMachine::resolveAddr(const WarpCtx &warp, const GpuOp &op,
     return op.base_addr;
 }
 
-GpuMachine::Tick
-GpuMachine::execGlobalLoad(WarpCtx &warp, const GpuOp &op, Tick issued)
+void
+GpuMachine::execAlu(int warp_id, const DecodedGpuOp &op, Tick now)
 {
+    finishOp(warp_id, issueThrough(warps_[warp_id], now) + op.lat);
+}
+
+void
+GpuMachine::execDivergentAlu(int warp_id, const DecodedGpuOp &op,
+                             Tick now)
+{
+    // SIMT divergence: the warp executes every taken path serially
+    // (Bialas & Strzelecki: the cost per extra path is constant).
+    // Each path issues and completes in turn; op.lat carries the
+    // precomputed paths * alu_latency total.
+    hot_.divergent_paths += static_cast<std::uint64_t>(op.uops);
+    finishOp(warp_id,
+             issueThrough(warps_[warp_id], now, op.uops) + op.lat);
+}
+
+void
+GpuMachine::execSyncWarp(int warp_id, const DecodedGpuOp &op, Tick now)
+{
+    finishOp(warp_id, issueThrough(warps_[warp_id], now) + op.lat);
+}
+
+void
+GpuMachine::execShfl(int warp_id, const DecodedGpuOp &op, Tick now)
+{
+    // Micro-ops pipeline: latency of the first plus one issue slot
+    // per extra micro-op, but they occupy the scheduler for all
+    // slots (this halves the 64-bit knee, Fig 15).
+    hot_.shfl_uops += static_cast<std::uint64_t>(op.uops);
+    finishOp(warp_id,
+             issueThrough(warps_[warp_id], now, op.uops) + op.lat);
+}
+
+void
+GpuMachine::execVote(int warp_id, const DecodedGpuOp &op, Tick now)
+{
+    finishOp(warp_id, issueThrough(warps_[warp_id], now) + op.lat);
+}
+
+void
+GpuMachine::execReduceSync(int warp_id, const DecodedGpuOp &, Tick now)
+{
+    WarpCtx &warp = warps_[warp_id];
+    const Tick issued = issueThrough(warp, now);
+    Tick &unit = reduce_free_[warp.sm];
+    const Tick start = std::max(issued, unit);
+    unit = start + cfg_.reduce_occupancy;
+    ++hot_.reduce_sync;
+    finishOp(warp_id, start + cfg_.reduce_latency);
+}
+
+void
+GpuMachine::execFenceBlock(int warp_id, const DecodedGpuOp &op, Tick now)
+{
+    // Block scope only orders within the SM; pending stores are
+    // already visible there, so the cost is tiny.
+    ++hot_.fence;
+    finishOp(warp_id, issueThrough(warps_[warp_id], now) + op.lat);
+}
+
+void
+GpuMachine::execFenceDevice(int warp_id, const DecodedGpuOp &op,
+                            Tick now)
+{
+    // Draining the store path occupies the SM's LSU, so the cost is
+    // not hidden behind other warps' traffic.
+    WarpCtx &warp = warps_[warp_id];
+    const Tick issued = issueThrough(warp, now);
+    Tick &lsu = lsu_free_[warp.sm];
+    lsu = std::max(lsu, issued) + cfg_.fence_lsu_drain;
+    ++hot_.fence;
+    finishOp(warp_id,
+             std::max({issued, warp.last_store_commit, lsu}) + op.lat);
+}
+
+void
+GpuMachine::execFenceSystem(int warp_id, const DecodedGpuOp &op,
+                            Tick now)
+{
+    WarpCtx &warp = warps_[warp_id];
+    const Tick issued = issueThrough(warp, now);
+    Tick &lsu = lsu_free_[warp.sm];
+    lsu = std::max(lsu, issued) + cfg_.fence_lsu_drain;
+    ++hot_.fence;
+    finishOp(warp_id,
+             std::max({issued, warp.last_store_commit, lsu}) + op.lat +
+                 rng_.below(static_cast<std::uint32_t>(
+                     cfg_.fence_system_jitter + 1)));
+}
+
+void
+GpuMachine::execGlobalLoad(int warp_id, const DecodedGpuOp &op, Tick now)
+{
+    WarpCtx &warp = warps_[warp_id];
+    const Tick issued = issueThrough(warp, now);
     const int active = activeLanes(warp, op);
-    if (active == 0)
-        return issued;
-    const auto bytes = static_cast<std::uint64_t>(active) *
-                       dataTypeSize(op.dtype) * op.stride;
+    if (active == 0) {
+        finishOp(warp_id, issued);
+        return;
+    }
+    const auto bytes =
+        static_cast<std::uint64_t>(active) * op.esize * op.stride;
     const auto sectors = (bytes + 31) / 32;
 
     Tick &lsu = lsu_free_[warp.sm];
@@ -102,140 +210,236 @@ GpuMachine::execGlobalLoad(WarpCtx &warp, const GpuOp &op, Tick issued)
     const Tick bw_start = std::max(post_done, mem_bw_free_);
     mem_bw_free_ = bw_start + static_cast<Tick>(
         static_cast<double>(bytes) / cfg_.mem_bytes_per_cycle + 1.0);
-    stats_.inc("gpu.load_sectors", sectors);
-    return bw_start + cfg_.mem_rt;
+    hot_.load_sectors += sectors;
+    finishOp(warp_id, bw_start + cfg_.mem_rt);
 }
 
-GpuMachine::Tick
-GpuMachine::execGlobalAtomic(WarpCtx &warp, const GpuOp &op, Tick issued)
+void
+GpuMachine::execGlobalStore(int warp_id, const DecodedGpuOp &op,
+                            Tick now)
 {
+    // Stores retire into the LSU/store path; the warp does not wait
+    // for memory (no data dependency).
+    WarpCtx &warp = warps_[warp_id];
+    const Tick issued = issueThrough(warp, now);
     const int active = activeLanes(warp, op);
-    if (active == 0)
-        return issued;
-
-    const bool value_returning =
-        op.aop == AtomicOp::Cas || op.aop == AtomicOp::Exch;
-    const bool same_addr = op.amode != AddressMode::PerThread;
-
+    if (active == 0) {
+        finishOp(warp_id, issued);
+        return;
+    }
+    const auto bytes =
+        static_cast<std::uint64_t>(active) * op.esize * op.stride;
+    const auto sectors = (bytes + 31) / 32;
     Tick &lsu = lsu_free_[warp.sm];
+    const Tick post_start = std::max(issued, lsu);
+    lsu = post_start + sectors * cfg_.lsu_ii;
+    const Tick bw_start = std::max(lsu, mem_bw_free_);
+    mem_bw_free_ = bw_start + static_cast<Tick>(
+        static_cast<double>(bytes) / cfg_.mem_bytes_per_cycle + 1.0);
+    // Commit (device-wide visibility at the L2) happens a fixed half
+    // round trip after posting; a device fence must wait for it
+    // (Fig 14). Deliberately decoupled from the DRAM bandwidth queue
+    // so fence overhead stays flat under load, matching the paper's
+    // measurements.
+    warp.last_store_commit = lsu + cfg_.mem_rt / 2;
+    hot_.store_sectors += sectors;
+    finishOp(warp_id, lsu);
+}
 
-    if (same_addr) {
-        const std::uint64_t line =
-            resolveAddr(warp, op, 0) >> sector_shift;
-        GateSlots &gate = sm_line_gate_[smLineKey(warp.sm, line)];
-
-        if (!value_returning) {
-            // Reduction-style op on one address: the JIT aggregates
-            // the warp's lanes into a single request (Fig 9). The SM
-            // keeps sm_atomic_depth such requests in flight; the
-            // next one stalls the LSU until a slot frees up, which
-            // is the per-SM knee of Fig 9.
-            const bool aggregated = cfg_.enable_warp_aggregation;
-            const int requests = aggregated ? 1 : active;
-            stats_.inc(aggregated ? "gpu.atomic_aggregated"
-                                  : "gpu.atomic_unaggregated");
-            // One in flight per warp, sm_atomic_depth in flight per
-            // SM: per-warp throughput is flat until the SM window
-            // fills (Fig 9: constant up to two warps per SM).
-            const Tick slot_free =
-                cfg_.sm_atomic_depth >= 2 ? gate.oldest : gate.newest;
-            const Tick post_start =
-                std::max({issued, lsu, slot_free, warp.own_atomic_gate});
-            const Tick post_done =
-                post_start + static_cast<Tick>(requests) * cfg_.lsu_ii;
-            lsu = post_done;
-            Tick &lf = line_free_[line];
-            const Tick svc_start = std::max(post_done, lf);
-            const Tick svc_done =
-                svc_start +
-                static_cast<Tick>(requests) * cfg_.addrIi(op.dtype);
-            lf = svc_done;
-            gate.oldest = gate.newest;
-            // The gate paces on the posting time plus a fixed round
-            // trip, NOT on the (possibly queued) service time --
-            // pacing on service would compound queue delays into a
-            // positive feedback across SMs.
-            gate.newest = post_done + gateDelay(op.dtype);
-            warp.own_atomic_gate = gate.newest;
-            // Fire-and-forget with a bounded in-flight window.
-            const Tick window_ok =
-                svc_done > cfg_.ff_window ? svc_done - cfg_.ff_window : 0;
-            return std::max(post_done, window_ok);
-        }
-
-        // CAS / exchange: never aggregated, one outstanding per SM;
-        // lanes pipeline in small groups and the warp waits for its
-        // last lane's round trip (Fig 11, 13).
-        stats_.inc("gpu.atomic_cas_like");
-        const int groups =
-            (active + cfg_.cas_pipeline_lanes - 1) / cfg_.cas_pipeline_lanes;
-        const Tick post_start = std::max({issued, lsu, gate.newest});
-        const Tick post_done =
-            post_start + static_cast<Tick>(active) * cfg_.lsu_ii;
-        lsu = post_done;
-        Tick &lf = line_free_[line];
-        const Tick svc_start = std::max(post_done, lf);
-        const Tick svc_done =
-            svc_start + static_cast<Tick>(groups) * cfg_.cas_group_ii;
-        lf = svc_done;
-        gate.oldest = gate.newest;
-        gate.newest = svc_done;
-        return svc_done + cfg_.atomic_rt;
+void
+GpuMachine::execAtomicSameAddr(int warp_id, const DecodedGpuOp &op,
+                               Tick now)
+{
+    WarpCtx &warp = warps_[warp_id];
+    const Tick issued = issueThrough(warp, now);
+    const int active = activeLanes(warp, op);
+    if (active == 0) {
+        finishOp(warp_id, issued);
+        return;
     }
 
+    Tick &lsu = lsu_free_[warp.sm];
+    const std::uint64_t line = resolveAddr(warp, op, 0) >> sector_shift;
+    GateSlots &gate = sm_line_gate_[smLineKey(warp.sm, line)];
+
+    // Reduction-style op on one address: the JIT aggregates the
+    // warp's lanes into a single request (Fig 9). The SM keeps
+    // sm_atomic_depth such requests in flight; the next one stalls
+    // the LSU until a slot frees up, which is the per-SM knee of
+    // Fig 9.
+    const int requests = op.aggregated ? 1 : active;
+    if (op.aggregated)
+        ++hot_.atomic_aggregated;
+    else
+        ++hot_.atomic_unaggregated;
+    // One in flight per warp, sm_atomic_depth in flight per SM:
+    // per-warp throughput is flat until the SM window fills (Fig 9:
+    // constant up to two warps per SM).
+    const Tick slot_free =
+        cfg_.sm_atomic_depth >= 2 ? gate.oldest : gate.newest;
+    const Tick post_start =
+        std::max({issued, lsu, slot_free, warp.own_atomic_gate});
+    const Tick post_done =
+        post_start + static_cast<Tick>(requests) * cfg_.lsu_ii;
+    lsu = post_done;
+    Tick &lf = line_free_[line];
+    const Tick svc_start = std::max(post_done, lf);
+    const Tick svc_done =
+        svc_start + static_cast<Tick>(requests) * op.addr_ii;
+    lf = svc_done;
+    gate.oldest = gate.newest;
+    // The gate paces on the posting time plus a fixed round trip,
+    // NOT on the (possibly queued) service time -- pacing on service
+    // would compound queue delays into a positive feedback across
+    // SMs.
+    gate.newest = post_done + op.gate_delay;
+    warp.own_atomic_gate = gate.newest;
+    // Fire-and-forget with a bounded in-flight window.
+    const Tick window_ok =
+        svc_done > cfg_.ff_window ? svc_done - cfg_.ff_window : 0;
+    finishOp(warp_id, std::max(post_done, window_ok));
+}
+
+void
+GpuMachine::execAtomicCasLike(int warp_id, const DecodedGpuOp &op,
+                              Tick now)
+{
+    // CAS / exchange: never aggregated, one outstanding per SM;
+    // lanes pipeline in small groups and the warp waits for its last
+    // lane's round trip (Fig 11, 13).
+    WarpCtx &warp = warps_[warp_id];
+    const Tick issued = issueThrough(warp, now);
+    const int active = activeLanes(warp, op);
+    if (active == 0) {
+        finishOp(warp_id, issued);
+        return;
+    }
+
+    Tick &lsu = lsu_free_[warp.sm];
+    const std::uint64_t line = resolveAddr(warp, op, 0) >> sector_shift;
+    GateSlots &gate = sm_line_gate_[smLineKey(warp.sm, line)];
+
+    ++hot_.atomic_cas_like;
+    const int groups =
+        (active + cfg_.cas_pipeline_lanes - 1) / cfg_.cas_pipeline_lanes;
+    const Tick post_start = std::max({issued, lsu, gate.newest});
+    const Tick post_done =
+        post_start + static_cast<Tick>(active) * cfg_.lsu_ii;
+    lsu = post_done;
+    Tick &lf = line_free_[line];
+    const Tick svc_start = std::max(post_done, lf);
+    const Tick svc_done =
+        svc_start + static_cast<Tick>(groups) * cfg_.cas_group_ii;
+    lf = svc_done;
+    gate.oldest = gate.newest;
+    gate.newest = svc_done;
+    finishOp(warp_id, svc_done + cfg_.atomic_rt);
+}
+
+void
+GpuMachine::execAtomicPerThread(int warp_id, const DecodedGpuOp &op,
+                                Tick now)
+{
     // Per-thread addresses: one request per lane, hashed across the
     // L2 atomic units (Fig 10, 12).
-    stats_.inc("gpu.atomic_per_thread", active);
+    WarpCtx &warp = warps_[warp_id];
+    const Tick issued = issueThrough(warp, now);
+    const int active = activeLanes(warp, op);
+    if (active == 0) {
+        finishOp(warp_id, issued);
+        return;
+    }
+
+    hot_.atomic_per_thread += static_cast<std::uint64_t>(active);
+    Tick &lsu = lsu_free_[warp.sm];
     const Tick post_start = std::max(issued, lsu);
     const Tick post_done =
         post_start + static_cast<Tick>(active) * cfg_.lsu_ii;
     lsu = post_done;
 
-    // Group the lanes' sectors.
-    std::unordered_map<std::uint64_t, int> per_line;
-    for (int lane = 0; lane < active; ++lane)
-        ++per_line[resolveAddr(warp, op, lane) >> sector_shift];
+    // Group the lanes' sectors. A warp has at most warp_size lanes,
+    // so a stack-local array replaces the per-call hash map; the
+    // per-unit reservation below is order-independent (each unit's
+    // final time telescopes to max(post_done, start) + sum(counts)),
+    // so first-touch order gives identical results.
+    SYNCPERF_ASSERT(active <= max_lanes);
+    std::uint64_t line_key[max_lanes];
+    int line_count[max_lanes];
+    int nlines = 0;
+    for (int lane = 0; lane < active; ++lane) {
+        const std::uint64_t line =
+            resolveAddr(warp, op, lane) >> sector_shift;
+        int i = 0;
+        while (i < nlines && line_key[i] != line)
+            ++i;
+        if (i == nlines) {
+            line_key[i] = line;
+            line_count[i] = 0;
+            ++nlines;
+        }
+        ++line_count[i];
+    }
 
     Tick last_svc = post_done;
-    for (const auto &[line, count] : per_line) {
+    for (int i = 0; i < nlines; ++i) {
         Tick &unit =
-            unit_free_[line % static_cast<std::uint64_t>(
-                                  cfg_.l2_atomic_units)];
+            unit_free_[line_key[i] % static_cast<std::uint64_t>(
+                                         cfg_.l2_atomic_units)];
         const Tick svc_start = std::max(post_done, unit);
         const Tick svc_done =
-            svc_start + static_cast<Tick>(count) * cfg_.unitIi(op.dtype);
+            svc_start + static_cast<Tick>(line_count[i]) * op.unit_ii;
         unit = svc_done;
         last_svc = std::max(last_svc, svc_done);
     }
 
-    if (value_returning)
-        return last_svc + cfg_.atomic_rt;
+    if (op.value_returning) {
+        finishOp(warp_id, last_svc + cfg_.atomic_rt);
+        return;
+    }
     const Tick window_ok =
         last_svc > cfg_.ff_window ? last_svc - cfg_.ff_window : 0;
-    return std::max(post_done, window_ok);
+    finishOp(warp_id, std::max(post_done, window_ok));
 }
 
-GpuMachine::Tick
-GpuMachine::execSharedAtomic(WarpCtx &warp, const GpuOp &op, Tick issued)
+void
+GpuMachine::execSharedAtomic(int warp_id, const DecodedGpuOp &op,
+                             Tick now)
 {
+    WarpCtx &warp = warps_[warp_id];
+    const Tick issued = issueThrough(warp, now);
     const int active = activeLanes(warp, op);
-    if (active == 0)
-        return issued;
-    const bool value_returning =
-        op.aop == AtomicOp::Cas || op.aop == AtomicOp::Exch;
+    if (active == 0) {
+        finishOp(warp_id, issued);
+        return;
+    }
 
     Tick &unit = smem_free_[warp.sm];
     const Tick svc_start = std::max(issued, unit);
     const Tick svc_done =
         svc_start + static_cast<Tick>(active) * cfg_.smem_addr_ii;
     unit = svc_done;
-    stats_.inc("gpu.smem_atomic", active);
+    hot_.smem_atomic += static_cast<std::uint64_t>(active);
 
-    if (value_returning)
-        return svc_done + cfg_.smem_rt;
+    if (op.value_returning) {
+        finishOp(warp_id, svc_done + cfg_.smem_rt);
+        return;
+    }
     const Tick window_ok =
-        svc_done > cfg_.smem_ff_window ? svc_done - cfg_.smem_ff_window : 0;
-    return std::max(issued + cfg_.issue_ii, window_ok);
+        svc_done > cfg_.smem_ff_window ? svc_done - cfg_.smem_ff_window
+                                       : 0;
+    finishOp(warp_id, std::max(issued + cfg_.issue_ii, window_ok));
+}
+
+void
+GpuMachine::execSyncThreads(int warp_id, const DecodedGpuOp &, Tick now)
+{
+    arriveSyncThreads(warp_id, issueThrough(warps_[warp_id], now));
+}
+
+void
+GpuMachine::execGridSync(int warp_id, const DecodedGpuOp &, Tick now)
+{
+    arriveGridSync(warp_id, issueThrough(warps_[warp_id], now));
 }
 
 void
@@ -253,7 +457,7 @@ GpuMachine::arriveSyncThreads(int warp_id, Tick when)
     const Tick release =
         block.last_arrival + cfg_.syncthreads_base +
         static_cast<Tick>(block.warps) * cfg_.syncthreads_per_warp;
-    stats_.inc("gpu.syncthreads");
+    ++hot_.syncthreads;
 
     std::vector<int> waiters = std::move(block.waiters);
     block.waiters.clear();
@@ -291,7 +495,7 @@ GpuMachine::arriveGridSync(int warp_id, Tick when)
     const Tick release =
         grid_last_arrival_ + cfg_.grid_sync_base +
         static_cast<Tick>(blocks_.size()) * cfg_.grid_sync_per_block;
-    stats_.inc("gpu.grid_sync");
+    ++hot_.grid_sync;
 
     std::vector<int> waiters = std::move(grid_waiters_);
     grid_waiters_.clear();
@@ -311,144 +515,17 @@ GpuMachine::step(int warp_id)
     SYNCPERF_ASSERT(!warp.done);
     const Tick now = eq_.now();
 
-    const std::vector<GpuOp> *seq = nullptr;
-    switch (warp.phase) {
-      case Phase::Prologue: seq = &kernel_->prologue; break;
-      case Phase::Warmup:
-      case Phase::Timed: seq = &kernel_->body; break;
-      case Phase::Epilogue: seq = &kernel_->epilogue; break;
-    }
-    if (seq->empty() || warp.pc >= seq->size()) {
+    const std::vector<DecodedGpuOp> &code = *warp.code;
+    if (code.empty() || warp.pc >= code.size()) {
         advancePhase(warp_id, now);
         return;
     }
 
-    const GpuOp &op = (*seq)[warp.pc];
+    const DecodedGpuOp &op = code[warp.pc];
     if (warp.rep_left == 0)
         warp.rep_left = op.repeat;
 
-    Tick done;
-    switch (op.kind) {
-      case GpuOpKind::Alu:
-        done = issueThrough(warp, now) + cfg_.alu_latency;
-        break;
-      case GpuOpKind::DivergentAlu: {
-        // SIMT divergence: the warp executes every taken path
-        // serially (Bialas & Strzelecki: the cost per extra path is
-        // constant). Each path issues and completes in turn.
-        const int paths = std::max(1, op.diverge_paths);
-        done = issueThrough(warp, now, paths) +
-               static_cast<Tick>(paths) * cfg_.alu_latency;
-        stats_.inc("gpu.divergent_paths", paths);
-        break;
-      }
-      case GpuOpKind::SyncWarp:
-        done = issueThrough(warp, now) + cfg_.syncwarp_latency;
-        break;
-      case GpuOpKind::Shfl: {
-        const int uops = dataTypeSize(op.dtype) > 4 ? 2 : 1;
-        // Micro-ops pipeline: latency of the first plus one issue
-        // slot per extra micro-op, but they occupy the scheduler for
-        // all slots (this halves the 64-bit knee, Fig 15).
-        done = issueThrough(warp, now, uops) + cfg_.shfl_latency;
-        stats_.inc("gpu.shfl_uops", uops);
-        break;
-      }
-      case GpuOpKind::Vote:
-        done = issueThrough(warp, now) + cfg_.vote_latency;
-        break;
-      case GpuOpKind::ReduceSync: {
-        if (cfg_.reduce_latency == 0) {
-            fatal("__reduce_*_sync requires compute capability >= 8.0 "
-                  "({} is cc {})", cfg_.name, cfg_.compute_capability);
-        }
-        const Tick issued = issueThrough(warp, now);
-        Tick &unit = reduce_free_[warp.sm];
-        const Tick start = std::max(issued, unit);
-        unit = start + cfg_.reduce_occupancy;
-        done = start + cfg_.reduce_latency;
-        stats_.inc("gpu.reduce_sync");
-        break;
-      }
-      case GpuOpKind::Fence: {
-        const Tick issued = issueThrough(warp, now);
-        switch (op.scope) {
-          case FenceScope::Block:
-            // Block scope only orders within the SM; pending stores
-            // are already visible there, so the cost is tiny.
-            done = issued + cfg_.fence_block;
-            break;
-          case FenceScope::Device: {
-            // Draining the store path occupies the SM's LSU, so the
-            // cost is not hidden behind other warps' traffic.
-            Tick &lsu = lsu_free_[warp.sm];
-            lsu = std::max(lsu, issued) + cfg_.fence_lsu_drain;
-            done = std::max({issued, warp.last_store_commit, lsu}) +
-                   cfg_.fence_device;
-            break;
-          }
-          case FenceScope::System: {
-            Tick &lsu = lsu_free_[warp.sm];
-            lsu = std::max(lsu, issued) + cfg_.fence_lsu_drain;
-            done = std::max({issued, warp.last_store_commit, lsu}) +
-                   cfg_.fence_system +
-                   rng_.below(static_cast<std::uint32_t>(
-                       cfg_.fence_system_jitter + 1));
-            break;
-          }
-          default:
-            done = issued + cfg_.fence_device;
-        }
-        stats_.inc("gpu.fence");
-        break;
-      }
-      case GpuOpKind::GlobalLoad:
-        done = execGlobalLoad(warp, op, issueThrough(warp, now));
-        break;
-      case GpuOpKind::GlobalStore: {
-        // Stores retire into the LSU/store path; the warp does not
-        // wait for memory (no data dependency).
-        const Tick issued = issueThrough(warp, now);
-        const int active = activeLanes(warp, op);
-        if (active == 0) {
-            done = issued;
-            break;
-        }
-        const auto bytes = static_cast<std::uint64_t>(active) *
-                           dataTypeSize(op.dtype) * op.stride;
-        const auto sectors = (bytes + 31) / 32;
-        Tick &lsu = lsu_free_[warp.sm];
-        const Tick post_start = std::max(issued, lsu);
-        lsu = post_start + sectors * cfg_.lsu_ii;
-        const Tick bw_start = std::max(lsu, mem_bw_free_);
-        mem_bw_free_ = bw_start + static_cast<Tick>(
-            static_cast<double>(bytes) / cfg_.mem_bytes_per_cycle + 1.0);
-        // Commit (device-wide visibility at the L2) happens a fixed
-        // half round trip after posting; a device fence must wait
-        // for it (Fig 14). Deliberately decoupled from the DRAM
-        // bandwidth queue so fence overhead stays flat under load,
-        // matching the paper's measurements.
-        warp.last_store_commit = lsu + cfg_.mem_rt / 2;
-        stats_.inc("gpu.store_sectors", sectors);
-        done = lsu;
-        break;
-      }
-      case GpuOpKind::GlobalAtomic:
-        done = execGlobalAtomic(warp, op, issueThrough(warp, now));
-        break;
-      case GpuOpKind::SharedAtomic:
-        done = execSharedAtomic(warp, op, issueThrough(warp, now));
-        break;
-      case GpuOpKind::SyncThreads:
-        arriveSyncThreads(warp_id, issueThrough(warp, now));
-        return;
-      case GpuOpKind::GridSync:
-        arriveGridSync(warp_id, issueThrough(warp, now));
-        return;
-      default:
-        panic("unhandled GPU op kind");
-    }
-    finishOp(warp_id, done);
+    (this->*op.handler)(warp_id, op, now);
 }
 
 void
@@ -461,14 +538,7 @@ GpuMachine::finishOp(int warp_id, Tick done)
     }
     ++warp.pc;
 
-    const std::vector<GpuOp> *seq = nullptr;
-    switch (warp.phase) {
-      case Phase::Prologue: seq = &kernel_->prologue; break;
-      case Phase::Warmup:
-      case Phase::Timed: seq = &kernel_->body; break;
-      case Phase::Epilogue: seq = &kernel_->epilogue; break;
-    }
-    if (warp.pc < seq->size()) {
+    if (warp.pc < warp.code->size()) {
         eq_.schedule(done, [this, warp_id] { step(warp_id); }, warp_id);
         return;
     }
@@ -489,12 +559,14 @@ GpuMachine::advancePhase(int warp_id, Tick done)
       case Phase::Prologue:
         if (warmup_iterations_ > 0 && !kernel_->body.empty()) {
             warp.phase = Phase::Warmup;
+            warp.code = &dec_body_;
             warp.iters_left = warmup_iterations_;
             eq_.schedule(done, [this, warp_id] { step(warp_id); },
                          warp_id);
             return;
         }
         warp.phase = Phase::Timed;
+        warp.code = &dec_body_;
         warp.start = done;
         warp.iters_left = kernel_->body.empty() ? 0 : kernel_->body_iters;
         if (warp.iters_left == 0) {
@@ -535,6 +607,7 @@ GpuMachine::advancePhase(int warp_id, Tick done)
       case Phase::Timed:
         warp.end = done;
         warp.phase = Phase::Epilogue;
+        warp.code = &dec_epilogue_;
         if (kernel_->epilogue.empty()) {
             warpDone(warp_id, done);
             return;
@@ -563,7 +636,7 @@ GpuMachine::warpDone(int warp_id, Tick done)
     // Block retired: release its SM slot and launch a pending block.
     sm_free_threads_[block.sm] += block.threads;
     --sm_blocks_[block.sm];
-    stats_.inc("gpu.blocks_retired");
+    ++hot_.blocks_retired;
     tryLaunchBlocks(done);
 }
 
@@ -608,7 +681,109 @@ GpuMachine::launchBlock(int block_id, int sm, Tick when)
             (sm_next_sched_[sm] + 1) % cfg_.schedulers_per_sm;
         eq_.schedule(start, [this, warp_id] { step(warp_id); }, warp_id);
     }
-    stats_.inc("gpu.blocks_launched");
+    ++hot_.blocks_launched;
+}
+
+GpuMachine::DecodedGpuOp
+GpuMachine::decodeOp(const GpuOp &op) const
+{
+    DecodedGpuOp d;
+    d.repeat = op.repeat;
+    d.stride = op.stride;
+    d.pred = op.pred;
+    d.amode = op.amode;
+    d.base_addr = op.base_addr;
+    d.esize = dataTypeSize(op.dtype);
+    d.value_returning =
+        op.aop == AtomicOp::Cas || op.aop == AtomicOp::Exch;
+    switch (op.kind) {
+      case GpuOpKind::Alu:
+        d.handler = &GpuMachine::execAlu;
+        d.lat = cfg_.alu_latency;
+        return d;
+      case GpuOpKind::DivergentAlu:
+        d.handler = &GpuMachine::execDivergentAlu;
+        d.uops = std::max(1, op.diverge_paths);
+        d.lat = static_cast<Tick>(d.uops) * cfg_.alu_latency;
+        return d;
+      case GpuOpKind::SyncWarp:
+        d.handler = &GpuMachine::execSyncWarp;
+        d.lat = cfg_.syncwarp_latency;
+        return d;
+      case GpuOpKind::Shfl:
+        d.handler = &GpuMachine::execShfl;
+        d.uops = dataTypeSize(op.dtype) > 4 ? 2 : 1;
+        d.lat = cfg_.shfl_latency;
+        return d;
+      case GpuOpKind::Vote:
+        d.handler = &GpuMachine::execVote;
+        d.lat = cfg_.vote_latency;
+        return d;
+      case GpuOpKind::ReduceSync:
+        if (cfg_.reduce_latency == 0) {
+            fatal("__reduce_*_sync requires compute capability >= 8.0 "
+                  "({} is cc {})", cfg_.name, cfg_.compute_capability);
+        }
+        d.handler = &GpuMachine::execReduceSync;
+        return d;
+      case GpuOpKind::Fence:
+        switch (op.scope) {
+          case FenceScope::Block:
+            d.handler = &GpuMachine::execFenceBlock;
+            d.lat = cfg_.fence_block;
+            return d;
+          case FenceScope::System:
+            d.handler = &GpuMachine::execFenceSystem;
+            d.lat = cfg_.fence_system;
+            return d;
+          case FenceScope::Device:
+            break;
+        }
+        d.handler = &GpuMachine::execFenceDevice;
+        d.lat = cfg_.fence_device;
+        return d;
+      case GpuOpKind::GlobalLoad:
+        d.handler = &GpuMachine::execGlobalLoad;
+        return d;
+      case GpuOpKind::GlobalStore:
+        d.handler = &GpuMachine::execGlobalStore;
+        return d;
+      case GpuOpKind::GlobalAtomic:
+        if (op.amode != AddressMode::PerThread) {
+            if (d.value_returning) {
+                d.handler = &GpuMachine::execAtomicCasLike;
+            } else {
+                d.handler = &GpuMachine::execAtomicSameAddr;
+                d.aggregated = cfg_.enable_warp_aggregation;
+                d.addr_ii = cfg_.addrIi(op.dtype);
+                d.gate_delay = gateDelay(op.dtype);
+            }
+            return d;
+        }
+        d.handler = &GpuMachine::execAtomicPerThread;
+        d.unit_ii = cfg_.unitIi(op.dtype);
+        return d;
+      case GpuOpKind::SharedAtomic:
+        d.handler = &GpuMachine::execSharedAtomic;
+        return d;
+      case GpuOpKind::SyncThreads:
+        d.handler = &GpuMachine::execSyncThreads;
+        return d;
+      case GpuOpKind::GridSync:
+        d.handler = &GpuMachine::execGridSync;
+        return d;
+    }
+    panic("unhandled GPU op kind");
+}
+
+void
+GpuMachine::decodeSequence(const std::vector<GpuOp> &ops,
+                           std::vector<DecodedGpuOp> &out) const
+{
+    out.clear();
+    out.reserve(ops.size());
+    for (const GpuOp &op : ops)
+        out.push_back(decodeOp(op));
 }
 
 GpuRunResult
@@ -624,7 +799,12 @@ GpuMachine::run(const GpuKernel &kernel, LaunchConfig launch,
     launch_ = launch;
     warmup_iterations_ = warmup_iterations;
 
-    eq_ = sim::EventQueue{};
+    eq_.reset();
+    stats_.clear();
+    hot_ = HotStats{};
+    decodeSequence(kernel.prologue, dec_prologue_);
+    decodeSequence(kernel.body, dec_body_);
+    decodeSequence(kernel.epilogue, dec_epilogue_);
     warps_.clear();
     blocks_.assign(launch.blocks, BlockState{});
     pending_blocks_.clear();
@@ -655,6 +835,7 @@ GpuMachine::run(const GpuKernel &kernel, LaunchConfig launch,
             WarpCtx warp;
             warp.block = b;
             warp.warp_in_block = w;
+            warp.code = &dec_prologue_;
             warp.first_tid = b * launch.threads_per_block +
                              w * cfg_.warp_size;
             warp.lanes = std::min(
@@ -679,6 +860,28 @@ GpuMachine::run(const GpuKernel &kernel, LaunchConfig launch,
         for (int lane = 0; lane < warp.lanes; ++lane)
             result.thread_cycles.push_back(elapsed);
     }
+
+    // Fold the hot counters into the named stats exactly once per
+    // run; zero counters stay absent so dumps are unchanged.
+    const auto fold = [this](const char *name, std::uint64_t v) {
+        if (v > 0)
+            stats_.inc(name, v);
+    };
+    fold("gpu.load_sectors", hot_.load_sectors);
+    fold("gpu.store_sectors", hot_.store_sectors);
+    fold("gpu.atomic_aggregated", hot_.atomic_aggregated);
+    fold("gpu.atomic_unaggregated", hot_.atomic_unaggregated);
+    fold("gpu.atomic_cas_like", hot_.atomic_cas_like);
+    fold("gpu.atomic_per_thread", hot_.atomic_per_thread);
+    fold("gpu.smem_atomic", hot_.smem_atomic);
+    fold("gpu.syncthreads", hot_.syncthreads);
+    fold("gpu.grid_sync", hot_.grid_sync);
+    fold("gpu.divergent_paths", hot_.divergent_paths);
+    fold("gpu.shfl_uops", hot_.shfl_uops);
+    fold("gpu.reduce_sync", hot_.reduce_sync);
+    fold("gpu.fence", hot_.fence);
+    fold("gpu.blocks_launched", hot_.blocks_launched);
+    fold("gpu.blocks_retired", hot_.blocks_retired);
     return result;
 }
 

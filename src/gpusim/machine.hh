@@ -20,6 +20,14 @@
  *   for the system scope;
  * - shared-memory (block-scoped) atomics served by a per-SM unit;
  * - block residency limits and wave-by-wave block scheduling.
+ *
+ * Execution uses precompiled dispatch: run() decodes the kernel's
+ * three op sequences once into dense handler+operand arrays (fixed
+ * latencies, micro-op counts, and per-type service intervals all
+ * hoisted), and the event loop then jumps straight into per-op
+ * handlers with no switch. Event ordering is identical to the
+ * historical switch interpreter, so results stay bit-for-bit
+ * reproducible.
  */
 
 #ifndef SYNCPERF_GPUSIM_MACHINE_HH
@@ -52,7 +60,12 @@ struct GpuRunResult
     sim::Tick total_cycles = 0;
 };
 
-/** The machine. One instance simulates one kernel launch at a time. */
+/**
+ * The machine. One instance simulates one kernel launch at a time;
+ * run() fully re-initializes, so an instance may be reused for
+ * independent launches (reseed() between launches restores the
+ * fresh-machine jitter stream while keeping warm buffers).
+ */
 class GpuMachine
 {
   public:
@@ -78,6 +91,13 @@ class GpuMachine
     GpuRunResult run(const GpuKernel &kernel, LaunchConfig launch,
                      int warmup_iterations = 2);
 
+    /**
+     * Restart the jitter stream as if the machine had been freshly
+     * constructed with @p seed: a reused machine produces the exact
+     * cycle counts a new GpuMachine(cfg, seed) would.
+     */
+    void reseed(std::uint64_t seed);
+
     /** Activity counters from the most recent run. */
     const sim::StatSet &stats() const { return stats_; }
 
@@ -94,6 +114,27 @@ class GpuMachine
         Epilogue,
     };
 
+    /** One decoded op: handler plus hoisted operands. */
+    struct DecodedGpuOp
+    {
+        /** Receives the queue's now tick; finishes or blocks. */
+        void (GpuMachine::*handler)(int warp_id, const DecodedGpuOp &op,
+                                    Tick now) = nullptr;
+        int repeat = 1;
+        int uops = 1;        ///< scheduler slots (paths, shfl uops)
+        int stride = 1;      ///< elements, for PerThread addressing
+        Predicate pred = Predicate::All;
+        AddressMode amode = AddressMode::SingleShared;
+        bool aggregated = false;      ///< warp aggregation applies
+        bool value_returning = false; ///< CAS/exchange result needed
+        std::uint64_t base_addr = 0;
+        std::uint64_t esize = 4;  ///< dataTypeSize(dtype), hoisted
+        Tick lat = 0;             ///< fixed latency term, hoisted
+        Tick addr_ii = 0;         ///< cfg.addrIi(dtype), hoisted
+        Tick unit_ii = 0;         ///< cfg.unitIi(dtype), hoisted
+        Tick gate_delay = 0;      ///< gateDelay(dtype), hoisted
+    };
+
     struct WarpCtx
     {
         int block = 0;          ///< global block id
@@ -104,6 +145,7 @@ class GpuMachine
         int first_tid = 0;      ///< global id of lane 0
 
         Phase phase = Phase::Prologue;
+        const std::vector<DecodedGpuOp> *code = nullptr;
         std::size_t pc = 0;
         int rep_left = 0;
         long iters_left = 0;
@@ -141,10 +183,35 @@ class GpuMachine
         std::vector<int> waiters;
     };
 
+    /** Hot-path counters, folded into stats_ at the end of run() so
+     * the StatSet's string map stays off the per-op path. */
+    struct HotStats
+    {
+        std::uint64_t load_sectors = 0;
+        std::uint64_t store_sectors = 0;
+        std::uint64_t atomic_aggregated = 0;
+        std::uint64_t atomic_unaggregated = 0;
+        std::uint64_t atomic_cas_like = 0;
+        std::uint64_t atomic_per_thread = 0;
+        std::uint64_t smem_atomic = 0;
+        std::uint64_t syncthreads = 0;
+        std::uint64_t grid_sync = 0;
+        std::uint64_t divergent_paths = 0;
+        std::uint64_t shfl_uops = 0;
+        std::uint64_t reduce_sync = 0;
+        std::uint64_t fence = 0;
+        std::uint64_t blocks_launched = 0;
+        std::uint64_t blocks_retired = 0;
+    };
+
     /** Issue an instruction through the warp's scheduler. */
     Tick issueThrough(WarpCtx &warp, Tick ready, int uops = 1);
 
     Tick gateDelay(DataType t) const;
+
+    DecodedGpuOp decodeOp(const GpuOp &op) const;
+    void decodeSequence(const std::vector<GpuOp> &ops,
+                        std::vector<DecodedGpuOp> &out) const;
 
     void step(int warp_id);
     void finishOp(int warp_id, Tick done);
@@ -155,22 +222,46 @@ class GpuMachine
     void launchBlock(int block_id, int sm, Tick when);
     void warpDone(int warp_id, Tick done);
 
-    Tick execGlobalAtomic(WarpCtx &warp, const GpuOp &op, Tick issued);
-    Tick execSharedAtomic(WarpCtx &warp, const GpuOp &op, Tick issued);
-    Tick execGlobalLoad(WarpCtx &warp, const GpuOp &op, Tick issued);
+    // --- Decoded-op handlers (one per timing path) ---
+    void execAlu(int warp_id, const DecodedGpuOp &op, Tick now);
+    void execDivergentAlu(int warp_id, const DecodedGpuOp &op, Tick now);
+    void execSyncWarp(int warp_id, const DecodedGpuOp &op, Tick now);
+    void execShfl(int warp_id, const DecodedGpuOp &op, Tick now);
+    void execVote(int warp_id, const DecodedGpuOp &op, Tick now);
+    void execReduceSync(int warp_id, const DecodedGpuOp &op, Tick now);
+    void execFenceBlock(int warp_id, const DecodedGpuOp &op, Tick now);
+    void execFenceDevice(int warp_id, const DecodedGpuOp &op, Tick now);
+    void execFenceSystem(int warp_id, const DecodedGpuOp &op, Tick now);
+    void execGlobalLoad(int warp_id, const DecodedGpuOp &op, Tick now);
+    void execGlobalStore(int warp_id, const DecodedGpuOp &op, Tick now);
+    void execAtomicSameAddr(int warp_id, const DecodedGpuOp &op,
+                            Tick now);
+    void execAtomicCasLike(int warp_id, const DecodedGpuOp &op,
+                           Tick now);
+    void execAtomicPerThread(int warp_id, const DecodedGpuOp &op,
+                             Tick now);
+    void execSharedAtomic(int warp_id, const DecodedGpuOp &op, Tick now);
+    void execSyncThreads(int warp_id, const DecodedGpuOp &op, Tick now);
+    void execGridSync(int warp_id, const DecodedGpuOp &op, Tick now);
 
-    int activeLanes(const WarpCtx &warp, const GpuOp &op) const;
-    std::uint64_t resolveAddr(const WarpCtx &warp, const GpuOp &op,
-                              int lane) const;
+    int activeLanes(const WarpCtx &warp, const DecodedGpuOp &op) const;
+    std::uint64_t resolveAddr(const WarpCtx &warp,
+                              const DecodedGpuOp &op, int lane) const;
 
     GpuConfig cfg_;
     Pcg32 rng_;
     sim::EventQueue eq_;
     sim::StatSet stats_;
+    HotStats hot_;
 
     const GpuKernel *kernel_ = nullptr;
     LaunchConfig launch_;
     int warmup_iterations_ = 0;
+
+    /** Decoded kernel sequences for the current run. */
+    std::vector<DecodedGpuOp> dec_prologue_;
+    std::vector<DecodedGpuOp> dec_body_;
+    std::vector<DecodedGpuOp> dec_epilogue_;
 
     std::vector<WarpCtx> warps_;
     std::vector<BlockState> blocks_;

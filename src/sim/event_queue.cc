@@ -11,38 +11,125 @@ namespace syncperf::sim
 {
 
 EventId
-EventQueue::schedule(Tick when, Callback cb, int priority)
+EventQueue::schedule(Tick when, EventCallback cb, int priority)
 {
     SYNCPERF_ASSERT(when >= now_, "cannot schedule into the past");
-    const EventId id = next_id_++;
-    heap_.push(Entry{when, priority, id,
-                     std::make_shared<Callback>(std::move(cb))});
-    pending_ids_.insert(id);
+    SYNCPERF_ASSERT(
+        static_cast<std::uint64_t>(priority + priority_bias) <
+            (priority_bias << 1),
+        "event priority out of the packed 24-bit range");
+    SYNCPERF_ASSERT(when < (Tick{1} << (64 - when_shift)),
+                    "tick out of the packed 40-bit range");
+
+    std::uint32_t slot_idx;
+    if (free_.empty()) {
+        slot_idx = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    } else {
+        slot_idx = free_.back();
+        free_.pop_back();
+    }
+    Slot &slot = slots_[slot_idx];
+    slot.action = std::move(cb);
+    slot.state = SlotState::Pending;
+
+    const std::uint64_t prio_key =
+        (static_cast<std::uint64_t>(priority) + priority_bias) &
+        ((priority_bias << 1) - 1);
+    heap_.push_back(
+        Entry{when << when_shift | prio_key,
+              static_cast<std::uint64_t>(next_seq_++) << 32 | slot_idx});
+    siftUp(heap_.size() - 1);
     ++live_;
-    return id;
+    return static_cast<EventId>(slot.gen) << 32 | slot_idx;
 }
 
 bool
 EventQueue::deschedule(EventId id)
 {
-    // Cancelled entries stay in the heap and are skipped when popped.
-    if (pending_ids_.erase(id) == 0)
+    // Cancelled entries stay in the heap (their slot is a tombstone
+    // reclaimed when the record pops); executed, already-cancelled,
+    // and pre-reset handles fail the generation check.
+    const std::uint32_t slot_idx = static_cast<std::uint32_t>(id);
+    const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+    if (slot_idx >= slots_.size())
         return false;
+    Slot &slot = slots_[slot_idx];
+    if (slot.gen != gen || slot.state != SlotState::Pending)
+        return false;
+    slot.state = SlotState::Cancelled;
+    slot.action = EventCallback{}; // release captures eagerly
     --live_;
     return true;
 }
 
 void
+EventQueue::siftUp(std::size_t i)
+{
+    const Entry e = heap_[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) >> 2;
+        if (!before(e, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = e;
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const Entry e = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+        const std::size_t first = (i << 2) + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        const std::size_t end = first + 4 < n ? first + 4 : n;
+        for (std::size_t c = first + 1; c < end; ++c) {
+            if (before(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!before(heap_[best], e))
+            break;
+        heap_[i] = heap_[best];
+        i = best;
+    }
+    heap_[i] = e;
+}
+
+EventQueue::Entry
+EventQueue::popTop()
+{
+    const Entry top = heap_[0];
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heap_[0] = last;
+        siftDown(0);
+    }
+    return top;
+}
+
+void
 EventQueue::executeOne()
 {
-    Entry entry = heap_.top();
-    heap_.pop();
-    if (pending_ids_.erase(entry.id) == 0)
-        return;  // was cancelled
+    const Entry entry = popTop();
+    Slot &slot = slots_[entry.slot()];
+    if (slot.state != SlotState::Pending) {
+        freeSlot(entry.slot()); // cancelled tombstone, action gone
+        return;
+    }
     --live_;
-    now_ = entry.when;
+    now_ = entry.when();
     ++executed_;
-    (*entry.action)();
+    // Move out and free before invoking: the callback may schedule
+    // new events, reusing this very slot or reallocating slots_.
+    EventCallback action = std::move(slot.action);
+    freeSlot(entry.slot());
+    action();
 }
 
 Tick
@@ -56,11 +143,30 @@ EventQueue::run()
 Tick
 EventQueue::runUntil(Tick limit)
 {
-    while (!heap_.empty() && heap_.top().when <= limit)
+    while (!heap_.empty() && heap_[0].when() <= limit)
         executeOne();
     if (now_ < limit)
         now_ = limit;
     return now_;
+}
+
+void
+EventQueue::reset()
+{
+    heap_.clear();
+    free_.clear();
+    // Every slot is reclaimed and its generation bumped, so handles
+    // from before the reset are dead. Descending order so the next
+    // cycle fills slots from index 0 with warm memory.
+    for (std::uint32_t i = static_cast<std::uint32_t>(slots_.size());
+         i-- > 0;) {
+        slots_[i].action = EventCallback{};
+        slots_[i].state = SlotState::Pending;
+        ++slots_[i].gen;
+        free_.push_back(i);
+    }
+    now_ = 0;
+    live_ = 0;
 }
 
 } // namespace syncperf::sim

@@ -5,16 +5,34 @@
  * Events scheduled for the same tick execute in (priority, insertion
  * order), which makes every simulation in this repository
  * reproducible bit-for-bit regardless of container internals.
+ *
+ * The queue is the innermost loop of every simulated machine, so the
+ * hot path is allocation-free: callbacks live in a small-buffer slot
+ * in a dense free-listed side table (heap fallback only for
+ * oversized captures), so the table stays as small as the peak
+ * number of in-flight events rather than growing with every event
+ * ever scheduled; cancellation is a lazy tombstone in the slot
+ * rather than a hash set; and the 4-ary heap holds plain
+ * {tick, key, slot} records so sift operations shuffle small PODs
+ * instead of relocating callbacks. Steady-state schedule()/run()
+ * cycles on a reused queue perform zero heap allocations per event.
+ *
+ * Handles are generation-tagged slot references: executing,
+ * cancelling, or reset() bumps the slot's generation, which
+ * invalidates every outstanding handle to it. Execution order is
+ * the total order (tick, priority, schedule call order) -- unique
+ * per event -- so it is independent of the heap's arity and of slot
+ * reuse, and results stay reproducible bit-for-bit.
  */
 
 #ifndef SYNCPERF_SIM_EVENT_QUEUE_HH
 #define SYNCPERF_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
-#include <unordered_set>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -26,6 +44,120 @@ namespace syncperf::sim
 using EventId = std::uint64_t;
 
 /**
+ * Type-erased nullary callback with a small-buffer slot.
+ *
+ * Callables up to @ref inline_size bytes (and nothrow-movable) are
+ * stored inline; larger ones fall back to a single heap allocation.
+ * Move-only; supports move-only callables.
+ */
+class EventCallback
+{
+  public:
+    /** Inline storage: fits every machine callback in this repo
+     * (two-pointer lambdas, std::function). */
+    static constexpr std::size_t inline_size = 48;
+
+    EventCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback>>>
+    EventCallback(F &&fn) // NOLINT(google-explicit-constructor)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (buf_) Fn(std::forward<F>(fn));
+            ops_ = &inline_ops<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(buf_) =
+                new Fn(std::forward<F>(fn));
+            ops_ = &boxed_ops<Fn>;
+        }
+    }
+
+    EventCallback(EventCallback &&other) noexcept { moveFrom(other); }
+
+    EventCallback &
+    operator=(EventCallback &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { destroy(); }
+
+    void operator()() { ops_->invoke(buf_); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-construct into @p dst from @p src, destroying src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= inline_size &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static constexpr Ops inline_ops = {
+        [](void *p) { (*static_cast<Fn *>(p))(); },
+        [](void *dst, void *src) noexcept {
+            auto *from = static_cast<Fn *>(src);
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+        },
+        [](void *p) noexcept { static_cast<Fn *>(p)->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops boxed_ops = {
+        [](void *p) { (**static_cast<Fn **>(p))(); },
+        [](void *dst, void *src) noexcept {
+            *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);
+        },
+        [](void *p) noexcept { delete *static_cast<Fn **>(p); },
+    };
+
+    void
+    moveFrom(EventCallback &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    void
+    destroy() noexcept
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[inline_size];
+    const Ops *ops_ = nullptr;
+};
+
+/**
  * Min-heap event queue with stable same-tick ordering.
  *
  * Not thread safe: each simulated machine owns one queue and runs it
@@ -34,8 +166,6 @@ using EventId = std::uint64_t;
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
-
     /** Default event priority; lower runs first within a tick. */
     static constexpr int default_priority = 0;
 
@@ -43,16 +173,18 @@ class EventQueue
      * Schedule @p cb to run at absolute time @p when.
      *
      * @param when Absolute tick; must be >= now().
-     * @param cb Action to execute.
+     * @param cb Action to execute (any nullary callable, including
+     *           move-only ones).
      * @param priority Tie-break within a tick; lower runs first.
      * @return Handle usable with deschedule().
      */
-    EventId schedule(Tick when, Callback cb,
+    EventId schedule(Tick when, EventCallback cb,
                      int priority = default_priority);
 
     /** Schedule relative to the current time. */
     EventId
-    scheduleIn(Tick delay, Callback cb, int priority = default_priority)
+    scheduleIn(Tick delay, EventCallback cb,
+               int priority = default_priority)
     {
         return schedule(now_ + delay, std::move(cb), priority);
     }
@@ -89,33 +221,109 @@ class EventQueue
     /** Total number of events executed over the queue's lifetime. */
     std::uint64_t executed() const { return executed_; }
 
+    /**
+     * Return the queue to its initial state (time 0, nothing
+     * pending) while keeping allocated capacity, so a reused machine
+     * schedules into warm buffers. Every outstanding handle is
+     * invalidated: deschedule() on one returns false, like executed
+     * ones.
+     */
+    void reset();
+
+    /**
+     * Number of callback slots currently in use (test hook). Zero
+     * whenever the queue drains, so repeated run() cycles on one
+     * queue cannot accumulate stale bookkeeping.
+     */
+    std::size_t idWindow() const { return slots_.size() - free_.size(); }
+
   private:
+    /** Lifecycle of an allocated slot. */
+    enum class SlotState : unsigned char
+    {
+        Pending,
+        Cancelled, ///< tombstone: freed when its heap record pops
+    };
+
+    /** Priority bias: int priorities in [-2^23, 2^23) map onto the
+     * unsigned 24-bit field of the packed ordering key (the machines
+     * use warp/thread indices as priorities, and a big reduction
+     * grid holds far more than 2^16 warps). */
+    static constexpr std::uint64_t priority_bias = 1ULL << 23;
+
+    /** Bits of the packed key below the tick; schedule() asserts
+     * ticks fit the 40 above (2^40 cycles is minutes of simulated
+     * time at GPU clocks -- orders of magnitude beyond any run). */
+    static constexpr unsigned when_shift = 24;
+
+    /**
+     * Ordering record kept in the heap: 16 packed bytes, so sift
+     * operations move two words per level and never touch the
+     * callbacks.
+     *
+     * hi = tick : 40 | biased priority : 24 -- one compare orders by
+     * (tick, priority). lo = schedule seq : 32 | slot index : 32 --
+     * the seq breaks remaining ties by schedule call order, compared
+     * circularly (see before()), so the 32-bit counter never wraps
+     * incorrectly while fewer than 2^31 events coexist.
+     */
     struct Entry
     {
-        Tick when;
-        int priority;
-        EventId id;
-        // shared_ptr so Entry stays copyable inside priority_queue.
-        std::shared_ptr<Callback> action;
+        std::uint64_t hi;
+        std::uint64_t lo;
 
-        // Heap entries are compared so the earliest (then lowest
-        // priority value, then first-scheduled) pops first.
-        bool
-        operator>(const Entry &other) const
+        Tick when() const { return hi >> when_shift; }
+        std::uint32_t slot() const
         {
-            if (when != other.when)
-                return when > other.when;
-            if (priority != other.priority)
-                return priority > other.priority;
-            return id > other.id;
+            return static_cast<std::uint32_t>(lo);
         }
     };
 
+    /** True when @p a executes before @p b: the total order
+     * (tick, priority, schedule order), unique per event. */
+    static bool
+    before(const Entry &a, const Entry &b)
+    {
+        if (a.hi != b.hi)
+            return a.hi < b.hi;
+        // Circular 32-bit comparison of the schedule seqs: exact as
+        // long as coexisting events span < 2^31 schedule calls.
+        return static_cast<std::int32_t>(
+                   static_cast<std::uint32_t>(a.lo >> 32) -
+                   static_cast<std::uint32_t>(b.lo >> 32)) < 0;
+    }
+
+    /** Callback plus handle-validation state for one slot. */
+    struct Slot
+    {
+        EventCallback action;
+        std::uint32_t gen = 0;
+        SlotState state = SlotState::Pending;
+    };
+
+    /** Restore heap order for a new element at index @p i. */
+    void siftUp(std::size_t i);
+
+    /** Restore heap order downward from index @p i. */
+    void siftDown(std::size_t i);
+
+    /** Pop the earliest ordering record off the heap. */
+    Entry popTop();
+
+    /** Return @p slot to the free list and kill its handles. */
+    void
+    freeSlot(std::uint32_t slot)
+    {
+        ++slots_[slot].gen;
+        free_.push_back(slot);
+    }
+
     void executeOne();
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-    std::unordered_set<EventId> pending_ids_;
-    EventId next_id_ = 0;
+    std::vector<Entry> heap_; ///< 4-ary min-heap ordered by before()
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_; ///< reusable slot indices
+    std::uint32_t next_seq_ = 0;      ///< schedule-order tie-break
     Tick now_ = 0;
     std::size_t live_ = 0;
     std::uint64_t executed_ = 0;

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the simulator result cache in CpuSimTarget and
+ * GpuSimTarget: hits are bit-identical to re-simulating, jittered
+ * configurations bypass the cache entirely, disabling the cache
+ * never changes results, and the hit/miss counters land in the
+ * deterministic metrics class (identical across --jobs counts).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/metrics.hh"
+#include "core/campaign.hh"
+#include "core/cpusim_target.hh"
+#include "core/gpusim_target.hh"
+
+namespace syncperf::core
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+long long
+hits()
+{
+    return metrics::value(metrics::Counter::SimCacheHits);
+}
+
+long long
+misses()
+{
+    return metrics::value(metrics::Counter::SimCacheMisses);
+}
+
+class SimCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { metrics::Registry::global().reset(); }
+    void TearDown() override { metrics::Registry::global().reset(); }
+
+    static MeasurementConfig
+    cpuProtocol()
+    {
+        auto cfg = MeasurementConfig::simDefaults();
+        cfg.runs = 2;
+        cfg.attempts = 2;
+        cfg.n_iter = 10;
+        cfg.n_unroll = 2;
+        return cfg;
+    }
+
+    static MeasurementConfig
+    gpuProtocol()
+    {
+        auto cfg = MeasurementConfig::simGpuDefaults();
+        cfg.runs = 2;
+        cfg.attempts = 2;
+        cfg.n_iter = 5;
+        cfg.n_unroll = 2;
+        return cfg;
+    }
+};
+
+TEST_F(SimCacheTest, CpuRepeatLaunchesHitAndMatchFirstMeasurement)
+{
+    // system2 is jitter-free, so every launch after the first pair
+    // (baseline, test) is a cache hit.
+    CpuSimTarget target(cpusim::CpuConfig::system2(), cpuProtocol());
+    OmpExperiment exp;
+    exp.primitive = OmpPrimitive::Barrier;
+
+    const auto first = target.measure(exp, 4);
+    EXPECT_EQ(misses(), 2); // one baseline + one test program
+    EXPECT_GT(hits(), 0);   // runs*attempts = 4 pairs, 3 repeats each
+
+    const auto hits_before = hits();
+    const auto second = target.measure(exp, 4);
+    EXPECT_EQ(misses(), 2) << "repeat measurement re-simulated";
+    EXPECT_GT(hits(), hits_before);
+    EXPECT_DOUBLE_EQ(first.per_op_seconds, second.per_op_seconds);
+    EXPECT_DOUBLE_EQ(first.stddev_seconds, second.stddev_seconds);
+}
+
+TEST_F(SimCacheTest, CpuCacheDoesNotChangeResults)
+{
+    auto cached_cfg = cpuProtocol();
+    auto uncached_cfg = cpuProtocol();
+    uncached_cfg.sim_cache = false;
+
+    CpuSimTarget cached(cpusim::CpuConfig::system2(), cached_cfg);
+    CpuSimTarget uncached(cpusim::CpuConfig::system2(), uncached_cfg);
+    OmpExperiment exp;
+    exp.primitive = OmpPrimitive::AtomicUpdate;
+
+    const auto a = cached.measure(exp, 4);
+    const auto hits_cached = hits();
+    const auto b = uncached.measure(exp, 4);
+
+    EXPECT_GT(hits_cached, 0);
+    EXPECT_EQ(hits(), hits_cached) << "disabled cache counted a hit";
+    EXPECT_DOUBLE_EQ(a.per_op_seconds, b.per_op_seconds);
+    EXPECT_DOUBLE_EQ(a.stddev_seconds, b.stddev_seconds);
+    ASSERT_EQ(a.run_values.size(), b.run_values.size());
+    for (std::size_t i = 0; i < a.run_values.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.run_values[i], b.run_values[i]);
+}
+
+TEST_F(SimCacheTest, CpuJitteredModelBypassesCache)
+{
+    // system3 has jitter_frac > 0: launches are never pure functions
+    // of their inputs, so neither counter may move.
+    CpuSimTarget target(cpusim::CpuConfig::system3(), cpuProtocol());
+    OmpExperiment exp;
+    exp.primitive = OmpPrimitive::Barrier;
+
+    target.measure(exp, 4);
+    target.measure(exp, 4);
+    EXPECT_EQ(hits(), 0);
+    EXPECT_EQ(misses(), 0);
+}
+
+TEST_F(SimCacheTest, GpuRepeatLaunchesHitAndMatchFirstMeasurement)
+{
+    GpuSimTarget target(gpusim::GpuConfig::rtx4090(), gpuProtocol());
+    CudaExperiment exp;
+    exp.primitive = CudaPrimitive::SyncThreads;
+    const gpusim::LaunchConfig launch{2, 64};
+
+    const auto first = target.measure(exp, launch);
+    EXPECT_EQ(misses(), 2);
+    EXPECT_GT(hits(), 0);
+
+    const auto second = target.measure(exp, launch);
+    EXPECT_EQ(misses(), 2);
+    EXPECT_DOUBLE_EQ(first.per_op_seconds, second.per_op_seconds);
+    EXPECT_DOUBLE_EQ(first.stddev_seconds, second.stddev_seconds);
+}
+
+TEST_F(SimCacheTest, GpuDifferentLaunchGeometryMisses)
+{
+    GpuSimTarget target(gpusim::GpuConfig::rtx4090(), gpuProtocol());
+    CudaExperiment exp;
+    exp.primitive = CudaPrimitive::SyncThreads;
+
+    target.measure(exp, {2, 64});
+    EXPECT_EQ(misses(), 2);
+    target.measure(exp, {2, 128});
+    EXPECT_EQ(misses(), 4) << "geometry change must re-simulate";
+}
+
+TEST_F(SimCacheTest, GpuSystemFenceBypassesCache)
+{
+    // __threadfence_system draws per-launch PCIe jitter; its kernels
+    // must never be served from (or stored into) the cache.
+    GpuSimTarget target(gpusim::GpuConfig::rtx4090(), gpuProtocol());
+    CudaExperiment exp;
+    exp.primitive = CudaPrimitive::ThreadFenceSystem;
+    exp.location = Location::PrivateArray;
+
+    target.measure(exp, {2, 64});
+    target.measure(exp, {2, 64});
+    // The baseline kernel (two stores, no fence) is cacheable; only
+    // the test kernel carries the system fence.
+    EXPECT_EQ(misses(), 1);
+    target.measure(exp, {2, 64});
+    EXPECT_EQ(misses(), 1);
+}
+
+/** Every regular file under @p dir, as relative path -> bytes. */
+std::map<std::string, std::string>
+snapshotTree(const fs::path &dir)
+{
+    std::map<std::string, std::string> out;
+    if (!fs::exists(dir))
+        return out;
+    for (const auto &e : fs::recursive_directory_iterator(dir)) {
+        if (!e.is_regular_file())
+            continue;
+        std::ifstream in(e.path(), std::ios::binary);
+        std::ostringstream bytes;
+        bytes << in.rdbuf();
+        out[fs::relative(e.path(), dir).string()] = bytes.str();
+    }
+    return out;
+}
+
+TEST_F(SimCacheTest, CampaignOutputIsByteIdenticalWithCacheOff)
+{
+    const auto base =
+        fs::temp_directory_path() /
+        ("syncperf_sim_cache_" + std::to_string(::getpid()));
+    fs::remove_all(base);
+
+    auto cpu = cpusim::CpuConfig::system2(); // jitter-free: cache engages
+    cpu.cores_per_socket = 2;                // keep the sweep cheap
+
+    auto cached_cfg = cpuProtocol();
+    auto uncached_cfg = cpuProtocol();
+    uncached_cfg.sim_cache = false;
+
+    CampaignOptions cached_opts;
+    cached_opts.output_dir = (base / "cached").string();
+    cached_opts.quick = true;
+    auto uncached_opts = cached_opts;
+    uncached_opts.output_dir = (base / "uncached").string();
+
+    const auto cached = runOmpCampaign(cpu, cached_cfg, cached_opts);
+    const auto cache_hits = hits();
+    const auto uncached =
+        runOmpCampaign(cpu, uncached_cfg, uncached_opts);
+
+    ASSERT_TRUE(cached.ok());
+    ASSERT_TRUE(uncached.ok());
+    EXPECT_GT(cache_hits, 0);
+    EXPECT_EQ(hits(), cache_hits);
+
+    const auto cached_tree = snapshotTree(base / "cached");
+    const auto uncached_tree = snapshotTree(base / "uncached");
+    ASSERT_FALSE(cached_tree.empty());
+    ASSERT_EQ(cached_tree.size(), uncached_tree.size());
+    for (const auto &[file, bytes] : cached_tree) {
+        const auto it = uncached_tree.find(file);
+        ASSERT_NE(it, uncached_tree.end()) << file << " missing";
+        EXPECT_EQ(bytes, it->second) << file << " differs";
+    }
+    fs::remove_all(base);
+}
+
+TEST_F(SimCacheTest, CacheCountersAreDeterministicClass)
+{
+    // The jobs-1 vs jobs-N equality itself is covered by the campaign
+    // metrics tests; this pins the classification that puts the cache
+    // counters inside that comparison.
+    EXPECT_TRUE(metrics::counterIsDeterministic(
+        metrics::Counter::SimCacheHits));
+    EXPECT_TRUE(metrics::counterIsDeterministic(
+        metrics::Counter::SimCacheMisses));
+}
+
+} // namespace
+} // namespace syncperf::core

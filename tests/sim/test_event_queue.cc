@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/logging.hh"
@@ -129,6 +132,88 @@ TEST(EventQueue, PendingCountsLiveEvents)
     EXPECT_FALSE(eq.empty());
     eq.run();
     EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, MoveOnlyCallbacksAreSupported)
+{
+    EventQueue eq;
+    int seen = 0;
+    auto payload = std::make_unique<int>(41);
+    eq.schedule(3, [&seen, p = std::move(payload)] { seen = *p + 1; });
+    eq.run();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueue, LargeCapturesFallBackToTheHeap)
+{
+    EventQueue eq;
+    std::array<std::uint64_t, 16> big{};
+    big.fill(7);
+    std::uint64_t sum = 0;
+    eq.schedule(1, [big, &sum] {
+        for (auto v : big)
+            sum += v;
+    });
+    eq.run();
+    EXPECT_EQ(sum, 112u);
+}
+
+TEST(EventQueue, IdWindowIsTrimmedWhenDrained)
+{
+    // A reused machine runs many schedule/run cycles on one queue;
+    // the cancellation bookkeeping must not accumulate across them.
+    EventQueue eq;
+    for (int cycle = 0; cycle < 100; ++cycle) {
+        std::vector<EventId> ids;
+        for (int i = 0; i < 10; ++i)
+            ids.push_back(eq.scheduleIn(static_cast<Tick>(i), [] {}));
+        eq.deschedule(ids[3]);
+        eq.run();
+        EXPECT_EQ(eq.idWindow(), 0u);
+        EXPECT_EQ(eq.pending(), 0u);
+        // Handles from a drained cycle are dead, even fresh ones.
+        EXPECT_FALSE(eq.deschedule(ids.back()));
+    }
+    EXPECT_EQ(eq.executed(), 100u * 9u);
+}
+
+TEST(EventQueue, ResetRestoresInitialStateButKillsOldHandles)
+{
+    EventQueue eq;
+    const EventId stale = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    eq.runUntil(12);
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.idWindow(), 0u);
+    EXPECT_FALSE(eq.deschedule(stale));
+
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(1, [&] { order.push_back(0); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(EventQueue, CancelledEntriesDoNotBlockDraining)
+{
+    EventQueue eq;
+    bool ran = false;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 8; ++i)
+        ids.push_back(eq.schedule(static_cast<Tick>(100 + i), [] {}));
+    eq.schedule(50, [&] { ran = true; });
+    for (EventId id : ids)
+        EXPECT_TRUE(eq.deschedule(id));
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.idWindow(), 0u);
+    EXPECT_EQ(eq.executed(), 1u);
 }
 
 TEST(EventQueue, ManyEventsStressOrdering)
