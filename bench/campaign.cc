@@ -16,12 +16,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/trace.hh"
 #include "core/campaign.hh"
 #include "core/metrics.hh"
+#include "core/telemetry.hh"
 
 using namespace syncperf;
 using namespace syncperf::core;
@@ -101,6 +103,7 @@ main(int argc, char **argv)
     options.jobs = 0; // CLI default: one worker per hardware thread
     bool omp_only = false, cuda_only = false;
     bool metrics_summary = false;
+    bool explain = false, explain_only = false;
     std::string trace_file;
     std::string metrics_file;
     std::vector<std::string> only;
@@ -146,6 +149,16 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--no-sim-cache") == 0) {
             omp_protocol.sim_cache = false;
             cuda_protocol.sim_cache = false;
+        } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+            omp_protocol.telemetry = true;
+            cuda_protocol.telemetry = true;
+        } else if (std::strcmp(argv[i], "--explain") == 0) {
+            explain = true;
+            omp_protocol.telemetry = true;
+            cuda_protocol.telemetry = true;
+        } else if (std::strcmp(argv[i], "--explain-only") == 0) {
+            explain = true;
+            explain_only = true;
         } else if (std::strcmp(argv[i], "omp") == 0) {
             omp_only = true;
         } else if (std::strcmp(argv[i], "cuda") == 0) {
@@ -155,7 +168,8 @@ main(int argc, char **argv)
                 "usage: %s [omp|cuda] [--out DIR] [--thorough] "
                 "[--resume] [--cov-gate COV] [--jobs N] "
                 "[--checkpoint-every N] [--only NAME[,NAME...]] "
-                "[--no-sim-cache] [--trace FILE] [--metrics FILE] "
+                "[--no-sim-cache] [--telemetry] [--explain] "
+                "[--explain-only] [--trace FILE] [--metrics FILE] "
                 "[--metrics-summary]\n"
                 "  --jobs N   concurrent experiments (default: all "
                 "hardware threads; 1 = serial).\n"
@@ -172,7 +186,17 @@ main(int argc, char **argv)
                 "  --metrics FILE   write the metrics.json snapshot "
                 "(see docs/observability.md).\n"
                 "  --metrics-summary  print the counter table at "
-                "campaign end.\n",
+                "campaign end.\n"
+                "  --telemetry  write one <experiment>.telemetry.json "
+                "per CSV with the probe\n"
+                "             counters/histograms that explain the "
+                "figure shape (byte-identical\n"
+                "             at every --jobs count; measured values "
+                "are unaffected).\n"
+                "  --explain  --telemetry, plus render the probe "
+                "charts after the campaign.\n"
+                "  --explain-only  skip measuring; render charts from "
+                "existing telemetry in --out.\n",
                 argv[0]);
             return 0;
         } else if (std::strcmp(argv[i], "--out") == 0 ||
@@ -212,7 +236,7 @@ main(int argc, char **argv)
     core::CampaignMetrics::global().reset();
 
     Totals totals;
-    {
+    if (!explain_only) {
         // Scoped so the campaign-level span closes before the trace
         // session flushes below.
         trace::Span campaign_span("campaign", "campaign");
@@ -270,6 +294,17 @@ main(int argc, char **argv)
         std::fputs(
             core::CampaignMetrics::global().summaryTable().c_str(),
             stdout);
+    }
+    if (explain) {
+        std::printf("\n");
+        if (auto s = explainCampaign(options.output_dir, std::cout);
+            !s.isOk()) {
+            std::fprintf(stderr, "%s: %s\n", argv[0],
+                         s.toString().c_str());
+            return 1;
+        }
+        if (explain_only)
+            return 0;
     }
 
     std::printf("\ncampaign %s: %d CSV files under %s/ "

@@ -23,15 +23,21 @@
 #                      overhead gate: time the serial leg with and
 #                      without --trace and fail when tracing costs
 #                      more than PCT percent (default 2).
+#   --telemetry-overhead [PCT]
+#                      overhead gate: time the serial leg with and
+#                      without --telemetry and fail when probe
+#                      aggregation plus telemetry.json emission costs
+#                      more than PCT percent (default 5).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-usage() { sed -n '2,25p' "$0" | sed 's/^# \{0,1\}//'; }
+usage() { sed -n '2,30p' "$0" | sed 's/^# \{0,1\}//'; }
 
 MODE=bench
 BUILD_DIR="${BUILD_DIR:-build}"
 OVERHEAD_LIMIT_PCT=2
+TELEMETRY_LIMIT_PCT=5
 CHECK_LIMIT_PCT=15
 JOBS=""
 
@@ -46,6 +52,11 @@ while [[ $# -gt 0 ]]; do
             MODE=overhead; shift
             if [[ "${1:-}" =~ ^[0-9]+([.][0-9]+)?$ ]]; then
                 OVERHEAD_LIMIT_PCT="$1"; shift
+            fi ;;
+        --telemetry-overhead)
+            MODE=telemetry_overhead; shift
+            if [[ "${1:-}" =~ ^[0-9]+([.][0-9]+)?$ ]]; then
+                TELEMETRY_LIMIT_PCT="$1"; shift
             fi ;;
         --help|-h)
             usage; exit 0 ;;
@@ -86,38 +97,56 @@ json_field() { # json_field <file> <key>  -> numeric value
         '$1 ~ key { gsub(/[ \t]/, "", $2); print $2 }' "$1"
 }
 
-# --------------------------------------------------- overhead mode
+# -------------------------------------------------- overhead modes
 #
 # Best-of-3 on each leg: on shared CI runners a single measurement of
-# a few seconds carries more scheduler noise than the 2% budget being
-# asserted, while minima are stable.
-if [[ "$MODE" == overhead ]]; then
-    echo "== bench: tracing overhead gate (limit ${OVERHEAD_LIMIT_PCT}%) =="
+# a few seconds carries more scheduler noise than the budget being
+# asserted, while minima are stable. Tracing and telemetry share the
+# harness; they differ only in the instrumented leg's flags, the
+# artifact sanity check, and the budget.
+if [[ "$MODE" == overhead || "$MODE" == telemetry_overhead ]]; then
+    if [[ "$MODE" == overhead ]]; then
+        WHAT=tracing
+        LIMIT_PCT="$OVERHEAD_LIMIT_PCT"
+    else
+        WHAT=telemetry
+        LIMIT_PCT="$TELEMETRY_LIMIT_PCT"
+    fi
+    echo "== bench: $WHAT overhead gate (limit ${LIMIT_PCT}%) =="
     PLAIN_MIN=""
-    TRACED_MIN=""
+    INSTR_MIN=""
     for i in 1 2 3; do
         s="$(run_leg "$WORK/plain$i" --jobs 1)"
-        echo "   plain  run $i: ${s}s"
+        echo "   plain        run $i: ${s}s"
         PLAIN_MIN="$(awk -v a="${PLAIN_MIN:-$s}" -v b="$s" \
             'BEGIN { print (b < a) ? b : a }')"
     done
     for i in 1 2 3; do
-        s="$(run_leg "$WORK/traced$i" --jobs 1 \
-            --trace "$WORK/trace$i.json")"
-        echo "   traced run $i: ${s}s"
-        TRACED_MIN="$(awk -v a="${TRACED_MIN:-$s}" -v b="$s" \
+        if [[ "$MODE" == overhead ]]; then
+            s="$(run_leg "$WORK/instr$i" --jobs 1 \
+                --trace "$WORK/trace$i.json")"
+        else
+            s="$(run_leg "$WORK/instr$i" --jobs 1 --telemetry)"
+        fi
+        echo "   instrumented run $i: ${s}s"
+        INSTR_MIN="$(awk -v a="${INSTR_MIN:-$s}" -v b="$s" \
             'BEGIN { print (b < a) ? b : a }')"
     done
-    [[ -s "$WORK/trace1.json" ]] || {
-        echo "   FAIL: no trace was written" >&2; exit 1; }
-    OVERHEAD_PCT="$(awk -v p="$PLAIN_MIN" -v t="$TRACED_MIN" \
+    if [[ "$MODE" == overhead ]]; then
+        [[ -s "$WORK/trace1.json" ]] || {
+            echo "   FAIL: no trace was written" >&2; exit 1; }
+    else
+        compgen -G "$WORK/instr1/*/*.telemetry.json" >/dev/null || {
+            echo "   FAIL: no telemetry.json was written" >&2; exit 1; }
+    fi
+    OVERHEAD_PCT="$(awk -v p="$PLAIN_MIN" -v t="$INSTR_MIN" \
         'BEGIN { printf "%.2f", (p > 0) ? (t - p) / p * 100 : 0 }')"
-    echo "   plain ${PLAIN_MIN}s, traced ${TRACED_MIN}s:" \
+    echo "   plain ${PLAIN_MIN}s, instrumented ${INSTR_MIN}s:" \
          "overhead ${OVERHEAD_PCT}%"
-    awk -v o="$OVERHEAD_PCT" -v lim="$OVERHEAD_LIMIT_PCT" \
+    awk -v o="$OVERHEAD_PCT" -v lim="$LIMIT_PCT" \
         'BEGIN { exit !(o <= lim) }' || {
-        echo "   FAIL: tracing overhead ${OVERHEAD_PCT}% exceeds" \
-             "${OVERHEAD_LIMIT_PCT}%" >&2
+        echo "   FAIL: $WHAT overhead ${OVERHEAD_PCT}% exceeds" \
+             "${LIMIT_PCT}%" >&2
         exit 1
     }
     echo "   OK"

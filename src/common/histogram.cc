@@ -1,0 +1,100 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+
+namespace syncperf
+{
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.buckets_.size() > buckets_.size())
+        buckets_.resize(other.buckets_.size());
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+        const Bucket &src = other.buckets_[i];
+        if (src.count == 0)
+            continue;
+        Bucket &dst = buckets_[i];
+        if (dst.count == 0) {
+            dst = src;
+            continue;
+        }
+        dst.count += src.count;
+        dst.sum += src.sum;
+        dst.min = std::min(dst.min, src.min);
+        dst.max = std::max(dst.max, src.max);
+    }
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    std::uint64_t n = 0;
+    for (const Bucket &b : buckets_)
+        n += b.count;
+    return n;
+}
+
+std::uint64_t
+Histogram::sum() const
+{
+    std::uint64_t s = 0;
+    for (const Bucket &b : buckets_)
+        s += b.sum;
+    return s;
+}
+
+std::uint64_t
+Histogram::min() const
+{
+    for (const Bucket &b : buckets_)
+        if (b.count != 0)
+            return b.min;
+    return 0;
+}
+
+std::uint64_t
+Histogram::max() const
+{
+    for (auto it = buckets_.rbegin(); it != buckets_.rend(); ++it)
+        if (it->count != 0)
+            return it->max;
+    return 0;
+}
+
+double
+Histogram::mean() const
+{
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+void
+Histogram::setBucket(int index, const Bucket &b)
+{
+    if (static_cast<std::size_t>(index) >= buckets_.size())
+        buckets_.resize(static_cast<std::size_t>(index) + 1);
+    buckets_[static_cast<std::size_t>(index)] = b;
+}
+
+bool
+Histogram::operator==(const Histogram &other) const
+{
+    // Trailing empty buckets do not distinguish histograms: a cleared
+    // then re-filled instance must compare equal to a fresh one.
+    const std::size_t n = std::max(buckets_.size(), other.buckets_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        static const Bucket kEmpty{};
+        const Bucket &a = i < buckets_.size() ? buckets_[i] : kEmpty;
+        const Bucket &b = i < other.buckets_.size() ? other.buckets_[i] : kEmpty;
+        if (a.count != b.count)
+            return false;
+        if (a.count == 0)
+            continue;
+        if (a.min != b.min || a.max != b.max || a.sum != b.sum)
+            return false;
+    }
+    return true;
+}
+
+} // namespace syncperf

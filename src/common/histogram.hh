@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Log2-bucketed histogram for simulator telemetry.
+ *
+ * Values are sorted into power-of-two buckets (bucket 0 holds the
+ * value 0, bucket i >= 1 holds [2^(i-1), 2^i - 1]) and every bucket
+ * keeps count/min/max/sum, so a probe can be summarized ("how long
+ * did exclusive acquisitions wait, and how is that distributed?")
+ * without storing samples. Recording is O(1) -- an index computation
+ * and four integer updates -- which is what lets the machines leave
+ * their probes on permanently.
+ *
+ * merge() is associative and commutative (bucket-wise sums and
+ * min/max), so folding per-launch histograms into a per-experiment
+ * one gives the same result regardless of grouping; the telemetry
+ * determinism tests depend on this.
+ */
+
+#ifndef SYNCPERF_COMMON_HISTOGRAM_HH
+#define SYNCPERF_COMMON_HISTOGRAM_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace syncperf
+{
+
+/** Log2-bucket histogram of unsigned 64-bit samples. */
+class Histogram
+{
+  public:
+    /** Per-bucket aggregate; min/max are meaningless at count 0. */
+    struct Bucket
+    {
+        std::uint64_t count = 0;
+        std::uint64_t min = 0;
+        std::uint64_t max = 0;
+        std::uint64_t sum = 0;
+    };
+
+    /** Bucket index of @p v: 0 for 0, else bit_width(v) (1..64). */
+    static int
+    bucketIndex(std::uint64_t v)
+    {
+        return v == 0 ? 0 : std::bit_width(v);
+    }
+
+    /** Inclusive lower bound of bucket @p i. */
+    static std::uint64_t
+    bucketLow(int i)
+    {
+        return i <= 1 ? static_cast<std::uint64_t>(i)
+                      : std::uint64_t{1} << (i - 1);
+    }
+
+    /** Inclusive upper bound of bucket @p i. */
+    static std::uint64_t
+    bucketHigh(int i)
+    {
+        if (i == 0)
+            return 0;
+        if (i >= 64)
+            return ~std::uint64_t{0};
+        return (std::uint64_t{1} << i) - 1;
+    }
+
+    /** Record one sample. O(1); grows storage to the sample's bucket. */
+    void
+    record(std::uint64_t v)
+    {
+        const int idx = bucketIndex(v);
+        if (static_cast<std::size_t>(idx) >= buckets_.size())
+            buckets_.resize(static_cast<std::size_t>(idx) + 1);
+        Bucket &b = buckets_[static_cast<std::size_t>(idx)];
+        if (b.count == 0) {
+            b.min = v;
+            b.max = v;
+        } else {
+            if (v < b.min)
+                b.min = v;
+            if (v > b.max)
+                b.max = v;
+        }
+        ++b.count;
+        b.sum += v;
+    }
+
+    /** Fold @p other in, bucket-wise. Associative and commutative. */
+    void merge(const Histogram &other);
+
+    /** Forget every sample (storage is kept for reuse). */
+    void
+    clear()
+    {
+        buckets_.clear();
+    }
+
+    bool empty() const { return count() == 0; }
+
+    /** Total samples across all buckets. */
+    std::uint64_t count() const;
+
+    /** Sum of all samples (modulo 2^64 on overflow). */
+    std::uint64_t sum() const;
+
+    /** Smallest / largest recorded sample; 0 when empty. */
+    std::uint64_t min() const;
+    std::uint64_t max() const;
+
+    /** Arithmetic mean of all samples; 0 when empty. */
+    double mean() const;
+
+    /**
+     * Buckets 0..highest-ever-recorded, dense (intermediate buckets
+     * may have count 0). Empty vector when nothing was recorded.
+     */
+    const std::vector<Bucket> &buckets() const { return buckets_; }
+
+    /**
+     * Replace bucket @p index wholesale. Deserialization hook: a
+     * histogram rebuilt from its serialized nonzero buckets compares
+     * equal to the original.
+     */
+    void setBucket(int index, const Bucket &b);
+
+    bool operator==(const Histogram &other) const;
+
+  private:
+    std::vector<Bucket> buckets_;
+};
+
+} // namespace syncperf
+
+#endif // SYNCPERF_COMMON_HISTOGRAM_HH

@@ -30,6 +30,7 @@
 #include "core/manifest.hh"
 #include "core/metrics.hh"
 #include "core/sweep.hh"
+#include "core/telemetry.hh"
 
 namespace syncperf::core
 {
@@ -373,10 +374,11 @@ runOmpCampaign(const cpusim::CpuConfig &cfg,
         // target per experiment file, built fresh from a fixed seed,
         // reused across the whole thread sweep -- results depend
         // only on the point, never on scheduling.
-        exp.emit = [e, &cfg, &protocol,
-                    &threads](CsvWriter &csv,
-                              ManifestEntry &entry) -> Status {
+        exp.emit = [e, file, &cfg, &protocol, &threads, &dir,
+                    &system](CsvWriter &csv,
+                             ManifestEntry &entry) -> Status {
             CpuSimTarget target(cfg, protocol);
+            TelemetryReport report;
             for (int n : threads) {
                 const auto m = target.measure(e, n);
                 if (!m.valid) {
@@ -389,6 +391,21 @@ runOmpCampaign(const cpusim::CpuConfig &cfg,
                     .field(m.opsPerSecondPerThread())
                     .field(m.stddev_seconds);
                 csv.endRow();
+                if (protocol.telemetry) {
+                    TelemetryPoint pt;
+                    pt.axes.emplace_back(
+                        "threads", static_cast<std::uint64_t>(n));
+                    pt.sample = target.takeTelemetry();
+                    report.points.push_back(std::move(pt));
+                }
+            }
+            if (protocol.telemetry) {
+                report.experiment = file;
+                report.system = system;
+                if (Status s = report.writeFile(
+                        telemetryPathFor(dir, file));
+                    !s.isOk())
+                    return s;
             }
             return Status::ok();
         };
@@ -480,10 +497,12 @@ runCudaCampaign(const gpusim::GpuConfig &cfg,
 
         CampaignRunner::Experiment exp;
         exp.hash = pointDigest(base_hash, file, e);
-        exp.emit = [e, &cfg, &protocol, &block_counts,
-                    &thread_counts](CsvWriter &csv,
-                                    ManifestEntry &entry) -> Status {
+        exp.emit = [e, file, &cfg, &protocol, &block_counts,
+                    &thread_counts, &dir,
+                    &system](CsvWriter &csv,
+                             ManifestEntry &entry) -> Status {
             GpuSimTarget target(cfg, protocol);
+            TelemetryReport report;
             for (int blocks : block_counts) {
                 for (int n : thread_counts) {
                     const auto m = target.measure(e, {blocks, n});
@@ -499,7 +518,26 @@ runCudaCampaign(const gpusim::GpuConfig &cfg,
                         .field(m.per_op_seconds)
                         .field(m.opsPerSecondPerThread());
                     csv.endRow();
+                    if (protocol.telemetry) {
+                        TelemetryPoint pt;
+                        pt.axes.emplace_back(
+                            "blocks",
+                            static_cast<std::uint64_t>(blocks));
+                        pt.axes.emplace_back(
+                            "threads_per_block",
+                            static_cast<std::uint64_t>(n));
+                        pt.sample = target.takeTelemetry();
+                        report.points.push_back(std::move(pt));
+                    }
                 }
+            }
+            if (protocol.telemetry) {
+                report.experiment = file;
+                report.system = system;
+                if (Status s = report.writeFile(
+                        telemetryPathFor(dir, file));
+                    !s.isOk())
+                    return s;
             }
             return Status::ok();
         };

@@ -200,7 +200,12 @@ CpuSimTarget::runOnce(const std::vector<cpusim::CpuProgram> &programs,
     if (cacheable) {
         key = cacheKey(programs, affinity);
         if (auto it = cache_.find(key); it != cache_.end()) {
-            out = it->second;
+            out = it->second.seconds;
+            // A hit replays the stored telemetry of the original
+            // simulation, so the accumulated sample is identical
+            // with and without the cache.
+            if (mcfg_.telemetry)
+                telemetry_.merge(it->second.telemetry);
             hit = true;
             metrics::add(metrics::Counter::SimCacheHits);
         }
@@ -214,8 +219,14 @@ CpuSimTarget::runOnce(const std::vector<cpusim::CpuProgram> &programs,
         out.reserve(result.thread_cycles.size());
         for (auto cycles : result.thread_cycles)
             out.push_back(static_cast<double>(cycles) / hz);
+        TelemetrySample launch;
+        if (mcfg_.telemetry) {
+            launch.addStats(machine.stats());
+            telemetry_.merge(launch);
+        }
         if (cacheable) {
-            cache_.emplace(key, out);
+            cache_.emplace(key,
+                           CacheEntry{out, std::move(launch)});
             metrics::add(metrics::Counter::SimCacheMisses);
         }
     }
@@ -231,6 +242,14 @@ CpuSimTarget::runOnce(const std::vector<cpusim::CpuProgram> &programs,
                 s = faults->perturbSeconds(s);
         }
     }
+}
+
+TelemetrySample
+CpuSimTarget::takeTelemetry()
+{
+    TelemetrySample taken = std::move(telemetry_);
+    telemetry_ = TelemetrySample{};
+    return taken;
 }
 
 Measurement

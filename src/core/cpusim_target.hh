@@ -17,6 +17,7 @@
 #include "core/measure_config.hh"
 #include "core/primitives.hh"
 #include "core/protocol.hh"
+#include "core/telemetry.hh"
 #include "cpusim/machine.hh"
 
 namespace syncperf::core
@@ -70,6 +71,15 @@ class CpuSimTarget
 
     const cpusim::CpuConfig &config() const { return cfg_; }
 
+    /**
+     * Telemetry accumulated by every launch since the last take
+     * (all runs/attempts/retries of the measure() calls in between),
+     * and reset the accumulator. Empty unless mcfg.telemetry is set.
+     * Cache hits contribute the stored telemetry of the original
+     * simulation, so the sample is independent of cache state.
+     */
+    TelemetrySample takeTelemetry();
+
   private:
     /** Simulate one launch, filling @p out with per-thread seconds. */
     void runOnce(const std::vector<cpusim::CpuProgram> &p,
@@ -82,6 +92,13 @@ class CpuSimTarget
     std::uint64_t cacheKey(const std::vector<cpusim::CpuProgram> &p,
                            Affinity affinity) const;
 
+    /** Pure simulator output (pre fault injection) of one launch. */
+    struct CacheEntry
+    {
+        std::vector<double> seconds;
+        TelemetrySample telemetry;
+    };
+
     cpusim::CpuConfig cfg_;
     MeasurementConfig mcfg_;
     std::uint64_t next_seed_;
@@ -89,8 +106,10 @@ class CpuSimTarget
     std::optional<cpusim::CpuMachine> machine_;
     Affinity machine_affinity_ = Affinity::Spread;
 
-    /** Pure simulator output (pre fault injection) per cache key. */
-    std::unordered_map<std::uint64_t, std::vector<double>> cache_;
+    std::unordered_map<std::uint64_t, CacheEntry> cache_;
+
+    /** Accumulates across launches until takeTelemetry(). */
+    TelemetrySample telemetry_;
 };
 
 } // namespace syncperf::core

@@ -210,7 +210,12 @@ GpuSimTarget::runOnce(const gpusim::GpuKernel &kernel,
     if (cacheable) {
         key = cacheKey(kernel, launch);
         if (auto it = cache_.find(key); it != cache_.end()) {
-            out = it->second;
+            out = it->second.seconds;
+            // A hit replays the stored telemetry of the original
+            // simulation, so the accumulated sample is identical
+            // with and without the cache.
+            if (mcfg_.telemetry)
+                telemetry_.merge(it->second.telemetry);
             hit = true;
             metrics::add(metrics::Counter::SimCacheHits);
         }
@@ -223,8 +228,14 @@ GpuSimTarget::runOnce(const gpusim::GpuKernel &kernel,
         out.reserve(result.thread_cycles.size());
         for (auto cycles : result.thread_cycles)
             out.push_back(static_cast<double>(cycles) / hz);
+        TelemetrySample launch_sample;
+        if (mcfg_.telemetry) {
+            launch_sample.addStats(machine_.stats());
+            telemetry_.merge(launch_sample);
+        }
         if (cacheable) {
-            cache_.emplace(key, out);
+            cache_.emplace(key,
+                           CacheEntry{out, std::move(launch_sample)});
             metrics::add(metrics::Counter::SimCacheMisses);
         }
     }
@@ -240,6 +251,14 @@ GpuSimTarget::runOnce(const gpusim::GpuKernel &kernel,
                 s = faults->perturbSeconds(s);
         }
     }
+}
+
+TelemetrySample
+GpuSimTarget::takeTelemetry()
+{
+    TelemetrySample taken = std::move(telemetry_);
+    telemetry_ = TelemetrySample{};
+    return taken;
 }
 
 Measurement

@@ -16,6 +16,7 @@
 #include "core/measure_config.hh"
 #include "core/primitives.hh"
 #include "core/protocol.hh"
+#include "core/telemetry.hh"
 #include "gpusim/machine.hh"
 
 namespace syncperf::core
@@ -66,6 +67,15 @@ class GpuSimTarget
     /** Block counts the paper sweeps for this device. */
     std::vector<int> paperBlockCounts() const;
 
+    /**
+     * Telemetry accumulated by every launch since the last take
+     * (all runs/attempts/retries of the measure() calls in between),
+     * and reset the accumulator. Empty unless mcfg.telemetry is set.
+     * Cache hits contribute the stored telemetry of the original
+     * simulation, so the sample is independent of cache state.
+     */
+    TelemetrySample takeTelemetry();
+
   private:
     /** Simulate one launch, filling @p out with per-thread seconds. */
     void runOnce(const gpusim::GpuKernel &kernel,
@@ -75,14 +85,23 @@ class GpuSimTarget
     std::uint64_t cacheKey(const gpusim::GpuKernel &kernel,
                            gpusim::LaunchConfig launch) const;
 
+    /** Pure simulator output (pre fault injection) of one launch. */
+    struct CacheEntry
+    {
+        std::vector<double> seconds;
+        TelemetrySample telemetry;
+    };
+
     gpusim::GpuConfig cfg_;
     MeasurementConfig mcfg_;
     std::uint64_t next_seed_;
 
     gpusim::GpuMachine machine_;
 
-    /** Pure simulator output (pre fault injection) per cache key. */
-    std::unordered_map<std::uint64_t, std::vector<double>> cache_;
+    std::unordered_map<std::uint64_t, CacheEntry> cache_;
+
+    /** Accumulates across launches until takeTelemetry(). */
+    TelemetrySample telemetry_;
 };
 
 } // namespace syncperf::core

@@ -49,6 +49,17 @@ struct MeasurementConfig
      */
     bool sim_cache = true;
 
+    /**
+     * Collect microarchitectural telemetry (core/telemetry.hh):
+     * targets fold every launch's sim::StatSet into a per-point
+     * TelemetrySample retrievable via takeTelemetry(). Recording in
+     * the machines is always on (interned probes, O(1)); this knob
+     * only controls the aggregation and artifact emission, never the
+     * simulated timing, so it cannot change any measured value and
+     * is -- like sim_cache -- left out of the campaign config hash.
+     */
+    bool telemetry = false;
+
     /** Total primitive executions the measured difference covers. */
     long opsPerMeasurement() const
     {

@@ -91,6 +91,13 @@ struct Measurement
  * (bounded exponential backoff, at most cfg.max_noise_retries
  * times); the result records the retry count and the final CoV.
  *
+ * When cfg.telemetry is set, the simulator targets accumulate probe
+ * telemetry across every launch this procedure performs -- all runs,
+ * all attempts, baseline and test programs, and any protocol or
+ * noise retries. A telemetry sample therefore scales with the
+ * repetition settings; it describes the whole measurement, not one
+ * launch.
+ *
  * @param baseline Times cfg.opsPerMeasurement() baseline iterations.
  * @param test Same, with one extra primitive per iteration.
  */

@@ -58,7 +58,7 @@ CpuMachine::transferLatency(const Line &line, const HwPlace &to)
     Tick base;
     if (line.owner_core < 0 && line.copies == 0) {
         base = cfg_.remote_transfer;  // memory fetch
-        ++hot_.mem_fetch;
+        stats_.inc(sim::Probe::CpuMemFetch);
     } else {
         const int src = line.owner_core >= 0
             ? line.owner_core
@@ -68,10 +68,10 @@ CpuMachine::transferLatency(const Line &line, const HwPlace &to)
             base = cfg_.l1_hit_latency;
         } else if (src_complex == to.complex_id) {
             base = cfg_.local_transfer;
-            ++hot_.transfer_local;
+            stats_.inc(sim::Probe::CpuTransferLocal);
         } else {
             base = cfg_.remote_transfer;
-            ++hot_.transfer_remote;
+            stats_.inc(sim::Probe::CpuTransferRemote);
         }
     }
     if (cfg_.jitter_frac > 0.0) {
@@ -133,25 +133,25 @@ CpuMachine::barrierLatency(int team_size)
         const Tick spin_cost =
             cfg_.barrier_base + t * cfg_.barrier_arrival;
         if (spin_cost <= cfg_.barrier_spin_budget) {
-            ++hot_.barrier_spin;
+            stats_.inc(sim::Probe::CpuBarrierSpin);
             return spin_cost;
         }
-        ++hot_.barrier_futex;
+        stats_.inc(sim::Probe::CpuBarrierFutex);
         return cfg_.barrier_futex_wake + t * cfg_.barrier_wake_stagger;
       }
       case BarrierAlgorithm::Central:
         // Pure centralized spinning: every arrival serializes on the
         // counter line, forever.
-        ++hot_.barrier_spin;
+        stats_.inc(sim::Probe::CpuBarrierSpin);
         return cfg_.barrier_base + t * cfg_.barrier_arrival;
       case BarrierAlgorithm::Tree:
-        ++hot_.barrier_tree;
+        stats_.inc(sim::Probe::CpuBarrierTree);
         return cfg_.barrier_base +
                static_cast<Tick>(
                    ceilLog(team_size, cfg_.barrier_tree_fanin)) *
                    cfg_.barrier_tree_level;
       case BarrierAlgorithm::Dissemination:
-        ++hot_.barrier_dissemination;
+        stats_.inc(sim::Probe::CpuBarrierDissemination);
         return cfg_.barrier_base +
                static_cast<Tick>(ceilLog(team_size, 2)) *
                    cfg_.barrier_dissem_round;
@@ -162,18 +162,25 @@ CpuMachine::barrierLatency(int team_size)
 void
 CpuMachine::arriveBarrier(int tid, Tick when)
 {
+    if (barrier_arrivals_ == 0)
+        barrier_first_arrival_ = when;
+    else
+        barrier_first_arrival_ = std::min(barrier_first_arrival_, when);
     ++barrier_arrivals_;
     barrier_last_arrival_ = std::max(barrier_last_arrival_, when);
     barrier_waiters_.push_back(tid);
     if (barrier_arrivals_ < static_cast<int>(threads_.size()))
         return;
 
+    stats_.record(sim::HistProbe::CpuBarrierSpreadTicks,
+                  barrier_last_arrival_ - barrier_first_arrival_);
     const Tick release =
         barrier_last_arrival_ +
         barrierLatency(static_cast<int>(threads_.size()));
     std::vector<int> waiters = std::move(barrier_waiters_);
     barrier_waiters_.clear();
     barrier_arrivals_ = 0;
+    barrier_first_arrival_ = 0;
     barrier_last_arrival_ = 0;
 
     for (int w : waiters) {
@@ -253,7 +260,7 @@ CpuMachine::execLoad(int tid, const DecodedOp &op, Tick start)
     Tick done;
     if (line.copies & bit) {
         done = start + cfg_.l1_hit_latency;
-        ++hot_.l1_hit;
+        stats_.inc(sim::Probe::CpuL1Hit);
     } else {
         done = start + transferLatency(line, ctx.place);
         line.copies |= bit;
@@ -279,6 +286,9 @@ CpuMachine::acquireExclusive(Line &line, const HwPlace &place, Tick start,
         svc = coherencePointSlot(svc);
     line.free_at = svc + cfg_.line_occupancy + alu_cost;
     const Tick done = svc + transferLatency(line, place) + alu_cost;
+    stats_.record(sim::HistProbe::CpuAcqWaitTicks, svc - start);
+    if (line.owner_core >= 0 && line.owner_core != place.core)
+        stats_.inc(sim::Probe::CpuLinePingPong);
     line.owner_core = place.core;
     line.exclusive = true;
     line.copies = 1ULL << place.core;
@@ -293,7 +303,7 @@ CpuMachine::execStore(int tid, const DecodedOp &op, Tick start)
     Tick done;
     if (line.exclusive && line.owner_core == ctx.place.core) {
         done = start + cfg_.l1_hit_latency;
-        ++hot_.l1_hit;
+        stats_.inc(sim::Probe::CpuL1Hit);
     } else {
         done = acquireExclusive(line, ctx.place, start, 0, false);
     }
@@ -310,7 +320,7 @@ CpuMachine::execAtomicStore(int tid, const DecodedOp &op, Tick start)
     Tick done;
     if (line.exclusive && line.owner_core == ctx.place.core) {
         done = start + cfg_.l1_hit_latency;
-        ++hot_.l1_hit;
+        stats_.inc(sim::Probe::CpuL1Hit);
     } else {
         done = acquireExclusive(line, ctx.place, start, 0, true);
     }
@@ -327,7 +337,7 @@ CpuMachine::execAtomicRmw(int tid, const DecodedOp &op, Tick start)
     Tick done;
     if (line.exclusive && line.owner_core == ctx.place.core) {
         done = start + cfg_.l1_hit_latency + op.alu_cost;
-        ++hot_.l1_hit;
+        stats_.inc(sim::Probe::CpuL1Hit);
     } else {
         done = acquireExclusive(line, ctx.place, start, op.alu_cost,
                                 false);
@@ -353,16 +363,23 @@ CpuMachine::execFence(int tid, const DecodedOp &, Tick start)
             line.free_at = svc + cfg_.line_occupancy;
             done = svc + transferLatency(line, ctx.place) +
                    cfg_.fence_drain;
+            if (line.owner_core >= 0 &&
+                line.owner_core != ctx.place.core) {
+                stats_.inc(sim::Probe::CpuLinePingPong);
+            }
             line.owner_core = ctx.place.core;
             line.exclusive = true;
             line.copies = 1ULL << ctx.place.core;
-            ++hot_.fence_contended;
+            stats_.inc(sim::Probe::CpuFenceContended);
+            // Drain stall: what the steal added over a clean drain.
+            stats_.record(sim::HistProbe::CpuFenceStallTicks,
+                          done - start - cfg_.fence_drain);
         } else {
-            ++hot_.fence_clean;
+            stats_.inc(sim::Probe::CpuFenceClean);
         }
         ctx.has_pending_store = false;
     } else {
-        ++hot_.fence_clean;
+        stats_.inc(sim::Probe::CpuFenceClean);
     }
     finishOp(tid, done);
 }
@@ -379,7 +396,8 @@ CpuMachine::execLockAcquire(int tid, const DecodedOp &op, Tick start)
     ThreadCtx &ctx = threads_[tid];
     LockState &lock = locks_[op.lock];
     if (lock.held) {
-        lock.waiters.push_back(tid);
+        stats_.inc(sim::Probe::CpuLockContended);
+        lock.waiters.push_back(LockWaiter{tid, start});
         return;  // blocked; granted on release
     }
     lock.held = true;
@@ -393,6 +411,9 @@ CpuMachine::execLockAcquire(int tid, const DecodedOp &op, Tick start)
         line.free_at = svc + cfg_.line_occupancy;
         done = svc + transferLatency(line, ctx.place) +
                cfg_.alu_int_rmw;
+        stats_.record(sim::HistProbe::CpuAcqWaitTicks, svc - start);
+        if (line.owner_core >= 0 && line.owner_core != ctx.place.core)
+            stats_.inc(sim::Probe::CpuLinePingPong);
         line.owner_core = ctx.place.core;
         line.exclusive = true;
         line.copies = 1ULL << ctx.place.core;
@@ -407,7 +428,8 @@ CpuMachine::execLockRelease(int tid, const DecodedOp &op, Tick start)
     SYNCPERF_ASSERT(lock.held, "release of unheld lock");
     const Tick done = start + cfg_.l1_hit_latency;
     if (!lock.waiters.empty()) {
-        const int next = lock.waiters.front();
+        const LockWaiter waiter = lock.waiters.front();
+        const int next = waiter.tid;
         lock.waiters.pop_front();
         const auto waiters = static_cast<Tick>(lock.waiters.size());
         // Handoff cost depends on the locking algorithm: MCS
@@ -431,7 +453,9 @@ CpuMachine::execLockRelease(int tid, const DecodedOp &op, Tick start)
             break;
         }
         const Tick grant = done + cfg_.lock_handoff + extra;
-        ++hot_.lock_handoff;
+        stats_.inc(sim::Probe::CpuLockHandoff);
+        stats_.record(sim::HistProbe::CpuLockWaitTicks,
+                      grant - waiter.since);
         eq_.schedule(grant, [this, next, grant] {
             finishOp(next, grant);
         }, next);
@@ -514,13 +538,13 @@ CpuMachine::run(const std::vector<CpuProgram> &programs,
     coherence_point_free_ = 0;
     eq_.reset();
     stats_.clear();
-    hot_ = HotStats{};
     threads_.assign(n, ThreadCtx{});
     warm_left_.assign(n, warmup_iterations);
     align_arrivals_ = 0;
     align_last_ = 0;
     align_waiters_.clear();
     barrier_arrivals_ = 0;
+    barrier_first_arrival_ = 0;
     barrier_last_arrival_ = 0;
     barrier_waiters_.clear();
 
@@ -553,23 +577,11 @@ CpuMachine::run(const std::vector<CpuProgram> &programs,
         result.thread_cycles.push_back(ctx.end_tick - ctx.start_tick);
     }
 
-    // Fold the hot counters into the named stats exactly once per
-    // run; zero counters stay absent so dumps are unchanged.
-    const auto fold = [this](const char *name, std::uint64_t v) {
-        if (v > 0)
-            stats_.inc(name, v);
-    };
-    fold("cpu.l1_hit", hot_.l1_hit);
-    fold("cpu.mem_fetch", hot_.mem_fetch);
-    fold("cpu.transfer_local", hot_.transfer_local);
-    fold("cpu.transfer_remote", hot_.transfer_remote);
-    fold("cpu.fence_clean", hot_.fence_clean);
-    fold("cpu.fence_contended", hot_.fence_contended);
-    fold("cpu.lock_handoff", hot_.lock_handoff);
-    fold("cpu.barrier_spin", hot_.barrier_spin);
-    fold("cpu.barrier_futex", hot_.barrier_futex);
-    fold("cpu.barrier_tree", hot_.barrier_tree);
-    fold("cpu.barrier_dissemination", hot_.barrier_dissemination);
+    // Counters and histograms were recorded in place through the
+    // interned O(1) probes; only the queue's high-water mark is
+    // stamped once per run.
+    stats_.inc(sim::Probe::EqMaxDepth,
+               static_cast<std::uint64_t>(eq_.maxPending()));
     return result;
 }
 

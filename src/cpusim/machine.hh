@@ -114,11 +114,18 @@ class CpuMachine
         Tick free_at = 0;          ///< next exclusive-service slot
     };
 
+    /** One blocked lock acquirer, with the tick it blocked at. */
+    struct LockWaiter
+    {
+        int tid;
+        Tick since;
+    };
+
     /** FIFO lock used for critical sections. */
     struct LockState
     {
         bool held = false;
-        std::deque<int> waiters;   ///< software thread ids
+        std::deque<LockWaiter> waiters;
     };
 
     /** One decoded op: handler plus hoisted operands. */
@@ -145,23 +152,6 @@ class CpuMachine
         Tick end_tick = 0;
         int pending_store_line = -1;  ///< interned index
         bool has_pending_store = false;
-    };
-
-    /** Hot-path counters, folded into stats_ at the end of run() so
-     * the StatSet's string map stays off the per-op path. */
-    struct HotStats
-    {
-        std::uint64_t l1_hit = 0;
-        std::uint64_t mem_fetch = 0;
-        std::uint64_t transfer_local = 0;
-        std::uint64_t transfer_remote = 0;
-        std::uint64_t fence_clean = 0;
-        std::uint64_t fence_contended = 0;
-        std::uint64_t lock_handoff = 0;
-        std::uint64_t barrier_spin = 0;
-        std::uint64_t barrier_futex = 0;
-        std::uint64_t barrier_tree = 0;
-        std::uint64_t barrier_dissemination = 0;
     };
 
     /** Dense index for the cache line containing @p addr. */
@@ -205,7 +195,6 @@ class CpuMachine
     Pcg32 rng_;
     sim::EventQueue eq_;
     sim::StatSet stats_;
-    HotStats hot_;
 
     std::vector<ThreadCtx> threads_;
     std::vector<HwPlace> places_;
@@ -221,6 +210,7 @@ class CpuMachine
 
     // Team-wide barrier (CpuOpKind::Barrier) rendezvous state.
     int barrier_arrivals_ = 0;
+    Tick barrier_first_arrival_ = 0;
     Tick barrier_last_arrival_ = 0;
     std::vector<int> barrier_waiters_;
 

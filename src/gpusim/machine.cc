@@ -109,7 +109,8 @@ GpuMachine::execDivergentAlu(int warp_id, const DecodedGpuOp &op,
     // (Bialas & Strzelecki: the cost per extra path is constant).
     // Each path issues and completes in turn; op.lat carries the
     // precomputed paths * alu_latency total.
-    hot_.divergent_paths += static_cast<std::uint64_t>(op.uops);
+    stats_.inc(sim::Probe::GpuDivergentPaths,
+               static_cast<std::uint64_t>(op.uops));
     finishOp(warp_id,
              issueThrough(warps_[warp_id], now, op.uops) + op.lat);
 }
@@ -126,7 +127,8 @@ GpuMachine::execShfl(int warp_id, const DecodedGpuOp &op, Tick now)
     // Micro-ops pipeline: latency of the first plus one issue slot
     // per extra micro-op, but they occupy the scheduler for all
     // slots (this halves the 64-bit knee, Fig 15).
-    hot_.shfl_uops += static_cast<std::uint64_t>(op.uops);
+    stats_.inc(sim::Probe::GpuShflUops,
+               static_cast<std::uint64_t>(op.uops));
     finishOp(warp_id,
              issueThrough(warps_[warp_id], now, op.uops) + op.lat);
 }
@@ -145,7 +147,7 @@ GpuMachine::execReduceSync(int warp_id, const DecodedGpuOp &, Tick now)
     Tick &unit = reduce_free_[warp.sm];
     const Tick start = std::max(issued, unit);
     unit = start + cfg_.reduce_occupancy;
-    ++hot_.reduce_sync;
+    stats_.inc(sim::Probe::GpuReduceSync);
     finishOp(warp_id, start + cfg_.reduce_latency);
 }
 
@@ -154,7 +156,7 @@ GpuMachine::execFenceBlock(int warp_id, const DecodedGpuOp &op, Tick now)
 {
     // Block scope only orders within the SM; pending stores are
     // already visible there, so the cost is tiny.
-    ++hot_.fence;
+    stats_.inc(sim::Probe::GpuFence);
     finishOp(warp_id, issueThrough(warps_[warp_id], now) + op.lat);
 }
 
@@ -168,9 +170,10 @@ GpuMachine::execFenceDevice(int warp_id, const DecodedGpuOp &op,
     const Tick issued = issueThrough(warp, now);
     Tick &lsu = lsu_free_[warp.sm];
     lsu = std::max(lsu, issued) + cfg_.fence_lsu_drain;
-    ++hot_.fence;
-    finishOp(warp_id,
-             std::max({issued, warp.last_store_commit, lsu}) + op.lat);
+    stats_.inc(sim::Probe::GpuFence);
+    const Tick drained = std::max({issued, warp.last_store_commit, lsu});
+    stats_.record(sim::HistProbe::GpuFenceStallTicks, drained - issued);
+    finishOp(warp_id, drained + op.lat);
 }
 
 void
@@ -181,9 +184,11 @@ GpuMachine::execFenceSystem(int warp_id, const DecodedGpuOp &op,
     const Tick issued = issueThrough(warp, now);
     Tick &lsu = lsu_free_[warp.sm];
     lsu = std::max(lsu, issued) + cfg_.fence_lsu_drain;
-    ++hot_.fence;
+    stats_.inc(sim::Probe::GpuFence);
+    const Tick drained = std::max({issued, warp.last_store_commit, lsu});
+    stats_.record(sim::HistProbe::GpuFenceStallTicks, drained - issued);
     finishOp(warp_id,
-             std::max({issued, warp.last_store_commit, lsu}) + op.lat +
+             drained + op.lat +
                  rng_.below(static_cast<std::uint32_t>(
                      cfg_.fence_system_jitter + 1)));
 }
@@ -210,7 +215,7 @@ GpuMachine::execGlobalLoad(int warp_id, const DecodedGpuOp &op, Tick now)
     const Tick bw_start = std::max(post_done, mem_bw_free_);
     mem_bw_free_ = bw_start + static_cast<Tick>(
         static_cast<double>(bytes) / cfg_.mem_bytes_per_cycle + 1.0);
-    hot_.load_sectors += sectors;
+    stats_.inc(sim::Probe::GpuLoadSectors, sectors);
     finishOp(warp_id, bw_start + cfg_.mem_rt);
 }
 
@@ -242,7 +247,7 @@ GpuMachine::execGlobalStore(int warp_id, const DecodedGpuOp &op,
     // so fence overhead stays flat under load, matching the paper's
     // measurements.
     warp.last_store_commit = lsu + cfg_.mem_rt / 2;
-    hot_.store_sectors += sectors;
+    stats_.inc(sim::Probe::GpuStoreSectors, sectors);
     finishOp(warp_id, lsu);
 }
 
@@ -269,9 +274,9 @@ GpuMachine::execAtomicSameAddr(int warp_id, const DecodedGpuOp &op,
     // Fig 9.
     const int requests = op.aggregated ? 1 : active;
     if (op.aggregated)
-        ++hot_.atomic_aggregated;
+        stats_.inc(sim::Probe::GpuAtomicAggregated);
     else
-        ++hot_.atomic_unaggregated;
+        stats_.inc(sim::Probe::GpuAtomicUnaggregated);
     // One in flight per warp, sm_atomic_depth in flight per SM:
     // per-warp throughput is flat until the SM window fills (Fig 9:
     // constant up to two warps per SM).
@@ -287,6 +292,8 @@ GpuMachine::execAtomicSameAddr(int warp_id, const DecodedGpuOp &op,
     const Tick svc_done =
         svc_start + static_cast<Tick>(requests) * op.addr_ii;
     lf = svc_done;
+    stats_.record(sim::HistProbe::GpuAtomicWaitTicks,
+                  svc_start - post_done);
     gate.oldest = gate.newest;
     // The gate paces on the posting time plus a fixed round trip,
     // NOT on the (possibly queued) service time -- pacing on service
@@ -319,7 +326,13 @@ GpuMachine::execAtomicCasLike(int warp_id, const DecodedGpuOp &op,
     const std::uint64_t line = resolveAddr(warp, op, 0) >> sector_shift;
     GateSlots &gate = sm_line_gate_[smLineKey(warp.sm, line)];
 
-    ++hot_.atomic_cas_like;
+    stats_.inc(sim::Probe::GpuAtomicCasLike);
+    // Every lane past the winner re-queues through the serialized
+    // CAS pipeline: the conflict cohort behind one op.
+    if (active > 1) {
+        stats_.inc(sim::Probe::GpuCasConflicts,
+                   static_cast<std::uint64_t>(active - 1));
+    }
     const int groups =
         (active + cfg_.cas_pipeline_lanes - 1) / cfg_.cas_pipeline_lanes;
     const Tick post_start = std::max({issued, lsu, gate.newest});
@@ -331,6 +344,8 @@ GpuMachine::execAtomicCasLike(int warp_id, const DecodedGpuOp &op,
     const Tick svc_done =
         svc_start + static_cast<Tick>(groups) * cfg_.cas_group_ii;
     lf = svc_done;
+    stats_.record(sim::HistProbe::GpuAtomicWaitTicks,
+                  svc_start - post_done);
     gate.oldest = gate.newest;
     gate.newest = svc_done;
     finishOp(warp_id, svc_done + cfg_.atomic_rt);
@@ -350,7 +365,8 @@ GpuMachine::execAtomicPerThread(int warp_id, const DecodedGpuOp &op,
         return;
     }
 
-    hot_.atomic_per_thread += static_cast<std::uint64_t>(active);
+    stats_.inc(sim::Probe::GpuAtomicPerThread,
+               static_cast<std::uint64_t>(active));
     Tick &lsu = lsu_free_[warp.sm];
     const Tick post_start = std::max(issued, lsu);
     const Tick post_done =
@@ -418,7 +434,8 @@ GpuMachine::execSharedAtomic(int warp_id, const DecodedGpuOp &op,
     const Tick svc_done =
         svc_start + static_cast<Tick>(active) * cfg_.smem_addr_ii;
     unit = svc_done;
-    hot_.smem_atomic += static_cast<std::uint64_t>(active);
+    stats_.inc(sim::Probe::GpuSmemAtomic,
+               static_cast<std::uint64_t>(active));
 
     if (op.value_returning) {
         finishOp(warp_id, svc_done + cfg_.smem_rt);
@@ -447,6 +464,10 @@ GpuMachine::arriveSyncThreads(int warp_id, Tick when)
 {
     WarpCtx &warp = warps_[warp_id];
     BlockState &block = blocks_[warp.block];
+    if (block.arrived == 0)
+        block.first_arrival = when;
+    else
+        block.first_arrival = std::min(block.first_arrival, when);
     ++block.arrived;
     block.last_arrival = std::max(block.last_arrival, when);
     block.waiters.push_back(warp_id);
@@ -457,11 +478,14 @@ GpuMachine::arriveSyncThreads(int warp_id, Tick when)
     const Tick release =
         block.last_arrival + cfg_.syncthreads_base +
         static_cast<Tick>(block.warps) * cfg_.syncthreads_per_warp;
-    ++hot_.syncthreads;
+    stats_.inc(sim::Probe::GpuSyncthreads);
+    stats_.record(sim::HistProbe::GpuBarrierSpreadTicks,
+                  block.last_arrival - block.first_arrival);
 
     std::vector<int> waiters = std::move(block.waiters);
     block.waiters.clear();
     block.arrived = 0;
+    block.first_arrival = 0;
     block.last_arrival = 0;
 
     for (int w : waiters) {
@@ -480,6 +504,10 @@ GpuMachine::arriveGridSync(int warp_id, Tick when)
               "not resident (use a cooperative launch that fits the "
               "device)", warp.block, pending_blocks_.size());
     }
+    if (grid_arrivals_ == 0)
+        grid_first_arrival_ = when;
+    else
+        grid_first_arrival_ = std::min(grid_first_arrival_, when);
     ++grid_arrivals_;
     grid_last_arrival_ = std::max(grid_last_arrival_, when);
     grid_waiters_.push_back(warp_id);
@@ -495,11 +523,14 @@ GpuMachine::arriveGridSync(int warp_id, Tick when)
     const Tick release =
         grid_last_arrival_ + cfg_.grid_sync_base +
         static_cast<Tick>(blocks_.size()) * cfg_.grid_sync_per_block;
-    ++hot_.grid_sync;
+    stats_.inc(sim::Probe::GpuGridSync);
+    stats_.record(sim::HistProbe::GpuBarrierSpreadTicks,
+                  grid_last_arrival_ - grid_first_arrival_);
 
     std::vector<int> waiters = std::move(grid_waiters_);
     grid_waiters_.clear();
     grid_arrivals_ = 0;
+    grid_first_arrival_ = 0;
     grid_last_arrival_ = 0;
     for (int w : waiters) {
         eq_.schedule(release, [this, w, release] {
@@ -636,7 +667,7 @@ GpuMachine::warpDone(int warp_id, Tick done)
     // Block retired: release its SM slot and launch a pending block.
     sm_free_threads_[block.sm] += block.threads;
     --sm_blocks_[block.sm];
-    ++hot_.blocks_retired;
+    stats_.inc(sim::Probe::GpuBlocksRetired);
     tryLaunchBlocks(done);
 }
 
@@ -681,7 +712,7 @@ GpuMachine::launchBlock(int block_id, int sm, Tick when)
             (sm_next_sched_[sm] + 1) % cfg_.schedulers_per_sm;
         eq_.schedule(start, [this, warp_id] { step(warp_id); }, warp_id);
     }
-    ++hot_.blocks_launched;
+    stats_.inc(sim::Probe::GpuBlocksLaunched);
 }
 
 GpuMachine::DecodedGpuOp
@@ -801,7 +832,6 @@ GpuMachine::run(const GpuKernel &kernel, LaunchConfig launch,
 
     eq_.reset();
     stats_.clear();
-    hot_ = HotStats{};
     decodeSequence(kernel.prologue, dec_prologue_);
     decodeSequence(kernel.body, dec_body_);
     decodeSequence(kernel.epilogue, dec_epilogue_);
@@ -822,6 +852,7 @@ GpuMachine::run(const GpuKernel &kernel, LaunchConfig launch,
     sm_line_gate_.clear();
     mem_bw_free_ = 0;
     grid_arrivals_ = 0;
+    grid_first_arrival_ = 0;
     grid_last_arrival_ = 0;
     grid_waiters_.clear();
 
@@ -861,27 +892,11 @@ GpuMachine::run(const GpuKernel &kernel, LaunchConfig launch,
             result.thread_cycles.push_back(elapsed);
     }
 
-    // Fold the hot counters into the named stats exactly once per
-    // run; zero counters stay absent so dumps are unchanged.
-    const auto fold = [this](const char *name, std::uint64_t v) {
-        if (v > 0)
-            stats_.inc(name, v);
-    };
-    fold("gpu.load_sectors", hot_.load_sectors);
-    fold("gpu.store_sectors", hot_.store_sectors);
-    fold("gpu.atomic_aggregated", hot_.atomic_aggregated);
-    fold("gpu.atomic_unaggregated", hot_.atomic_unaggregated);
-    fold("gpu.atomic_cas_like", hot_.atomic_cas_like);
-    fold("gpu.atomic_per_thread", hot_.atomic_per_thread);
-    fold("gpu.smem_atomic", hot_.smem_atomic);
-    fold("gpu.syncthreads", hot_.syncthreads);
-    fold("gpu.grid_sync", hot_.grid_sync);
-    fold("gpu.divergent_paths", hot_.divergent_paths);
-    fold("gpu.shfl_uops", hot_.shfl_uops);
-    fold("gpu.reduce_sync", hot_.reduce_sync);
-    fold("gpu.fence", hot_.fence);
-    fold("gpu.blocks_launched", hot_.blocks_launched);
-    fold("gpu.blocks_retired", hot_.blocks_retired);
+    // Counters and histograms were recorded in place through the
+    // interned O(1) probes; only the queue's high-water mark is
+    // stamped once per run.
+    stats_.inc(sim::Probe::EqMaxDepth,
+               static_cast<std::uint64_t>(eq_.maxPending()));
     return result;
 }
 

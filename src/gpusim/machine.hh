@@ -179,29 +179,9 @@ class GpuMachine
         int done_warps = 0;
         // __syncthreads rendezvous
         int arrived = 0;
+        Tick first_arrival = 0;
         Tick last_arrival = 0;
         std::vector<int> waiters;
-    };
-
-    /** Hot-path counters, folded into stats_ at the end of run() so
-     * the StatSet's string map stays off the per-op path. */
-    struct HotStats
-    {
-        std::uint64_t load_sectors = 0;
-        std::uint64_t store_sectors = 0;
-        std::uint64_t atomic_aggregated = 0;
-        std::uint64_t atomic_unaggregated = 0;
-        std::uint64_t atomic_cas_like = 0;
-        std::uint64_t atomic_per_thread = 0;
-        std::uint64_t smem_atomic = 0;
-        std::uint64_t syncthreads = 0;
-        std::uint64_t grid_sync = 0;
-        std::uint64_t divergent_paths = 0;
-        std::uint64_t shfl_uops = 0;
-        std::uint64_t reduce_sync = 0;
-        std::uint64_t fence = 0;
-        std::uint64_t blocks_launched = 0;
-        std::uint64_t blocks_retired = 0;
     };
 
     /** Issue an instruction through the warp's scheduler. */
@@ -252,7 +232,6 @@ class GpuMachine
     Pcg32 rng_;
     sim::EventQueue eq_;
     sim::StatSet stats_;
-    HotStats hot_;
 
     const GpuKernel *kernel_ = nullptr;
     LaunchConfig launch_;
@@ -282,6 +261,7 @@ class GpuMachine
 
     // Grid-wide barrier rendezvous (cooperative launch).
     int grid_arrivals_ = 0;
+    Tick grid_first_arrival_ = 0;
     Tick grid_last_arrival_ = 0;
     std::vector<int> grid_waiters_;
 };

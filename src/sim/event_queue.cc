@@ -41,6 +41,8 @@ EventQueue::schedule(Tick when, EventCallback cb, int priority)
               static_cast<std::uint64_t>(next_seq_++) << 32 | slot_idx});
     siftUp(heap_.size() - 1);
     ++live_;
+    if (live_ > max_pending_)
+        max_pending_ = live_;
     return static_cast<EventId>(slot.gen) << 32 | slot_idx;
 }
 
@@ -167,6 +169,7 @@ EventQueue::reset()
     }
     now_ = 0;
     live_ = 0;
+    max_pending_ = 0;
 }
 
 } // namespace syncperf::sim

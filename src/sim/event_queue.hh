@@ -221,6 +221,9 @@ class EventQueue
     /** Total number of events executed over the queue's lifetime. */
     std::uint64_t executed() const { return executed_; }
 
+    /** High-water pending() mark since construction or reset(). */
+    std::size_t maxPending() const { return max_pending_; }
+
     /**
      * Return the queue to its initial state (time 0, nothing
      * pending) while keeping allocated capacity, so a reused machine
@@ -326,6 +329,7 @@ class EventQueue
     std::uint32_t next_seq_ = 0;      ///< schedule-order tie-break
     Tick now_ = 0;
     std::size_t live_ = 0;
+    std::size_t max_pending_ = 0;
     std::uint64_t executed_ = 0;
 };
 

@@ -1,0 +1,117 @@
+#include "sim/stat.hh"
+
+#include "common/logging.hh"
+
+namespace syncperf::sim
+{
+namespace
+{
+
+constexpr const char *probe_names[] = {
+    "cpu.l1_hit",
+    "cpu.mem_fetch",
+    "cpu.transfer_local",
+    "cpu.transfer_remote",
+    "cpu.fence_clean",
+    "cpu.fence_contended",
+    "cpu.lock_handoff",
+    "cpu.barrier_spin",
+    "cpu.barrier_futex",
+    "cpu.barrier_tree",
+    "cpu.barrier_dissemination",
+    "cpu.line_ping_pong",
+    "cpu.lock_contended",
+    "gpu.load_sectors",
+    "gpu.store_sectors",
+    "gpu.atomic_aggregated",
+    "gpu.atomic_unaggregated",
+    "gpu.atomic_cas_like",
+    "gpu.atomic_per_thread",
+    "gpu.smem_atomic",
+    "gpu.syncthreads",
+    "gpu.grid_sync",
+    "gpu.divergent_paths",
+    "gpu.shfl_uops",
+    "gpu.reduce_sync",
+    "gpu.fence",
+    "gpu.blocks_launched",
+    "gpu.blocks_retired",
+    "gpu.cas_conflicts",
+    "sim.eq_max_depth",
+};
+static_assert(std::size(probe_names) ==
+                  static_cast<std::size_t>(Probe::Count),
+              "probe_names out of sync with Probe");
+
+constexpr const char *hist_probe_names[] = {
+    "cpu.acq_wait_ticks",
+    "cpu.fence_stall_ticks",
+    "cpu.barrier_spread_ticks",
+    "cpu.lock_wait_ticks",
+    "gpu.atomic_wait_ticks",
+    "gpu.barrier_spread_ticks",
+    "gpu.fence_stall_ticks",
+};
+static_assert(std::size(hist_probe_names) ==
+                  static_cast<std::size_t>(HistProbe::Count),
+              "hist_probe_names out of sync with HistProbe");
+
+} // namespace
+
+const char *
+probeName(Probe p)
+{
+    SYNCPERF_ASSERT(p < Probe::Count);
+    return probe_names[static_cast<std::size_t>(p)];
+}
+
+const char *
+histProbeName(HistProbe p)
+{
+    SYNCPERF_ASSERT(p < HistProbe::Count);
+    return hist_probe_names[static_cast<std::size_t>(p)];
+}
+
+void
+StatSet::inc(const std::string &name, std::uint64_t delta)
+{
+    for (std::size_t i = 0; i < std::size(probe_names); ++i) {
+        if (name == probe_names[i]) {
+            counters_[i] += delta;
+            return;
+        }
+    }
+    extras_[name] += delta;
+}
+
+std::uint64_t
+StatSet::get(const std::string &name) const
+{
+    for (std::size_t i = 0; i < std::size(probe_names); ++i)
+        if (name == probe_names[i])
+            return counters_[i];
+    auto it = extras_.find(name);
+    return it == extras_.end() ? 0 : it->second;
+}
+
+std::map<std::string, std::uint64_t>
+StatSet::all() const
+{
+    std::map<std::string, std::uint64_t> merged = extras_;
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+        if (counters_[i] > 0)
+            merged[probe_names[i]] += counters_[i];
+    }
+    return merged;
+}
+
+void
+StatSet::clear()
+{
+    counters_.fill(0);
+    for (Histogram &h : hists_)
+        h.clear();
+    extras_.clear();
+}
+
+} // namespace syncperf::sim

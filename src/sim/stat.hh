@@ -1,52 +1,160 @@
 /**
  * @file
- * Named statistic counters for the simulated machines.
+ * Named statistic counters and histograms for the simulated machines.
+ *
+ * The hot path is interned: every probe a machine records is a member
+ * of the Probe (counter) or HistProbe (histogram) enum, so recording
+ * is an array index -- no string hashing, no map node allocation --
+ * and is cheap enough to leave on in production runs. The historical
+ * string-keyed API remains as a cold compatibility path: tests may
+ * still register ad-hoc named counters, and all() renders the merged
+ * set sorted by name exactly as the old std::map dump did (zero-value
+ * probes stay absent).
  */
 
 #ifndef SYNCPERF_SIM_STAT_HH
 #define SYNCPERF_SIM_STAT_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
+
+#include "common/histogram.hh"
 
 namespace syncperf::sim
 {
 
 /**
- * A flat registry of named counters. Machines expose one StatSet so
- * tests and benches can assert on internal activity (e.g. "number of
- * warp-aggregated atomics performed").
+ * Interned counter probes. Names (probeName) are the exact strings
+ * the machines historically folded into the StatSet, plus the
+ * telemetry probes added with the microarchitectural telemetry layer.
+ */
+enum class Probe : int
+{
+    // CPU machine
+    CpuL1Hit,
+    CpuMemFetch,
+    CpuTransferLocal,
+    CpuTransferRemote,
+    CpuFenceClean,
+    CpuFenceContended,
+    CpuLockHandoff,
+    CpuBarrierSpin,
+    CpuBarrierFutex,
+    CpuBarrierTree,
+    CpuBarrierDissemination,
+    CpuLinePingPong,   ///< exclusive ownership moved between cores
+    CpuLockContended,  ///< lock acquire found the lock held
+
+    // GPU machine
+    GpuLoadSectors,
+    GpuStoreSectors,
+    GpuAtomicAggregated,
+    GpuAtomicUnaggregated,
+    GpuAtomicCasLike,
+    GpuAtomicPerThread,
+    GpuSmemAtomic,
+    GpuSyncthreads,
+    GpuGridSync,
+    GpuDivergentPaths,
+    GpuShflUops,
+    GpuReduceSync,
+    GpuFence,
+    GpuBlocksLaunched,
+    GpuBlocksRetired,
+    GpuCasConflicts,   ///< lanes serialized behind a CAS-like winner
+
+    // Shared simulator infrastructure
+    EqMaxDepth,        ///< high-water event-queue depth of the run
+
+    Count
+};
+
+/** Interned histogram probes (tick distributions). */
+enum class HistProbe : int
+{
+    CpuAcqWaitTicks,       ///< exclusive-acquisition queue wait
+    CpuFenceStallTicks,    ///< drain stall of a contended fence
+    CpuBarrierSpreadTicks, ///< last minus first barrier arrival
+    CpuLockWaitTicks,      ///< blocked time until lock handoff
+    GpuAtomicWaitTicks,    ///< L2 atomic-unit queue wait
+    GpuBarrierSpreadTicks, ///< __syncthreads arrival spread
+    GpuFenceStallTicks,    ///< device-fence store-commit stall
+
+    Count
+};
+
+/** Stable display/serialization name of @p p (e.g. "cpu.l1_hit"). */
+const char *probeName(Probe p);
+
+/** Stable display/serialization name of @p p. */
+const char *histProbeName(HistProbe p);
+
+/**
+ * A flat registry of counters and histograms. Machines expose one
+ * StatSet so tests and benches can assert on internal activity (e.g.
+ * "number of warp-aggregated atomics performed") and the telemetry
+ * layer can explain figure shapes.
  */
 class StatSet
 {
   public:
-    /** Add @p delta to counter @p name, creating it at zero. */
+    /** Add @p delta to interned counter @p p. O(1). */
     void
-    inc(const std::string &name, std::uint64_t delta = 1)
+    inc(Probe p, std::uint64_t delta = 1)
     {
-        counters_[name] += delta;
+        counters_[static_cast<std::size_t>(p)] += delta;
     }
+
+    /** Value of interned counter @p p. O(1). */
+    std::uint64_t
+    get(Probe p) const
+    {
+        return counters_[static_cast<std::size_t>(p)];
+    }
+
+    /** Record @p v into interned histogram @p p. O(1). */
+    void
+    record(HistProbe p, std::uint64_t v)
+    {
+        hists_[static_cast<std::size_t>(p)].record(v);
+    }
+
+    /** Interned histogram @p p (possibly empty). */
+    const Histogram &
+    hist(HistProbe p) const
+    {
+        return hists_[static_cast<std::size_t>(p)];
+    }
+
+    /**
+     * Add @p delta to counter @p name, creating it at zero. Cold
+     * compatibility path: resolves interned probe names to their
+     * enum slot, ad-hoc names go to a side map.
+     */
+    void inc(const std::string &name, std::uint64_t delta = 1);
 
     /** Value of @p name, or zero when never incremented. */
-    std::uint64_t
-    get(const std::string &name) const
-    {
-        auto it = counters_.find(name);
-        return it == counters_.end() ? 0 : it->second;
-    }
+    std::uint64_t get(const std::string &name) const;
 
-    /** All counters, sorted by name for deterministic dumps. */
-    const std::map<std::string, std::uint64_t> &all() const
-    {
-        return counters_;
-    }
+    /**
+     * All nonzero counters, sorted by name for deterministic dumps
+     * (interned probes and ad-hoc names merged; zero-valued interned
+     * probes are absent, matching the historical fold behavior).
+     */
+    std::map<std::string, std::uint64_t> all() const;
 
-    /** Reset every counter to zero. */
-    void clear() { counters_.clear(); }
+    /** Reset every counter and histogram to zero. */
+    void clear();
 
   private:
-    std::map<std::string, std::uint64_t> counters_;
+    std::array<std::uint64_t, static_cast<std::size_t>(Probe::Count)>
+        counters_{};
+    std::array<Histogram, static_cast<std::size_t>(HistProbe::Count)>
+        hists_{};
+    std::map<std::string, std::uint64_t> extras_;
 };
 
 } // namespace syncperf::sim

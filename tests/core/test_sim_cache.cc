@@ -235,6 +235,67 @@ TEST_F(SimCacheTest, CampaignOutputIsByteIdenticalWithCacheOff)
     fs::remove_all(base);
 }
 
+TEST_F(SimCacheTest, CpuCacheHitsReplayIdenticalTelemetry)
+{
+    // A cache hit must contribute the stored telemetry of the
+    // original simulation: the accumulated sample is identical with
+    // the cache on (mostly hits) and off (all re-simulated).
+    auto cached_cfg = cpuProtocol();
+    cached_cfg.telemetry = true;
+    auto uncached_cfg = cached_cfg;
+    uncached_cfg.sim_cache = false;
+
+    CpuSimTarget cached(cpusim::CpuConfig::system2(), cached_cfg);
+    CpuSimTarget uncached(cpusim::CpuConfig::system2(), uncached_cfg);
+    OmpExperiment exp;
+    exp.primitive = OmpPrimitive::AtomicUpdate;
+
+    cached.measure(exp, 4);
+    uncached.measure(exp, 4);
+    EXPECT_GT(hits(), 0);
+
+    const auto a = cached.takeTelemetry();
+    const auto b = uncached.takeTelemetry();
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "cache hits dropped or altered telemetry";
+    ASSERT_EQ(a.histograms.count("cpu.acq_wait_ticks"), 1u);
+
+    // takeTelemetry drains the accumulator.
+    EXPECT_TRUE(cached.takeTelemetry().empty());
+}
+
+TEST_F(SimCacheTest, GpuCacheHitsReplayIdenticalTelemetry)
+{
+    auto cached_cfg = gpuProtocol();
+    cached_cfg.telemetry = true;
+    auto uncached_cfg = cached_cfg;
+    uncached_cfg.sim_cache = false;
+
+    GpuSimTarget cached(gpusim::GpuConfig::rtx4090(), cached_cfg);
+    GpuSimTarget uncached(gpusim::GpuConfig::rtx4090(), uncached_cfg);
+    CudaExperiment exp;
+    exp.primitive = CudaPrimitive::AtomicAdd;
+
+    cached.measure(exp, {2, 64});
+    uncached.measure(exp, {2, 64});
+    EXPECT_GT(hits(), 0);
+
+    const auto a = cached.takeTelemetry();
+    const auto b = uncached.takeTelemetry();
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "cache hits dropped or altered telemetry";
+    ASSERT_EQ(a.histograms.count("gpu.atomic_wait_ticks"), 1u);
+}
+
+TEST_F(SimCacheTest, TelemetryOffKeepsAccumulatorEmpty)
+{
+    CpuSimTarget target(cpusim::CpuConfig::system2(), cpuProtocol());
+    OmpExperiment exp;
+    exp.primitive = OmpPrimitive::Barrier;
+    target.measure(exp, 4);
+    EXPECT_TRUE(target.takeTelemetry().empty());
+}
+
 TEST_F(SimCacheTest, CacheCountersAreDeterministicClass)
 {
     // The jobs-1 vs jobs-N equality itself is covered by the campaign
