@@ -8,22 +8,48 @@
  * experiment is journaled in results/<system>/manifest.json, a
  * failed experiment is recorded and skipped rather than aborting,
  * and --resume continues an interrupted campaign without redoing
- * journaled-complete work. Exits nonzero (with a summary) when any
- * experiment failed. See docs/robustness.md.
+ * journaled-complete work. SIGINT/SIGTERM checkpoint the journal
+ * and exit with 128+signo, so an interrupted campaign resumes
+ * cleanly. Exits nonzero (with a summary) when any experiment
+ * failed. See docs/robustness.md.
+ *
+ * Crash tolerance scales out with --shards N: the process becomes a
+ * supervisor that partitions the sweep across N worker processes
+ * (respawns of this same binary with --shard-worker k/N), watches
+ * their heartbeats, respawns crashed or hung workers with capped
+ * exponential backoff, and -- when a shard exhausts its retries --
+ * reassigns its unfinished points to the survivors. Workers journal
+ * every commit to per-shard append-only logs; the supervisor merges
+ * them into manifest.json afterwards, so the result tree is
+ * byte-identical to a serial run. docs/robustness.md, "Sharded
+ * campaigns", has the failure model.
  */
 
+#include <atomic>
 #include <cctype>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "common/json.hh"
+#include "common/metrics.hh"
+#include "common/thread_pool.hh"
 #include "common/trace.hh"
 #include "core/campaign.hh"
+#include "core/manifest.hh"
 #include "core/metrics.hh"
+#include "core/shard.hh"
 #include "core/telemetry.hh"
+#include "sim/fault_injector.hh"
 
 using namespace syncperf;
 using namespace syncperf::core;
@@ -31,11 +57,24 @@ using namespace syncperf::core;
 namespace
 {
 
+namespace fs = std::filesystem;
+
+/** Last signal delivered; 0 while none. Polled cooperatively by the
+ * campaign (options.cancelled) and by the shard supervisor. */
+volatile std::sig_atomic_t g_signal = 0;
+
+void
+onSignal(int signo)
+{
+    g_signal = signo;
+}
+
 /** Accumulated outcome across all systems. */
 struct Totals
 {
     int run = 0;
     int skipped = 0;
+    int interrupted = 0;
     std::vector<ExperimentFailure> failures;
     int files = 0;
 
@@ -44,6 +83,7 @@ struct Totals
     {
         run += r.experiments_run;
         skipped += r.experiments_skipped;
+        interrupted += r.experiments_interrupted;
         files += static_cast<int>(r.files_written.size());
         for (const auto &f : r.failures)
             failures.push_back({system + "/" + f.file, f.error});
@@ -94,6 +134,178 @@ systemSelected(const std::vector<std::string> &only,
     return false;
 }
 
+/** Absolute path of this binary, for respawning shard workers. */
+std::string
+selfExecutable(const char *argv0)
+{
+    std::error_code ec;
+    const fs::path link = fs::read_symlink("/proc/self/exe", ec);
+    if (!ec)
+        return link.string();
+    return fs::absolute(argv0).string();
+}
+
+/** One system's slot in a sharded campaign. */
+struct SystemPlan
+{
+    std::string slug;                 ///< sanitized system name
+    fs::path dir;                     ///< results/<slug>
+    std::vector<CampaignPoint> points; ///< full enumeration, in order
+};
+
+/** Shard bookkeeping for one merged system. */
+struct MergeStats
+{
+    int executed = 0;         ///< unique keys with a journal record
+    int duplicate_commits = 0; ///< same key completed by >1 record
+};
+
+/**
+ * Fold every shard journal of @p plan into its manifest.json (the
+ * merge step of a sharded campaign) and delete the journals. The
+ * entry order is canonicalized separately, after any salvage.
+ */
+MergeStats
+mergeSystem(const SystemPlan &plan, int shards)
+{
+    MergeStats stats;
+    auto loaded = Manifest::load(plan.dir / "manifest.json");
+    Manifest manifest =
+        loaded.isOk() ? std::move(loaded).value()
+                      : Manifest(plan.dir / "manifest.json");
+
+    std::unordered_map<std::string, int> completes;
+    std::unordered_set<std::string> executed;
+    std::vector<fs::path> journals;
+    for (int k = 0; k < shards; ++k) {
+        const fs::path file = plan.dir / shardJournalName(k);
+        auto entries = Manifest::loadJournal(file);
+        journals.push_back(file);
+        if (!entries.isOk())
+            continue;
+        for (ManifestEntry &entry : entries.value()) {
+            executed.insert(entry.key);
+            if (entry.complete)
+                ++completes[entry.key];
+            manifest.absorb(std::move(entry));
+        }
+    }
+    for (const auto &[key, n] : completes) {
+        if (n > 1)
+            stats.duplicate_commits += n - 1;
+    }
+    stats.executed = static_cast<int>(executed.size());
+
+    manifest.setSystem(plan.slug);
+    if (auto s = manifest.save(); !s.isOk()) {
+        std::fprintf(stderr, "cannot merge %s: %s\n",
+                     plan.slug.c_str(), s.toString().c_str());
+        return stats; // keep the journals for debugging
+    }
+    std::error_code ec;
+    for (const fs::path &file : journals)
+        fs::remove(file, ec);
+    return stats;
+}
+
+/**
+ * Rewrite @p plan's manifest with entries in canonical enumeration
+ * order (unknown entries keep their relative order at the end),
+ * which makes the merged file byte-identical to a serial run's.
+ */
+void
+canonicalizeSystem(const SystemPlan &plan)
+{
+    auto loaded = Manifest::load(plan.dir / "manifest.json");
+    if (!loaded.isOk())
+        return;
+    const Manifest &merged = loaded.value();
+
+    Manifest ordered(plan.dir / "manifest.json");
+    ordered.setSystem(merged.system().empty() ? plan.slug
+                                              : merged.system());
+    std::unordered_map<std::string, const ManifestEntry *> by_key;
+    for (const ManifestEntry &e : merged.entries())
+        by_key[e.key] = &e;
+    std::unordered_set<std::string> in_enum;
+    for (const CampaignPoint &p : plan.points) {
+        in_enum.insert(p.file);
+        auto it = by_key.find(p.file);
+        if (it != by_key.end())
+            ordered.absorb(*it->second);
+    }
+    for (const ManifestEntry &e : merged.entries()) {
+        if (in_enum.count(e.key) == 0)
+            ordered.absorb(e);
+    }
+    if (auto s = ordered.save(); !s.isOk()) {
+        std::fprintf(stderr, "cannot canonicalize %s: %s\n",
+                     plan.slug.c_str(), s.toString().c_str());
+    }
+}
+
+/** Sweep .tmp strays (and, on a fresh run, stale shard state) from
+ * every system directory before any worker spawns. */
+void
+cleanSystemDir(const fs::path &dir, bool fresh, int shards)
+{
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        return;
+    for (const auto &e : fs::directory_iterator(dir, ec)) {
+        if (e.is_regular_file() && e.path().extension() == ".tmp")
+            fs::remove(e.path(), ec);
+    }
+    if (fresh) {
+        fs::remove(dir / "manifest.json", ec);
+        for (int k = 0; k < shards; ++k)
+            fs::remove(dir / shardJournalName(k), ec);
+    }
+}
+
+/** JSON report of a sharded run (--shard-report). */
+Status
+writeShardReport(const fs::path &file, int shards,
+                 const ShardSupervisorResult &sup,
+                 int duplicate_commits, int salvaged)
+{
+    JsonValue root = JsonValue::object();
+    root.set("shards", JsonValue(shards));
+    root.set("spawned", JsonValue(sup.spawned));
+    root.set("retries", JsonValue(sup.retries));
+    root.set("timeouts", JsonValue(sup.timeouts));
+    root.set("dead", JsonValue(sup.dead));
+    root.set("points_reassigned", JsonValue(sup.points_reassigned));
+    root.set("duplicate_commits", JsonValue(duplicate_commits));
+    root.set("leftover_salvaged", JsonValue(salvaged));
+    root.set("degraded",
+             JsonValue(sup.dead > 0 || !sup.leftover.empty()));
+    root.set("interrupted", JsonValue(sup.interrupted));
+    JsonValue states = JsonValue::array();
+    for (const ShardState &s : sup.shards) {
+        JsonValue st = JsonValue::object();
+        st.set("index", JsonValue(s.index));
+        st.set("spawns", JsonValue(s.spawns));
+        st.set("timeouts", JsonValue(s.timeouts));
+        st.set("dead", JsonValue(s.dead));
+        st.set("last_exit", JsonValue(s.last_exit));
+        JsonValue extras = JsonValue::array();
+        for (const std::string &key : s.extra_points)
+            extras.push(JsonValue(key));
+        st.set("extra_points", std::move(extras));
+        states.push(std::move(st));
+    }
+    root.set("per_shard", std::move(states));
+
+    std::ofstream out(file);
+    if (!out)
+        return Status::error(ErrorCode::IoError,
+                             "cannot write shard report {}",
+                             file.string());
+    out << root.dump(2) << "\n";
+    return Status::ok();
+}
+
 } // namespace
 
 int
@@ -104,8 +316,14 @@ main(int argc, char **argv)
     bool omp_only = false, cuda_only = false;
     bool metrics_summary = false;
     bool explain = false, explain_only = false;
+    bool jobs_given = false;
+    int shards = 1;
+    ShardSupervisorOptions shard_options;
+    std::string shard_report_file;
+    std::string shard_extra_file;
     std::string trace_file;
     std::string metrics_file;
+    std::string only_raw, cov_gate_raw;
     std::vector<std::string> only;
     MeasurementConfig omp_protocol = MeasurementConfig::simDefaults();
     MeasurementConfig cuda_protocol = MeasurementConfig::simGpuDefaults();
@@ -123,6 +341,7 @@ main(int argc, char **argv)
             options.resume = true;
         } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             options.jobs = std::atoi(argv[++i]);
+            jobs_given = true;
             if (options.jobs < 1) {
                 std::fprintf(stderr, "%s: --jobs wants a count >= 1\n",
                              argv[0]);
@@ -131,8 +350,43 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
                    i + 1 < argc) {
             options.checkpoint_every = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--shards") == 0 &&
+                   i + 1 < argc) {
+            shards = std::atoi(argv[++i]);
+            if (shards < 1) {
+                std::fprintf(stderr,
+                             "%s: --shards wants a count >= 1\n",
+                             argv[0]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--shard-worker") == 0 &&
+                   i + 1 < argc) {
+            auto spec = parseShardSpec(argv[++i]);
+            if (!spec.isOk()) {
+                std::fprintf(stderr, "%s: %s\n", argv[0],
+                             spec.status().toString().c_str());
+                return 2;
+            }
+            options.shard_index = spec.value().index;
+            options.shard_count = spec.value().count;
+        } else if (std::strcmp(argv[i], "--shard-extra") == 0 &&
+                   i + 1 < argc) {
+            shard_extra_file = argv[++i];
+        } else if (std::strcmp(argv[i], "--shard-timeout") == 0 &&
+                   i + 1 < argc) {
+            shard_options.heartbeat_timeout_s = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--shard-max-retries") == 0 &&
+                   i + 1 < argc) {
+            shard_options.max_retries = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--shard-backoff-ms") == 0 &&
+                   i + 1 < argc) {
+            shard_options.backoff_base_ms = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--shard-report") == 0 &&
+                   i + 1 < argc) {
+            shard_report_file = argv[++i];
         } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
-            only = parseOnly(argv[++i]);
+            only_raw = argv[++i];
+            only = parseOnly(only_raw.c_str());
         } else if (std::strcmp(argv[i], "--trace") == 0 &&
                    i + 1 < argc) {
             trace_file = argv[++i];
@@ -143,7 +397,8 @@ main(int argc, char **argv)
             metrics_summary = true;
         } else if (std::strcmp(argv[i], "--cov-gate") == 0 &&
                    i + 1 < argc) {
-            const double gate = std::atof(argv[++i]);
+            cov_gate_raw = argv[++i];
+            const double gate = std::atof(cov_gate_raw.c_str());
             omp_protocol.cov_gate = gate;
             cuda_protocol.cov_gate = gate;
         } else if (std::strcmp(argv[i], "--no-sim-cache") == 0) {
@@ -167,7 +422,10 @@ main(int argc, char **argv)
             std::printf(
                 "usage: %s [omp|cuda] [--out DIR] [--thorough] "
                 "[--resume] [--cov-gate COV] [--jobs N] "
-                "[--checkpoint-every N] [--only NAME[,NAME...]] "
+                "[--checkpoint-every N] [--shards N] "
+                "[--shard-timeout SECS] [--shard-max-retries N] "
+                "[--shard-backoff-ms MS] [--shard-report FILE] "
+                "[--only NAME[,NAME...]] "
                 "[--no-sim-cache] [--telemetry] [--explain] "
                 "[--explain-only] [--trace FILE] [--metrics FILE] "
                 "[--metrics-summary]\n"
@@ -175,6 +433,22 @@ main(int argc, char **argv)
                 "hardware threads; 1 = serial).\n"
                 "             Output is byte-identical at every job "
                 "count.\n"
+                "  --shards N  run the campaign across N supervised "
+                "worker processes. Crashed or\n"
+                "             hung workers are respawned with backoff; "
+                "a worker that keeps dying has\n"
+                "             its unfinished points reassigned to the "
+                "survivors. Output is\n"
+                "             byte-identical at every shard count "
+                "(see docs/robustness.md).\n"
+                "  --shard-timeout SECS      heartbeat staleness that "
+                "counts as hung (default 120).\n"
+                "  --shard-max-retries N     respawns per shard before "
+                "giving up on it (default 2).\n"
+                "  --shard-backoff-ms MS     base respawn backoff, "
+                "doubling per retry (default 250).\n"
+                "  --shard-report FILE       write a JSON report of "
+                "shard lifecycle/degradation.\n"
                 "  --no-sim-cache  re-simulate every launch instead "
                 "of memoizing deterministic results\n"
                 "             (output is byte-identical either way; "
@@ -202,6 +476,13 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--out") == 0 ||
                    std::strcmp(argv[i], "--jobs") == 0 ||
                    std::strcmp(argv[i], "--checkpoint-every") == 0 ||
+                   std::strcmp(argv[i], "--shards") == 0 ||
+                   std::strcmp(argv[i], "--shard-worker") == 0 ||
+                   std::strcmp(argv[i], "--shard-extra") == 0 ||
+                   std::strcmp(argv[i], "--shard-timeout") == 0 ||
+                   std::strcmp(argv[i], "--shard-max-retries") == 0 ||
+                   std::strcmp(argv[i], "--shard-backoff-ms") == 0 ||
+                   std::strcmp(argv[i], "--shard-report") == 0 ||
                    std::strcmp(argv[i], "--only") == 0 ||
                    std::strcmp(argv[i], "--trace") == 0 ||
                    std::strcmp(argv[i], "--metrics") == 0 ||
@@ -217,10 +498,58 @@ main(int argc, char **argv)
         }
     }
 
+    const bool shard_worker = options.shard_count > 1;
+    if (shard_worker && shards > 1) {
+        std::fprintf(stderr,
+                     "%s: --shards and --shard-worker are mutually "
+                     "exclusive\n",
+                     argv[0]);
+        return 2;
+    }
+
     // The CoV gate needs more than one run to see variance.
     if (omp_protocol.cov_gate > 0.0) {
         omp_protocol.runs = 3;
         cuda_protocol.runs = 3;
+    }
+
+    // Checkpoint-and-exit on SIGINT/SIGTERM: the cancellation hook
+    // below stops launching new experiments, the journal is flushed
+    // on the way out, and the exit code is 128+signo so callers can
+    // tell "interrupted after checkpoint" from "failed".
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    options.cancelled = [] { return g_signal != 0; };
+
+    // Shard worker wiring: resume against the merged commit log,
+    // beat the heartbeat file at every commit, and (tests only) arm
+    // the kill-shard fault when this worker is the targeted shard.
+    sim::FaultInjector kill_injector;
+    std::optional<sim::FaultInjector::Scope> kill_scope;
+    if (shard_worker) {
+        options.resume = true;
+        if (!shard_extra_file.empty()) {
+            std::ifstream in(shard_extra_file);
+            std::string line;
+            while (std::getline(in, line)) {
+                if (!line.empty())
+                    options.shard_extra.push_back(line);
+            }
+        }
+        const fs::path hb = shardHeartbeatPath(
+            fs::path(options.output_dir) / ".shards",
+            options.shard_index);
+        std::error_code ec;
+        fs::create_directories(hb.parent_path(), ec);
+        options.heartbeat = [hb](const std::string &note) {
+            shardHeartbeat(hb, note);
+        };
+        sim::FaultInjector::KillShardSpec kill_spec;
+        if (sim::FaultInjector::killShardSpecFromEnv(kill_spec) &&
+            kill_spec.shard == options.shard_index) {
+            kill_injector.killAfterCsvCommits(kill_spec.commits);
+            kill_scope.emplace(kill_injector);
+        }
     }
 
     if (!trace_file.empty()) {
@@ -235,38 +564,276 @@ main(int argc, char **argv)
     // only, so two snapshots of the same configuration are diffable.
     core::CampaignMetrics::global().reset();
 
+    // The systems this invocation covers, in canonical order.
+    std::vector<cpusim::CpuConfig> cpus;
+    std::vector<gpusim::GpuConfig> gpus;
+    if (!cuda_only) {
+        for (const auto &cpu : {cpusim::CpuConfig::system1(),
+                                cpusim::CpuConfig::system2(),
+                                cpusim::CpuConfig::system3()}) {
+            if (systemSelected(only, sanitizeName(cpu.name)))
+                cpus.push_back(cpu);
+        }
+    }
+    if (!omp_only) {
+        for (const auto &gpu : {gpusim::GpuConfig::rtx2070Super(),
+                                gpusim::GpuConfig::a100(),
+                                gpusim::GpuConfig::rtx4090()}) {
+            if (systemSelected(only, sanitizeName(gpu.name)))
+                gpus.push_back(gpu);
+        }
+    }
+
     Totals totals;
-    if (!explain_only) {
+    int shard_duplicates = 0;
+    int shard_salvaged = 0;
+    std::optional<ShardSupervisorResult> shard_outcome;
+    if (!explain_only && shards > 1) {
+        // ------------------------------------------- supervisor mode
+        trace::Span campaign_span("campaign", "campaign");
+
+        // Enumerate every system's sweep (no measuring) to build the
+        // deterministic shard assignment and the canonical hashes.
+        CampaignOptions enum_options = options;
+        enum_options.enumerate_only = true;
+        std::vector<SystemPlan> plans;
+        for (const auto &cpu : cpus) {
+            SystemPlan plan;
+            plan.slug = sanitizeName(cpu.name);
+            plan.dir = fs::path(options.output_dir) / plan.slug;
+            plan.points =
+                runOmpCampaign(cpu, omp_protocol, enum_options).points;
+            plans.push_back(std::move(plan));
+        }
+        for (const auto &gpu : gpus) {
+            SystemPlan plan;
+            plan.slug = sanitizeName(gpu.name);
+            plan.dir = fs::path(options.output_dir) / plan.slug;
+            plan.points =
+                runCudaCampaign(gpu, cuda_protocol, enum_options)
+                    .points;
+            plans.push_back(std::move(plan));
+        }
+
+        std::size_t total_points = 0;
+        std::unordered_map<std::string, std::uint64_t> canonical_hash;
+        std::vector<std::vector<std::string>> assignment(
+            static_cast<std::size_t>(shards));
+        for (const SystemPlan &plan : plans) {
+            cleanSystemDir(plan.dir, !options.resume, shards);
+            for (std::size_t ordinal = 0; ordinal < plan.points.size();
+                 ++ordinal) {
+                const std::string key =
+                    plan.slug + "/" + plan.points[ordinal].file;
+                canonical_hash[key] = plan.points[ordinal].hash;
+                assignment[ordinal % static_cast<std::size_t>(shards)]
+                    .push_back(key);
+                ++total_points;
+            }
+        }
+
+        // The worker command: this binary, this configuration, plus
+        // --resume so respawns skip whatever is already journaled.
+        std::vector<std::string> worker_argv;
+        worker_argv.push_back(selfExecutable(argv[0]));
+        if (omp_only)
+            worker_argv.push_back("omp");
+        if (cuda_only)
+            worker_argv.push_back("cuda");
+        worker_argv.push_back("--out");
+        worker_argv.push_back(options.output_dir);
+        if (!options.quick)
+            worker_argv.push_back("--thorough");
+        worker_argv.push_back("--resume");
+        if (!cov_gate_raw.empty()) {
+            worker_argv.push_back("--cov-gate");
+            worker_argv.push_back(cov_gate_raw);
+        }
+        if (!omp_protocol.sim_cache)
+            worker_argv.push_back("--no-sim-cache");
+        if (omp_protocol.telemetry)
+            worker_argv.push_back("--telemetry");
+        if (!only_raw.empty()) {
+            worker_argv.push_back("--only");
+            worker_argv.push_back(only_raw);
+        }
+        // Split the machine across workers unless told otherwise.
+        const int worker_jobs =
+            jobs_given
+                ? options.jobs
+                : std::max(1, ThreadPool::hardwareConcurrency() /
+                                  shards);
+        worker_argv.push_back("--jobs");
+        worker_argv.push_back(std::to_string(worker_jobs));
+
+        ShardSupervisor::Config config;
+        config.options = shard_options;
+        config.worker_argv = std::move(worker_argv);
+        config.control_dir = fs::path(options.output_dir) / ".shards";
+        config.assignment = std::move(assignment);
+        config.cancelled = [] { return g_signal != 0; };
+        config.recordedKeys = [&plans, &canonical_hash, shards]() {
+            std::vector<std::string> keys;
+            for (const SystemPlan &plan : plans) {
+                const auto consider = [&](const ManifestEntry &e,
+                                          bool from_journal) {
+                    // Journal records are this run's own commits:
+                    // complete or failed, the work happened and must
+                    // not be redone. manifest.json completes only
+                    // count under a matching hash (--resume rules);
+                    // its failures are from an older run and should
+                    // be re-attempted, so they don't count.
+                    if (!from_journal && !e.complete)
+                        return;
+                    const std::string key = plan.slug + "/" + e.key;
+                    const auto it = canonical_hash.find(key);
+                    if (it != canonical_hash.end() &&
+                        it->second == e.config_hash)
+                        keys.push_back(key);
+                };
+                if (auto m =
+                        Manifest::load(plan.dir / "manifest.json");
+                    m.isOk()) {
+                    for (const ManifestEntry &e : m.value().entries())
+                        consider(e, false);
+                }
+                for (int k = 0; k < shards; ++k) {
+                    auto entries = Manifest::loadJournal(
+                        plan.dir / shardJournalName(k));
+                    if (!entries.isOk())
+                        continue;
+                    for (const ManifestEntry &e : entries.value())
+                        consider(e, true);
+                }
+            }
+            return keys;
+        };
+
+        std::printf("sharded campaign: %zu points across %d worker "
+                    "processes...\n",
+                    total_points, shards);
+        ShardSupervisor supervisor(std::move(config));
+        shard_outcome = supervisor.run();
+
+        // Merge every shard's commit log into the per-system
+        // manifests -- this is the supervisor's checkpoint, so it
+        // runs even when interrupted.
+        int executed = 0;
+        for (const SystemPlan &plan : plans) {
+            const MergeStats stats = mergeSystem(plan, shards);
+            executed += stats.executed;
+            shard_duplicates += stats.duplicate_commits;
+        }
+
+        // Points every eligible shard died on are salvaged inline:
+        // a plain resume reruns exactly the unjournaled remainder.
+        if (!shard_outcome->leftover.empty() &&
+            !shard_outcome->interrupted) {
+            std::printf("degraded: salvaging %zu leftover points "
+                        "inline...\n",
+                        shard_outcome->leftover.size());
+            CampaignOptions salvage = options;
+            salvage.resume = true;
+            for (const auto &cpu : cpus) {
+                const auto r =
+                    runOmpCampaign(cpu, omp_protocol, salvage);
+                shard_salvaged += r.experiments_run;
+                totals.fold(sanitizeName(cpu.name), r);
+            }
+            for (const auto &gpu : gpus) {
+                const auto r =
+                    runCudaCampaign(gpu, cuda_protocol, salvage);
+                shard_salvaged += r.experiments_run;
+                totals.fold(sanitizeName(gpu.name), r);
+            }
+            totals.run = 0; // recomputed from the journals below
+        }
+
+        // Canonical entry order, and the final accounting from the
+        // merged manifests (the workers' own counters died with
+        // their processes; the commit log is the durable record).
+        int files = 0, failed = 0;
+        std::unordered_set<std::string> resolved;
+        for (const SystemPlan &plan : plans) {
+            canonicalizeSystem(plan);
+            auto loaded = Manifest::load(plan.dir / "manifest.json");
+            if (!loaded.isOk())
+                continue;
+            for (const ManifestEntry &e : loaded.value().entries()) {
+                const std::string key = plan.slug + "/" + e.key;
+                const auto it = canonical_hash.find(key);
+                if (it == canonical_hash.end() ||
+                    it->second != e.config_hash)
+                    continue;
+                resolved.insert(key);
+                if (e.complete) {
+                    ++files;
+                } else {
+                    ++failed;
+                    totals.failures.push_back({key, e.error});
+                }
+            }
+        }
+        // Salvage (or a late journal append) may have covered what
+        // the supervisor queued as leftovers; only points still
+        // absent from every manifest are truly unrecoverable.
+        std::erase_if(shard_outcome->leftover,
+                      [&resolved](const std::string &key) {
+                          return resolved.count(key) > 0;
+                      });
+        totals.run = executed + shard_salvaged;
+        totals.files = files;
+        totals.skipped = static_cast<int>(total_points) - files - failed;
+        if (totals.skipped < 0)
+            totals.skipped = 0;
+        metrics::add(metrics::Counter::PointsCommitted, files);
+        metrics::add(metrics::Counter::PointsFailed, failed);
+        if (totals.skipped > 0)
+            metrics::add(metrics::Counter::PointsSkipped,
+                         totals.skipped);
+
+        if (!shard_report_file.empty()) {
+            if (auto s = writeShardReport(
+                    shard_report_file, shards, *shard_outcome,
+                    shard_duplicates, shard_salvaged);
+                !s.isOk()) {
+                std::fprintf(stderr, "%s: %s\n", argv[0],
+                             s.toString().c_str());
+            }
+        }
+        std::printf("  %d shard workers spawned (%d retries, %d "
+                    "timeouts, %d dead, %d points reassigned)\n",
+                    shard_outcome->spawned, shard_outcome->retries,
+                    shard_outcome->timeouts, shard_outcome->dead,
+                    shard_outcome->points_reassigned);
+        // Worker logs and heartbeats are debugging artifacts; keep
+        // them only when something went wrong.
+        if (shard_outcome->dead == 0 && totals.failures.empty() &&
+            !shard_outcome->interrupted) {
+            std::error_code ec;
+            fs::remove_all(fs::path(options.output_dir) / ".shards",
+                           ec);
+        }
+    } else if (!explain_only) {
+        // -------------------------------- in-process (serial) mode
         // Scoped so the campaign-level span closes before the trace
         // session flushes below.
         trace::Span campaign_span("campaign", "campaign");
-        if (!cuda_only) {
-            for (const auto &cpu : {cpusim::CpuConfig::system1(),
-                                    cpusim::CpuConfig::system2(),
-                                    cpusim::CpuConfig::system3()}) {
-                if (!systemSelected(only, sanitizeName(cpu.name)))
-                    continue;
-                std::printf("OpenMP campaign on %s...\n",
-                            cpu.name.c_str());
-                const auto r =
-                    runOmpCampaign(cpu, omp_protocol, options);
-                printSystemLine(r);
-                totals.fold(sanitizeName(cpu.name), r);
-            }
+        for (const auto &cpu : cpus) {
+            if (g_signal != 0)
+                break;
+            std::printf("OpenMP campaign on %s...\n", cpu.name.c_str());
+            const auto r = runOmpCampaign(cpu, omp_protocol, options);
+            printSystemLine(r);
+            totals.fold(sanitizeName(cpu.name), r);
         }
-        if (!omp_only) {
-            for (const auto &gpu : {gpusim::GpuConfig::rtx2070Super(),
-                                    gpusim::GpuConfig::a100(),
-                                    gpusim::GpuConfig::rtx4090()}) {
-                if (!systemSelected(only, sanitizeName(gpu.name)))
-                    continue;
-                std::printf("CUDA campaign on %s...\n",
-                            gpu.name.c_str());
-                const auto r =
-                    runCudaCampaign(gpu, cuda_protocol, options);
-                printSystemLine(r);
-                totals.fold(sanitizeName(gpu.name), r);
-            }
+        for (const auto &gpu : gpus) {
+            if (g_signal != 0)
+                break;
+            std::printf("CUDA campaign on %s...\n", gpu.name.c_str());
+            const auto r = runCudaCampaign(gpu, cuda_protocol, options);
+            printSystemLine(r);
+            totals.fold(sanitizeName(gpu.name), r);
         }
     }
 
@@ -307,16 +874,33 @@ main(int argc, char **argv)
             return 0;
     }
 
+    const bool interrupted =
+        g_signal != 0 || totals.interrupted > 0 ||
+        (shard_outcome && shard_outcome->interrupted);
     std::printf("\ncampaign %s: %d CSV files under %s/ "
                 "(%d experiments run, %d resumed-skipped, %zu failed)\n",
-                totals.failures.empty() ? "complete" : "DEGRADED",
+                interrupted ? "INTERRUPTED"
+                : totals.failures.empty() ? "complete"
+                                          : "DEGRADED",
                 totals.files, options.output_dir.c_str(), totals.run,
                 totals.skipped, totals.failures.size());
+    if (interrupted) {
+        std::printf("interrupted by signal %d after checkpointing; "
+                    "rerun with --resume to continue\n",
+                    static_cast<int>(g_signal));
+        return 128 + (g_signal != 0 ? g_signal : SIGTERM);
+    }
     if (!totals.failures.empty()) {
         std::printf("failed experiments (journaled in each system's "
                     "manifest.json; rerun with --resume):\n");
         for (const auto &f : totals.failures)
             std::printf("  %s: %s\n", f.file.c_str(), f.error.c_str());
+        return 1;
+    }
+    if (shard_outcome && !shard_outcome->leftover.empty()) {
+        std::printf("unrecoverable: %zu points could not be run by "
+                    "any shard or salvage\n",
+                    shard_outcome->leftover.size());
         return 1;
     }
     return 0;

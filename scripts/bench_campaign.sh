@@ -83,12 +83,25 @@ fi
 now_ns() { date +%s%N; }
 
 run_leg() { # run_leg <outdir> <campaign-args...>  -> elapsed seconds
-    local outdir="$1" t0 t1
+    local outdir="$1" t0 t1 status=0
     shift
     t0="$(now_ns)"
     "$CAMPAIGN" --only "$ONLY" --out "$outdir" "$@" \
-        >"$outdir.log" 2>&1
+        >"$outdir.log" 2>&1 || status=$?
     t1="$(now_ns)"
+    # A crashed or failed campaign must fail the harness loudly, not
+    # feed a garbage timing into the baseline JSON.
+    if [[ "$status" -ne 0 ]]; then
+        {
+            echo "   FAIL: campaign $* exited $status; log tail:"
+            tail -n 20 "$outdir.log" | sed 's/^/   | /'
+        } >&2
+        return 1
+    fi
+    if ! compgen -G "$outdir/*/manifest.json" >/dev/null; then
+        echo "   FAIL: campaign $* wrote no manifest.json under $outdir" >&2
+        return 1
+    fi
     awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", (b - a) / 1e9 }'
 }
 
@@ -186,6 +199,13 @@ fi
 EXPERIMENTS="$(awk '/^campaign /{for (i=1;i<=NF;i++) if ($(i+1)=="experiments") print $i}' \
     "$WORK/serial.log" | tr -d '(' | head -n1)"
 EXPERIMENTS="${EXPERIMENTS:-0}"
+if [[ "$EXPERIMENTS" -eq 0 ]]; then
+    {
+        echo "== bench: FAIL: campaign reported 0 experiments; log tail:"
+        tail -n 20 "$WORK/serial.log" | sed 's/^/   | /'
+    } >&2
+    exit 1
+fi
 
 SPEEDUP="$(awk -v s="$SERIAL_S" -v p="$PARALLEL_S" \
     'BEGIN { printf "%.2f", (p > 0) ? s / p : 0 }')"

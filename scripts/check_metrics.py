@@ -287,13 +287,26 @@ def main():
                   f"{allowed:.4f} (+{args.slack}% slack)")
             failed = True
 
-    counters = current.get("counters", {})
+    counters = current.get("counters")
+    if not isinstance(counters, dict):
+        print("check_metrics: snapshot has no counters section "
+              "(truncated or from a crashed campaign?)")
+        counters = {}
+        failed = True
     committed = counters.get("points_committed", 0)
     failed_points = counters.get("points_failed", 0)
+    skipped = counters.get("points_skipped", 0)
     print(f"check_metrics: {committed} points committed, "
-          f"{failed_points} failed")
+          f"{failed_points} failed, {skipped} skipped")
     if failed_points:
         print("check_metrics: campaign had failed points")
+        failed = True
+    # A snapshot with nothing committed and nothing resumed-over means
+    # the campaign did no work: its rates gate nothing, so passing it
+    # would be a silent no-op. Fail loudly instead.
+    if counters and committed == 0 and skipped == 0:
+        print("check_metrics: campaign committed no points "
+              "(crashed early, or measured nothing?)")
         failed = True
 
     if failed or not telemetry_ok:

@@ -32,6 +32,13 @@ constexpr CounterInfo counter_info[counter_count] = {
     {"pool_busy_nanos", false},
     {"pool_idle_nanos", false},
     {"executor_max_queue_depth", false},
+    {"shards_spawned", false},
+    {"shard_retries", false},
+    {"shard_timeouts", false},
+    {"shards_dead", false},
+    {"shard_reassigned", false},
+    {"shard_max_heartbeat_age_ms", false},
+    {"journal_torn_tails", false},
 };
 
 } // namespace

@@ -53,6 +53,17 @@ enum class Counter : int
     PoolIdleNanos,         ///< summed worker time spent waiting for work
     ExecutorMaxQueueDepth, ///< max finished-but-uncommitted jobs (max-gauge)
 
+    // Shard supervisor lifecycle (crash/timing dependent by nature,
+    // so classed with the timing counters even though a clean run
+    // reports stable values). See docs/robustness.md.
+    ShardsSpawned,         ///< worker processes forked (incl. respawns)
+    ShardRetries,          ///< crashed/timed-out shards respawned
+    ShardTimeouts,         ///< shards killed by the heartbeat watchdog
+    ShardsDead,            ///< shards abandoned after max_retries
+    ShardReassigned,       ///< points moved off dead shards to survivors
+    ShardMaxHeartbeatAgeMs, ///< worst heartbeat age observed (max-gauge)
+    JournalTornTails,      ///< truncated journal tail lines skipped on load
+
     kCount
 };
 

@@ -18,6 +18,7 @@
 #include <cctype>
 #include <filesystem>
 #include <functional>
+#include <unordered_set>
 #include <utility>
 
 #include "common/atomic_file.hh"
@@ -29,6 +30,7 @@
 #include "core/executor.hh"
 #include "core/manifest.hh"
 #include "core/metrics.hh"
+#include "core/shard.hh"
 #include "core/sweep.hh"
 #include "core/telemetry.hh"
 
@@ -103,10 +105,16 @@ class CampaignRunner
     CampaignRunner(const fs::path &dir, const std::string &system,
                    const CampaignOptions &options,
                    CampaignResult &result)
-        : dir_(dir), options_(options), result_(result),
+        : dir_(dir), system_(system), options_(options),
+          result_(result),
+          shard_worker_(options.shard_count > 1),
           manifest_(dir / "manifest.json")
     {
-        removeStrayTemps();
+        // A shard worker must not clean up: another worker's
+        // in-flight .tmp looks exactly like a stray. The supervisor
+        // sweeps once before spawning anyone.
+        if (!shard_worker_)
+            removeStrayTemps();
         if (options.resume) {
             auto loaded = Manifest::load(dir / "manifest.json");
             if (loaded.isOk()) {
@@ -115,6 +123,11 @@ class CampaignRunner
                 warn("{}; restarting the journal",
                      loaded.status().message());
             }
+            // A worker's resume view is the merged commit log:
+            // manifest.json plus every shard's journal, its own
+            // included (its previous incarnation's commits).
+            if (shard_worker_)
+                absorbShardJournals();
         }
         manifest_.setSystem(system);
     }
@@ -130,9 +143,30 @@ class CampaignRunner
     runAll(const std::vector<std::string> &header,
            std::vector<Experiment> experiments)
     {
+        // A shard worker keeps only the ordinals it owns plus the
+        // extras reassigned onto it; ordinals index the *full*
+        // enumeration, so every process agrees on who owns what.
+        const ShardSpec shard{options_.shard_index,
+                              options_.shard_count};
+        std::unordered_set<std::string> extras;
+        if (shard_worker_) {
+            const std::string prefix = system_ + "/";
+            for (const std::string &key : options_.shard_extra) {
+                if (key.rfind(prefix, 0) == 0)
+                    extras.insert(key.substr(prefix.size()));
+            }
+            if (options_.heartbeat)
+                options_.heartbeat("enter " + system_);
+        }
+
         std::vector<Experiment> pending;
         pending.reserve(experiments.size());
-        for (auto &exp : experiments) {
+        for (std::size_t ordinal = 0; ordinal < experiments.size();
+             ++ordinal) {
+            Experiment &exp = experiments[ordinal];
+            if (shard_worker_ && !shardOwnsOrdinal(shard, ordinal) &&
+                extras.count(exp.file) == 0)
+                continue; // another shard's point
             if (options_.resume &&
                 manifest_.isComplete(exp.file, exp.hash)) {
                 ++result_.experiments_skipped;
@@ -177,6 +211,16 @@ class CampaignRunner
     runExperiment(const std::vector<std::string> &header,
                   const Experiment &exp)
     {
+        // Cooperative stop: once cancellation fires, the remaining
+        // points are accounted as interrupted, never measured. The
+        // journal keeps no record of them, so a resume reruns them.
+        if (options_.cancelled && options_.cancelled()) {
+            return [this] {
+                ++result_.experiments_interrupted;
+                result_.interrupted = true;
+            };
+        }
+
         ScopedLogPrefix log_prefix(exp.file);
         trace::Span span(exp.file, "experiment");
 
@@ -191,6 +235,9 @@ class CampaignRunner
                 status = std::move(status)]() mutable {
             trace::Span commit_span(exp.file, "commit");
             if (status.isOk()) {
+                entry.complete = true;
+                entry.error.clear();
+                journalAppend(entry);
                 manifest_.recordComplete(std::move(entry));
                 result_.files_written.push_back(path.string());
                 ++result_.experiments_run;
@@ -199,6 +246,12 @@ class CampaignRunner
             } else {
                 warn("experiment {} failed: {}", exp.file,
                      status.toString());
+                ManifestEntry failed;
+                failed.key = exp.file;
+                failed.config_hash = exp.hash;
+                failed.complete = false;
+                failed.error = status.toString();
+                journalAppend(failed);
                 manifest_.recordFailure(exp.file, exp.hash,
                                         status.toString());
                 result_.failures.push_back(
@@ -208,6 +261,8 @@ class CampaignRunner
                 // must know about it even if we die right after.
                 checkpoint(/*force=*/true);
             }
+            if (options_.heartbeat)
+                options_.heartbeat(exp.file);
         };
     }
 
@@ -229,6 +284,47 @@ class CampaignRunner
     }
 
     /**
+     * A shard worker's durable record is its own append-only
+     * journal, written at every commit: no batching, no rewriting,
+     * no contention with sibling workers (each appends to its own
+     * file). manifest.json stays untouched until the supervisor
+     * merges the journals after all workers finish.
+     */
+    void
+    journalAppend(const ManifestEntry &entry)
+    {
+        if (!shard_worker_)
+            return;
+        std::error_code ec;
+        fs::create_directories(dir_, ec);
+        const fs::path file =
+            dir_ / shardJournalName(options_.shard_index);
+        if (Status s = Manifest::appendJournalRecord(file, entry);
+            !s.isOk())
+            warn("cannot journal {}: {}", entry.key, s.toString());
+    }
+
+    /** Fold every shard's commit log into the resume view. */
+    void
+    absorbShardJournals()
+    {
+        std::error_code ec;
+        if (!fs::is_directory(dir_, ec))
+            return;
+        for (const auto &e : fs::directory_iterator(dir_, ec)) {
+            const std::string name = e.path().filename().string();
+            if (name.rfind("manifest.shard-", 0) != 0 ||
+                e.path().extension() != ".jsonl")
+                continue;
+            auto entries = Manifest::loadJournal(e.path());
+            if (!entries.isOk())
+                continue;
+            for (ManifestEntry &entry : entries.value())
+                manifest_.absorb(std::move(entry));
+        }
+    }
+
+    /**
      * Debounced journal persistence: a full manifest rewrite per
      * experiment is O(points^2) over a campaign, so commits are
      * batched (checkpoint_every_) and losing a batch only costs
@@ -237,6 +333,8 @@ class CampaignRunner
     void
     checkpoint(bool force)
     {
+        if (shard_worker_)
+            return; // every journal append is already durable
         ++unsaved_commits_;
         if (force || unsaved_commits_ >= checkpoint_every_)
             flushCheckpoint();
@@ -246,7 +344,7 @@ class CampaignRunner
     void
     flushCheckpoint()
     {
-        if (unsaved_commits_ == 0)
+        if (shard_worker_ || unsaved_commits_ == 0)
             return;
         if (Status s = manifest_.save(); !s.isOk())
             warn("cannot checkpoint manifest: {}", s.toString());
@@ -268,8 +366,10 @@ class CampaignRunner
     }
 
     const fs::path dir_;
+    const std::string system_;
     const CampaignOptions &options_;
     CampaignResult &result_;
+    const bool shard_worker_;
     Manifest manifest_;
     int checkpoint_every_ = 1;
     int unsaved_commits_ = 0;
@@ -447,6 +547,12 @@ runOmpCampaign(const cpusim::CpuConfig &cfg,
         }
     }
 
+    result.points.reserve(experiments.size());
+    for (const auto &exp : experiments)
+        result.points.push_back({exp.file, exp.hash});
+    if (options.enumerate_only)
+        return result;
+
     CampaignRunner runner(dir, system, options, result);
     runner.runAll({"threads", "per_op_seconds", "throughput_per_thread",
                    "stddev_seconds"},
@@ -579,6 +685,12 @@ runCudaCampaign(const gpusim::GpuConfig &cfg,
                 "cuda_atomicexch_" + suffix);
         }
     }
+
+    result.points.reserve(experiments.size());
+    for (const auto &exp : experiments)
+        result.points.push_back({exp.file, exp.hash});
+    if (options.enumerate_only)
+        return result;
 
     CampaignRunner runner(dir, system, options, result);
     runner.runAll({"blocks", "threads_per_block", "per_op_seconds",

@@ -24,6 +24,8 @@
 #ifndef SYNCPERF_CORE_CAMPAIGN_HH
 #define SYNCPERF_CORE_CAMPAIGN_HH
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -69,6 +71,45 @@ struct CampaignOptions
      * experiment) when serial, 8 when parallel.
      */
     int checkpoint_every = 0;
+
+    // ------------------------------------------------ sharding
+    //
+    // A sharded campaign (docs/robustness.md, "Sharded campaigns")
+    // splits the enumerated points over worker processes. A worker
+    // (shard_count > 1) runs only the points whose enumeration
+    // ordinal it owns (ordinal % shard_count == shard_index) plus
+    // any reassigned extras, journals each commit to its own
+    // append-only manifest.shard-<k>.jsonl instead of rewriting
+    // manifest.json, resumes against manifest.json plus *all* shard
+    // journals, and leaves stray-temp cleanup to the supervisor
+    // (another worker's in-flight temp must not be "cleaned up").
+
+    /** This process's shard; shard_count <= 1 means unsharded. */
+    int shard_index = 0;
+    int shard_count = 1;
+
+    /**
+     * Point keys ("<system-slug>/<file.csv>") reassigned onto this
+     * shard from a dead one, run in addition to the owned ordinals.
+     */
+    std::vector<std::string> shard_extra;
+
+    /** Called after every ordered commit with a progress note; the
+     * shard worker wires this to its heartbeat file. May be null. */
+    std::function<void(const std::string &)> heartbeat;
+
+    /**
+     * Cooperative cancellation (SIGINT/SIGTERM): polled as each
+     * experiment starts. Once true, remaining experiments are
+     * counted as interrupted instead of measured, and the journal
+     * is checkpointed on the way out. May be null.
+     */
+    std::function<bool()> cancelled;
+
+    /** Enumerate the sweep into CampaignResult::points and return
+     * without measuring anything or touching the filesystem (the
+     * shard supervisor computes assignments this way). */
+    bool enumerate_only = false;
 };
 
 /** One experiment the campaign could not complete. */
@@ -76,6 +117,13 @@ struct ExperimentFailure
 {
     std::string file;  ///< destination CSV (relative key)
     std::string error; ///< cause, as journaled
+};
+
+/** One enumerated sweep point (its journal key and config hash). */
+struct CampaignPoint
+{
+    std::string file;          ///< CSV name (the journal key)
+    std::uint64_t hash = 0;    ///< ConfigHasher digest
 };
 
 /** What a campaign produced. */
@@ -87,11 +135,22 @@ struct CampaignResult
     /** Journaled-complete experiments skipped by --resume. */
     int experiments_skipped = 0;
 
+    /** Experiments not run because cancellation fired first. */
+    int experiments_interrupted = 0;
+
+    /** True when cancellation cut the campaign short. */
+    bool interrupted = false;
+
     /** Experiments recorded as failed and passed over. */
     std::vector<ExperimentFailure> failures;
 
+    /** The full enumeration in deterministic point order -- always
+     * the whole sweep, even when this process ran only a shard
+     * slice of it. */
+    std::vector<CampaignPoint> points;
+
     /** True when nothing failed (skips are fine). */
-    bool ok() const { return failures.empty(); }
+    bool ok() const { return failures.empty() && !interrupted; }
 };
 
 /**

@@ -12,6 +12,8 @@
 
 #include "common/atomic_file.hh"
 #include "common/json.hh"
+#include "common/logging.hh"
+#include "common/metrics.hh"
 
 namespace syncperf::core
 {
@@ -37,6 +39,45 @@ std::uint64_t
 hashFromHex(const std::string &text)
 {
     return std::strtoull(text.c_str(), nullptr, 16);
+}
+
+/** Shared record shape of manifest.json entries and journal lines. */
+JsonValue
+entryToJson(const ManifestEntry &entry)
+{
+    JsonValue e = JsonValue::object();
+    e.set("key", JsonValue(entry.key));
+    e.set("hash", JsonValue(hashToHex(entry.config_hash)));
+    e.set("status", JsonValue(entry.complete ? "complete" : "failed"));
+    if (!entry.complete)
+        e.set("error", JsonValue(entry.error));
+    if (entry.protocol_retries > 0)
+        e.set("protocol_retries", JsonValue(entry.protocol_retries));
+    if (entry.noise_retries > 0)
+        e.set("noise_retries", JsonValue(entry.noise_retries));
+    if (entry.max_cov > 0.0)
+        e.set("max_cov", JsonValue(entry.max_cov));
+    return e;
+}
+
+/** Inverse of entryToJson; false when the record carries no key. */
+bool
+entryFromJson(const JsonValue &e, ManifestEntry &entry)
+{
+    if (!e.isObject())
+        return false;
+    entry.key = e.stringOr("key", "");
+    if (entry.key.empty())
+        return false;
+    entry.config_hash = hashFromHex(e.stringOr("hash", "0x0"));
+    entry.complete = e.stringOr("status", "") == "complete";
+    entry.error = e.stringOr("error", "");
+    entry.protocol_retries =
+        static_cast<int>(e.numberOr("protocol_retries", 0));
+    entry.noise_retries =
+        static_cast<int>(e.numberOr("noise_retries", 0));
+    entry.max_cov = e.numberOr("max_cov", 0.0);
+    return true;
 }
 
 } // namespace
@@ -119,21 +160,9 @@ Manifest::load(const fs::path &file)
     const JsonValue *experiments = root.find("experiments");
     if (experiments && experiments->isArray()) {
         for (const JsonValue &e : experiments->asArray()) {
-            if (!e.isObject())
-                continue;
             ManifestEntry entry;
-            entry.key = e.stringOr("key", "");
-            if (entry.key.empty())
-                continue;
-            entry.config_hash = hashFromHex(e.stringOr("hash", "0x0"));
-            entry.complete = e.stringOr("status", "") == "complete";
-            entry.error = e.stringOr("error", "");
-            entry.protocol_retries = static_cast<int>(
-                e.numberOr("protocol_retries", 0));
-            entry.noise_retries =
-                static_cast<int>(e.numberOr("noise_retries", 0));
-            entry.max_cov = e.numberOr("max_cov", 0.0);
-            manifest.entries_.push_back(std::move(entry));
+            if (entryFromJson(e, entry))
+                manifest.entries_.push_back(std::move(entry));
         }
     }
     return manifest;
@@ -190,6 +219,76 @@ Manifest::recordFailure(std::string_view key, std::uint64_t hash,
     }
 }
 
+void
+Manifest::absorb(ManifestEntry entry)
+{
+    std::scoped_lock lock(mutex_);
+    if (ManifestEntry *existing = findEntry(entry.key)) {
+        if (existing->complete && !entry.complete)
+            return; // completed work outranks a stale failure
+        *existing = std::move(entry);
+    } else {
+        entries_.push_back(std::move(entry));
+    }
+}
+
+std::string
+Manifest::journalLine(const ManifestEntry &entry)
+{
+    return entryToJson(entry).dump(0);
+}
+
+Status
+Manifest::appendJournalRecord(const fs::path &file,
+                              const ManifestEntry &entry)
+{
+    std::ofstream out(file, std::ios::app);
+    if (!out) {
+        return Status::error(ErrorCode::IoError,
+                             "cannot append to journal {}",
+                             file.string());
+    }
+    out << journalLine(entry) << "\n";
+    out.flush();
+    if (!out) {
+        return Status::error(ErrorCode::IoError,
+                             "short write appending to journal {}",
+                             file.string());
+    }
+    return Status::ok();
+}
+
+Result<std::vector<ManifestEntry>>
+Manifest::loadJournal(const fs::path &file)
+{
+    std::vector<ManifestEntry> entries;
+    std::ifstream in(file);
+    if (!in)
+        return entries; // no journal: empty commit log
+
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        auto doc = parseJson(line);
+        ManifestEntry entry;
+        if (!doc.isOk() || !entryFromJson(doc.value(), entry)) {
+            // A crash mid-append tears exactly the final line; skip
+            // it (and any other unreadable record) rather than
+            // discarding the good prefix of the commit log.
+            warn("journal {}: skipping torn/unreadable record at "
+                 "line {}",
+                 file.string(), line_no);
+            metrics::add(metrics::Counter::JournalTornTails);
+            continue;
+        }
+        entries.push_back(std::move(entry));
+    }
+    return entries;
+}
+
 Status
 Manifest::save() const
 {
@@ -198,22 +297,8 @@ Manifest::save() const
     root.set("version", JsonValue(manifest_version));
     root.set("system", JsonValue(system_));
     JsonValue experiments = JsonValue::array();
-    for (const auto &entry : entries_) {
-        JsonValue e = JsonValue::object();
-        e.set("key", JsonValue(entry.key));
-        e.set("hash", JsonValue(hashToHex(entry.config_hash)));
-        e.set("status",
-              JsonValue(entry.complete ? "complete" : "failed"));
-        if (!entry.complete)
-            e.set("error", JsonValue(entry.error));
-        if (entry.protocol_retries > 0)
-            e.set("protocol_retries", JsonValue(entry.protocol_retries));
-        if (entry.noise_retries > 0)
-            e.set("noise_retries", JsonValue(entry.noise_retries));
-        if (entry.max_cov > 0.0)
-            e.set("max_cov", JsonValue(entry.max_cov));
-        experiments.push(std::move(e));
-    }
+    for (const auto &entry : entries_)
+        experiments.push(entryToJson(entry));
     root.set("experiments", std::move(experiments));
 
     AtomicFile out;

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Crash-tolerant multi-process campaign sharding.
+ *
+ * A sharded campaign (`campaign --shards N`) partitions the
+ * enumerated sweep points deterministically across N worker
+ * processes (`campaign --shard-worker k/N`) and supervises them:
+ * per-shard heartbeat files plus a watchdog timeout detect hung
+ * workers, crashed or timed-out shards are killed and respawned with
+ * capped exponential backoff (the manifest journals guarantee
+ * completed work is never redone), and after `max_retries` the
+ * supervisor degrades gracefully -- the dead shard's leftover points
+ * are reassigned across surviving shards and the campaign finishes,
+ * with the degradation recorded in the metrics registry and the
+ * optional shard report. docs/robustness.md has the failure model.
+ *
+ * The supervisor itself is campaign-agnostic: it runs an arbitrary
+ * worker command per shard, which is what lets the unit tests drive
+ * it with fake /bin/sh workers that crash, hang, or heartbeat on
+ * cue.
+ */
+
+#ifndef SYNCPERF_CORE_SHARD_HH
+#define SYNCPERF_CORE_SHARD_HH
+
+#include <cstddef>
+#include <filesystem>
+#include <functional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hh"
+
+namespace syncperf::core
+{
+
+/** Which shard a process is, out of how many ("k/N" on the CLI). */
+struct ShardSpec
+{
+    int index = 0;
+    int count = 1;
+
+    std::string toString() const;
+};
+
+/** Parse "k/N" with 0 <= k < N; anything else is InvalidArgument. */
+Result<ShardSpec> parseShardSpec(std::string_view text);
+
+/**
+ * Deterministic ownership rule shared by supervisor and workers:
+ * enumeration-order point @p ordinal belongs to shard ordinal % N.
+ * Round-robin keeps every shard's work interleaved across the sweep,
+ * so a dead shard's leftovers spread evenly over the campaign.
+ */
+constexpr bool
+shardOwnsOrdinal(const ShardSpec &spec, std::size_t ordinal)
+{
+    return spec.count <= 1 ||
+           static_cast<int>(ordinal %
+                            static_cast<std::size_t>(spec.count)) ==
+               spec.index;
+}
+
+/** Backoff before respawn attempt @p attempt (1-based):
+ * min(cap, base * 2^(attempt-1)). */
+int shardBackoffMs(int attempt, int base_ms, int cap_ms);
+
+// ----------------------------------------------------- heartbeats
+//
+// A worker rewrites its heartbeat file after every experiment
+// commit; the file's mtime is the beat, its content a human-readable
+// progress note. The supervisor touches the file at spawn so the
+// watchdog baseline is "just started", then kills any shard whose
+// beat goes stale.
+
+/** results/.shards/shard-<k>.hb */
+std::filesystem::path
+shardHeartbeatPath(const std::filesystem::path &control_dir, int shard);
+
+/** The per-shard append-only commit log's file name,
+ * "manifest.shard-<k>.jsonl" (lives in each system directory). */
+std::string shardJournalName(int shard);
+
+/** Rewrite @p file with @p note; the fresh mtime is the beat. */
+void shardHeartbeat(const std::filesystem::path &file,
+                    std::string_view note);
+
+/** Seconds since the last beat; a large value when missing. */
+double shardHeartbeatAge(const std::filesystem::path &file);
+
+// ----------------------------------------------------- supervisor
+
+struct ShardSupervisorOptions
+{
+    /** Watchdog: a running shard whose heartbeat is older than this
+     * is presumed hung, SIGKILLed, and handled as a crash. */
+    double heartbeat_timeout_s = 120.0;
+
+    /** Respawns allowed per shard after abnormal death; beyond this
+     * the shard is abandoned and its leftovers reassigned. */
+    int max_retries = 2;
+
+    /** Exponential backoff base/cap between respawns of a shard. */
+    int backoff_base_ms = 250;
+    int backoff_cap_ms = 4000;
+
+    /** Supervisor poll cadence (reap, watchdog, spawn). */
+    double poll_interval_s = 0.02;
+};
+
+/** Final per-shard account, for the report and the logs. */
+struct ShardState
+{
+    int index = 0;
+    int spawns = 0;       ///< processes forked for this shard
+    int timeouts = 0;     ///< watchdog kills it absorbed
+    bool dead = false;    ///< abandoned after max_retries
+    int last_exit = -1;   ///< last wait status: exit code, or -signo
+    std::vector<std::string> extra_points; ///< reassigned onto it
+};
+
+/** What supervising a campaign's shards produced. */
+struct ShardSupervisorResult
+{
+    std::vector<ShardState> shards;
+    int spawned = 0;            ///< total forks, respawns included
+    int retries = 0;            ///< respawns after crash/timeout
+    int timeouts = 0;           ///< watchdog kills
+    int dead = 0;               ///< shards abandoned
+    int points_reassigned = 0;  ///< points moved off dead shards
+    bool journaled_failures = false; ///< some worker exited 1
+    bool interrupted = false;   ///< stopped by the cancel hook
+    /** Points no shard could finish (only non-empty when every shard
+     * that could run them died); the caller salvages them inline. */
+    std::vector<std::string> leftover;
+
+    bool ok() const { return leftover.empty() && !interrupted; }
+};
+
+/**
+ * Forks, watches, retries, and reassigns shard workers. One-shot:
+ * construct, run(), read the result.
+ */
+class ShardSupervisor
+{
+  public:
+    struct Config
+    {
+        ShardSupervisorOptions options;
+
+        /**
+         * Command prefix of one worker; the supervisor appends
+         * "--shard-worker k/N" and, when the shard carries
+         * reassigned points, "--shard-extra FILE". Must name an
+         * executable reachable by execv (absolute path).
+         */
+        std::vector<std::string> worker_argv;
+
+        /** Heartbeats, extra-point files, and worker logs live
+         * here; created if missing. */
+        std::filesystem::path control_dir;
+
+        /** Per shard: the point keys it owns, in enumeration order.
+         * assignment.size() is the shard count. */
+        std::vector<std::vector<std::string>> assignment;
+
+        /**
+         * Snapshot of every point key with any journal record
+         * (complete or failed), across all shards -- the merged
+         * commit-log view. Consulted when computing a dead shard's
+         * leftovers, so journaled work (even journaled failures) is
+         * never handed to another shard.
+         */
+        std::function<std::vector<std::string>()> recordedKeys;
+
+        /** Cooperative stop (SIGINT/SIGTERM forwarding); polled
+         * every loop. May be null. */
+        std::function<bool()> cancelled;
+    };
+
+    explicit ShardSupervisor(Config config);
+    ~ShardSupervisor();
+
+    ShardSupervisor(const ShardSupervisor &) = delete;
+    ShardSupervisor &operator=(const ShardSupervisor &) = delete;
+
+    /** Supervise until every point is accounted for (or nothing can
+     * make progress). Blocks; spawns and reaps child processes. */
+    ShardSupervisorResult run();
+
+  private:
+    struct Worker;
+
+    void spawn(Worker &w);
+    bool reapOne();
+    void watchdog();
+    void handleExit(Worker &w, int wstatus);
+    void handleCrash(Worker &w, bool timed_out);
+    void markDead(Worker &w);
+    void reassignFromDead(Worker &dead);
+    void terminateAll();
+    std::vector<std::string> unrecordedPointsOf(const Worker &w) const;
+
+    Config config_;
+    std::vector<Worker> workers_;
+    std::set<std::string> reassigned_once_; ///< one reassignment per key
+    std::vector<std::string> leftover_;     ///< points nobody could run
+    int reassign_cursor_ = 0;               ///< round-robin target index
+    int points_reassigned_ = 0;
+};
+
+} // namespace syncperf::core
+
+#endif // SYNCPERF_CORE_SHARD_HH

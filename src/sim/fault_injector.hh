@@ -79,6 +79,16 @@ class FaultInjector
         fail_write_count_ = count;
     }
 
+    /**
+     * Process-level fault: allow exactly @p n CSV commits, then
+     * SIGKILL this process as its (n+1)-th CSV commit begins -- the
+     * .tmp holds complete content but the rename has not happened,
+     * and earlier commits may still be missing their journal append.
+     * n = 0 dies on the very first commit. Used by the shard
+     * kill-resume tests; negative disables (the default).
+     */
+    void killAfterCsvCommits(int n) { kill_after_csv_commits_ = n; }
+
     // ------------------------------------------------- hook queries
     //
     // The hook queries are thread-safe: a parallel campaign
@@ -117,6 +127,25 @@ class FaultInjector
     /** Faults actually delivered (poisons + failed writes). Also
      * mirrored into metrics::Counter::FaultsInjected. */
     int injectedCount() const { return injected_count_.load(); }
+
+    // -------------------------------------------- process-level mode
+
+    /** SYNCPERF_FAULT_KILL_SHARD="<shard>:<commits>" parsed. */
+    struct KillShardSpec
+    {
+        int shard = -1;   ///< worker shard index the fault targets
+        int commits = 0;  ///< CSV commits allowed before SIGKILL
+    };
+
+    /**
+     * Parse the SYNCPERF_FAULT_KILL_SHARD environment variable
+     * ("<shard-index>:<allowed-csv-commits>", e.g. "1:2" or "0:0").
+     * Consulted only by shard *worker* processes -- the supervisor
+     * and plain campaigns never arm it -- so exporting it kills
+     * exactly the targeted shard, deterministically, on every
+     * (re)spawn. Returns false when unset or malformed.
+     */
+    static bool killShardSpecFromEnv(KillShardSpec &spec);
 
     // ---------------------------------------------------- lifecycle
 
@@ -158,6 +187,9 @@ class FaultInjector
     int fail_write_count_ = 0;
     std::atomic<int> write_op_count_{0};
     std::atomic<int> injected_count_{0};
+
+    int kill_after_csv_commits_ = -1; ///< negative disables
+    std::atomic<int> csv_commit_count_{0};
 };
 
 } // namespace syncperf::sim

@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# End-to-end checks for crash-tolerant campaign sharding
+# (docs/robustness.md, "Sharded campaigns"):
+#
+#   1. byte-identity: every --shards x --jobs combination produces a
+#      results tree identical to the serial run;
+#   2. graceful degradation: a shard SIGKILLed mid-commit (via the
+#      fault injector) is retried, then abandoned, and the campaign
+#      still completes with the identical tree, retries and
+#      reassignments visible in the shard report, and no experiment
+#      executed twice;
+#   3. checkpoint/resume: SIGTERM stops the campaign with exit
+#      128+15, and a --resume run completes the identical tree.
+#
+# Usage: test_shard_campaign.sh <path-to-campaign-binary>
+set -u
+
+CAMPAIGN=${1:?usage: $0 <campaign-binary>}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/syncperf_shard_XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+FAILURES=0
+fail() {
+    echo "FAIL: $*" >&2
+    FAILURES=$((FAILURES + 1))
+}
+
+run() {
+    # Run a campaign leg, keeping its log for the failure report.
+    local log=$1
+    shift
+    "$CAMPAIGN" "$@" >"$WORK/$log" 2>&1
+}
+
+dump_log() {
+    echo "---- $1 (last 30 lines) ----" >&2
+    tail -n 30 "$WORK/$1" >&2 || true
+}
+
+# Trees must match except for .shards/ (supervisor control files,
+# kept on purpose after a degraded run) and any shard report.
+same_tree() {
+    diff -r --exclude=.shards "$1" "$2" >"$WORK/diff.txt" 2>&1
+}
+
+report_field() {
+    python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    print(json.load(f)[sys.argv[2]])
+' "$1" "$2"
+}
+
+# ---------------------------------------------------- 1. the matrix
+
+echo "== baseline: --shards 1 --jobs 1"
+if ! run base.log omp --only threadripper --out "$WORK/base" \
+        --jobs 1; then
+    dump_log base.log
+    fail "baseline campaign exited non-zero"
+fi
+[ -f "$WORK/base"/*/manifest.json ] ||
+    fail "baseline produced no manifest.json"
+
+for shards in 2 4; do
+    for jobs in 1 2; do
+        leg="s${shards}j${jobs}"
+        echo "== matrix: --shards $shards --jobs $jobs"
+        if ! run "$leg.log" omp --only threadripper \
+                --out "$WORK/$leg" --shards "$shards" \
+                --jobs "$jobs"; then
+            dump_log "$leg.log"
+            fail "--shards $shards --jobs $jobs exited non-zero"
+            continue
+        fi
+        if ! same_tree "$WORK/base" "$WORK/$leg"; then
+            cat "$WORK/diff.txt" >&2
+            fail "--shards $shards --jobs $jobs tree differs from serial"
+        fi
+    done
+done
+
+# ------------------------------------- 2. a shard SIGKILLed mid-run
+
+echo "== fault: shard 1 SIGKILLed at its 3rd commit, every life"
+if ! SYNCPERF_FAULT_KILL_SHARD="1:2" \
+        run kill.log omp --only threadripper --out "$WORK/kill" \
+        --shards 3 --jobs 1 --shard-max-retries 1 \
+        --shard-backoff-ms 50 \
+        --shard-report "$WORK/kill_report.json"; then
+    dump_log kill.log
+    fail "campaign with a killed shard exited non-zero"
+elif [ ! -f "$WORK/kill_report.json" ]; then
+    fail "no shard report written"
+else
+    if ! same_tree "$WORK/base" "$WORK/kill"; then
+        cat "$WORK/diff.txt" >&2
+        fail "killed-shard tree differs from serial"
+    fi
+    retries=$(report_field "$WORK/kill_report.json" retries)
+    reassigned=$(report_field "$WORK/kill_report.json" points_reassigned)
+    duplicates=$(report_field "$WORK/kill_report.json" duplicate_commits)
+    degraded=$(report_field "$WORK/kill_report.json" degraded)
+    echo "   retries=$retries reassigned=$reassigned" \
+         "duplicates=$duplicates degraded=$degraded"
+    [ "$retries" -ge 1 ] || fail "expected >= 1 shard retry"
+    [ "$reassigned" -ge 1 ] || fail "expected reassigned points"
+    # The journals must prevent any experiment from being committed
+    # twice, even though the shard was killed and respawned.
+    [ "$duplicates" -eq 0 ] ||
+        fail "an experiment was executed twice ($duplicates duplicates)"
+    [ "$degraded" = "True" ] || [ "$degraded" = "true" ] ||
+        fail "report does not flag the degraded run"
+fi
+
+# ------------------------------------------ 3. SIGTERM then --resume
+
+echo "== interrupt: SIGTERM mid-campaign, then --resume"
+if ! run full.log omp --out "$WORK/full" --jobs 1; then
+    dump_log full.log
+    fail "full serial campaign exited non-zero"
+fi
+
+"$CAMPAIGN" omp --out "$WORK/int" --jobs 1 \
+    >"$WORK/int.log" 2>&1 &
+pid=$!
+sleep 0.4
+kill -TERM "$pid" 2>/dev/null
+wait "$pid"
+status=$?
+if [ "$status" -eq 143 ]; then
+    # Interrupted as intended: the resume must finish the job.
+    if ! run resume.log omp --out "$WORK/int" --jobs 1 --resume; then
+        dump_log resume.log
+        fail "--resume after SIGTERM exited non-zero"
+    fi
+    grep -Eq "[1-9][0-9]* skipped" "$WORK/resume.log" ||
+        fail "--resume did not skip any journaled experiments"
+elif [ "$status" -ne 0 ]; then
+    dump_log int.log
+    fail "SIGTERMed campaign exited $status (want 143, or 0 if it won the race)"
+fi
+if ! same_tree "$WORK/full" "$WORK/int"; then
+    cat "$WORK/diff.txt" >&2
+    fail "resumed tree differs from the uninterrupted run"
+fi
+
+# -------------------------------------------------------------------
+
+if [ "$FAILURES" -ne 0 ]; then
+    echo "$FAILURES shard-campaign check(s) failed" >&2
+    exit 1
+fi
+echo "all shard-campaign checks passed"
