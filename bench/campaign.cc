@@ -34,6 +34,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -78,6 +79,11 @@ struct Totals
     std::vector<ExperimentFailure> failures;
     int files = 0;
 
+    /** Per-experiment loop-batching counters of every point this
+     * process measured, keyed "<system-slug>/<csv-file>" (feeds the
+     * --explain batch-ratio annotation; never an artifact). */
+    std::map<std::string, sim::LoopBatchCounters> loop_batch;
+
     void
     fold(const std::string &system, const CampaignResult &r)
     {
@@ -87,6 +93,8 @@ struct Totals
         files += static_cast<int>(r.files_written.size());
         for (const auto &f : r.failures)
             failures.push_back({system + "/" + f.file, f.error});
+        for (const auto &lb : r.loop_batch)
+            loop_batch[system + "/" + lb.file].merge(lb.counters);
     }
 };
 
@@ -404,6 +412,9 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--no-sim-cache") == 0) {
             omp_protocol.sim_cache = false;
             cuda_protocol.sim_cache = false;
+        } else if (std::strcmp(argv[i], "--no-loop-batch") == 0) {
+            omp_protocol.loop_batch = false;
+            cuda_protocol.loop_batch = false;
         } else if (std::strcmp(argv[i], "--telemetry") == 0) {
             omp_protocol.telemetry = true;
             cuda_protocol.telemetry = true;
@@ -426,7 +437,8 @@ main(int argc, char **argv)
                 "[--shard-timeout SECS] [--shard-max-retries N] "
                 "[--shard-backoff-ms MS] [--shard-report FILE] "
                 "[--only NAME[,NAME...]] "
-                "[--no-sim-cache] [--telemetry] [--explain] "
+                "[--no-sim-cache] [--no-loop-batch] [--telemetry] "
+                "[--explain] "
                 "[--explain-only] [--trace FILE] [--metrics FILE] "
                 "[--metrics-summary]\n"
                 "  --jobs N   concurrent experiments (default: all "
@@ -453,6 +465,12 @@ main(int argc, char **argv)
                 "of memoizing deterministic results\n"
                 "             (output is byte-identical either way; "
                 "this only trades speed for memory).\n"
+                "  --no-loop-batch  single-step every simulated "
+                "iteration instead of batching proven\n"
+                "             steady-state windows (output is "
+                "byte-identical either way; this only\n"
+                "             trades speed for nothing -- see "
+                "docs/performance.md, \"Loop batching\").\n"
                 "  --only     run only systems whose sanitized name "
                 "contains a given fragment.\n"
                 "  --trace FILE     record spans, write Chrome trace "
@@ -651,6 +669,8 @@ main(int argc, char **argv)
         }
         if (!omp_protocol.sim_cache)
             worker_argv.push_back("--no-sim-cache");
+        if (!omp_protocol.loop_batch)
+            worker_argv.push_back("--no-loop-batch");
         if (omp_protocol.telemetry)
             worker_argv.push_back("--telemetry");
         if (!only_raw.empty()) {
@@ -864,7 +884,10 @@ main(int argc, char **argv)
     }
     if (explain) {
         std::printf("\n");
-        if (auto s = explainCampaign(options.output_dir, std::cout);
+        if (auto s = explainCampaign(
+                options.output_dir, std::cout,
+                totals.loop_batch.empty() ? nullptr
+                                          : &totals.loop_batch);
             !s.isOk()) {
             std::fprintf(stderr, "%s: %s\n", argv[0],
                          s.toString().c_str());

@@ -2,11 +2,13 @@
 # Perf-regression harness for the parallel campaign engine.
 #
 # Default mode runs a two-system quick campaign (one CPU, one GPU
-# model) serially and again at --jobs N, verifies the two result
-# trees are byte-identical, and writes BENCH_campaign.json at the
-# repo root with wall-clock times, speedup, and experiments/sec.
-# Compare the JSON across commits to catch scheduler or
-# per-experiment regressions.
+# model) serially, again at --jobs N, and once more serially with
+# --no-loop-batch (steady-state loop batching off, the single-stepped
+# simulator path), verifies all three result trees are byte-identical,
+# and writes BENCH_campaign.json at the repo root with wall-clock
+# times, speedup, and experiments/sec for each leg. Compare the JSON
+# across commits to catch scheduler, per-experiment, or loop-batcher
+# regressions.
 #
 # Usage: scripts/bench_campaign.sh [options] [JOBS]
 #   JOBS  worker count for the parallel leg (default: nproc).
@@ -186,14 +188,21 @@ echo "== bench: parallel leg (--jobs $JOBS) =="
 PARALLEL_S="$(run_leg "$WORK/parallel" --jobs "$JOBS")"
 echo "   ${PARALLEL_S}s"
 
+echo "== bench: single-stepped leg (--no-loop-batch --jobs 1) =="
+NOBATCH_S="$(run_leg "$WORK/nobatch" --no-loop-batch --jobs 1)"
+echo "   ${NOBATCH_S}s"
+
 echo "== bench: byte-identity check =="
-if diff -r "$WORK/serial" "$WORK/parallel" >/dev/null; then
-    IDENTICAL=true
-    echo "   byte-identical"
-else
+IDENTICAL=true
+if ! diff -r "$WORK/serial" "$WORK/parallel" >/dev/null; then
     IDENTICAL=false
     echo "   OUTPUT DIFFERS between --jobs 1 and --jobs $JOBS" >&2
 fi
+if ! diff -r "$WORK/serial" "$WORK/nobatch" >/dev/null; then
+    IDENTICAL=false
+    echo "   OUTPUT DIFFERS between batched and --no-loop-batch runs" >&2
+fi
+[[ "$IDENTICAL" == true ]] && echo "   byte-identical (all three legs)"
 
 # Experiment count from the campaign's own summary line.
 EXPERIMENTS="$(awk '/^campaign /{for (i=1;i<=NF;i++) if ($(i+1)=="experiments") print $i}' \
@@ -213,6 +222,10 @@ SERIAL_EPS="$(awk -v n="$EXPERIMENTS" -v s="$SERIAL_S" \
     'BEGIN { printf "%.1f", (s > 0) ? n / s : 0 }')"
 PARALLEL_EPS="$(awk -v n="$EXPERIMENTS" -v p="$PARALLEL_S" \
     'BEGIN { printf "%.1f", (p > 0) ? n / p : 0 }')"
+NOBATCH_EPS="$(awk -v n="$EXPERIMENTS" -v s="$NOBATCH_S" \
+    'BEGIN { printf "%.1f", (s > 0) ? n / s : 0 }')"
+BATCH_SPEEDUP="$(awk -v n="$NOBATCH_S" -v s="$SERIAL_S" \
+    'BEGIN { printf "%.2f", (s > 0) ? n / s : 0 }')"
 
 cat > "$OUT_JSON" <<EOF
 {
@@ -223,9 +236,12 @@ cat > "$OUT_JSON" <<EOF
   "jobs": $JOBS,
   "serial_wall_s": $SERIAL_S,
   "parallel_wall_s": $PARALLEL_S,
+  "nobatch_wall_s": $NOBATCH_S,
   "speedup": $SPEEDUP,
+  "loop_batch_speedup": $BATCH_SPEEDUP,
   "serial_experiments_per_s": $SERIAL_EPS,
   "parallel_experiments_per_s": $PARALLEL_EPS,
+  "nobatch_experiments_per_s": $NOBATCH_EPS,
   "byte_identical": $IDENTICAL
 }
 EOF
@@ -237,7 +253,7 @@ cat "$OUT_JSON"
 if [[ "$MODE" == check ]]; then
     echo "== bench: regression gate vs $BASELINE_JSON (limit ${CHECK_LIMIT_PCT}%) =="
     FAILED=0
-    for key in serial_wall_s parallel_wall_s; do
+    for key in serial_wall_s parallel_wall_s nobatch_wall_s; do
         base="$(json_field "$BASELINE_JSON" "$key")"
         cur="$(json_field "$OUT_JSON" "$key")"
         if [[ -z "$base" || -z "$cur" ]]; then
@@ -256,7 +272,8 @@ if [[ "$MODE" == check ]]; then
     done
     # Throughput gates the opposite direction: fewer experiments per
     # second is the regression.
-    for key in serial_experiments_per_s parallel_experiments_per_s; do
+    for key in serial_experiments_per_s parallel_experiments_per_s \
+               nobatch_experiments_per_s; do
         base="$(json_field "$BASELINE_JSON" "$key")"
         cur="$(json_field "$OUT_JSON" "$key")"
         if [[ -z "$base" || -z "$cur" ]]; then
@@ -273,6 +290,15 @@ if [[ "$MODE" == check ]]; then
             FAILED=1
         }
     done
+    # The batching win is gated as a ratio, not a wall time: both
+    # legs run on the same machine in the same invocation, so the
+    # quotient is immune to host noise that shifts absolute numbers.
+    cur="$(json_field "$OUT_JSON" loop_batch_speedup)"
+    echo "   loop_batch_speedup: ${cur:-missing}x (floor 2.0x)"
+    awk -v c="${cur:-0}" 'BEGIN { exit !(c >= 2.0) }' || {
+        echo "   FAIL: loop batching speedup ${cur:-0}x below the 2.0x floor" >&2
+        FAILED=1
+    }
     if [[ "$FAILED" -ne 0 ]]; then
         echo "   Re-baseline by running scripts/bench_campaign.sh on" \
              "a quiet machine and committing $BASELINE_JSON, or apply" \

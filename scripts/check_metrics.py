@@ -32,6 +32,14 @@ the simulators to the paper's explanations:
                       threads queue longer on the line's exclusive
                       service slot, never shorter.
 
+The snapshot's deterministic-class loop_batch_* counters (steady-
+state loop batching, docs/performance.md) are always validated for
+internal consistency, and when a telemetry dir is given too, a third
+physics gate applies: if the telemetry witnessed contention (line
+ping-pongs, lock contention, CAS conflicts) while the batcher was
+engaged, loop_batch_fallbacks must be nonzero -- contention perturbs
+the boundary fingerprints the batcher keys on.
+
 Exit status: 0 ok, 1 gate failed, 2 bad invocation/input.
 Stdlib only; no third-party imports.
 """
@@ -187,8 +195,21 @@ def gate_monotonic_wait(experiment, doc, failures, slack=0.05):
             f"({series[0][1]:.1f} -> {series[-1][1]:.1f} ticks)")
 
 
+# Telemetry counters that witness inter-thread interference. Any of
+# these firing means the machine's timing pattern shifted at least
+# once, which the loop batcher must have seen as a changed boundary
+# fingerprint (see the loop-batch gate in main()).
+CONTENTION_COUNTERS = ("cpu.line_ping_pong", "cpu.lock_contended",
+                       "gpu.cas_conflicts")
+
+
 def check_telemetry(root):
-    """Validate and gate every telemetry artifact under root."""
+    """Validate and gate every telemetry artifact under root.
+
+    Returns (ok, contention): whether all schema checks and physics
+    gates passed, and the summed contention-witness counters across
+    every point (input to the loop-batch fallback gate).
+    """
     paths = sorted(glob.glob(os.path.join(root, "*",
                                           "*.telemetry.json")))
     if not paths:
@@ -196,6 +217,7 @@ def check_telemetry(root):
                  f"{root} (run campaign --telemetry)")
     failures = []
     gated = 0
+    contention = 0
     for path in paths:
         try:
             with open(path, "r", encoding="utf-8") as fh:
@@ -212,11 +234,56 @@ def check_telemetry(root):
         if STRIDED_RE.match(experiment) or \
                 CONTENDED_RE.match(experiment):
             gated += 1
+        for point in doc.get("points", []):
+            counters = point.get("counters", {})
+            contention += sum(counters.get(name, 0)
+                              for name in CONTENTION_COUNTERS)
     print(f"check_metrics: {len(paths)} telemetry files validated, "
           f"{gated} covered by physics gates")
     for failure in failures:
         print(f"check_metrics: telemetry: {failure}")
-    return not failures
+    return not failures, contention
+
+
+def check_loop_batch(counters, contention):
+    """Gate the steady-state loop batcher's counters.
+
+    The three loop_batch_* counters are deterministic-class: for a
+    given campaign they are a function of the simulated work alone,
+    so they must be internally consistent -- and when the telemetry
+    shows contention, physics demands fallbacks: a contended line
+    perturbs the boundary fingerprint, and a batcher that never
+    falls back in that regime is batching through state changes.
+    Returns a list of failure strings.
+    """
+    failures = []
+    iters = counters.get("loop_batch_iters", 0)
+    windows = counters.get("loop_batch_windows", 0)
+    fallbacks = counters.get("loop_batch_fallbacks", 0)
+    for name in ("loop_batch_iters", "loop_batch_windows",
+                 "loop_batch_fallbacks"):
+        value = counters.get(name, 0)
+        if not isinstance(value, int) or value < 0:
+            failures.append(f"{name} = {value!r} is not a "
+                            f"non-negative integer")
+            return failures
+    print(f"check_metrics: loop batching: {iters} iters batched in "
+          f"{windows} windows, {fallbacks} fallbacks")
+    # A window always advances at least one full period of at least
+    # one timed iteration, so the two engage together.
+    if (iters > 0) != (windows > 0):
+        failures.append(
+            f"loop_batch_iters ({iters}) and loop_batch_windows "
+            f"({windows}) disagree about whether batching engaged")
+    if contention is None:
+        return failures
+    if iters > 0 and contention > 0 and fallbacks == 0:
+        failures.append(
+            f"telemetry shows {contention} contention events "
+            f"({', '.join(CONTENTION_COUNTERS)}) but the engaged "
+            f"batcher recorded zero fallbacks -- it must be jumping "
+            f"across fingerprint changes")
+    return failures
 
 
 def main():
@@ -247,8 +314,9 @@ def main():
     if args.metrics is None and args.telemetry_dir is None:
         parser.error("need a metrics.json and/or --telemetry-dir")
 
-    telemetry_ok = (check_telemetry(args.telemetry_dir)
-                    if args.telemetry_dir else True)
+    telemetry_ok, contention = (
+        check_telemetry(args.telemetry_dir)
+        if args.telemetry_dir else (True, None))
     if args.metrics is None:
         if not telemetry_ok:
             print("check_metrics: GATE FAILED", file=sys.stderr)
@@ -307,6 +375,10 @@ def main():
     if counters and committed == 0 and skipped == 0:
         print("check_metrics: campaign committed no points "
               "(crashed early, or measured nothing?)")
+        failed = True
+
+    for failure in check_loop_batch(counters, contention):
+        print(f"check_metrics: loop batching: {failure}")
         failed = True
 
     if failed or not telemetry_ok:

@@ -27,6 +27,9 @@ constexpr CounterInfo counter_info[counter_count] = {
     {"checkpoint_flushes", true},
     {"sim_cache_hits", true},
     {"sim_cache_misses", true},
+    {"loop_batch_iters", true},
+    {"loop_batch_windows", true},
+    {"loop_batch_fallbacks", true},
     {"pool_tasks_run", false},
     {"pool_tasks_stolen", false},
     {"pool_busy_nanos", false},

@@ -44,6 +44,9 @@ enum class Counter : int
     CheckpointFlushes, ///< manifest.json rewrites (cadence-dependent)
     SimCacheHits,      ///< sim measurements served from the result cache
     SimCacheMisses,    ///< cacheable sim measurements actually simulated
+    LoopBatchIters,    ///< timed iterations advanced algebraically
+    LoopBatchWindows,  ///< steady-state windows the batchers applied
+    LoopBatchFallbacks,///< boundary checks that fell back to stepping
 
     // Timing: scheduling/wall-clock dependent, never compared
     // across job counts.

@@ -85,6 +85,14 @@ class Pcg32
         return lo + (hi - lo) * uniform();
     }
 
+    /**
+     * Internal generator state. Two generators on the same stream
+     * with equal state() produce identical draw sequences; the loop
+     * batcher uses this to prove a steady-state period consumed no
+     * randomness.
+     */
+    std::uint64_t state() const { return state_; }
+
   private:
     std::uint32_t
     next()

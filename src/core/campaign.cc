@@ -18,6 +18,7 @@
 #include <cctype>
 #include <filesystem>
 #include <functional>
+#include <memory>
 #include <unordered_set>
 #include <utility>
 
@@ -100,6 +101,12 @@ class CampaignRunner
          * experiment. Runs on a worker thread: it must touch only
          * its own state (build its own target). */
         std::function<Status(CsvWriter &, ManifestEntry &)> emit;
+
+        /** Filled by emit with the point's loop-batching counters;
+         * a successful commit folds it into
+         * CampaignResult::loop_batch (see campaign.hh -- in-memory
+         * only, never an artifact). */
+        std::shared_ptr<sim::LoopBatchCounters> loop_batch;
     };
 
     CampaignRunner(const fs::path &dir, const std::string &system,
@@ -241,6 +248,9 @@ class CampaignRunner
                 manifest_.recordComplete(std::move(entry));
                 result_.files_written.push_back(path.string());
                 ++result_.experiments_run;
+                if (exp.loop_batch)
+                    result_.loop_batch.push_back(
+                        {exp.file, *exp.loop_batch});
                 metrics::add(metrics::Counter::PointsCommitted);
                 checkpoint(/*force=*/false);
             } else {
@@ -470,11 +480,13 @@ runOmpCampaign(const cpusim::CpuConfig &cfg,
 
         CampaignRunner::Experiment exp;
         exp.hash = pointDigest(base_hash, file, e);
+        exp.loop_batch = std::make_shared<sim::LoopBatchCounters>();
         // The emit closure runs on a worker thread: one simulator
         // target per experiment file, built fresh from a fixed seed,
         // reused across the whole thread sweep -- results depend
         // only on the point, never on scheduling.
-        exp.emit = [e, file, &cfg, &protocol, &threads, &dir,
+        exp.emit = [e, file, lb = exp.loop_batch, &cfg, &protocol,
+                    &threads, &dir,
                     &system](CsvWriter &csv,
                              ManifestEntry &entry) -> Status {
             CpuSimTarget target(cfg, protocol);
@@ -499,6 +511,7 @@ runOmpCampaign(const cpusim::CpuConfig &cfg,
                     report.points.push_back(std::move(pt));
                 }
             }
+            *lb = target.loopBatch();
             if (protocol.telemetry) {
                 report.experiment = file;
                 report.system = system;
@@ -603,8 +616,9 @@ runCudaCampaign(const gpusim::GpuConfig &cfg,
 
         CampaignRunner::Experiment exp;
         exp.hash = pointDigest(base_hash, file, e);
-        exp.emit = [e, file, &cfg, &protocol, &block_counts,
-                    &thread_counts, &dir,
+        exp.loop_batch = std::make_shared<sim::LoopBatchCounters>();
+        exp.emit = [e, file, lb = exp.loop_batch, &cfg, &protocol,
+                    &block_counts, &thread_counts, &dir,
                     &system](CsvWriter &csv,
                              ManifestEntry &entry) -> Status {
             GpuSimTarget target(cfg, protocol);
@@ -637,6 +651,7 @@ runCudaCampaign(const gpusim::GpuConfig &cfg,
                     }
                 }
             }
+            *lb = target.loopBatch();
             if (protocol.telemetry) {
                 report.experiment = file;
                 report.system = system;

@@ -31,6 +31,7 @@
 
 #include "core/cpusim_target.hh"
 #include "core/gpusim_target.hh"
+#include "sim/loop_batch.hh"
 
 namespace syncperf::core
 {
@@ -126,6 +127,13 @@ struct CampaignPoint
     std::uint64_t hash = 0;    ///< ConfigHasher digest
 };
 
+/** Loop-batching activity of one completed experiment. */
+struct ExperimentLoopBatch
+{
+    std::string file;                ///< CSV name (the point key)
+    sim::LoopBatchCounters counters; ///< summed over the point's launches
+};
+
 /** What a campaign produced. */
 struct CampaignResult
 {
@@ -148,6 +156,15 @@ struct CampaignResult
      * the whole sweep, even when this process ran only a shard
      * slice of it. */
     std::vector<CampaignPoint> points;
+
+    /**
+     * Loop-batching activity per experiment this process measured
+     * (commit order; resume-skips and failures contribute nothing).
+     * Purely an in-memory side channel for the --explain batch-ratio
+     * annotation: it is never written to any artifact (CSV,
+     * telemetry, manifest), so batching cannot leak into outputs.
+     */
+    std::vector<ExperimentLoopBatch> loop_batch;
 
     /** True when nothing failed (skips are fine). */
     bool ok() const { return failures.empty() && !interrupted; }

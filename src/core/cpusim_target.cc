@@ -213,7 +213,17 @@ CpuSimTarget::runOnce(const std::vector<cpusim::CpuProgram> &programs,
     if (!hit) {
         cpusim::CpuMachine &machine = machineFor(affinity);
         machine.reseed(seed);
+        machine.setLoopBatch(mcfg_.loop_batch);
         const auto result = machine.run(programs, mcfg_.n_warmup);
+        lb_.merge(machine.loopBatch());
+        metrics::add(metrics::Counter::LoopBatchIters,
+                     static_cast<long long>(
+                         machine.loopBatch().batched_iters));
+        metrics::add(metrics::Counter::LoopBatchWindows,
+                     static_cast<long long>(machine.loopBatch().windows));
+        metrics::add(metrics::Counter::LoopBatchFallbacks,
+                     static_cast<long long>(
+                         machine.loopBatch().fallbacks));
         const double hz = cfg_.base_clock_ghz * 1e9;
         out.clear();
         out.reserve(result.thread_cycles.size());

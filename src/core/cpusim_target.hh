@@ -80,6 +80,14 @@ class CpuSimTarget
      */
     TelemetrySample takeTelemetry();
 
+    /**
+     * Loop-batching activity accumulated over every launch this
+     * target actually simulated (cache hits replay stored results
+     * and add nothing). Feeds the loop_batch_* metrics counters and
+     * the --explain batch-ratio annotation.
+     */
+    const sim::LoopBatchCounters &loopBatch() const { return lb_; }
+
   private:
     /** Simulate one launch, filling @p out with per-thread seconds. */
     void runOnce(const std::vector<cpusim::CpuProgram> &p,
@@ -110,6 +118,9 @@ class CpuSimTarget
 
     /** Accumulates across launches until takeTelemetry(). */
     TelemetrySample telemetry_;
+
+    /** Accumulates across every simulated (non-cache-hit) launch. */
+    sim::LoopBatchCounters lb_;
 };
 
 } // namespace syncperf::core

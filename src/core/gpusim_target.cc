@@ -222,7 +222,17 @@ GpuSimTarget::runOnce(const gpusim::GpuKernel &kernel,
     }
     if (!hit) {
         machine_.reseed(seed);
+        machine_.setLoopBatch(mcfg_.loop_batch);
         const auto result = machine_.run(kernel, launch, mcfg_.n_warmup);
+        lb_.merge(machine_.loopBatch());
+        metrics::add(metrics::Counter::LoopBatchIters,
+                     static_cast<long long>(
+                         machine_.loopBatch().batched_iters));
+        metrics::add(metrics::Counter::LoopBatchWindows,
+                     static_cast<long long>(machine_.loopBatch().windows));
+        metrics::add(metrics::Counter::LoopBatchFallbacks,
+                     static_cast<long long>(
+                         machine_.loopBatch().fallbacks));
         const double hz = cfg_.clock_ghz * 1e9;
         out.clear();
         out.reserve(result.thread_cycles.size());

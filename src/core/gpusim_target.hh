@@ -76,6 +76,14 @@ class GpuSimTarget
      */
     TelemetrySample takeTelemetry();
 
+    /**
+     * Loop-batching activity accumulated over every launch this
+     * target actually simulated (cache hits replay stored results
+     * and add nothing). Feeds the loop_batch_* metrics counters and
+     * the --explain batch-ratio annotation.
+     */
+    const sim::LoopBatchCounters &loopBatch() const { return lb_; }
+
   private:
     /** Simulate one launch, filling @p out with per-thread seconds. */
     void runOnce(const gpusim::GpuKernel &kernel,
@@ -102,6 +110,9 @@ class GpuSimTarget
 
     /** Accumulates across launches until takeTelemetry(). */
     TelemetrySample telemetry_;
+
+    /** Accumulates across every simulated (non-cache-hit) launch. */
+    sim::LoopBatchCounters lb_;
 };
 
 } // namespace syncperf::core

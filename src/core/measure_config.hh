@@ -60,6 +60,17 @@ struct MeasurementConfig
      */
     bool telemetry = false;
 
+    /**
+     * Let the simulators advance proven-periodic steady-state loop
+     * windows algebraically (docs/performance.md, "Loop batching").
+     * Results are bit-identical either way -- the detector only
+     * batches what it has proven periodic -- so this knob cannot
+     * change any output and is, like sim_cache, left out of the
+     * campaign's config hash. Disable to force single-stepping
+     * (--no-loop-batch; used by the identity tests).
+     */
+    bool loop_batch = true;
+
     /** Total primitive executions the measured difference covers. */
     long opsPerMeasurement() const
     {

@@ -414,10 +414,48 @@ explainGpuAtomics(const std::map<std::string, TelemetryReport> &reports,
                   rounded(ys.front()), rounded(ys.back()));
 }
 
+/**
+ * The loop-batching annotation: how much of each experiment's timed
+ * simulation the steady-state batcher covered algebraically
+ * (docs/performance.md, "Loop batching"). Wall-clock bookkeeping
+ * only -- batching never changes a measured value.
+ */
+void
+explainLoopBatch(
+    const std::string &system,
+    const std::map<std::string, sim::LoopBatchCounters> &ratios,
+    std::ostream &out)
+{
+    const std::string prefix = system + "/";
+    std::vector<std::pair<std::string, const sim::LoopBatchCounters *>>
+        rows;
+    for (const auto &[key, c] : ratios) {
+        if (key.rfind(prefix, 0) == 0)
+            rows.emplace_back(key.substr(prefix.size()), &c);
+    }
+    if (rows.empty())
+        return;
+    out << "loop batching (batched / total timed iterations):\n";
+    for (const auto &[file, c] : rows) {
+        const double ratio =
+            c->total_iters == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(c->batched_iters) /
+                      static_cast<double>(c->total_iters);
+        out << format("  {}: {}% batched ({} of {} iters, "
+                      "{} windows, {} fallbacks)\n",
+                      file, rounded(ratio), c->batched_iters,
+                      c->total_iters, c->windows, c->fallbacks);
+    }
+    out << '\n';
+}
+
 } // namespace
 
 Status
-explainCampaign(const fs::path &dir, std::ostream &out)
+explainCampaign(const fs::path &dir, std::ostream &out,
+                const std::map<std::string, sim::LoopBatchCounters>
+                    *loop_batch)
 {
     std::vector<fs::path> system_dirs;
     std::error_code ec;
@@ -438,6 +476,15 @@ explainCampaign(const fs::path &dir, std::ostream &out)
         explainFalseSharing(reports, out);
         explainCpuContention(reports, out);
         explainGpuAtomics(reports, out);
+        if (loop_batch != nullptr) {
+            explainLoopBatch(system_dir.filename().string(),
+                             *loop_batch, out);
+        } else {
+            out << "loop batching: n/a (no measurements ran in this "
+                   "process; batch ratios\n  are an in-memory side "
+                   "channel of the measuring run, never an "
+                   "artifact)\n\n";
+        }
         ++rendered;
     }
     if (rendered == 0)

@@ -35,6 +35,7 @@
 #include "common/histogram.hh"
 #include "common/json.hh"
 #include "common/status.hh"
+#include "sim/loop_batch.hh"
 #include "sim/stat.hh"
 
 namespace syncperf::core
@@ -107,9 +108,19 @@ std::filesystem::path telemetryPathFor(
  * knee vs stride, exclusive-acquisition wait growth vs threads, GPU
  * atomic wait vs block size). Returns an error only when @p dir has
  * no telemetry at all.
+ *
+ * @param loop_batch Optional per-experiment loop-batching counters
+ *        keyed by "<system-slug>/<csv-file>" (the measuring run's
+ *        in-memory side channel, see CampaignResult::loop_batch).
+ *        When present, each system section is followed by a batch
+ *        ratio (batched_iters / total_iters) per experiment; pass
+ *        nullptr when no measurements ran in this process
+ *        (--explain-only) and the section says so instead.
  */
-Status explainCampaign(const std::filesystem::path &dir,
-                       std::ostream &out);
+Status explainCampaign(
+    const std::filesystem::path &dir, std::ostream &out,
+    const std::map<std::string, sim::LoopBatchCounters> *loop_batch =
+        nullptr);
 
 } // namespace syncperf::core
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -184,8 +185,13 @@ CpuMachine::arriveBarrier(int tid, Tick when)
     barrier_last_arrival_ = 0;
 
     for (int w : waiters) {
-        eq_.schedule(release, [this, w, release] {
-            finishOp(w, release);
+        // The callback reads its tick from the queue (it runs exactly
+        // at `release`), so a loop-batch shift of the pending event
+        // shifts the continuation with it.
+        threads_[w].resume = true;
+        eq_.schedule(release, [this, w] {
+            threads_[w].resume = false;
+            finishOp(w, eq_.now());
         }, w);
     }
 }
@@ -215,9 +221,9 @@ CpuMachine::finishOp(int tid, Tick done)
             const Tick go = align_last_ +
                 barrierLatency(static_cast<int>(threads_.size()));
             for (int w : align_waiters_) {
-                eq_.schedule(go, [this, w, go] {
+                eq_.schedule(go, [this, w] {
                     threads_[w].timed = true;
-                    threads_[w].start_tick = go;
+                    threads_[w].start_tick = eq_.now();
                     step(w);
                 }, w);
             }
@@ -226,12 +232,231 @@ CpuMachine::finishOp(int tid, Tick done)
         return;
     }
 
+    // Timed boundary: the batcher may jump whole steady-state
+    // periods here, shifting this thread's continuation with them.
+    if (loop_batch_)
+        done += maybeBatch(tid, done);
+
     if (--ctx.iters_left > 0) {
         eq_.schedule(done, [this, tid] { step(tid); }, tid);
         return;
     }
     ctx.done = true;
     ctx.end_tick = done;
+    if (tid == lb_trigger_) {
+        // Let a remaining thread drive any tail batching. The
+        // backoff state deliberately survives the handoff: the
+        // machine's regime did not change with the trigger.
+        lb_trigger_ = -1;
+        lb_armed_ = false;
+    }
+}
+
+void
+CpuMachine::encodeState(Tick base, std::vector<std::uint64_t> &out) const
+{
+    // Liveness floor: a max-register at or below both the boundary
+    // and every pending event can never win another max() against a
+    // future time, so it is canonicalized to one dead value; anything
+    // above the floor is encoded as its exact offset from the
+    // boundary. Live past registers (they feed min()s or wait-time
+    // stats) always keep their exact offset.
+    Tick floor = eq_.earliestPending();
+    if (base < floor)
+        floor = base;
+    const auto off = [base](Tick v) {
+        return static_cast<std::uint64_t>(v - base);
+    };
+    constexpr std::uint64_t dead = std::uint64_t{1} << 63;
+    const auto maxreg = [&](Tick v) {
+        return v > floor ? off(v) : dead;
+    };
+
+    out.clear();
+    out.push_back(rng_.state());
+    for (const ThreadCtx &t : threads_) {
+        out.push_back(static_cast<std::uint64_t>(t.pc) << 4 |
+                      static_cast<std::uint64_t>(t.timed) << 3 |
+                      static_cast<std::uint64_t>(t.done) << 2 |
+                      static_cast<std::uint64_t>(t.resume) << 1 |
+                      static_cast<std::uint64_t>(t.has_pending_store));
+        out.push_back(static_cast<std::uint64_t>(
+            (t.has_pending_store ? t.pending_store_line : -1) + 1));
+    }
+    for (int w : warm_left_)
+        out.push_back(static_cast<std::uint64_t>(w));
+    for (Tick v : core_free_)
+        out.push_back(maxreg(v));
+    out.push_back(maxreg(coherence_point_free_));
+    for (const Line &l : lines_) {
+        out.push_back(static_cast<std::uint64_t>(l.owner_core + 1) << 1 |
+                      static_cast<std::uint64_t>(l.exclusive));
+        out.push_back(l.copies);
+        out.push_back(maxreg(l.free_at));
+    }
+    for (const LockState &l : locks_) {
+        out.push_back(static_cast<std::uint64_t>(l.held) << 32 |
+                      static_cast<std::uint64_t>(l.waiters.size()));
+        for (const LockWaiter &w : l.waiters) {
+            out.push_back(static_cast<std::uint64_t>(w.tid));
+            out.push_back(off(w.since)); // feeds lock_wait_ticks later
+        }
+    }
+    out.push_back(static_cast<std::uint64_t>(barrier_arrivals_));
+    // Both rendezvous stamps are live while a barrier is partially
+    // arrived: first_arrival feeds future min()s, and last_arrival
+    // can still win its max() -- a later arrival may carry a smaller
+    // tick when issue contention delayed an earlier one.
+    out.push_back(barrier_arrivals_ ? off(barrier_first_arrival_) : 0);
+    out.push_back(barrier_arrivals_ ? off(barrier_last_arrival_) : 0);
+    for (int w : barrier_waiters_)
+        out.push_back(static_cast<std::uint64_t>(w));
+    out.push_back(static_cast<std::uint64_t>(align_arrivals_));
+    for (int w : align_waiters_)
+        out.push_back(static_cast<std::uint64_t>(w));
+    eq_.encodePending(base, out);
+}
+
+void
+CpuMachine::shiftTimes(Tick delta)
+{
+    for (Tick &v : core_free_)
+        v += delta;
+    coherence_point_free_ += delta;
+    for (Line &l : lines_)
+        l.free_at += delta;
+    for (LockState &l : locks_)
+        for (LockWaiter &w : l.waiters)
+            w.since += delta;
+    if (barrier_arrivals_ > 0) {
+        barrier_first_arrival_ += delta;
+        barrier_last_arrival_ += delta;
+    }
+    // align_last_ is final once the team is timed (and a trigger
+    // exists only then); start/end ticks are frozen outputs shared
+    // with the unbatched run; the rng did not advance.
+}
+
+CpuMachine::Tick
+CpuMachine::maybeBatch(int tid, Tick done)
+{
+    if (!threads_[tid].timed)
+        return 0;
+    // A thread this close to its loop exit can never complete the
+    // arm-then-match sequence with k >= 1 (margin 2), so encoding at
+    // its boundaries is pure overhead: its tail single-steps, and
+    // the trigger role stays -- or becomes -- vacant for a thread
+    // with room to batch.
+    if (threads_[tid].iters_left < 4) {
+        if (tid == lb_trigger_) {
+            lb_trigger_ = -1;
+            lb_armed_ = false;
+        }
+        return 0;
+    }
+    if (lb_trigger_ < 0)
+        lb_trigger_ = tid;
+    if (tid != lb_trigger_)
+        return 0;
+
+    // Backoff: a boundary whose last attempt fell back rarely
+    // matches the very next one, and every attempt costs a whole-
+    // machine encode. Exponentially spaced retries keep hopeless
+    // (contended) regimes near single-step speed; a skipped boundary
+    // only forgoes a jump, so results are unchanged.
+    if (lb_skip_ > 0) {
+        --lb_skip_;
+        return 0;
+    }
+
+    // Randomness consumed since the last boundary means the period
+    // cannot be replayed; skip the full encode until it settles.
+    if (lb_armed_ && rng_.state() != lb_prev_rng_) {
+        ++lb_.fallbacks;
+        lb_prev_rng_ = rng_.state();
+        lb_armed_ = false;
+        lb_skip_ = lb_penalty_;
+        lb_penalty_ = std::min<long>(lb_penalty_ * 2, 256);
+        return 0;
+    }
+
+    encodeState(done, lb_fp_);
+    const int n = static_cast<int>(threads_.size());
+    if (!lb_armed_ || lb_fp_ != lb_prev_fp_) {
+        if (lb_armed_) {
+            ++lb_.fallbacks;
+            lb_skip_ = lb_penalty_;
+            lb_penalty_ = std::min<long>(lb_penalty_ * 2, 256);
+        }
+        lb_prev_fp_.swap(lb_fp_);
+        lb_prev_boundary_ = done;
+        lb_prev_rng_ = rng_.state();
+        lb_prev_iters_.resize(n);
+        for (int i = 0; i < n; ++i)
+            lb_prev_iters_[i] = threads_[i].iters_left;
+        stats_.snapshot(lb_prev_stats_);
+        lb_armed_ = true;
+        return 0;
+    }
+
+    // Equal fingerprints: the machine's dynamics are periodic with
+    // period delta. K whole periods can be applied algebraically.
+    // Every actor must keep at least one whole post-jump iteration
+    // to execute for real: iters_left still counts the just-finished
+    // iteration, so a margin of 2 leaves the loop exit -- and the
+    // run's final event times -- to ordinary single-stepping.
+    const Tick delta = done - lb_prev_boundary_;
+    SYNCPERF_ASSERT(delta > 0, "duplicate trigger boundary tick");
+    long k = std::numeric_limits<long>::max();
+    std::uint64_t per_period = 0;
+    for (int i = 0; i < n; ++i) {
+        const long d = lb_prev_iters_[i] - threads_[i].iters_left;
+        if (d <= 0)
+            continue;
+        per_period += static_cast<std::uint64_t>(d);
+        k = std::min(k, (threads_[i].iters_left - 2) / d);
+    }
+    if (k == std::numeric_limits<long>::max())
+        k = 0;
+    // A horizon pin is an opaque foreign event: never jump past it.
+    if (eq_.horizonPin() != sim::EventQueue::no_tick) {
+        const Tick pin = eq_.horizonPin();
+        k = pin > done
+            ? std::min(k, static_cast<long>((pin - done) / delta))
+            : 0;
+    }
+    if (k < 1) {
+        ++lb_.fallbacks;
+        lb_skip_ = lb_penalty_;
+        lb_penalty_ = std::min<long>(lb_penalty_ * 2, 256);
+        // Re-anchor so a later boundary measures a fresh period.
+        lb_prev_boundary_ = done;
+        for (int i = 0; i < n; ++i)
+            lb_prev_iters_[i] = threads_[i].iters_left;
+        stats_.snapshot(lb_prev_stats_);
+        return 0;
+    }
+
+    const Tick shift = delta * static_cast<Tick>(k);
+    eq_.shiftPending(shift);
+    shiftTimes(shift);
+    for (int i = 0; i < n; ++i) {
+        const long d = lb_prev_iters_[i] - threads_[i].iters_left;
+        threads_[i].iters_left -= static_cast<long>(k) * d;
+    }
+    stats_.applyPeriods(lb_prev_stats_, static_cast<std::uint64_t>(k));
+    lb_.batched_iters += static_cast<std::uint64_t>(k) * per_period;
+    ++lb_.windows;
+    lb_penalty_ = 1; // a jump proves the steady state: retry eagerly
+
+    // The post-jump boundary has the same fingerprint by
+    // construction; re-anchor the snapshot so the next boundary can
+    // batch again without re-proving periodicity from scratch.
+    lb_prev_boundary_ = done + shift;
+    for (int i = 0; i < n; ++i)
+        lb_prev_iters_[i] = threads_[i].iters_left;
+    stats_.snapshot(lb_prev_stats_);
+    return shift;
 }
 
 void
@@ -456,8 +681,10 @@ CpuMachine::execLockRelease(int tid, const DecodedOp &op, Tick start)
         stats_.inc(sim::Probe::CpuLockHandoff);
         stats_.record(sim::HistProbe::CpuLockWaitTicks,
                       grant - waiter.since);
-        eq_.schedule(grant, [this, next, grant] {
-            finishOp(next, grant);
+        threads_[next].resume = true;
+        eq_.schedule(grant, [this, next] {
+            threads_[next].resume = false;
+            finishOp(next, eq_.now());
         }, next);
     } else {
         lock.held = false;
@@ -547,6 +774,15 @@ CpuMachine::run(const std::vector<CpuProgram> &programs,
     barrier_first_arrival_ = 0;
     barrier_last_arrival_ = 0;
     barrier_waiters_.clear();
+    lb_trigger_ = -1;
+    lb_armed_ = false;
+    lb_skip_ = 0;
+    lb_penalty_ = 1;
+    if (lb_pin_ != sim::EventQueue::no_tick)
+        eq_.pinHorizon(lb_pin_); // reset() above cleared any pin
+    lb_ = sim::LoopBatchCounters{};
+    for (const auto &p : programs)
+        lb_.total_iters += static_cast<std::uint64_t>(p.iterations);
 
     // Decode once per program: dense handler+operand arrays with all
     // config-dependent costs and container lookups hoisted out of

@@ -41,6 +41,7 @@
 #include "cpusim/cpu_config.hh"
 #include "cpusim/program.hh"
 #include "sim/event_queue.hh"
+#include "sim/loop_batch.hh"
 #include "sim/stat.hh"
 
 namespace syncperf::cpusim
@@ -102,6 +103,29 @@ class CpuMachine
     /** The placement computed for the last run's team. */
     const std::vector<HwPlace> &places() const { return places_; }
 
+    /**
+     * Enable/disable steady-state loop batching (default on). The
+     * run's results are bit-identical either way -- batching only
+     * skips re-deriving state the detector has proven periodic
+     * (docs/performance.md, "Loop batching").
+     */
+    void setLoopBatch(bool on) { loop_batch_ = on; }
+
+    /** Loop-batching activity of the most recent run. */
+    const sim::LoopBatchCounters &loopBatch() const { return lb_; }
+
+    /**
+     * Pin the loop-batching horizon at @p when for every subsequent
+     * run(): no batch window jumps across the pin, and boundaries at
+     * or past it single-step (the fault-injection / test hook;
+     * sim::EventQueue::no_tick, the default, unpins). Results stay
+     * bit-identical -- the pin only shrinks what may be batched.
+     */
+    void setBatchHorizonPin(Tick when) { lb_pin_ = when; }
+
+    /** The machine's event queue (test hook for horizon pinning). */
+    sim::EventQueue &eventQueue() { return eq_; }
+
   private:
     using Tick = sim::Tick;
 
@@ -148,6 +172,10 @@ class CpuMachine
         std::size_t pc = 0;
         bool timed = false;
         bool done = false;
+        /** A barrier-release/lock-grant continuation is pending for
+         * this thread (distinguishes its queued event from a plain
+         * step for the loop-batch fingerprint). */
+        bool resume = false;
         Tick start_tick = 0;
         Tick end_tick = 0;
         int pending_store_line = -1;  ///< interned index
@@ -190,6 +218,30 @@ class CpuMachine
     Tick acquireExclusive(Line &line, const HwPlace &place, Tick start,
                           Tick alu_cost, bool ordering_point);
 
+    // --- Steady-state loop batching (docs/performance.md) ---
+
+    /**
+     * Encode the complete dynamic machine state relative to the
+     * trigger-boundary tick @p base: live timing registers as exact
+     * offsets, provably dead ones canonicalized, the pending event
+     * set in execution order, and the rng state verbatim. Equal
+     * encodings at two boundaries prove the machine's dynamics are
+     * periodic with the boundaries' tick distance as the period.
+     */
+    void encodeState(Tick base, std::vector<std::uint64_t> &out) const;
+
+    /**
+     * Called at every timed body-iteration boundary of thread
+     * @p tid, before its iteration counter is decremented. When the
+     * boundary fingerprint matches the previous one, jump K whole
+     * periods algebraically and return the tick shift (0 when the
+     * check fell back to single-stepping).
+     */
+    Tick maybeBatch(int tid, Tick done);
+
+    /** Add @p delta to every live absolute-time register. */
+    void shiftTimes(Tick delta);
+
     CpuConfig cfg_;
     Affinity affinity_;
     Pcg32 rng_;
@@ -218,6 +270,24 @@ class CpuMachine
     int align_arrivals_ = 0;
     Tick align_last_ = 0;
     std::vector<int> align_waiters_;
+
+    // Steady-state loop batching. The first thread to complete a
+    // timed body iteration becomes the trigger; its boundaries drive
+    // the periodicity check.
+    bool loop_batch_ = true;
+    /** Sticky horizon pin re-applied to the queue by every run(). */
+    Tick lb_pin_ = sim::EventQueue::no_tick;
+    int lb_trigger_ = -1;
+    bool lb_armed_ = false;        ///< lb_prev_* describe a boundary
+    long lb_skip_ = 0;             ///< boundaries left before retrying
+    long lb_penalty_ = 1;          ///< next backoff length (doubles)
+    Tick lb_prev_boundary_ = 0;
+    std::uint64_t lb_prev_rng_ = 0;
+    std::vector<std::uint64_t> lb_prev_fp_;
+    std::vector<std::uint64_t> lb_fp_;  ///< scratch for the current fp
+    std::vector<long> lb_prev_iters_;
+    sim::StatSnapshot lb_prev_stats_;
+    sim::LoopBatchCounters lb_;
 };
 
 } // namespace syncperf::cpusim

@@ -6,6 +6,7 @@
 #include "machine.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -489,8 +490,10 @@ GpuMachine::arriveSyncThreads(int warp_id, Tick when)
     block.last_arrival = 0;
 
     for (int w : waiters) {
-        eq_.schedule(release, [this, w, release] {
-            finishOp(w, release);
+        warps_[w].resume = true;
+        eq_.schedule(release, [this, w] {
+            warps_[w].resume = false;
+            finishOp(w, eq_.now());
         }, w);
     }
 }
@@ -533,10 +536,283 @@ GpuMachine::arriveGridSync(int warp_id, Tick when)
     grid_first_arrival_ = 0;
     grid_last_arrival_ = 0;
     for (int w : waiters) {
-        eq_.schedule(release, [this, w, release] {
-            finishOp(w, release);
+        warps_[w].resume = true;
+        eq_.schedule(release, [this, w] {
+            warps_[w].resume = false;
+            finishOp(w, eq_.now());
         }, w);
     }
+}
+
+void
+GpuMachine::encodeState(Tick base, std::vector<std::uint64_t> &out) const
+{
+    // Liveness floor: a max-register at or below both the boundary
+    // and every pending event can never win another max() against a
+    // future time, so it is canonicalized to one dead value; anything
+    // above the floor is encoded as its exact offset from the
+    // boundary. Rendezvous stamps of a partially arrived barrier are
+    // live in both directions (first feeds a min, last can still win
+    // its max when issue contention reorders arrival ticks).
+    Tick floor = eq_.earliestPending();
+    if (base < floor)
+        floor = base;
+    const auto off = [base](Tick v) {
+        return static_cast<std::uint64_t>(v - base);
+    };
+    constexpr std::uint64_t dead = std::uint64_t{1} << 63;
+    const auto maxreg = [&](Tick v) {
+        return v > floor ? off(v) : dead;
+    };
+
+    // Warp-local stamps (last_store_commit, own_atomic_gate) are
+    // only ever read by the owning warp's later ops, whose issue
+    // times are at least the warp's own next scheduled event: that
+    // tick is a far tighter liveness floor than the global one, and
+    // without it a store-heavy warp's commit stamp flickers between
+    // dead and live across boundaries, spoiling every fingerprint.
+    lb_warp_floor_.resize(warps_.size());
+    eq_.earliestPendingPerPriority(lb_warp_floor_);
+
+    out.clear();
+    out.push_back(rng_.state());
+    for (std::size_t i = 0; i < warps_.size(); ++i) {
+        const WarpCtx &w = warps_[i];
+        const Tick wfloor = lb_warp_floor_[i] == sim::EventQueue::no_tick
+                                ? floor
+                                : std::max(floor, lb_warp_floor_[i]);
+        const auto wmaxreg = [&](Tick v) {
+            return v > wfloor ? off(v) : dead;
+        };
+        out.push_back(static_cast<std::uint64_t>(w.pc) << 32 |
+                      static_cast<std::uint64_t>(w.phase) << 4 |
+                      static_cast<std::uint64_t>(w.done) << 1 |
+                      static_cast<std::uint64_t>(w.resume));
+        out.push_back(static_cast<std::uint64_t>(w.rep_left));
+        out.push_back(static_cast<std::uint64_t>(w.sm + 1) << 8 |
+                      static_cast<std::uint64_t>(w.sched));
+        out.push_back(wmaxreg(w.last_store_commit));
+        out.push_back(wmaxreg(w.own_atomic_gate));
+    }
+    for (const BlockState &b : blocks_) {
+        out.push_back(static_cast<std::uint64_t>(b.sm + 1) << 32 |
+                      static_cast<std::uint64_t>(b.done_warps) << 16 |
+                      static_cast<std::uint64_t>(b.arrived));
+        out.push_back(b.arrived ? off(b.first_arrival) : 0);
+        out.push_back(b.arrived ? off(b.last_arrival) : 0);
+        out.push_back(b.waiters.size());
+        for (int w : b.waiters)
+            out.push_back(static_cast<std::uint64_t>(w));
+    }
+    out.push_back(pending_blocks_.size());
+    for (int b : pending_blocks_)
+        out.push_back(static_cast<std::uint64_t>(b));
+    for (int v : sm_free_threads_)
+        out.push_back(static_cast<std::uint64_t>(v));
+    for (int v : sm_blocks_)
+        out.push_back(static_cast<std::uint64_t>(v));
+    for (int v : sm_next_sched_)
+        out.push_back(static_cast<std::uint64_t>(v));
+    for (Tick v : sched_free_)
+        out.push_back(maxreg(v));
+    for (Tick v : lsu_free_)
+        out.push_back(maxreg(v));
+    for (Tick v : smem_free_)
+        out.push_back(maxreg(v));
+    for (Tick v : reduce_free_)
+        out.push_back(maxreg(v));
+    for (Tick v : unit_free_)
+        out.push_back(maxreg(v));
+    out.push_back(maxreg(mem_bw_free_));
+
+    // Hash maps in key order: iteration order is not part of the
+    // machine state.
+    lb_map_scratch_.clear();
+    for (const auto &[key, when] : line_free_)
+        lb_map_scratch_.push_back(key);
+    std::sort(lb_map_scratch_.begin(), lb_map_scratch_.end());
+    out.push_back(lb_map_scratch_.size());
+    for (std::uint64_t key : lb_map_scratch_) {
+        out.push_back(key);
+        out.push_back(maxreg(line_free_.find(key)->second));
+    }
+    lb_map_scratch_.clear();
+    for (const auto &[key, gate] : sm_line_gate_)
+        lb_map_scratch_.push_back(key);
+    std::sort(lb_map_scratch_.begin(), lb_map_scratch_.end());
+    out.push_back(lb_map_scratch_.size());
+    for (std::uint64_t key : lb_map_scratch_) {
+        const GateSlots &gate = sm_line_gate_.find(key)->second;
+        out.push_back(key);
+        out.push_back(maxreg(gate.newest));
+        out.push_back(maxreg(gate.oldest));
+    }
+
+    out.push_back(static_cast<std::uint64_t>(grid_arrivals_));
+    out.push_back(grid_arrivals_ ? off(grid_first_arrival_) : 0);
+    out.push_back(grid_arrivals_ ? off(grid_last_arrival_) : 0);
+    for (int w : grid_waiters_)
+        out.push_back(static_cast<std::uint64_t>(w));
+    eq_.encodePending(base, out);
+}
+
+void
+GpuMachine::shiftTimes(Tick delta)
+{
+    for (WarpCtx &w : warps_) {
+        w.last_store_commit += delta;
+        w.own_atomic_gate += delta;
+    }
+    for (BlockState &b : blocks_) {
+        if (b.arrived > 0) {
+            b.first_arrival += delta;
+            b.last_arrival += delta;
+        }
+    }
+    for (Tick &v : sched_free_)
+        v += delta;
+    for (Tick &v : lsu_free_)
+        v += delta;
+    for (Tick &v : smem_free_)
+        v += delta;
+    for (Tick &v : reduce_free_)
+        v += delta;
+    for (Tick &v : unit_free_)
+        v += delta;
+    mem_bw_free_ += delta;
+    for (auto &[key, when] : line_free_)
+        when += delta;
+    for (auto &[key, gate] : sm_line_gate_) {
+        gate.newest += delta;
+        gate.oldest += delta;
+    }
+    if (grid_arrivals_ > 0) {
+        grid_first_arrival_ += delta;
+        grid_last_arrival_ += delta;
+    }
+    // warp.start/warp.end are frozen clock64() outputs shared with
+    // the unbatched run; the rng did not advance.
+}
+
+GpuMachine::Tick
+GpuMachine::maybeBatch(int warp_id, Tick done)
+{
+    // A warp this close to its loop exit can never complete the
+    // arm-then-match sequence with k >= 1 (margin 2), so encoding at
+    // its boundaries is pure overhead: its tail single-steps, and
+    // the trigger role stays -- or becomes -- vacant for a warp with
+    // room to batch (e.g. the next wave of a multi-wave launch).
+    if (warps_[warp_id].iters_left < 4) {
+        if (warp_id == lb_trigger_) {
+            lb_trigger_ = -1;
+            lb_armed_ = false;
+        }
+        return 0;
+    }
+    if (lb_trigger_ < 0)
+        lb_trigger_ = warp_id;
+    if (warp_id != lb_trigger_)
+        return 0;
+
+    // Backoff: a boundary whose last attempt fell back rarely
+    // matches the very next one, and every attempt costs a whole-
+    // machine encode. Exponentially spaced retries keep hopeless
+    // (contended) regimes near single-step speed; a skipped boundary
+    // only forgoes a jump, so results are unchanged.
+    if (lb_skip_ > 0) {
+        --lb_skip_;
+        return 0;
+    }
+
+    // Randomness consumed since the last boundary (a system-scope
+    // fence in the body) means the period cannot be replayed; skip
+    // the full encode until it settles.
+    if (lb_armed_ && rng_.state() != lb_prev_rng_) {
+        ++lb_.fallbacks;
+        lb_prev_rng_ = rng_.state();
+        lb_armed_ = false;
+        lb_skip_ = lb_penalty_;
+        lb_penalty_ = std::min<long>(lb_penalty_ * 2, 256);
+        return 0;
+    }
+
+    encodeState(done, lb_fp_);
+    const int n = static_cast<int>(warps_.size());
+    if (!lb_armed_ || lb_fp_ != lb_prev_fp_) {
+        if (lb_armed_) {
+            ++lb_.fallbacks;
+            lb_skip_ = lb_penalty_;
+            lb_penalty_ = std::min<long>(lb_penalty_ * 2, 256);
+        }
+        lb_prev_fp_.swap(lb_fp_);
+        lb_prev_boundary_ = done;
+        lb_prev_rng_ = rng_.state();
+        lb_prev_iters_.resize(n);
+        for (int i = 0; i < n; ++i)
+            lb_prev_iters_[i] = warps_[i].iters_left;
+        stats_.snapshot(lb_prev_stats_);
+        lb_armed_ = true;
+        return 0;
+    }
+
+    // Equal fingerprints: the machine's dynamics are periodic with
+    // period delta. Every actor must keep at least one whole
+    // post-jump iteration to execute for real: iters_left still
+    // counts the just-finished iteration, so a margin of 2 leaves
+    // phase transitions -- and the run's final event times -- to
+    // ordinary single-stepping.
+    const Tick delta = done - lb_prev_boundary_;
+    SYNCPERF_ASSERT(delta > 0, "duplicate trigger boundary tick");
+    long k = std::numeric_limits<long>::max();
+    std::uint64_t per_period = 0;
+    for (int i = 0; i < n; ++i) {
+        const long d = lb_prev_iters_[i] - warps_[i].iters_left;
+        if (d <= 0)
+            continue;
+        per_period += static_cast<std::uint64_t>(d);
+        k = std::min(k, (warps_[i].iters_left - 2) / d);
+    }
+    if (k == std::numeric_limits<long>::max())
+        k = 0;
+    // A horizon pin is an opaque foreign event: never jump past it.
+    if (eq_.horizonPin() != sim::EventQueue::no_tick) {
+        const Tick pin = eq_.horizonPin();
+        k = pin > done
+            ? std::min(k, static_cast<long>((pin - done) / delta))
+            : 0;
+    }
+    if (k < 1) {
+        ++lb_.fallbacks;
+        lb_skip_ = lb_penalty_;
+        lb_penalty_ = std::min<long>(lb_penalty_ * 2, 256);
+        // Re-anchor so a later boundary measures a fresh period.
+        lb_prev_boundary_ = done;
+        for (int i = 0; i < n; ++i)
+            lb_prev_iters_[i] = warps_[i].iters_left;
+        stats_.snapshot(lb_prev_stats_);
+        return 0;
+    }
+
+    const Tick shift = delta * static_cast<Tick>(k);
+    eq_.shiftPending(shift);
+    shiftTimes(shift);
+    for (int i = 0; i < n; ++i) {
+        const long d = lb_prev_iters_[i] - warps_[i].iters_left;
+        warps_[i].iters_left -= static_cast<long>(k) * d;
+    }
+    stats_.applyPeriods(lb_prev_stats_, static_cast<std::uint64_t>(k));
+    lb_.batched_iters += static_cast<std::uint64_t>(k) * per_period;
+    ++lb_.windows;
+    lb_penalty_ = 1; // a jump proves the steady state: retry eagerly
+
+    // The post-jump boundary has the same fingerprint by
+    // construction; re-anchor the snapshot so the next boundary can
+    // batch again without re-proving periodicity from scratch.
+    lb_prev_boundary_ = done + shift;
+    for (int i = 0; i < n; ++i)
+        lb_prev_iters_[i] = warps_[i].iters_left;
+    stats_.snapshot(lb_prev_stats_);
+    return shift;
 }
 
 void
@@ -574,10 +850,21 @@ GpuMachine::finishOp(int warp_id, Tick done)
         return;
     }
     warp.pc = 0;
+    // Timed boundary: the batcher may jump whole steady-state
+    // periods here, shifting this warp's continuation with them.
+    if (warp.phase == Phase::Timed && loop_batch_)
+        done += maybeBatch(warp_id, done);
     if ((warp.phase == Phase::Warmup || warp.phase == Phase::Timed) &&
         --warp.iters_left > 0) {
         eq_.schedule(done, [this, warp_id] { step(warp_id); }, warp_id);
         return;
+    }
+    if (warp_id == lb_trigger_) {
+        // Let a remaining warp drive any tail batching. The backoff
+        // state deliberately survives the handoff: the machine's
+        // regime did not change with the trigger.
+        lb_trigger_ = -1;
+        lb_armed_ = false;
     }
     advancePhase(warp_id, done);
 }
@@ -626,6 +913,10 @@ GpuMachine::advancePhase(int warp_id, Tick done)
         block.waiters.clear();
         block.arrived = 0;
         block.last_arrival = 0;
+        // The captured absolute tick is safe under loop batching:
+        // this one-shot event's boundary-relative offset shrinks
+        // between any two trigger boundaries, so it can never be
+        // part of equal fingerprints and is never shifted.
         for (int w : waiters) {
             eq_.schedule(release, [this, w, release] {
                 warps_[w].start = release;
@@ -855,6 +1146,13 @@ GpuMachine::run(const GpuKernel &kernel, LaunchConfig launch,
     grid_first_arrival_ = 0;
     grid_last_arrival_ = 0;
     grid_waiters_.clear();
+    lb_trigger_ = -1;
+    lb_armed_ = false;
+    lb_skip_ = 0;
+    lb_penalty_ = 1;
+    if (lb_pin_ != sim::EventQueue::no_tick)
+        eq_.pinHorizon(lb_pin_); // the queue reset cleared any pin
+    lb_ = sim::LoopBatchCounters{};
 
     const int warps_per_block = cfg_.warpsPerBlock(launch.threads_per_block);
     for (int b = 0; b < launch.blocks; ++b) {
@@ -875,6 +1173,10 @@ GpuMachine::run(const GpuKernel &kernel, LaunchConfig launch,
             warps_.push_back(warp);
         }
         pending_blocks_.push_back(b);
+    }
+    if (!kernel.body.empty()) {
+        lb_.total_iters = static_cast<std::uint64_t>(kernel.body_iters) *
+                          warps_.size();
     }
     tryLaunchBlocks(0);
 

@@ -42,6 +42,7 @@
 #include "gpusim/gpu_config.hh"
 #include "gpusim/kernel.hh"
 #include "sim/event_queue.hh"
+#include "sim/loop_batch.hh"
 #include "sim/stat.hh"
 
 namespace syncperf::gpusim
@@ -103,6 +104,29 @@ class GpuMachine
 
     const GpuConfig &config() const { return cfg_; }
 
+    /**
+     * Enable/disable steady-state loop batching (default on). The
+     * run's results are bit-identical either way -- batching only
+     * skips re-deriving state the detector has proven periodic
+     * (docs/performance.md, "Loop batching").
+     */
+    void setLoopBatch(bool on) { loop_batch_ = on; }
+
+    /** Loop-batching activity of the most recent run. */
+    const sim::LoopBatchCounters &loopBatch() const { return lb_; }
+
+    /**
+     * Pin the loop-batching horizon at @p when for every subsequent
+     * run(): no batch window jumps across the pin, and boundaries at
+     * or past it single-step (the fault-injection / test hook;
+     * sim::EventQueue::no_tick, the default, unpins). Results stay
+     * bit-identical -- the pin only shrinks what may be batched.
+     */
+    void setBatchHorizonPin(Tick when) { lb_pin_ = when; }
+
+    /** The machine's event queue (test hook for horizon pinning). */
+    sim::EventQueue &eventQueue() { return eq_; }
+
   private:
     using Tick = sim::Tick;
 
@@ -153,6 +177,11 @@ class GpuMachine
         Tick start = 0;
         Tick end = 0;
         bool done = false;
+
+        /** A barrier-release continuation is queued for this warp
+         * (distinguishes its pending event from a plain step for the
+         * loop-batch fingerprint). */
+        bool resume = false;
 
         /** Commit time of this warp's most recent global store (the
          * point a device-scope fence must wait for). */
@@ -228,6 +257,30 @@ class GpuMachine
     std::uint64_t resolveAddr(const WarpCtx &warp,
                               const DecodedGpuOp &op, int lane) const;
 
+    // --- Steady-state loop batching (docs/performance.md) ---
+
+    /**
+     * Encode the complete dynamic machine state relative to the
+     * trigger-boundary tick @p base: live timing registers as exact
+     * offsets, provably dead ones canonicalized, the pending event
+     * set in execution order, and the rng state verbatim. Equal
+     * encodings at two boundaries prove the machine's dynamics are
+     * periodic with the boundaries' tick distance as the period.
+     */
+    void encodeState(Tick base, std::vector<std::uint64_t> &out) const;
+
+    /**
+     * Called at every timed body-iteration boundary of warp
+     * @p warp_id, before its iteration counter is decremented. When
+     * the boundary fingerprint matches the previous one, jump K
+     * whole periods algebraically and return the tick shift (0 when
+     * the check fell back to single-stepping).
+     */
+    Tick maybeBatch(int warp_id, Tick done);
+
+    /** Add @p delta to every live absolute-time register. */
+    void shiftTimes(Tick delta);
+
     GpuConfig cfg_;
     Pcg32 rng_;
     sim::EventQueue eq_;
@@ -264,6 +317,28 @@ class GpuMachine
     Tick grid_first_arrival_ = 0;
     Tick grid_last_arrival_ = 0;
     std::vector<int> grid_waiters_;
+
+    // Steady-state loop batching. The first warp to complete a timed
+    // body iteration becomes the trigger; its boundaries drive the
+    // periodicity check.
+    bool loop_batch_ = true;
+    /** Sticky horizon pin re-applied to the queue by every run(). */
+    Tick lb_pin_ = sim::EventQueue::no_tick;
+    int lb_trigger_ = -1;
+    bool lb_armed_ = false;        ///< lb_prev_* describe a boundary
+    long lb_skip_ = 0;             ///< boundaries left before retrying
+    long lb_penalty_ = 1;          ///< next backoff length (doubles)
+    Tick lb_prev_boundary_ = 0;
+    std::uint64_t lb_prev_rng_ = 0;
+    std::vector<std::uint64_t> lb_prev_fp_;
+    std::vector<std::uint64_t> lb_fp_;  ///< scratch for the current fp
+    std::vector<long> lb_prev_iters_;
+    mutable std::vector<std::uint64_t> lb_map_scratch_;
+    /** Per-warp next-event ticks: liveness floors for warp-local
+     * stamps (scratch for encodeState). */
+    mutable std::vector<Tick> lb_warp_floor_;
+    sim::StatSnapshot lb_prev_stats_;
+    sim::LoopBatchCounters lb_;
 };
 
 } // namespace syncperf::gpusim

@@ -5,6 +5,8 @@
 
 #include "event_queue.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace syncperf::sim
@@ -152,6 +154,90 @@ EventQueue::runUntil(Tick limit)
     return now_;
 }
 
+Tick
+EventQueue::earliestPending() const
+{
+    if (live_ == 0)
+        return no_tick;
+    if (slots_[heap_[0].slot()].state == SlotState::Pending)
+        return heap_[0].when();
+    Tick best = no_tick;
+    for (const Entry &e : heap_) {
+        if (slots_[e.slot()].state == SlotState::Pending &&
+            e.when() < best) {
+            best = e.when();
+        }
+    }
+    return best;
+}
+
+void
+EventQueue::earliestPendingPerPriority(std::vector<Tick> &out) const
+{
+    std::fill(out.begin(), out.end(), no_tick);
+    for (const Entry &e : heap_) {
+        if (slots_[e.slot()].state != SlotState::Pending)
+            continue;
+        const std::int64_t prio =
+            static_cast<std::int64_t>(e.hi &
+                                      ((priority_bias << 1) - 1)) -
+            static_cast<std::int64_t>(priority_bias);
+        if (prio < 0 || prio >= static_cast<std::int64_t>(out.size()))
+            continue;
+        Tick &best = out[static_cast<std::size_t>(prio)];
+        if (e.when() < best)
+            best = e.when();
+    }
+}
+
+Tick
+EventQueue::nextForeignTick(int priority) const
+{
+    const std::uint64_t prio_key =
+        (static_cast<std::uint64_t>(priority) + priority_bias) &
+        ((priority_bias << 1) - 1);
+    Tick best = horizon_pin_;
+    for (const Entry &e : heap_) {
+        if (slots_[e.slot()].state != SlotState::Pending)
+            continue; // tombstone: a cancelled event lands nowhere
+        if ((e.hi & ((priority_bias << 1) - 1)) == prio_key)
+            continue;
+        if (e.when() < best)
+            best = e.when();
+    }
+    return best;
+}
+
+void
+EventQueue::encodePending(Tick base, std::vector<std::uint64_t> &out) const
+{
+    order_scratch_.clear();
+    for (const Entry &e : heap_) {
+        if (slots_[e.slot()].state == SlotState::Pending)
+            order_scratch_.push_back(e);
+    }
+    // Execution order, not heap order: the heap layout depends on
+    // insertion history, which two equivalent states need not share.
+    std::sort(order_scratch_.begin(), order_scratch_.end(), before);
+    out.push_back(order_scratch_.size());
+    for (const Entry &e : order_scratch_) {
+        // The offset is signed-in-two's-complement: pending events
+        // may precede the caller's base tick.
+        out.push_back(static_cast<std::uint64_t>(e.when() - base));
+        out.push_back(e.hi & ((priority_bias << 1) - 1));
+    }
+}
+
+void
+EventQueue::shiftPending(Tick delta)
+{
+    for (Entry &e : heap_) {
+        e.hi += delta << when_shift;
+        SYNCPERF_ASSERT(e.when() < (Tick{1} << (64 - when_shift)),
+                        "shifted tick out of the packed 40-bit range");
+    }
+}
+
 void
 EventQueue::reset()
 {
@@ -170,6 +256,7 @@ EventQueue::reset()
     now_ = 0;
     live_ = 0;
     max_pending_ = 0;
+    horizon_pin_ = no_tick;
 }
 
 } // namespace syncperf::sim

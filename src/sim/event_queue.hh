@@ -224,6 +224,71 @@ class EventQueue
     /** High-water pending() mark since construction or reset(). */
     std::size_t maxPending() const { return max_pending_; }
 
+    /** Sentinel tick: no pending foreign event / no horizon pin. */
+    static constexpr Tick no_tick = ~Tick{0};
+
+    /**
+     * Tick of the earliest pending (non-cancelled) event, or no_tick
+     * when the queue is empty. O(1): the heap root is the earliest
+     * live event unless it is a tombstone, in which case a linear
+     * scan resolves it (tombstones are rare by construction).
+     */
+    Tick earliestPending() const;
+
+    /**
+     * For each priority p in [0, out.size()), set out[p] to the tick
+     * of p's earliest pending (non-cancelled) event, or no_tick when
+     * p has none scheduled. Priorities outside the range are
+     * ignored. Linear in the pending set (a batching-boundary query,
+     * not a hot-path one). The machines use actor indices as
+     * priorities, so this yields each actor's next wake-up -- the
+     * liveness floor for actor-local time stamps, which only that
+     * actor's later ops can read.
+     */
+    void earliestPendingPerPriority(std::vector<Tick> &out) const;
+
+    /**
+     * Earliest pending (non-cancelled) event whose priority differs
+     * from @p priority, or the horizon pin when that is earlier;
+     * no_tick when neither exists. Linear in the pending set (it is
+     * a batching-boundary query, not a hot-path one). Tombstoned
+     * events never count: a cancelled event can land nowhere.
+     */
+    Tick nextForeignTick(int priority) const;
+
+    /**
+     * Append a canonical encoding of the pending set to @p out: the
+     * live count, then a (when - base, biased priority) pair per
+     * event in execution order. Cancelled tombstones are skipped.
+     * Two queues with equal encodings against their respective bases
+     * execute the same event pattern at the same offsets, whatever
+     * their internal heap layout or schedule-sequence numbers.
+     */
+    void encodePending(Tick base, std::vector<std::uint64_t> &out) const;
+
+    /**
+     * Add @p delta to the tick of every pending event (tombstones
+     * included; they are inert either way). Relative order is
+     * untouched -- the packed key makes this a monotone transform --
+     * so this is how the loop batcher advances a whole steady-state
+     * window in O(pending) without re-heapifying.
+     */
+    void shiftPending(Tick delta);
+
+    /**
+     * Pin the batching horizon at @p when: nextForeignTick() never
+     * reports a tick past the pin, so no batch window can jump
+     * across it. Hook for fault-injection points and tests; cleared
+     * by clearHorizonPin() and reset().
+     */
+    void pinHorizon(Tick when) { horizon_pin_ = when; }
+
+    /** Remove the horizon pin. */
+    void clearHorizonPin() { horizon_pin_ = no_tick; }
+
+    /** Current horizon pin, or no_tick when unpinned. */
+    Tick horizonPin() const { return horizon_pin_; }
+
     /**
      * Return the queue to its initial state (time 0, nothing
      * pending) while keeping allocated capacity, so a reused machine
@@ -331,6 +396,9 @@ class EventQueue
     std::size_t live_ = 0;
     std::size_t max_pending_ = 0;
     std::uint64_t executed_ = 0;
+    Tick horizon_pin_ = no_tick;
+    /** Reused sort buffer of encodePending(). */
+    mutable std::vector<Entry> order_scratch_;
 };
 
 } // namespace syncperf::sim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Counters shared by the CPU and GPU steady-state loop batchers.
+ *
+ * Both machines detect when a measured loop has settled into a
+ * periodic steady state and then advance whole periods algebraically
+ * (docs/performance.md, "Loop batching"). These counters describe
+ * how much of a run's timed work was covered that way; the targets
+ * aggregate them into the campaign's deterministic metrics and the
+ * --explain batch-ratio annotations. They never feed the simulated
+ * results: batching changes wall-clock only.
+ */
+
+#ifndef SYNCPERF_SIM_LOOP_BATCH_HH
+#define SYNCPERF_SIM_LOOP_BATCH_HH
+
+#include <cstdint>
+
+namespace syncperf::sim
+{
+
+/** Per-run loop-batching activity of one machine. */
+struct LoopBatchCounters
+{
+    /** Timed iterations advanced algebraically (summed over actors). */
+    std::uint64_t batched_iters = 0;
+
+    /** Batch windows applied (each covers >= 1 period). */
+    std::uint64_t windows = 0;
+
+    /**
+     * Trigger-boundary checks that did not batch: fingerprint
+     * mismatch (contention pattern shifted, randomness consumed, a
+     * phase boundary inside the horizon) or a window too short to be
+     * worth jumping. Any run with at least two timed iterations
+     * records at least one -- the boundaries nearest the loop end
+     * can never batch past it.
+     */
+    std::uint64_t fallbacks = 0;
+
+    /** Timed iterations the run's programs asked for in total. */
+    std::uint64_t total_iters = 0;
+
+    void
+    merge(const LoopBatchCounters &o)
+    {
+        batched_iters += o.batched_iters;
+        windows += o.windows;
+        fallbacks += o.fallbacks;
+        total_iters += o.total_iters;
+    }
+};
+
+} // namespace syncperf::sim
+
+#endif // SYNCPERF_SIM_LOOP_BATCH_HH

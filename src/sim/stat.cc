@@ -114,4 +114,37 @@ StatSet::clear()
     extras_.clear();
 }
 
+void
+StatSet::snapshot(StatSnapshot &out) const
+{
+    out.counters = counters_;
+    for (std::size_t i = 0; i < hists_.size(); ++i) {
+        out.hists[i].assign(hists_[i].buckets().begin(),
+                            hists_[i].buckets().end());
+    }
+}
+
+void
+StatSet::applyPeriods(const StatSnapshot &prev, std::uint64_t periods)
+{
+    for (std::size_t i = 0; i < counters_.size(); ++i)
+        counters_[i] += periods * (counters_[i] - prev.counters[i]);
+    for (std::size_t h = 0; h < hists_.size(); ++h) {
+        const auto &cur = hists_[h].buckets();
+        const auto &old = prev.hists[h];
+        for (std::size_t b = 0; b < cur.size(); ++b) {
+            const std::uint64_t dcount =
+                cur[b].count - (b < old.size() ? old[b].count : 0);
+            if (dcount == 0)
+                continue;
+            const std::uint64_t dsum =
+                cur[b].sum - (b < old.size() ? old[b].sum : 0);
+            Histogram::Bucket scaled = cur[b];
+            scaled.count += periods * dcount;
+            scaled.sum += periods * dsum;
+            hists_[h].setBucket(static_cast<int>(b), scaled);
+        }
+    }
+}
+
 } // namespace syncperf::sim

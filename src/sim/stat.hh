@@ -93,6 +93,21 @@ const char *probeName(Probe p);
 const char *histProbeName(HistProbe p);
 
 /**
+ * Deep copy of a StatSet's interned probes at one instant, used by
+ * the loop batcher to measure the exact stat production of one
+ * steady-state period and replay it K times. The cold string-keyed
+ * extras are deliberately absent: no machine hot path records them.
+ */
+struct StatSnapshot
+{
+    std::array<std::uint64_t, static_cast<std::size_t>(Probe::Count)>
+        counters{};
+    std::array<std::vector<Histogram::Bucket>,
+               static_cast<std::size_t>(HistProbe::Count)>
+        hists;
+};
+
+/**
  * A flat registry of counters and histograms. Machines expose one
  * StatSet so tests and benches can assert on internal activity (e.g.
  * "number of warp-aggregated atomics performed") and the telemetry
@@ -148,6 +163,20 @@ class StatSet
 
     /** Reset every counter and histogram to zero. */
     void clear();
+
+    /** Copy the interned probes into @p out (reusing its storage). */
+    void snapshot(StatSnapshot &out) const;
+
+    /**
+     * Replay @p periods extra copies of everything recorded since
+     * @p prev was taken: counter deltas are multiplied, histogram
+     * buckets get periods x (count, sum) delta. Bucket min/max stay
+     * as they are -- a steady-state period records the same sample
+     * values every time around, so the extremes were already seen in
+     * the measured period. The result is bit-identical to recording
+     * the period's samples @p periods more times.
+     */
+    void applyPeriods(const StatSnapshot &prev, std::uint64_t periods);
 
   private:
     std::array<std::uint64_t, static_cast<std::size_t>(Probe::Count)>

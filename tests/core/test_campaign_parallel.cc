@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -173,6 +174,43 @@ TEST_F(CampaignParallelTest, SerialRunResumesUnderParallelExecution)
     EXPECT_TRUE(second.ok());
     EXPECT_EQ(second.experiments_run, 0);
     EXPECT_EQ(second.experiments_skipped, first.experiments_run);
+}
+
+TEST_F(CampaignParallelTest, LoopBatchingIsByteIdenticalAcrossJobCounts)
+{
+    // The steady-state loop batcher must be invisible in every
+    // artifact: default vs --no-loop-batch trees are byte-identical,
+    // serial and parallel alike, telemetry included (the full matrix
+    // with sharding lives in scripts/test_loop_batch_campaign.sh).
+    auto batched = tinyProtocol();
+    batched.telemetry = true;
+    auto stepped = batched;
+    stepped.loop_batch = false;
+
+    const auto on_serial =
+        runOmpCampaign(cpu_, batched, options("lb_on_serial", 1));
+    const auto off_serial =
+        runOmpCampaign(cpu_, stepped, options("lb_off_serial", 1));
+    const auto on_parallel =
+        runOmpCampaign(cpu_, batched, options("lb_on_parallel", 4));
+    EXPECT_TRUE(on_serial.ok());
+    EXPECT_TRUE(off_serial.ok());
+    EXPECT_TRUE(on_parallel.ok());
+
+    const auto reference = snapshotTree(base_ / "lb_on_serial");
+    expectIdenticalTrees(reference,
+                         snapshotTree(base_ / "lb_off_serial"));
+    expectIdenticalTrees(reference,
+                         snapshotTree(base_ / "lb_on_parallel"));
+
+    // The side channel reports engagement even though no artifact
+    // may show it.
+    std::uint64_t batched_iters = 0;
+    for (const auto &lb : on_serial.loop_batch)
+        batched_iters += lb.counters.batched_iters;
+    EXPECT_GT(batched_iters, 0u);
+    for (const auto &lb : off_serial.loop_batch)
+        EXPECT_EQ(lb.counters.batched_iters, 0u);
 }
 
 TEST_F(CampaignParallelTest, OversubscribedJobCountStaysDeterministic)

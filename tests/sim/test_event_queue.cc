@@ -216,6 +216,171 @@ TEST(EventQueue, CancelledEntriesDoNotBlockDraining)
     EXPECT_EQ(eq.executed(), 1u);
 }
 
+// ------------------------------------------------------------------
+// Batching-horizon queries (the loop batcher's safety boundary; see
+// docs/performance.md, "Loop batching").
+// ------------------------------------------------------------------
+
+TEST(EventQueue, NextForeignTickSkipsOwnPriority)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {}, /*priority=*/3);
+    eq.schedule(20, [] {}, /*priority=*/5);
+    eq.schedule(30, [] {}, /*priority=*/3);
+    EXPECT_EQ(eq.nextForeignTick(3), 20u);
+    EXPECT_EQ(eq.nextForeignTick(5), 10u);
+    // Every pending event belongs to the queried actor: no horizon.
+    EXPECT_EQ(eq.nextForeignTick(3), 20u);
+    eq.runUntil(21);
+    EXPECT_EQ(eq.nextForeignTick(3), EventQueue::no_tick);
+}
+
+TEST(EventQueue, NextForeignTickSeesBoundaryExactEvent)
+{
+    // A foreign event at exactly the would-be window boundary must
+    // be reported, not jumped over: the batcher compares against
+    // the boundary tick with <=, so an off-by-one here would let a
+    // batch swallow a same-tick wakeup.
+    EventQueue eq;
+    eq.schedule(100, [] {}, 1);
+    EXPECT_EQ(eq.nextForeignTick(0), 100u);
+}
+
+TEST(EventQueue, NextForeignTickIgnoresTombstones)
+{
+    EventQueue eq;
+    const EventId doomed = eq.schedule(10, [] {}, 1);
+    eq.schedule(40, [] {}, 2);
+    EXPECT_EQ(eq.nextForeignTick(0), 10u);
+    EXPECT_TRUE(eq.deschedule(doomed));
+    // The cancelled event lands nowhere, so it cannot bound a batch.
+    EXPECT_EQ(eq.nextForeignTick(0), 40u);
+    eq.schedule(5, [] {}, 0);
+    EXPECT_EQ(eq.nextForeignTick(0), 40u); // own priority still skipped
+}
+
+TEST(EventQueue, HorizonPinCapsNextForeignTick)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {}, 1);
+    EXPECT_EQ(eq.horizonPin(), EventQueue::no_tick);
+    eq.pinHorizon(25);
+    EXPECT_EQ(eq.horizonPin(), 25u);
+    // The pin is earlier than any pending foreign event and wins.
+    EXPECT_EQ(eq.nextForeignTick(0), 25u);
+    // A pending event earlier than the pin still wins over it.
+    eq.schedule(7, [] {}, 2);
+    EXPECT_EQ(eq.nextForeignTick(0), 7u);
+    eq.clearHorizonPin();
+    EXPECT_EQ(eq.horizonPin(), EventQueue::no_tick);
+    EXPECT_EQ(eq.nextForeignTick(0), 7u);
+    // With nothing pending, the pin alone forms the horizon.
+    eq.pinHorizon(9);
+    eq.run();
+    EXPECT_EQ(eq.nextForeignTick(0), 9u);
+}
+
+TEST(EventQueue, ResetClearsHorizonPin)
+{
+    EventQueue eq;
+    eq.pinHorizon(123);
+    eq.reset();
+    EXPECT_EQ(eq.horizonPin(), EventQueue::no_tick);
+    EXPECT_EQ(eq.nextForeignTick(0), EventQueue::no_tick);
+}
+
+TEST(EventQueue, EarliestPendingResolvesCancelledRoot)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.earliestPending(), EventQueue::no_tick);
+    const EventId root = eq.schedule(10, [] {});
+    eq.schedule(30, [] {});
+    eq.schedule(20, [] {});
+    EXPECT_EQ(eq.earliestPending(), 10u);
+    // Cancelling the heap root leaves a tombstone in place; the
+    // query must scan past it to the earliest live event.
+    EXPECT_TRUE(eq.deschedule(root));
+    EXPECT_EQ(eq.earliestPending(), 20u);
+}
+
+TEST(EventQueue, EarliestPendingPerPriorityTracksEachActor)
+{
+    EventQueue eq;
+    std::vector<Tick> floors(3);
+
+    eq.earliestPendingPerPriority(floors);
+    for (Tick t : floors)
+        EXPECT_EQ(t, EventQueue::no_tick);
+
+    eq.schedule(40, [] {}, 0);
+    eq.schedule(10, [] {}, 0);
+    const EventId doomed = eq.schedule(5, [] {}, 1);
+    eq.schedule(20, [] {}, 1);
+    // Priority 2 has nothing scheduled; priority 7 is outside the
+    // caller's window and must be ignored, not written out of range.
+    eq.schedule(1, [] {}, 7);
+    EXPECT_TRUE(eq.deschedule(doomed));
+
+    eq.earliestPendingPerPriority(floors);
+    EXPECT_EQ(floors[0], 10u);
+    // The cancelled tick-5 tombstone must not count as pending.
+    EXPECT_EQ(floors[1], 20u);
+    EXPECT_EQ(floors[2], EventQueue::no_tick);
+}
+
+TEST(EventQueue, ShiftPendingPreservesOrderAndRelativeGaps)
+{
+    EventQueue eq;
+    std::vector<std::pair<int, Tick>> seen;
+    eq.schedule(10, [&] { seen.emplace_back(1, eq.now()); });
+    eq.schedule(25, [&] { seen.emplace_back(3, eq.now()); });
+    // Same tick, distinct priorities: order within the tick must
+    // survive the shift (the packed key makes it a monotone
+    // transform).
+    eq.schedule(10, [&] { seen.emplace_back(2, eq.now()); }, 7);
+    const EventId doomed = eq.schedule(15, [&] { seen.emplace_back(9, 0); });
+    EXPECT_TRUE(eq.deschedule(doomed));
+
+    eq.shiftPending(1000);
+    eq.run();
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], (std::pair<int, Tick>{1, 1010u}));
+    EXPECT_EQ(seen[1], (std::pair<int, Tick>{2, 1010u}));
+    EXPECT_EQ(seen[2], (std::pair<int, Tick>{3, 1025u}));
+}
+
+TEST(EventQueue, EncodePendingIsCanonicalAcrossInsertionHistory)
+{
+    // Two queues holding the same logical pending set -- built in
+    // different insertion orders, one with a cancelled extra -- must
+    // encode identically relative to their bases.
+    EventQueue a;
+    EventQueue b;
+    a.schedule(10, [] {}, 1);
+    a.schedule(20, [] {}, 2);
+    a.schedule(30, [] {}, 1);
+
+    b.schedule(30, [] {}, 1);
+    const EventId extra = b.schedule(15, [] {}, 9);
+    b.schedule(10, [] {}, 1);
+    b.schedule(20, [] {}, 2);
+    EXPECT_TRUE(b.deschedule(extra));
+
+    std::vector<std::uint64_t> enc_a;
+    std::vector<std::uint64_t> enc_b;
+    a.encodePending(0, enc_a);
+    b.encodePending(0, enc_b);
+    EXPECT_EQ(enc_a, enc_b);
+
+    // A uniformly shifted set encodes identically against the
+    // shifted base: this is what makes equal fingerprints imply a
+    // periodic window.
+    b.shiftPending(500);
+    enc_b.clear();
+    b.encodePending(500, enc_b);
+    EXPECT_EQ(enc_a, enc_b);
+}
+
 TEST(EventQueue, ManyEventsStressOrdering)
 {
     EventQueue eq;
