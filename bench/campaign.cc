@@ -46,6 +46,7 @@
 #include "common/thread_pool.hh"
 #include "common/trace.hh"
 #include "core/campaign.hh"
+#include "core/machine_pool.hh"
 #include "core/manifest.hh"
 #include "core/metrics.hh"
 #include "core/shard.hh"
@@ -332,6 +333,8 @@ main(int argc, char **argv)
     std::string trace_file;
     std::string metrics_file;
     std::string only_raw, cov_gate_raw;
+    std::string snapshot_dir;
+    bool machine_pool_on = true;
     std::vector<std::string> only;
     MeasurementConfig omp_protocol = MeasurementConfig::simDefaults();
     MeasurementConfig cuda_protocol = MeasurementConfig::simGpuDefaults();
@@ -415,6 +418,13 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--no-loop-batch") == 0) {
             omp_protocol.loop_batch = false;
             cuda_protocol.loop_batch = false;
+        } else if (std::strcmp(argv[i], "--no-machine-pool") == 0) {
+            machine_pool_on = false;
+            omp_protocol.machine_pool = false;
+            cuda_protocol.machine_pool = false;
+        } else if (std::strcmp(argv[i], "--snapshot-dir") == 0 &&
+                   i + 1 < argc) {
+            snapshot_dir = argv[++i];
         } else if (std::strcmp(argv[i], "--telemetry") == 0) {
             omp_protocol.telemetry = true;
             cuda_protocol.telemetry = true;
@@ -437,8 +447,9 @@ main(int argc, char **argv)
                 "[--shard-timeout SECS] [--shard-max-retries N] "
                 "[--shard-backoff-ms MS] [--shard-report FILE] "
                 "[--only NAME[,NAME...]] "
-                "[--no-sim-cache] [--no-loop-batch] [--telemetry] "
-                "[--explain] "
+                "[--no-sim-cache] [--no-loop-batch] "
+                "[--no-machine-pool] [--snapshot-dir DIR] "
+                "[--telemetry] [--explain] "
                 "[--explain-only] [--trace FILE] [--metrics FILE] "
                 "[--metrics-summary]\n"
                 "  --jobs N   concurrent experiments (default: all "
@@ -471,6 +482,20 @@ main(int argc, char **argv)
                 "byte-identical either way; this only\n"
                 "             trades speed for nothing -- see "
                 "docs/performance.md, \"Loop batching\").\n"
+                "  --no-machine-pool  construct a cold simulator "
+                "machine per experiment and re-decode\n"
+                "             every launch instead of leasing warmed "
+                "machines with decoded images\n"
+                "             (output is byte-identical either way; "
+                "see docs/performance.md,\n"
+                "             \"Warm-start machine pool\").\n"
+                "  --snapshot-dir DIR  persist decoded program images "
+                "to DIR and load past\n"
+                "             decoding on later runs (shared across "
+                "processes/shards; corrupt or\n"
+                "             stale files are rejected and rebuilt; "
+                "output is byte-identical\n"
+                "             either way).\n"
                 "  --only     run only systems whose sanitized name "
                 "contains a given fragment.\n"
                 "  --trace FILE     record spans, write Chrome trace "
@@ -504,6 +529,7 @@ main(int argc, char **argv)
                    std::strcmp(argv[i], "--only") == 0 ||
                    std::strcmp(argv[i], "--trace") == 0 ||
                    std::strcmp(argv[i], "--metrics") == 0 ||
+                   std::strcmp(argv[i], "--snapshot-dir") == 0 ||
                    std::strcmp(argv[i], "--cov-gate") == 0) {
             std::fprintf(stderr, "%s: %s requires a value\n", argv[0],
                          argv[i]);
@@ -581,6 +607,9 @@ main(int argc, char **argv)
     // One fresh window per invocation: counters cover this campaign
     // only, so two snapshots of the same configuration are diffable.
     core::CampaignMetrics::global().reset();
+
+    core::MachinePool::global().configure(
+        {machine_pool_on, snapshot_dir});
 
     // The systems this invocation covers, in canonical order.
     std::vector<cpusim::CpuConfig> cpus;
@@ -671,6 +700,12 @@ main(int argc, char **argv)
             worker_argv.push_back("--no-sim-cache");
         if (!omp_protocol.loop_batch)
             worker_argv.push_back("--no-loop-batch");
+        if (!omp_protocol.machine_pool)
+            worker_argv.push_back("--no-machine-pool");
+        if (!snapshot_dir.empty()) {
+            worker_argv.push_back("--snapshot-dir");
+            worker_argv.push_back(snapshot_dir);
+        }
         if (omp_protocol.telemetry)
             worker_argv.push_back("--telemetry");
         if (!only_raw.empty()) {

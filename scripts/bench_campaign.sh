@@ -2,16 +2,22 @@
 # Perf-regression harness for the parallel campaign engine.
 #
 # Default mode runs a two-system quick campaign (one CPU, one GPU
-# model) serially, again at --jobs N, and once more serially with
+# model) serially, again at --jobs N, once more serially with
 # --no-loop-batch (steady-state loop batching off, the single-stepped
-# simulator path), verifies all three result trees are byte-identical,
-# and writes BENCH_campaign.json at the repo root with wall-clock
-# times, speedup, and experiments/sec for each leg. Compare the JSON
-# across commits to catch scheduler, per-experiment, or loop-batcher
-# regressions.
+# simulator path), once with --no-machine-pool (cold machines, no
+# decoded-image reuse), and finally twice with --snapshot-dir (the
+# second pass warm-starts from the on-disk decoded-program images).
+# All result trees must be byte-identical. Writes BENCH_campaign.json
+# at the repo root with wall-clock times, speedup, and
+# experiments/sec for each leg, plus machinepool-bench.json with the
+# warm-start numbers on their own (uploaded by CI as an artifact).
+# Compare the JSON across commits to catch scheduler, per-experiment,
+# loop-batcher, or pool regressions.
 #
 # Usage: scripts/bench_campaign.sh [options] [JOBS]
-#   JOBS  worker count for the parallel leg (default: nproc).
+#   JOBS  worker count for the parallel leg (default: nproc; clamped
+#         to the host's core count so a 1-core runner cannot bake a
+#         meaningless "parallel" timing into the baseline).
 #
 # Options:
 #   --build-dir DIR    campaign binary's build tree (default: $BUILD_DIR
@@ -68,7 +74,17 @@ while [[ $# -gt 0 ]]; do
             echo "unknown argument '$1' (try --help)" >&2; exit 2 ;;
     esac
 done
-JOBS="${JOBS:-$(nproc)}"
+HOST_CORES="$(nproc)"
+JOBS="${JOBS:-$HOST_CORES}"
+# Clamp the parallel leg to real cores: requesting more workers than
+# the host has only adds scheduler noise, and on a 1-core host it
+# used to record a bogus "speedup" of ~0.99 into the baseline.
+JOBS_REQUESTED="$JOBS"
+if [[ "$JOBS" -gt "$HOST_CORES" ]]; then
+    JOBS="$HOST_CORES"
+fi
+JOBS_CLAMPED=false
+[[ "$JOBS" != "$JOBS_REQUESTED" ]] && JOBS_CLAMPED=true
 
 ONLY="threadripper,rtx_4090"
 BASELINE_JSON="BENCH_campaign.json"
@@ -192,6 +208,28 @@ echo "== bench: single-stepped leg (--no-loop-batch --jobs 1) =="
 NOBATCH_S="$(run_leg "$WORK/nobatch" --no-loop-batch --jobs 1)"
 echo "   ${NOBATCH_S}s"
 
+# The warm-start pair runs 3-run experiments (--cov-gate with a gate
+# that can never trip) with the launch memoizer off, so each decoded
+# image is actually re-launched: the cold leg re-decodes every
+# launch, the warm leg decodes nothing (images load from disk) and
+# replays pool clones. Both legs use the same flags apart from the
+# pool, so their trees must match each other (they differ from the
+# single-run serial tree by design).
+COV_FLAGS=(--cov-gate 1000000 --no-sim-cache --jobs 1)
+
+echo "== bench: cold-machine leg (--no-machine-pool, 3-run) =="
+NOPOOL_S="$(run_leg "$WORK/nopool" --no-machine-pool "${COV_FLAGS[@]}")"
+echo "   ${NOPOOL_S}s"
+
+echo "== bench: snapshot warm-start leg (--snapshot-dir, 2nd pass, 3-run) =="
+SNAP_DIR="$WORK/snapimages"
+# First pass decodes everything and writes the images; the timed
+# second pass warm-starts from them.
+run_leg "$WORK/snapwrite" "${COV_FLAGS[@]}" --snapshot-dir "$SNAP_DIR" >/dev/null
+SNAPSHOT_S="$(run_leg "$WORK/snapshot" "${COV_FLAGS[@]}" --snapshot-dir "$SNAP_DIR")"
+SNAPSHOT_FILES="$(find "$SNAP_DIR" -name '*.snap' 2>/dev/null | wc -l)"
+echo "   ${SNAPSHOT_S}s (${SNAPSHOT_FILES} images)"
+
 echo "== bench: byte-identity check =="
 IDENTICAL=true
 if ! diff -r "$WORK/serial" "$WORK/parallel" >/dev/null; then
@@ -202,7 +240,11 @@ if ! diff -r "$WORK/serial" "$WORK/nobatch" >/dev/null; then
     IDENTICAL=false
     echo "   OUTPUT DIFFERS between batched and --no-loop-batch runs" >&2
 fi
-[[ "$IDENTICAL" == true ]] && echo "   byte-identical (all three legs)"
+if ! diff -r "$WORK/nopool" "$WORK/snapshot" >/dev/null; then
+    IDENTICAL=false
+    echo "   OUTPUT DIFFERS between --no-machine-pool and snapshot-loaded runs" >&2
+fi
+[[ "$IDENTICAL" == true ]] && echo "   byte-identical (all legs)"
 
 # Experiment count from the campaign's own summary line.
 EXPERIMENTS="$(awk '/^campaign /{for (i=1;i<=NF;i++) if ($(i+1)=="experiments") print $i}' \
@@ -226,19 +268,29 @@ NOBATCH_EPS="$(awk -v n="$EXPERIMENTS" -v s="$NOBATCH_S" \
     'BEGIN { printf "%.1f", (s > 0) ? n / s : 0 }')"
 BATCH_SPEEDUP="$(awk -v n="$NOBATCH_S" -v s="$SERIAL_S" \
     'BEGIN { printf "%.2f", (s > 0) ? n / s : 0 }')"
+# Warm-start win as a ratio of two same-invocation serial legs (cold
+# machines vs snapshot-loaded images), immune to host noise that
+# shifts absolute wall times.
+WARM_SPEEDUP="$(awk -v n="$NOPOOL_S" -v s="$SNAPSHOT_S" \
+    'BEGIN { printf "%.2f", (s > 0) ? n / s : 0 }')"
 
 cat > "$OUT_JSON" <<EOF
 {
   "benchmark": "campaign_parallel_execution",
   "systems": "$ONLY",
   "experiments": $EXPERIMENTS,
-  "host_cores": $(nproc),
+  "host_cores": $HOST_CORES,
   "jobs": $JOBS,
+  "jobs_requested": $JOBS_REQUESTED,
+  "jobs_clamped": $JOBS_CLAMPED,
   "serial_wall_s": $SERIAL_S,
   "parallel_wall_s": $PARALLEL_S,
   "nobatch_wall_s": $NOBATCH_S,
+  "nopool_wall_s": $NOPOOL_S,
+  "snapshot_wall_s": $SNAPSHOT_S,
   "speedup": $SPEEDUP,
   "loop_batch_speedup": $BATCH_SPEEDUP,
+  "warm_start_speedup": $WARM_SPEEDUP,
   "serial_experiments_per_s": $SERIAL_EPS,
   "parallel_experiments_per_s": $PARALLEL_EPS,
   "nobatch_experiments_per_s": $NOBATCH_EPS,
@@ -246,14 +298,32 @@ cat > "$OUT_JSON" <<EOF
 }
 EOF
 
-echo "== bench: wrote $OUT_JSON =="
+# Pool-focused side artifact for CI upload: the warm-start story in
+# one small file, independent of the regression baseline.
+cat > machinepool-bench.json <<EOF
+{
+  "benchmark": "machine_pool_warm_start",
+  "systems": "$ONLY",
+  "experiments": $EXPERIMENTS,
+  "host_cores": $HOST_CORES,
+  "snapshot_files": $SNAPSHOT_FILES,
+  "nopool_wall_s": $NOPOOL_S,
+  "pooled_wall_s": $SERIAL_S,
+  "snapshot_wall_s": $SNAPSHOT_S,
+  "warm_start_speedup": $WARM_SPEEDUP,
+  "byte_identical": $IDENTICAL
+}
+EOF
+
+echo "== bench: wrote $OUT_JSON and machinepool-bench.json =="
 cat "$OUT_JSON"
 [[ "$IDENTICAL" == true ]]
 
 if [[ "$MODE" == check ]]; then
     echo "== bench: regression gate vs $BASELINE_JSON (limit ${CHECK_LIMIT_PCT}%) =="
     FAILED=0
-    for key in serial_wall_s parallel_wall_s nobatch_wall_s; do
+    for key in serial_wall_s parallel_wall_s nobatch_wall_s \
+               nopool_wall_s snapshot_wall_s; do
         base="$(json_field "$BASELINE_JSON" "$key")"
         cur="$(json_field "$OUT_JSON" "$key")"
         if [[ -z "$base" || -z "$cur" ]]; then
@@ -297,6 +367,20 @@ if [[ "$MODE" == check ]]; then
     echo "   loop_batch_speedup: ${cur:-missing}x (floor 2.0x)"
     awk -v c="${cur:-0}" 'BEGIN { exit !(c >= 2.0) }' || {
         echo "   FAIL: loop batching speedup ${cur:-0}x below the 2.0x floor" >&2
+        FAILED=1
+    }
+    # Same same-invocation-ratio reasoning for the warm-start pool.
+    # Decoding is a small slice of this workload (simulation wall
+    # time scales with iterations, decode does not), so the floor
+    # does not assert a large win; it asserts the snapshot path is
+    # never materially SLOWER than cold machines, which is exactly
+    # how a slow-path regression (per-launch disk reads, a
+    # reject-and-rebuild loop, checksum work on the hot path) would
+    # present.
+    cur="$(json_field "$OUT_JSON" warm_start_speedup)"
+    echo "   warm_start_speedup: ${cur:-missing}x (floor 0.95x)"
+    awk -v c="${cur:-0}" 'BEGIN { exit !(c >= 0.95) }' || {
+        echo "   FAIL: warm-start speedup ${cur:-0}x below the 0.95x floor" >&2
         FAILED=1
     }
     if [[ "$FAILED" -ne 0 ]]; then

@@ -11,16 +11,16 @@ cd "$(dirname "$0")/.."
 echo "== tier-1: default build + full suite =="
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
-(cd build && ctest --output-on-failure -j "$(nproc)")
+(cd build && ctest --output-on-failure -j "$(nproc)" --timeout 600)
 
 echo "== tier-1: sanitize preset (ASan + UBSan) =="
 cmake --preset sanitize
 cmake --build --preset sanitize -j "$(nproc)"
-ctest --preset sanitize -j "$(nproc)"
+ctest --preset sanitize -j "$(nproc)" --timeout 600
 
 echo "== tier-1: tsan preset (ThreadSanitizer) =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
-ctest --preset tsan -j "$(nproc)"
+ctest --preset tsan -j "$(nproc)" --timeout 600
 
 echo "== tier-1: all green =="

@@ -30,6 +30,10 @@ constexpr CounterInfo counter_info[counter_count] = {
     {"loop_batch_iters", true},
     {"loop_batch_windows", true},
     {"loop_batch_fallbacks", true},
+    {"pool_clones", true},
+    {"pool_cold_builds", true},
+    {"snapshot_loads", true},
+    {"snapshot_rejects", true},
     {"pool_tasks_run", false},
     {"pool_tasks_stolen", false},
     {"pool_busy_nanos", false},

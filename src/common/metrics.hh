@@ -47,6 +47,10 @@ enum class Counter : int
     LoopBatchIters,    ///< timed iterations advanced algebraically
     LoopBatchWindows,  ///< steady-state windows the batchers applied
     LoopBatchFallbacks,///< boundary checks that fell back to stepping
+    PoolClones,        ///< launches that reused an installed decoded image
+    PoolColdBuilds,    ///< decoded images built by a full decode
+    SnapshotLoads,     ///< decoded images installed from a disk snapshot
+    SnapshotRejects,   ///< snapshot files rejected by validation
 
     // Timing: scheduling/wall-clock dependent, never compared
     // across job counts.

@@ -29,6 +29,7 @@
 #include "common/thread_pool.hh"
 #include "common/trace.hh"
 #include "core/executor.hh"
+#include "core/machine_pool.hh"
 #include "core/manifest.hh"
 #include "core/metrics.hh"
 #include "core/shard.hh"
@@ -454,6 +455,10 @@ runOmpCampaign(const cpusim::CpuConfig &cfg,
                const CampaignOptions &options)
 {
     CampaignResult result;
+    // Start from a cold pool so back-to-back campaigns in one
+    // process see the same machine/claim state a fresh process would
+    // (the warm-start counters stay run-invariant).
+    MachinePool::global().reset();
     const std::string system = sanitizeName(cfg.name);
     trace::Span system_span("omp:" + system, "system");
     const fs::path dir = fs::path(options.output_dir) / system;
@@ -579,6 +584,7 @@ runCudaCampaign(const gpusim::GpuConfig &cfg,
                 const CampaignOptions &options)
 {
     CampaignResult result;
+    MachinePool::global().reset();
     const std::string system = sanitizeName(cfg.name);
     trace::Span system_span("cuda:" + system, "system");
     const fs::path dir = fs::path(options.output_dir) / system;

@@ -9,11 +9,11 @@
 #define SYNCPERF_CORE_CPUSIM_TARGET_HH
 
 #include <cstdint>
-#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/machine_pool.hh"
 #include "core/measure_config.hh"
 #include "core/primitives.hh"
 #include "core/protocol.hh"
@@ -93,12 +93,20 @@ class CpuSimTarget
     void runOnce(const std::vector<cpusim::CpuProgram> &p,
                  Affinity affinity, std::vector<double> &out);
 
-    /** The reusable machine, (re)built when the affinity changes. */
+    /** The leased machine, re-leased when the affinity changes. */
     cpusim::CpuMachine &machineFor(Affinity affinity);
 
     /** Digest of everything a jitter-free launch's outcome depends on. */
     std::uint64_t cacheKey(const std::vector<cpusim::CpuProgram> &p,
                            Affinity affinity) const;
+
+    /**
+     * Digest of everything the decoded form of @p p depends on (the
+     * machine config and the program bodies; never warmup, placement,
+     * or iteration counts). Non-zero by construction -- key 0 is the
+     * machines' "decode normally" sentinel.
+     */
+    std::uint64_t imageKey(const std::vector<cpusim::CpuProgram> &p) const;
 
     /** Pure simulator output (pre fault injection) of one launch. */
     struct CacheEntry
@@ -111,7 +119,7 @@ class CpuSimTarget
     MeasurementConfig mcfg_;
     std::uint64_t next_seed_;
 
-    std::optional<cpusim::CpuMachine> machine_;
+    MachinePool::CpuLease lease_;
     Affinity machine_affinity_ = Affinity::Spread;
 
     std::unordered_map<std::uint64_t, CacheEntry> cache_;

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/machine_pool.hh"
 #include "core/measure_config.hh"
 #include "core/primitives.hh"
 #include "core/protocol.hh"
@@ -93,6 +94,14 @@ class GpuSimTarget
     std::uint64_t cacheKey(const gpusim::GpuKernel &kernel,
                            gpusim::LaunchConfig launch) const;
 
+    /**
+     * Digest of everything the decoded form of @p kernel depends on
+     * (the device config and the op sequences; never warmup, launch
+     * geometry, or body_iters). Non-zero by construction -- key 0 is
+     * the machine's "decode normally" sentinel.
+     */
+    std::uint64_t imageKey(const gpusim::GpuKernel &kernel) const;
+
     /** Pure simulator output (pre fault injection) of one launch. */
     struct CacheEntry
     {
@@ -104,7 +113,7 @@ class GpuSimTarget
     MeasurementConfig mcfg_;
     std::uint64_t next_seed_;
 
-    gpusim::GpuMachine machine_;
+    MachinePool::GpuLease lease_;
 
     std::unordered_map<std::uint64_t, CacheEntry> cache_;
 

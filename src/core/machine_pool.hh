@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Process-wide pool of warmed simulator machines and the decoded-
+ * image materialization layer behind the warm-start fast path
+ * (docs/performance.md, "Warm-start machine pool").
+ *
+ * Targets lease machines instead of constructing them: a lease
+ * hands out an idle machine of the same (config, placement) pool
+ * key when one is available -- its event-queue slab, container
+ * capacities, and hash tables already sized by earlier experiments
+ * -- and otherwise constructs a fresh machine that adopts the warm
+ * capacity of the pool's template via Machine::cloneFrom(). Every
+ * lease starts with an empty decoded-image map (clearImages()), so
+ * which images a machine carries depends only on the experiment
+ * running on it, never on lease scheduling; that is what keeps the
+ * pool_clones / pool_cold_builds counters --jobs-invariant.
+ *
+ * materializeCpu()/materializeGpu() install the decoded image for a
+ * key into a leased machine, preferring the on-disk snapshot
+ * (sim/snapshot.hh) under the configured snapshot directory. An
+ * in-process claim set serializes disk access per key: only the
+ * first materialization of a key in this process reads the file
+ * (snapshot_loads therefore counts unique keys with valid
+ * preexisting images, a config-determined total), and the same
+ * claimant writes the image back after a cold build so later
+ * processes skip the decode. Invalid or torn files are rejected
+ * cleanly (snapshot_rejects) and fall back to a full decode.
+ */
+
+#ifndef SYNCPERF_CORE_MACHINE_POOL_HH
+#define SYNCPERF_CORE_MACHINE_POOL_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "cpusim/machine.hh"
+#include "gpusim/machine.hh"
+
+namespace syncperf::core
+{
+
+class MachinePool
+{
+  public:
+    struct Config
+    {
+        /** Lease/reuse machines at all (--no-machine-pool clears). */
+        bool enabled = true;
+
+        /** Directory for on-disk decoded-image snapshots; empty (the
+         * default) disables all snapshot I/O. */
+        std::string snapshot_dir;
+    };
+
+    /** The process-wide pool. */
+    static MachinePool &global();
+
+    /** Replace the pool configuration (campaign CLI). */
+    void configure(Config cfg);
+
+    Config config() const;
+    bool enabled() const;
+
+    /**
+     * Drop every idle machine, template, and snapshot claim. Called
+     * at campaign start so back-to-back campaigns in one process
+     * (tests) observe the same cold pool a fresh process would.
+     */
+    void reset();
+
+    /**
+     * RAII handle on a leased machine. The machine returns to the
+     * pool on destruction (or is simply destroyed when pooling was
+     * bypassed). Movable, not copyable.
+     */
+    class CpuLease
+    {
+      public:
+        CpuLease() = default;
+        CpuLease(CpuLease &&) noexcept = default;
+        CpuLease &operator=(CpuLease &&other) noexcept
+        {
+            release();
+            machine_ = std::move(other.machine_);
+            key_ = other.key_;
+            pooled_ = std::exchange(other.pooled_, false);
+            return *this;
+        }
+        CpuLease(const CpuLease &) = delete;
+        CpuLease &operator=(const CpuLease &) = delete;
+        ~CpuLease() { release(); }
+
+        explicit operator bool() const { return machine_ != nullptr; }
+        cpusim::CpuMachine &operator*() { return *machine_; }
+        cpusim::CpuMachine *operator->() { return machine_.get(); }
+
+      private:
+        friend class MachinePool;
+        void release();
+
+        std::unique_ptr<cpusim::CpuMachine> machine_;
+        std::uint64_t key_ = 0;
+        bool pooled_ = false;
+    };
+
+    class GpuLease
+    {
+      public:
+        GpuLease() = default;
+        GpuLease(GpuLease &&) noexcept = default;
+        GpuLease &operator=(GpuLease &&other) noexcept
+        {
+            release();
+            machine_ = std::move(other.machine_);
+            key_ = other.key_;
+            pooled_ = std::exchange(other.pooled_, false);
+            return *this;
+        }
+        GpuLease(const GpuLease &) = delete;
+        GpuLease &operator=(const GpuLease &) = delete;
+        ~GpuLease() { release(); }
+
+        explicit operator bool() const { return machine_ != nullptr; }
+        gpusim::GpuMachine &operator*() { return *machine_; }
+        gpusim::GpuMachine *operator->() { return machine_.get(); }
+
+      private:
+        friend class MachinePool;
+        void release();
+
+        std::unique_ptr<gpusim::GpuMachine> machine_;
+        std::uint64_t key_ = 0;
+        bool pooled_ = false;
+    };
+
+    /**
+     * Lease a machine for (cfg, affinity). @p use_pool false (the
+     * protocol's machine_pool knob) bypasses reuse entirely: the
+     * lease owns a cold machine and destroys it on release.
+     */
+    CpuLease acquireCpu(const cpusim::CpuConfig &cfg, Affinity affinity,
+                        bool use_pool = true);
+
+    /** GPU flavor of acquireCpu (no placement dimension). */
+    GpuLease acquireGpu(const gpusim::GpuConfig &cfg,
+                        bool use_pool = true);
+
+    /**
+     * Ensure @p machine has the decoded image for @p key, loading it
+     * from the snapshot directory when this process's first touch of
+     * the key finds a valid file, and decoding @p programs otherwise
+     * (writing the result back for other processes when claimed).
+     */
+    void materializeCpu(cpusim::CpuMachine &machine, std::uint64_t key,
+                        const std::vector<cpusim::CpuProgram> &programs);
+
+    void materializeGpu(gpusim::GpuMachine &machine, std::uint64_t key,
+                        const gpusim::GpuKernel &kernel);
+
+    /** Digest of every CpuConfig field (image/pool key ingredient). */
+    static std::uint64_t hashCpuConfig(const cpusim::CpuConfig &cfg);
+
+    /** Digest of every GpuConfig field (image/pool key ingredient). */
+    static std::uint64_t hashGpuConfig(const gpusim::GpuConfig &cfg);
+
+  private:
+    struct CpuSlot
+    {
+        /** First machine released under this key: kept forever as
+         * the warm-capacity template, never leased again. */
+        std::unique_ptr<cpusim::CpuMachine> tmpl;
+        std::vector<std::unique_ptr<cpusim::CpuMachine>> idle;
+    };
+    struct GpuSlot
+    {
+        std::unique_ptr<gpusim::GpuMachine> tmpl;
+        std::vector<std::unique_ptr<gpusim::GpuMachine>> idle;
+    };
+
+    void releaseCpu(std::uint64_t key,
+                    std::unique_ptr<cpusim::CpuMachine> machine);
+    void releaseGpu(std::uint64_t key,
+                    std::unique_ptr<gpusim::GpuMachine> machine);
+
+    mutable std::mutex mutex_;
+    Config cfg_;
+    std::unordered_map<std::uint64_t, CpuSlot> cpu_slots_;
+    std::unordered_map<std::uint64_t, GpuSlot> gpu_slots_;
+    std::unordered_set<std::uint64_t> cpu_claims_;
+    std::unordered_set<std::uint64_t> gpu_claims_;
+};
+
+} // namespace syncperf::core
+
+#endif // SYNCPERF_CORE_MACHINE_POOL_HH

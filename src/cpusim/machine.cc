@@ -7,9 +7,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <iterator>
 #include <limits>
 
 #include "common/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace syncperf::cpusim
 {
@@ -53,7 +55,7 @@ CpuMachine::internLock(int lock_id)
     return it->second;
 }
 
-CpuMachine::Tick
+Tick
 CpuMachine::transferLatency(const Line &line, const HwPlace &to)
 {
     Tick base;
@@ -83,7 +85,7 @@ CpuMachine::transferLatency(const Line &line, const HwPlace &to)
     return base;
 }
 
-CpuMachine::Tick
+Tick
 CpuMachine::coherencePointSlot(Tick ready)
 {
     const Tick slot = std::max(ready, coherence_point_free_);
@@ -91,7 +93,7 @@ CpuMachine::coherencePointSlot(Tick ready)
     return slot;
 }
 
-CpuMachine::Tick
+Tick
 CpuMachine::aluCost(CpuOpKind kind, DataType dtype) const
 {
     switch (kind) {
@@ -122,7 +124,7 @@ ceilLog(int n, int base)
 
 } // namespace
 
-CpuMachine::Tick
+Tick
 CpuMachine::barrierLatency(int team_size)
 {
     const auto t = static_cast<Tick>(team_size);
@@ -337,7 +339,7 @@ CpuMachine::shiftTimes(Tick delta)
     // with the unbatched run; the rng did not advance.
 }
 
-CpuMachine::Tick
+Tick
 CpuMachine::maybeBatch(int tid, Tick done)
 {
     if (!threads_[tid].timed)
@@ -494,7 +496,7 @@ CpuMachine::execLoad(int tid, const DecodedOp &op, Tick start)
     finishOp(tid, done);
 }
 
-CpuMachine::Tick
+Tick
 CpuMachine::acquireExclusive(Line &line, const HwPlace &place, Tick start,
                              Tick alu_cost, bool ordering_point)
 {
@@ -745,7 +747,7 @@ CpuMachine::decodeOp(const CpuOp &op)
 
 CpuRunResult
 CpuMachine::run(const std::vector<CpuProgram> &programs,
-                int warmup_iterations)
+                int warmup_iterations, std::uint64_t decode_key)
 {
     const int n = static_cast<int>(programs.size());
     SYNCPERF_ASSERT(n >= 1);
@@ -756,12 +758,33 @@ CpuMachine::run(const std::vector<CpuProgram> &programs,
     SYNCPERF_ASSERT(warmup_iterations >= 1,
                     "at least one warmup iteration required");
 
+    const DecodedImage *image = nullptr;
+    if (decode_key != 0) {
+        const auto it = images_.find(decode_key);
+        SYNCPERF_ASSERT(it != images_.end(),
+                        "run() with an unmaterialized decode key");
+        image = it->second.get();
+        SYNCPERF_ASSERT(static_cast<int>(image->code.size()) == n,
+                        "decoded image team size mismatch");
+    }
+
     places_ = mapThreads(cfg_, affinity_, n);
     core_free_.assign(cfg_.totalCores(), 0);
-    lines_.clear();
-    line_index_.clear();
-    locks_.clear();
-    lock_index_.clear();
+    if (image != nullptr) {
+        // Fast path: the image carries the interned universe sizes,
+        // so the line/lock tables restore by assignment and the
+        // interning maps stay untouched (they are decode-time state;
+        // the cold path below rebuilds them before use).
+        lines_.assign(static_cast<std::size_t>(image->n_lines),
+                      Line{});
+        locks_.assign(static_cast<std::size_t>(image->n_locks),
+                      LockState{});
+    } else {
+        lines_.clear();
+        line_index_.clear();
+        locks_.clear();
+        lock_index_.clear();
+    }
     coherence_point_free_ = 0;
     eq_.reset();
     stats_.clear();
@@ -786,18 +809,22 @@ CpuMachine::run(const std::vector<CpuProgram> &programs,
 
     // Decode once per program: dense handler+operand arrays with all
     // config-dependent costs and container lookups hoisted out of
-    // the execution loop.
-    decoded_.resize(n);
-    for (int t = 0; t < n; ++t) {
-        auto &code = decoded_[t];
-        code.clear();
-        code.reserve(programs[t].body.size());
-        for (const CpuOp &op : programs[t].body)
-            code.push_back(decodeOp(op));
+    // the execution loop. A cached image skips this entirely -- the
+    // threads execute the image's arrays in place.
+    if (image == nullptr) {
+        decoded_.resize(n);
+        for (int t = 0; t < n; ++t) {
+            auto &code = decoded_[t];
+            code.clear();
+            code.reserve(programs[t].body.size());
+            for (const CpuOp &op : programs[t].body)
+                code.push_back(decodeOp(op));
+        }
     }
 
     for (int t = 0; t < n; ++t) {
-        threads_[t].code = &decoded_[t];
+        threads_[t].code =
+            image != nullptr ? &image->code[t] : &decoded_[t];
         threads_[t].place = places_[t];
         threads_[t].iters_left = programs[t].iterations;
         eq_.schedule(0, [this, t] { step(t); }, t);
@@ -819,6 +846,181 @@ CpuMachine::run(const std::vector<CpuProgram> &programs,
     stats_.inc(sim::Probe::EqMaxDepth,
                static_cast<std::uint64_t>(eq_.maxPending()));
     return result;
+}
+
+const CpuMachine::OpHandler *
+CpuMachine::handlerTable(std::size_t &count)
+{
+    // Serialized images index into this table; entries are
+    // append-only so older snapshots keep loading.
+    static constexpr OpHandler table[] = {
+        &CpuMachine::execLoad,        // 0
+        &CpuMachine::execStore,       // 1
+        &CpuMachine::execAtomicStore, // 2
+        &CpuMachine::execAtomicRmw,   // 3
+        &CpuMachine::execFence,       // 4
+        &CpuMachine::execBarrier,     // 5
+        &CpuMachine::execLockAcquire, // 6
+        &CpuMachine::execLockRelease, // 7
+        &CpuMachine::execAlu,         // 8
+    };
+    count = std::size(table);
+    return table;
+}
+
+void
+CpuMachine::buildImage(std::uint64_t key,
+                       const std::vector<CpuProgram> &programs)
+{
+    SYNCPERF_ASSERT(key != 0, "key 0 means undecoded");
+    auto img = std::make_shared<DecodedImage>();
+    img->key = key;
+    // Decode with a fresh interning universe; run() re-derives every
+    // piece of this state anyway, so borrowing the members here is
+    // safe on any path.
+    lines_.clear();
+    line_index_.clear();
+    locks_.clear();
+    lock_index_.clear();
+    img->code.resize(programs.size());
+    for (std::size_t t = 0; t < programs.size(); ++t) {
+        auto &code = img->code[t];
+        code.reserve(programs[t].body.size());
+        for (const CpuOp &op : programs[t].body)
+            code.push_back(decodeOp(op));
+    }
+    img->n_lines = static_cast<int>(lines_.size());
+    img->n_locks = static_cast<int>(locks_.size());
+    images_[key] = std::move(img);
+}
+
+void
+CpuMachine::encodeImage(std::uint64_t key,
+                        std::vector<std::uint64_t> &out) const
+{
+    const auto it = images_.find(key);
+    SYNCPERF_ASSERT(it != images_.end(), "encodeImage: unknown key");
+    const DecodedImage &img = *it->second;
+    std::size_t n_handlers = 0;
+    const OpHandler *table = handlerTable(n_handlers);
+
+    out.clear();
+    out.push_back(img.code.size());
+    out.push_back(static_cast<std::uint64_t>(img.n_lines));
+    out.push_back(static_cast<std::uint64_t>(img.n_locks));
+    for (const auto &code : img.code) {
+        out.push_back(code.size());
+        for (const DecodedOp &op : code) {
+            std::size_t id = 0;
+            while (id < n_handlers && table[id] != op.handler)
+                ++id;
+            SYNCPERF_ASSERT(id < n_handlers,
+                            "decoded handler missing from the rebind "
+                            "table");
+            out.push_back(id);
+            // Interned indices shift by one so -1 (none) encodes as
+            // an unsigned 0.
+            out.push_back(static_cast<std::uint64_t>(op.line + 1));
+            out.push_back(static_cast<std::uint64_t>(op.lock + 1));
+            out.push_back(static_cast<std::uint64_t>(op.alu_cost));
+        }
+    }
+}
+
+Status
+CpuMachine::installImage(std::uint64_t key,
+                         const std::vector<std::uint64_t> &words)
+{
+    // Every field is bounds-checked before the image becomes
+    // reachable: a semantically invalid payload (version skew, a
+    // key collision across format generations) is a clean error,
+    // never an out-of-range handler or line index at run time.
+    constexpr std::uint64_t max_count = std::uint64_t{1} << 20;
+    constexpr std::uint64_t max_cost = std::uint64_t{1} << 32;
+    const auto invalid = [key](std::string_view why) {
+        return Status::error(ErrorCode::ParseError,
+                             "cpu image {}: {}", key, why);
+    };
+    if (key == 0)
+        return invalid("key 0 is reserved");
+    std::size_t n_handlers = 0;
+    const OpHandler *table = handlerTable(n_handlers);
+
+    sim::SnapshotCursor cur(words);
+    std::uint64_t n_threads = 0;
+    std::uint64_t n_lines = 0;
+    std::uint64_t n_locks = 0;
+    cur.u64(n_threads);
+    cur.u64(n_lines);
+    cur.u64(n_locks);
+    if (cur.overran() || n_threads < 1 || n_threads > max_count ||
+        n_lines > max_count || n_locks > max_count) {
+        return invalid("bad header");
+    }
+
+    auto img = std::make_shared<DecodedImage>();
+    img->key = key;
+    img->n_lines = static_cast<int>(n_lines);
+    img->n_locks = static_cast<int>(n_locks);
+    img->code.resize(static_cast<std::size_t>(n_threads));
+    for (auto &code : img->code) {
+        std::uint64_t n_ops = 0;
+        if (!cur.u64(n_ops) || n_ops < 1 || n_ops > max_count)
+            return invalid("bad op count");
+        code.reserve(static_cast<std::size_t>(n_ops));
+        for (std::uint64_t i = 0; i < n_ops; ++i) {
+            std::uint64_t id = 0;
+            std::uint64_t line_raw = 0;
+            std::uint64_t lock_raw = 0;
+            std::uint64_t cost = 0;
+            cur.u64(id);
+            cur.u64(line_raw);
+            cur.u64(lock_raw);
+            cur.u64(cost);
+            if (cur.overran() || id >= n_handlers ||
+                line_raw > n_lines || lock_raw > n_locks ||
+                cost > max_cost) {
+                return invalid("bad op record");
+            }
+            // Handlers that index the line/lock tables must carry an
+            // interned index; the others must not (mirror of what
+            // decodeOp() produces).
+            const bool needs_line = id <= 3 || id == 6;
+            const bool needs_lock = id == 6 || id == 7;
+            if (needs_line != (line_raw != 0) ||
+                needs_lock != (lock_raw != 0)) {
+                return invalid("operand/handler mismatch");
+            }
+            DecodedOp op;
+            op.handler = table[id];
+            op.line = static_cast<int>(line_raw) - 1;
+            op.lock = static_cast<int>(lock_raw) - 1;
+            op.alu_cost = static_cast<Tick>(cost);
+            code.push_back(op);
+        }
+    }
+    if (!cur.done())
+        return invalid("trailing payload words");
+    images_[key] = std::move(img);
+    return Status::ok();
+}
+
+void
+CpuMachine::cloneFrom(const CpuMachine &tmpl)
+{
+    eq_.reserve(tmpl.eq_.slotCapacity());
+    threads_.reserve(tmpl.threads_.capacity());
+    places_.reserve(tmpl.places_.capacity());
+    core_free_.reserve(tmpl.core_free_.capacity());
+    decoded_.reserve(tmpl.decoded_.capacity());
+    lines_.reserve(tmpl.lines_.capacity());
+    locks_.reserve(tmpl.locks_.capacity());
+    warm_left_.reserve(tmpl.warm_left_.capacity());
+    barrier_waiters_.reserve(tmpl.barrier_waiters_.capacity());
+    align_waiters_.reserve(tmpl.align_waiters_.capacity());
+    lb_prev_fp_.reserve(tmpl.lb_prev_fp_.capacity());
+    lb_fp_.reserve(tmpl.lb_fp_.capacity());
+    lb_prev_iters_.reserve(tmpl.lb_prev_iters_.capacity());
 }
 
 } // namespace syncperf::cpusim

@@ -25,6 +25,12 @@
  * loop then jumps straight into per-op handlers with no switch and
  * no hash lookups. Event ordering is identical to the historical
  * switch interpreter, so results stay bit-for-bit reproducible.
+ *
+ * Decoded programs can further be captured as immutable
+ * DecodedImages keyed by the caller's config hash: run() with a key
+ * skips decode and interning entirely, and images serialize to the
+ * sim/snapshot on-disk format so other processes load past decoding
+ * (core/machine_pool orchestrates both).
  */
 
 #ifndef SYNCPERF_CPUSIM_MACHINE_HH
@@ -32,11 +38,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/dtype.hh"
 #include "common/rng.hh"
+#include "common/status.hh"
 #include "cpusim/affinity.hh"
 #include "cpusim/cpu_config.hh"
 #include "cpusim/program.hh"
@@ -73,6 +81,33 @@ class CpuMachine
      */
     CpuMachine(CpuConfig cfg, Affinity affinity, std::uint64_t seed = 1);
 
+    /** One decoded op: handler plus hoisted operands. */
+    struct DecodedOp
+    {
+        /** Receives the post-issue start tick; finishes or blocks. */
+        void (CpuMachine::*handler)(int tid, const DecodedOp &op,
+                                    Tick start) = nullptr;
+        int line = -1;      ///< interned cache-line index
+        int lock = -1;      ///< interned lock index
+        Tick alu_cost = 0;  ///< aluCost(kind, dtype), hoisted
+    };
+
+    /**
+     * Immutable decoded form of one program set: the dense
+     * handler+operand arrays plus the interned line/lock universe
+     * they index. Built once per decode key by buildImage(), shared
+     * by reference across launches (and serializable to
+     * sim/snapshot images via encodeImage()/installImage()), so a
+     * warm machine re-runs a known program set without re-decoding.
+     */
+    struct DecodedImage
+    {
+        std::uint64_t key = 0;
+        int n_lines = 0;    ///< interned cache-line universe size
+        int n_locks = 0;    ///< interned lock universe size
+        std::vector<std::vector<DecodedOp>> code; ///< one per thread
+    };
+
     /**
      * Execute one program per software thread.
      *
@@ -84,9 +119,51 @@ class CpuMachine
      *                 programs.size()).
      * @param warmup_iterations Untimed body repetitions before the
      *                          alignment barrier.
+     * @param decode_key 0 decodes @p programs from scratch (the cold
+     *                   path); a nonzero key reuses the cached image
+     *                   built by buildImage()/installImage() under
+     *                   that key, skipping decode and interning. The
+     *                   caller guarantees the image was built from an
+     *                   identical (config, programs) pair; results
+     *                   are bit-identical to the cold path.
      */
     CpuRunResult run(const std::vector<CpuProgram> &programs,
-                     int warmup_iterations = 2);
+                     int warmup_iterations = 2,
+                     std::uint64_t decode_key = 0);
+
+    /** True when an image is cached under @p key. */
+    bool hasImage(std::uint64_t key) const
+    {
+        return images_.find(key) != images_.end();
+    }
+
+    /** Decode @p programs and cache the image under @p key (!= 0). */
+    void buildImage(std::uint64_t key,
+                    const std::vector<CpuProgram> &programs);
+
+    /**
+     * Validate a deserialized snapshot payload (handler ids, interned
+     * index bounds, operand ranges) and cache it under @p key.
+     * Malformed payloads leave the machine untouched.
+     */
+    Status installImage(std::uint64_t key,
+                        const std::vector<std::uint64_t> &words);
+
+    /** Serialize the image cached under @p key into snapshot words. */
+    void encodeImage(std::uint64_t key,
+                     std::vector<std::uint64_t> &out) const;
+
+    /** Drop every cached image (machine-pool lease hygiene). */
+    void clearImages() { images_.clear(); }
+
+    /**
+     * Adopt @p tmpl's warmed capacity -- the sized event-queue slot
+     * table and container reserves -- without copying any dynamic
+     * state, so a freshly constructed machine skips the incremental
+     * allocations of its first run. O(dirty bytes): nothing decoded
+     * or simulated is transferred, and results are unaffected.
+     */
+    void cloneFrom(const CpuMachine &tmpl);
 
     /**
      * Restart the jitter stream as if the machine had been freshly
@@ -127,8 +204,6 @@ class CpuMachine
     sim::EventQueue &eventQueue() { return eq_; }
 
   private:
-    using Tick = sim::Tick;
-
     /** Coherence state of one cache line. */
     struct Line
     {
@@ -150,17 +225,6 @@ class CpuMachine
     {
         bool held = false;
         std::deque<LockWaiter> waiters;
-    };
-
-    /** One decoded op: handler plus hoisted operands. */
-    struct DecodedOp
-    {
-        /** Receives the post-issue start tick; finishes or blocks. */
-        void (CpuMachine::*handler)(int tid, const DecodedOp &op,
-                                    Tick start) = nullptr;
-        int line = -1;      ///< interned cache-line index
-        int lock = -1;      ///< interned lock index
-        Tick alu_cost = 0;  ///< aluCost(kind, dtype), hoisted
     };
 
     /** Per-thread execution cursor. */
@@ -186,6 +250,12 @@ class CpuMachine
     int internLine(std::uint64_t addr);
     int internLock(int lock_id);
     DecodedOp decodeOp(const CpuOp &op);
+
+    /** Stable handler order for serialized images (append-only: the
+     * on-disk snapshot format indexes into this table). */
+    using OpHandler = void (CpuMachine::*)(int, const DecodedOp &,
+                                           Tick);
+    static const OpHandler *handlerTable(std::size_t &count);
 
     Tick transferLatency(const Line &line, const HwPlace &to);
 
@@ -257,6 +327,11 @@ class CpuMachine
     std::unordered_map<std::uint64_t, int> line_index_;
     std::unordered_map<int, int> lock_index_;
     Tick coherence_point_free_ = 0;
+
+    /** Decoded images by key; shared so clones stay O(dirty bytes). */
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const DecodedImage>>
+        images_;
 
     std::vector<int> warm_left_;
 

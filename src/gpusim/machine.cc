@@ -6,9 +6,11 @@
 #include "machine.hh"
 
 #include <algorithm>
+#include <iterator>
 #include <limits>
 
 #include "common/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace syncperf::gpusim
 {
@@ -44,7 +46,7 @@ GpuMachine::reseed(std::uint64_t seed)
     rng_ = Pcg32(seed, rng_stream);
 }
 
-GpuMachine::Tick
+Tick
 GpuMachine::issueThrough(WarpCtx &warp, Tick ready, int uops)
 {
     Tick &slot = sched_free_[warp.sm * cfg_.schedulers_per_sm + warp.sched];
@@ -53,7 +55,7 @@ GpuMachine::issueThrough(WarpCtx &warp, Tick ready, int uops)
     return slot;
 }
 
-GpuMachine::Tick
+Tick
 GpuMachine::gateDelay(DataType t) const
 {
     switch (t) {
@@ -694,7 +696,7 @@ GpuMachine::shiftTimes(Tick delta)
     // the unbatched run; the rng did not advance.
 }
 
-GpuMachine::Tick
+Tick
 GpuMachine::maybeBatch(int warp_id, Tick done)
 {
     // A warp this close to its loop exit can never complete the
@@ -1110,12 +1112,20 @@ GpuMachine::decodeSequence(const std::vector<GpuOp> &ops,
 
 GpuRunResult
 GpuMachine::run(const GpuKernel &kernel, LaunchConfig launch,
-                int warmup_iterations)
+                int warmup_iterations, std::uint64_t decode_key)
 {
     SYNCPERF_ASSERT(launch.blocks >= 1);
     SYNCPERF_ASSERT(launch.threads_per_block >= 1 &&
                     launch.threads_per_block <= cfg_.max_threads_per_block);
     SYNCPERF_ASSERT(kernel.body_iters >= 1 || kernel.body.empty());
+
+    const DecodedImage *image = nullptr;
+    if (decode_key != 0) {
+        const auto it = images_.find(decode_key);
+        SYNCPERF_ASSERT(it != images_.end(),
+                        "run() with an unmaterialized decode key");
+        image = it->second.get();
+    }
 
     kernel_ = &kernel;
     launch_ = launch;
@@ -1123,9 +1133,19 @@ GpuMachine::run(const GpuKernel &kernel, LaunchConfig launch,
 
     eq_.reset();
     stats_.clear();
-    decodeSequence(kernel.prologue, dec_prologue_);
-    decodeSequence(kernel.body, dec_body_);
-    decodeSequence(kernel.epilogue, dec_epilogue_);
+    if (image != nullptr) {
+        // Fast path: restore the decoded sequences by POD assignment.
+        // The image was produced by the same decodeOp over the same
+        // kernel, so the assigned contents are identical to what the
+        // decode below would rebuild.
+        dec_prologue_ = image->prologue;
+        dec_body_ = image->body;
+        dec_epilogue_ = image->epilogue;
+    } else {
+        decodeSequence(kernel.prologue, dec_prologue_);
+        decodeSequence(kernel.body, dec_body_);
+        decodeSequence(kernel.epilogue, dec_epilogue_);
+    }
     warps_.clear();
     blocks_.assign(launch.blocks, BlockState{});
     pending_blocks_.clear();
@@ -1200,6 +1220,180 @@ GpuMachine::run(const GpuKernel &kernel, LaunchConfig launch,
     stats_.inc(sim::Probe::EqMaxDepth,
                static_cast<std::uint64_t>(eq_.maxPending()));
     return result;
+}
+
+const GpuMachine::OpHandler *
+GpuMachine::handlerTable(std::size_t &count)
+{
+    // Serialized images index into this table; entries are
+    // append-only so older snapshots keep loading.
+    static constexpr OpHandler table[] = {
+        &GpuMachine::execAlu,           // 0
+        &GpuMachine::execDivergentAlu,  // 1
+        &GpuMachine::execSyncWarp,      // 2
+        &GpuMachine::execShfl,          // 3
+        &GpuMachine::execVote,          // 4
+        &GpuMachine::execReduceSync,    // 5
+        &GpuMachine::execFenceBlock,    // 6
+        &GpuMachine::execFenceDevice,   // 7
+        &GpuMachine::execFenceSystem,   // 8
+        &GpuMachine::execGlobalLoad,    // 9
+        &GpuMachine::execGlobalStore,   // 10
+        &GpuMachine::execAtomicSameAddr,  // 11
+        &GpuMachine::execAtomicCasLike,   // 12
+        &GpuMachine::execAtomicPerThread, // 13
+        &GpuMachine::execSharedAtomic,  // 14
+        &GpuMachine::execSyncThreads,   // 15
+        &GpuMachine::execGridSync,      // 16
+    };
+    count = std::size(table);
+    return table;
+}
+
+void
+GpuMachine::buildImage(std::uint64_t key, const GpuKernel &kernel)
+{
+    SYNCPERF_ASSERT(key != 0, "key 0 means undecoded");
+    auto img = std::make_shared<DecodedImage>();
+    img->key = key;
+    decodeSequence(kernel.prologue, img->prologue);
+    decodeSequence(kernel.body, img->body);
+    decodeSequence(kernel.epilogue, img->epilogue);
+    images_[key] = std::move(img);
+}
+
+void
+GpuMachine::encodeImage(std::uint64_t key,
+                        std::vector<std::uint64_t> &out) const
+{
+    const auto it = images_.find(key);
+    SYNCPERF_ASSERT(it != images_.end(), "encodeImage: unknown key");
+    const DecodedImage &img = *it->second;
+    std::size_t n_handlers = 0;
+    const OpHandler *table = handlerTable(n_handlers);
+
+    out.clear();
+    const auto encode_seq = [&](const std::vector<DecodedGpuOp> &code) {
+        out.push_back(code.size());
+        for (const DecodedGpuOp &op : code) {
+            std::size_t id = 0;
+            while (id < n_handlers && table[id] != op.handler)
+                ++id;
+            SYNCPERF_ASSERT(id < n_handlers,
+                            "decoded handler missing from the rebind "
+                            "table");
+            out.push_back(id);
+            out.push_back(static_cast<std::uint64_t>(op.repeat));
+            out.push_back(static_cast<std::uint64_t>(op.uops));
+            out.push_back(static_cast<std::uint64_t>(op.stride));
+            out.push_back(static_cast<std::uint64_t>(op.pred));
+            out.push_back(static_cast<std::uint64_t>(op.amode));
+            out.push_back(op.aggregated ? 1 : 0);
+            out.push_back(op.value_returning ? 1 : 0);
+            out.push_back(op.base_addr);
+            out.push_back(op.esize);
+            out.push_back(op.lat);
+            out.push_back(op.addr_ii);
+            out.push_back(op.unit_ii);
+            out.push_back(op.gate_delay);
+        }
+    };
+    encode_seq(img.prologue);
+    encode_seq(img.body);
+    encode_seq(img.epilogue);
+}
+
+Status
+GpuMachine::installImage(std::uint64_t key,
+                         const std::vector<std::uint64_t> &words)
+{
+    // Every field is bounds-checked before the image becomes
+    // reachable: a semantically invalid payload (version skew, a
+    // key collision across format generations) is a clean error,
+    // never an out-of-range handler or enum value at run time.
+    constexpr std::uint64_t max_count = std::uint64_t{1} << 20;
+    constexpr std::uint64_t max_tick = std::uint64_t{1} << 32;
+    const auto invalid = [key](std::string_view why) {
+        return Status::error(ErrorCode::ParseError,
+                             "gpu image {}: {}", key, why);
+    };
+    if (key == 0)
+        return invalid("key 0 is reserved");
+    std::size_t n_handlers = 0;
+    const OpHandler *table = handlerTable(n_handlers);
+
+    sim::SnapshotCursor cur(words);
+    auto img = std::make_shared<DecodedImage>();
+    img->key = key;
+    std::vector<DecodedGpuOp> *const sequences[3] = {
+        &img->prologue, &img->body, &img->epilogue};
+    for (auto *seq : sequences) {
+        std::uint64_t n_ops = 0;
+        if (!cur.u64(n_ops) || n_ops > max_count)
+            return invalid("bad op count");
+        seq->reserve(static_cast<std::size_t>(n_ops));
+        for (std::uint64_t i = 0; i < n_ops; ++i) {
+            std::uint64_t w[14];
+            for (std::uint64_t &word : w)
+                cur.u64(word);
+            if (cur.overran() || w[0] >= n_handlers ||
+                w[1] < 1 || w[1] > max_count ||      // repeat
+                w[2] < 1 || w[2] > max_count ||      // uops
+                w[3] > max_count ||                  // stride
+                w[4] > 2 || w[5] > 2 ||              // pred, amode
+                w[6] > 1 || w[7] > 1 ||              // bool flags
+                w[9] < 1 || w[9] > max_count ||      // esize
+                w[10] > max_tick || w[11] > max_tick ||
+                w[12] > max_tick || w[13] > max_tick) {
+                return invalid("bad op record");
+            }
+            DecodedGpuOp op;
+            op.handler = table[w[0]];
+            op.repeat = static_cast<int>(w[1]);
+            op.uops = static_cast<int>(w[2]);
+            op.stride = static_cast<int>(w[3]);
+            op.pred = static_cast<Predicate>(w[4]);
+            op.amode = static_cast<AddressMode>(w[5]);
+            op.aggregated = w[6] != 0;
+            op.value_returning = w[7] != 0;
+            op.base_addr = w[8];
+            op.esize = w[9];
+            op.lat = static_cast<Tick>(w[10]);
+            op.addr_ii = static_cast<Tick>(w[11]);
+            op.unit_ii = static_cast<Tick>(w[12]);
+            op.gate_delay = static_cast<Tick>(w[13]);
+            seq->push_back(op);
+        }
+    }
+    if (!cur.done())
+        return invalid("trailing payload words");
+    images_[key] = std::move(img);
+    return Status::ok();
+}
+
+void
+GpuMachine::cloneFrom(const GpuMachine &tmpl)
+{
+    eq_.reserve(tmpl.eq_.slotCapacity());
+    dec_prologue_.reserve(tmpl.dec_prologue_.capacity());
+    dec_body_.reserve(tmpl.dec_body_.capacity());
+    dec_epilogue_.reserve(tmpl.dec_epilogue_.capacity());
+    warps_.reserve(tmpl.warps_.capacity());
+    blocks_.reserve(tmpl.blocks_.capacity());
+    sm_free_threads_.reserve(tmpl.sm_free_threads_.capacity());
+    sm_blocks_.reserve(tmpl.sm_blocks_.capacity());
+    sm_next_sched_.reserve(tmpl.sm_next_sched_.capacity());
+    sched_free_.reserve(tmpl.sched_free_.capacity());
+    lsu_free_.reserve(tmpl.lsu_free_.capacity());
+    smem_free_.reserve(tmpl.smem_free_.capacity());
+    reduce_free_.reserve(tmpl.reduce_free_.capacity());
+    unit_free_.reserve(tmpl.unit_free_.capacity());
+    line_free_.reserve(tmpl.line_free_.size());
+    sm_line_gate_.reserve(tmpl.sm_line_gate_.size());
+    grid_waiters_.reserve(tmpl.grid_waiters_.capacity());
+    lb_prev_fp_.reserve(tmpl.lb_prev_fp_.capacity());
+    lb_fp_.reserve(tmpl.lb_fp_.capacity());
+    lb_prev_iters_.reserve(tmpl.lb_prev_iters_.capacity());
 }
 
 } // namespace syncperf::gpusim

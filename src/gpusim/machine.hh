@@ -28,6 +28,13 @@
  * handlers with no switch. Event ordering is identical to the
  * historical switch interpreter, so results stay bit-for-bit
  * reproducible.
+ *
+ * Decoded kernels can further be captured as immutable
+ * DecodedImages keyed by the caller's config hash: run() with a key
+ * restores the three sequences by POD assignment instead of
+ * re-decoding, and images serialize to the sim/snapshot on-disk
+ * format so other processes load past decoding (core/machine_pool
+ * orchestrates both).
  */
 
 #ifndef SYNCPERF_GPUSIM_MACHINE_HH
@@ -35,10 +42,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/status.hh"
 #include "gpusim/gpu_config.hh"
 #include "gpusim/kernel.hh"
 #include "sim/event_queue.hh"
@@ -76,6 +85,41 @@ class GpuMachine
      */
     explicit GpuMachine(GpuConfig cfg, std::uint64_t seed = 1);
 
+    /** One decoded op: handler plus hoisted operands. */
+    struct DecodedGpuOp
+    {
+        /** Receives the queue's now tick; finishes or blocks. */
+        void (GpuMachine::*handler)(int warp_id, const DecodedGpuOp &op,
+                                    Tick now) = nullptr;
+        int repeat = 1;
+        int uops = 1;        ///< scheduler slots (paths, shfl uops)
+        int stride = 1;      ///< elements, for PerThread addressing
+        Predicate pred = Predicate::All;
+        AddressMode amode = AddressMode::SingleShared;
+        bool aggregated = false;      ///< warp aggregation applies
+        bool value_returning = false; ///< CAS/exchange result needed
+        std::uint64_t base_addr = 0;
+        std::uint64_t esize = 4;  ///< dataTypeSize(dtype), hoisted
+        Tick lat = 0;             ///< fixed latency term, hoisted
+        Tick addr_ii = 0;         ///< cfg.addrIi(dtype), hoisted
+        Tick unit_ii = 0;         ///< cfg.unitIi(dtype), hoisted
+        Tick gate_delay = 0;      ///< gateDelay(dtype), hoisted
+    };
+
+    /**
+     * An immutable decoded kernel, captured once and replayed by any
+     * number of launches (and, via encodeImage/installImage, by any
+     * number of processes). The key is whatever digest the caller
+     * used to derive it -- the machine only stores and compares it.
+     */
+    struct DecodedImage
+    {
+        std::uint64_t key = 0;
+        std::vector<DecodedGpuOp> prologue;
+        std::vector<DecodedGpuOp> body;
+        std::vector<DecodedGpuOp> epilogue;
+    };
+
     /**
      * Launch @p kernel with geometry @p launch.
      *
@@ -88,9 +132,54 @@ class GpuMachine
      * @param warmup_iterations May be zero for application kernels
      *        (reductions); the timed region then starts right after
      *        the prologue without an extra sync.
+     * @param decode_key Non-zero selects a previously materialized
+     *        DecodedImage (hasImage(decode_key) must hold): the three
+     *        decoded sequences are restored by assignment and the
+     *        decode step is skipped entirely. Zero (the default)
+     *        decodes @p kernel as before. Results are bit-identical
+     *        either way.
      */
     GpuRunResult run(const GpuKernel &kernel, LaunchConfig launch,
-                     int warmup_iterations = 2);
+                     int warmup_iterations = 2,
+                     std::uint64_t decode_key = 0);
+
+    /** Whether a decoded image for @p key is installed. */
+    bool hasImage(std::uint64_t key) const
+    {
+        return images_.find(key) != images_.end();
+    }
+
+    /**
+     * Decode @p kernel (exactly as a key-0 run() would) and store
+     * the result as the image for @p key (key must be non-zero).
+     */
+    void buildImage(std::uint64_t key, const GpuKernel &kernel);
+
+    /**
+     * Install an image for @p key from its serialized form (the
+     * payload produced by encodeImage). Every field is
+     * bounds-checked against this machine's handler table before
+     * anything is installed; a malformed payload leaves the machine
+     * untouched and returns ParseError.
+     */
+    Status installImage(std::uint64_t key,
+                        const std::vector<std::uint64_t> &words);
+
+    /** Serialize the image for @p key (must exist) into @p out. */
+    void encodeImage(std::uint64_t key,
+                     std::vector<std::uint64_t> &out) const;
+
+    /** Drop every installed image (pool lease hygiene). */
+    void clearImages() { images_.clear(); }
+
+    /**
+     * Adopt the warm capacity of @p tmpl: every internal container
+     * reserves to the template's high-water size, so the first run()
+     * skips the growth reallocations a cold machine pays. No dynamic
+     * state is copied -- run() fully re-initializes, and the clone's
+     * results are bit-identical to a freshly constructed machine's.
+     */
+    void cloneFrom(const GpuMachine &tmpl);
 
     /**
      * Restart the jitter stream as if the machine had been freshly
@@ -128,35 +217,12 @@ class GpuMachine
     sim::EventQueue &eventQueue() { return eq_; }
 
   private:
-    using Tick = sim::Tick;
-
     enum class Phase
     {
         Prologue,
         Warmup,
         Timed,
         Epilogue,
-    };
-
-    /** One decoded op: handler plus hoisted operands. */
-    struct DecodedGpuOp
-    {
-        /** Receives the queue's now tick; finishes or blocks. */
-        void (GpuMachine::*handler)(int warp_id, const DecodedGpuOp &op,
-                                    Tick now) = nullptr;
-        int repeat = 1;
-        int uops = 1;        ///< scheduler slots (paths, shfl uops)
-        int stride = 1;      ///< elements, for PerThread addressing
-        Predicate pred = Predicate::All;
-        AddressMode amode = AddressMode::SingleShared;
-        bool aggregated = false;      ///< warp aggregation applies
-        bool value_returning = false; ///< CAS/exchange result needed
-        std::uint64_t base_addr = 0;
-        std::uint64_t esize = 4;  ///< dataTypeSize(dtype), hoisted
-        Tick lat = 0;             ///< fixed latency term, hoisted
-        Tick addr_ii = 0;         ///< cfg.addrIi(dtype), hoisted
-        Tick unit_ii = 0;         ///< cfg.unitIi(dtype), hoisted
-        Tick gate_delay = 0;      ///< gateDelay(dtype), hoisted
     };
 
     struct WarpCtx
@@ -221,6 +287,15 @@ class GpuMachine
     DecodedGpuOp decodeOp(const GpuOp &op) const;
     void decodeSequence(const std::vector<GpuOp> &ops,
                         std::vector<DecodedGpuOp> &out) const;
+
+    /**
+     * The stable handler-id table for image serialization: index i
+     * is the wire id of handler table[i]. Append-only -- reordering
+     * or removing entries breaks every snapshot on disk.
+     */
+    using OpHandler = void (GpuMachine::*)(int, const DecodedGpuOp &,
+                                           Tick);
+    static const OpHandler *handlerTable(std::size_t &count);
 
     void step(int warp_id);
     void finishOp(int warp_id, Tick done);
@@ -311,6 +386,10 @@ class GpuMachine
     std::unordered_map<std::uint64_t, Tick> line_free_;
     std::unordered_map<std::uint64_t, GateSlots> sm_line_gate_;
     Tick mem_bw_free_ = 0;
+
+    /** Installed decoded images, keyed by the caller's digest. */
+    std::unordered_map<std::uint64_t, std::shared_ptr<const DecodedImage>>
+        images_;
 
     // Grid-wide barrier rendezvous (cooperative launch).
     int grid_arrivals_ = 0;

@@ -239,6 +239,24 @@ EventQueue::shiftPending(Tick delta)
 }
 
 void
+EventQueue::reserve(std::size_t events)
+{
+    heap_.reserve(events);
+    if (slots_.size() >= events)
+        return;
+    const auto old = static_cast<std::uint32_t>(slots_.size());
+    slots_.resize(events);
+    // New slots are free; descending order so the lowest fresh index
+    // is handed out first (matching reset()'s warm-fill convention).
+    // Slot indices never influence execution order, so this cannot
+    // perturb results.
+    for (std::uint32_t i = static_cast<std::uint32_t>(events);
+         i-- > old;) {
+        free_.push_back(i);
+    }
+}
+
+void
 EventQueue::reset()
 {
     heap_.clear();

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Implementation of the snapshot container format.
+ */
+
+#include "snapshot.hh"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/atomic_file.hh"
+#include "common/fmt.hh"
+
+namespace syncperf::sim
+{
+namespace
+{
+
+/** 24-byte magic: the format name padded with NUL bytes. */
+constexpr std::array<char, 24> snapshot_magic = {
+    's', 'y', 'n', 'c', 'p', 'e', 'r', 'f', '-', 's', 'n', 'a',
+    'p', 's', 'h', 'o', 't', '-', 'v', '1', 0,   0,   0,   0};
+
+/** Fixed container header size in bytes. */
+constexpr std::size_t header_bytes = 24 + 4 + 4 + 8 + 8 + 8;
+
+/** Guard against absurd word counts from a corrupt length field. */
+constexpr std::uint64_t max_payload_words = std::uint64_t{1} << 24;
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t
+getU32(const std::string &in, std::size_t off)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(in[off + i]))
+             << (8 * i);
+    }
+    return v;
+}
+
+std::uint64_t
+getU64(const std::string &in, std::size_t off)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(in[off + i]))
+             << (8 * i);
+    }
+    return v;
+}
+
+/** FNV-1a over the little-endian byte image of the payload words. */
+std::uint64_t
+payloadChecksum(const std::vector<std::uint64_t> &words)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint64_t w : words) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (w >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    }
+    return h;
+}
+
+Status
+reject(const std::filesystem::path &path, std::string_view why)
+{
+    return Status::error(ErrorCode::ParseError, "snapshot {}: {}",
+                         path.string(), why);
+}
+
+} // namespace
+
+std::string
+snapshotFileName(SnapshotKind kind, std::uint64_t key)
+{
+    std::string name =
+        kind == SnapshotKind::CpuImage ? "cpu-" : "gpu-";
+    for (int i = 15; i >= 0; --i)
+        name.push_back("0123456789abcdef"[(key >> (4 * i)) & 0xf]);
+    name += ".snap";
+    return name;
+}
+
+Status
+writeSnapshotFile(const std::filesystem::path &path, SnapshotKind kind,
+                  std::uint64_t key,
+                  const std::vector<std::uint64_t> &words)
+{
+    std::string buf;
+    buf.reserve(header_bytes + 8 * words.size());
+    buf.append(snapshot_magic.data(), snapshot_magic.size());
+    putU32(buf, snapshot_version);
+    putU32(buf, static_cast<std::uint32_t>(kind));
+    putU64(buf, key);
+    putU64(buf, words.size());
+    putU64(buf, payloadChecksum(words));
+    for (std::uint64_t w : words)
+        putU64(buf, w);
+
+    AtomicFile file;
+    if (Status s = file.open(path); !s.isOk())
+        return s;
+    file.stream().write(buf.data(),
+                        static_cast<std::streamsize>(buf.size()));
+    return file.commit();
+}
+
+Result<std::vector<std::uint64_t>>
+readSnapshotFile(const std::filesystem::path &path, SnapshotKind kind,
+                 std::uint64_t key)
+{
+    std::ifstream in(path, std::ios::in | std::ios::binary);
+    if (!in) {
+        return Status::error(ErrorCode::IoError, "cannot open {}",
+                             path.string());
+    }
+    std::string buf((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof())
+        return Status::error(ErrorCode::IoError, "cannot read {}",
+                             path.string());
+
+    if (buf.size() < header_bytes)
+        return reject(path, "truncated header");
+    if (std::memcmp(buf.data(), snapshot_magic.data(),
+                    snapshot_magic.size()) != 0) {
+        return reject(path, "bad magic");
+    }
+    if (getU32(buf, 24) != snapshot_version)
+        return reject(path, format("unsupported version {}",
+                                   getU32(buf, 24)));
+    if (getU32(buf, 28) != static_cast<std::uint32_t>(kind))
+        return reject(path, "wrong payload kind");
+    if (getU64(buf, 32) != key)
+        return reject(path, "key mismatch");
+
+    const std::uint64_t n_words = getU64(buf, 40);
+    if (n_words > max_payload_words)
+        return reject(path, "implausible payload size");
+    if (buf.size() != header_bytes + 8 * n_words)
+        return reject(path, "payload size mismatch");
+
+    std::vector<std::uint64_t> words;
+    words.reserve(static_cast<std::size_t>(n_words));
+    for (std::uint64_t i = 0; i < n_words; ++i)
+        words.push_back(getU64(buf, header_bytes + 8 * i));
+    if (payloadChecksum(words) != getU64(buf, 48))
+        return reject(path, "checksum mismatch");
+    return words;
+}
+
+} // namespace syncperf::sim

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Versioned, checksummed on-disk images of decoded simulator state.
+ *
+ * A snapshot is a flat sequence of 64-bit words wrapped in a small
+ * self-describing container (`syncperf-snapshot-v1`): magic, format
+ * version, payload kind, the ConfigHasher key the payload was decoded
+ * under, the word count, and an FNV-1a checksum of the payload bytes.
+ * Everything is little-endian on disk, so images written by one build
+ * flavor (e.g. a release supervisor) load bit-for-bit under another
+ * (e.g. a sanitizer worker).
+ *
+ * The container makes one promise: a reader either gets back exactly
+ * the words the writer put in, or a clean Status error. Truncated,
+ * torn, bit-flipped, version-bumped, or mis-keyed files are all
+ * detected before a single payload word is handed to the caller --
+ * the machine-specific decoders behind core/machine_pool then do
+ * their own semantic validation on top (handler ids, index bounds).
+ *
+ * Files are written via AtomicFile (temp + rename), so readers never
+ * observe a partially written image under its final name. Two
+ * processes racing to write the same image can still tear the shared
+ * temp file; the checksum turns that into a clean reject on the next
+ * load, never undefined behavior.
+ */
+
+#ifndef SYNCPERF_SIM_SNAPSHOT_HH
+#define SYNCPERF_SIM_SNAPSHOT_HH
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "common/status.hh"
+
+namespace syncperf::sim
+{
+
+/** What a snapshot's payload words encode. */
+enum class SnapshotKind : std::uint32_t
+{
+    CpuImage = 1, ///< cpusim::CpuMachine decoded-program image
+    GpuImage = 2, ///< gpusim::GpuMachine decoded-kernel image
+};
+
+/** Current container format version. */
+inline constexpr std::uint32_t snapshot_version = 1;
+
+/** Stable file name for the image of @p kind under @p key. */
+std::string snapshotFileName(SnapshotKind kind, std::uint64_t key);
+
+/**
+ * Write @p words as a snapshot of @p kind keyed by @p key to @p path
+ * (temp + rename via AtomicFile; parent directories are created).
+ */
+Status writeSnapshotFile(const std::filesystem::path &path,
+                         SnapshotKind kind, std::uint64_t key,
+                         const std::vector<std::uint64_t> &words);
+
+/**
+ * Load the payload of the snapshot at @p path, validating the magic,
+ * version, kind, key, size, and checksum. Any mismatch -- including a
+ * file truncated or corrupted at any byte offset -- is a ParseError;
+ * a file that cannot be opened at all is an IoError.
+ */
+Result<std::vector<std::uint64_t>>
+readSnapshotFile(const std::filesystem::path &path, SnapshotKind kind,
+                 std::uint64_t key);
+
+/**
+ * Bounds-checked forward reader over a snapshot payload. Reads past
+ * the end fail sticky (every later read also fails), so decoders can
+ * batch reads and check once.
+ */
+class SnapshotCursor
+{
+  public:
+    explicit SnapshotCursor(const std::vector<std::uint64_t> &words)
+        : words_(&words)
+    {
+    }
+
+    /** Read one word; false (and sticky failure) once exhausted. */
+    bool
+    u64(std::uint64_t &out)
+    {
+        if (failed_ || pos_ >= words_->size()) {
+            failed_ = true;
+            return false;
+        }
+        out = (*words_)[pos_++];
+        return true;
+    }
+
+    /** Read one word as a signed value. */
+    bool
+    i64(std::int64_t &out)
+    {
+        std::uint64_t raw = 0;
+        if (!u64(raw))
+            return false;
+        out = static_cast<std::int64_t>(raw);
+        return true;
+    }
+
+    /** True when every word was consumed and no read overran. */
+    bool done() const { return !failed_ && pos_ == words_->size(); }
+
+    /** True when any read ran past the end. */
+    bool overran() const { return failed_; }
+
+  private:
+    const std::vector<std::uint64_t> *words_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace syncperf::sim
+
+#endif // SYNCPERF_SIM_SNAPSHOT_HH

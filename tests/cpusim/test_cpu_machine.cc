@@ -371,5 +371,128 @@ TEST(CpuMachine, ReleaseWithoutAcquirePanics)
     EXPECT_THROW(machine.run({p}, 1), LogDeathException);
 }
 
+/** A contended program mix exercising every interned structure:
+ * atomics on a shared line, a critical section, and a fence. */
+std::vector<CpuProgram>
+imageTestPrograms()
+{
+    std::vector<CpuProgram> programs;
+    for (int tid = 0; tid < 4; ++tid) {
+        CpuProgram p;
+        CpuOp rmw;
+        rmw.kind = CpuOpKind::AtomicRmw;
+        rmw.addr = 0x1000;
+        rmw.dtype = DataType::Int32;
+        CpuOp acq;
+        acq.kind = CpuOpKind::LockAcquire;
+        acq.addr = 0x3000;
+        acq.lock_id = 0;
+        CpuOp alu;
+        alu.kind = CpuOpKind::Alu;
+        CpuOp rel;
+        rel.kind = CpuOpKind::LockRelease;
+        rel.addr = 0x3000;
+        rel.lock_id = 0;
+        CpuOp fence;
+        fence.kind = CpuOpKind::Fence;
+        CpuOp bar;
+        bar.kind = CpuOpKind::Barrier;
+        p.body = {rmw, acq, alu, rel, fence, bar};
+        p.iterations = 30;
+        programs.push_back(std::move(p));
+    }
+    return programs;
+}
+
+TEST(CpuMachineImage, BuiltImageRunMatchesColdRun)
+{
+    const auto programs = imageTestPrograms();
+    CpuMachine cold(testConfig(), Affinity::System, 5);
+    const auto want = cold.run(programs, 2).thread_cycles;
+
+    CpuMachine warm(testConfig(), Affinity::System, 5);
+    warm.buildImage(42, programs);
+    ASSERT_TRUE(warm.hasImage(42));
+    EXPECT_EQ(warm.run(programs, 2, 42).thread_cycles, want);
+    // Replaying the image again stays identical.
+    warm.reseed(5);
+    EXPECT_EQ(warm.run(programs, 2, 42).thread_cycles, want);
+}
+
+TEST(CpuMachineImage, EncodeInstallRoundTripMatchesColdRun)
+{
+    const auto programs = imageTestPrograms();
+    CpuMachine writer(testConfig(), Affinity::System, 9);
+    writer.buildImage(7, programs);
+    std::vector<std::uint64_t> words;
+    writer.encodeImage(7, words);
+    ASSERT_FALSE(words.empty());
+
+    CpuMachine reader(testConfig(), Affinity::System, 9);
+    ASSERT_TRUE(reader.installImage(7, words).isOk());
+    ASSERT_TRUE(reader.hasImage(7));
+
+    CpuMachine cold(testConfig(), Affinity::System, 9);
+    EXPECT_EQ(reader.run(programs, 2, 7).thread_cycles,
+              cold.run(programs, 2).thread_cycles);
+}
+
+TEST(CpuMachineImage, InstallRejectsMalformedPayloads)
+{
+    const auto programs = imageTestPrograms();
+    CpuMachine writer(testConfig(), Affinity::System);
+    writer.buildImage(7, programs);
+    std::vector<std::uint64_t> good;
+    writer.encodeImage(7, good);
+
+    CpuMachine reader(testConfig(), Affinity::System);
+    // Truncations at every word boundary.
+    for (std::size_t len = 0; len < good.size(); ++len) {
+        std::vector<std::uint64_t> bad(good.begin(),
+                                       good.begin() +
+                                           static_cast<long>(len));
+        EXPECT_FALSE(reader.installImage(8, bad).isOk())
+            << "truncation to " << len << " words was accepted";
+        EXPECT_FALSE(reader.hasImage(8));
+    }
+    // A wild handler id (payload layout: n_threads, n_lines,
+    // n_locks, n_ops, then the first op's handler id at word 4).
+    std::vector<std::uint64_t> bad = good;
+    bad[4] = 0xffff;
+    EXPECT_FALSE(reader.installImage(8, bad).isOk());
+    // An absurd count.
+    bad = good;
+    bad[0] = std::uint64_t{1} << 40; // n_threads
+    EXPECT_FALSE(reader.installImage(8, bad).isOk());
+    EXPECT_FALSE(reader.hasImage(8));
+    // The pristine payload still installs after all the rejects.
+    EXPECT_TRUE(reader.installImage(8, good).isOk());
+    EXPECT_TRUE(reader.hasImage(8));
+}
+
+TEST(CpuMachineImage, ClearImagesDropsEverything)
+{
+    const auto programs = imageTestPrograms();
+    CpuMachine machine(testConfig(), Affinity::System);
+    machine.buildImage(1, programs);
+    machine.buildImage(2, programs);
+    machine.clearImages();
+    EXPECT_FALSE(machine.hasImage(1));
+    EXPECT_FALSE(machine.hasImage(2));
+}
+
+TEST(CpuMachineImage, CloneFromDoesNotChangeResults)
+{
+    const auto programs = imageTestPrograms();
+    CpuMachine tmpl(testConfig(), Affinity::System, 3);
+    tmpl.run(programs, 2);
+
+    CpuMachine cloned(testConfig(), Affinity::System, 3);
+    cloned.cloneFrom(tmpl);
+    CpuMachine fresh(testConfig(), Affinity::System, 3);
+    EXPECT_EQ(cloned.run(programs, 2).thread_cycles,
+              fresh.run(programs, 2).thread_cycles);
+}
+
 } // namespace
 } // namespace syncperf::cpusim

@@ -337,5 +337,102 @@ TEST(GpuMachine, InvalidLaunchPanics)
                  LogDeathException);
 }
 
+/** A kernel touching several decode paths: a same-address atomic, a
+ * barrier, a shuffle, and a device fence. */
+GpuKernel
+imageTestKernel()
+{
+    return bodyKernel(
+        {GpuOp::globalAtomic(AtomicOp::Add, AddressMode::SingleShared,
+                             0x1000),
+         GpuOp::syncThreads(), GpuOp::shfl(DataType::Int32),
+         GpuOp::fence(FenceScope::Device)},
+        25);
+}
+
+TEST(GpuMachineImage, BuiltImageRunMatchesColdRun)
+{
+    const GpuKernel k = imageTestKernel();
+    GpuMachine cold(testGpu(), 5);
+    const auto want = cold.run(k, {4, 128}, 2).thread_cycles;
+
+    GpuMachine warm(testGpu(), 5);
+    warm.buildImage(42, k);
+    ASSERT_TRUE(warm.hasImage(42));
+    EXPECT_EQ(warm.run(k, {4, 128}, 2, 42).thread_cycles, want);
+    // Replaying the image again stays identical, including at a
+    // different launch geometry (decoding is geometry-independent).
+    warm.reseed(5);
+    EXPECT_EQ(warm.run(k, {4, 128}, 2, 42).thread_cycles, want);
+    GpuMachine cold2(testGpu(), 5);
+    EXPECT_EQ(warm.run(k, {2, 64}, 2, 42).thread_cycles.size(),
+              cold2.run(k, {2, 64}, 2).thread_cycles.size());
+}
+
+TEST(GpuMachineImage, EncodeInstallRoundTripMatchesColdRun)
+{
+    const GpuKernel k = imageTestKernel();
+    GpuMachine writer(testGpu(), 9);
+    writer.buildImage(7, k);
+    std::vector<std::uint64_t> words;
+    writer.encodeImage(7, words);
+    ASSERT_FALSE(words.empty());
+
+    GpuMachine reader(testGpu(), 9);
+    ASSERT_TRUE(reader.installImage(7, words).isOk());
+    ASSERT_TRUE(reader.hasImage(7));
+
+    GpuMachine cold(testGpu(), 9);
+    EXPECT_EQ(reader.run(k, {4, 128}, 2, 7).thread_cycles,
+              cold.run(k, {4, 128}, 2).thread_cycles);
+}
+
+TEST(GpuMachineImage, InstallRejectsMalformedPayloads)
+{
+    GpuMachine writer(testGpu());
+    writer.buildImage(7, imageTestKernel());
+    std::vector<std::uint64_t> good;
+    writer.encodeImage(7, good);
+
+    GpuMachine reader(testGpu());
+    // Truncations at every word boundary.
+    for (std::size_t len = 0; len < good.size(); ++len) {
+        std::vector<std::uint64_t> bad(good.begin(),
+                                       good.begin() +
+                                           static_cast<long>(len));
+        EXPECT_FALSE(reader.installImage(8, bad).isOk())
+            << "truncation to " << len << " words was accepted";
+        EXPECT_FALSE(reader.hasImage(8));
+    }
+    // A wild handler id (the empty prologue contributes one count
+    // word, so the first body op's handler id is word 2).
+    std::vector<std::uint64_t> bad = good;
+    bad[2] = 0xffff;
+    EXPECT_FALSE(reader.installImage(8, bad).isOk());
+    // A zero repeat count.
+    bad = good;
+    bad[3] = 0;
+    EXPECT_FALSE(reader.installImage(8, bad).isOk());
+    // Key 0 is the "decode normally" sentinel and never installable.
+    EXPECT_FALSE(reader.installImage(0, good).isOk());
+    EXPECT_FALSE(reader.hasImage(8));
+    // The pristine payload still installs after all the rejects.
+    EXPECT_TRUE(reader.installImage(8, good).isOk());
+    EXPECT_TRUE(reader.hasImage(8));
+}
+
+TEST(GpuMachineImage, CloneFromDoesNotChangeResults)
+{
+    const GpuKernel k = imageTestKernel();
+    GpuMachine tmpl(testGpu(), 3);
+    tmpl.run(k, {4, 128}, 2);
+
+    GpuMachine cloned(testGpu(), 3);
+    cloned.cloneFrom(tmpl);
+    GpuMachine fresh(testGpu(), 3);
+    EXPECT_EQ(cloned.run(k, {4, 128}, 2).thread_cycles,
+              fresh.run(k, {4, 128}, 2).thread_cycles);
+}
+
 } // namespace
 } // namespace syncperf::gpusim

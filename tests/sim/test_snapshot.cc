@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the versioned, checksummed snapshot container.
+ *
+ * The corruption matrix is exhaustive on purpose: every single-byte
+ * flip and every truncation length of a real image must produce a
+ * clean ParseError, because campaign workers load these files from a
+ * shared directory that a crashed or racing writer may have mangled.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "sim/snapshot.hh"
+
+namespace syncperf::sim
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+class SnapshotTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("syncperf_snapshot_test_" + std::to_string(::getpid()));
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        fs::remove_all(dir_);
+    }
+
+    static std::string
+    slurp(const fs::path &p)
+    {
+        std::ifstream in(p, std::ios::binary);
+        return std::string((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    }
+
+    static void
+    spew(const fs::path &p, const std::string &bytes)
+    {
+        std::ofstream out(p, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(SnapshotTest, RoundTripPreservesWords)
+{
+    const std::vector<std::uint64_t> words = {
+        0, 1, 0xffffffffffffffffULL, 0x0123456789abcdefULL, 42};
+    const fs::path path = dir_ / "img.snap";
+    ASSERT_TRUE(writeSnapshotFile(path, SnapshotKind::CpuImage,
+                                  0xdeadbeefULL, words)
+                    .isOk());
+    auto r = readSnapshotFile(path, SnapshotKind::CpuImage,
+                              0xdeadbeefULL);
+    ASSERT_TRUE(r.status().isOk()) << r.status().message();
+    EXPECT_EQ(r.value(), words);
+}
+
+TEST_F(SnapshotTest, RoundTripEmptyPayload)
+{
+    const fs::path path = dir_ / "empty.snap";
+    ASSERT_TRUE(writeSnapshotFile(path, SnapshotKind::GpuImage, 7, {})
+                    .isOk());
+    auto r = readSnapshotFile(path, SnapshotKind::GpuImage, 7);
+    ASSERT_TRUE(r.status().isOk()) << r.status().message();
+    EXPECT_TRUE(r.value().empty());
+}
+
+TEST_F(SnapshotTest, MissingFileIsIoError)
+{
+    auto r = readSnapshotFile(dir_ / "nope.snap",
+                              SnapshotKind::CpuImage, 1);
+    ASSERT_FALSE(r.status().isOk());
+    EXPECT_EQ(r.status().code(), ErrorCode::IoError);
+}
+
+TEST_F(SnapshotTest, WrongKindAndKeyAreRejected)
+{
+    const fs::path path = dir_ / "img.snap";
+    ASSERT_TRUE(writeSnapshotFile(path, SnapshotKind::CpuImage, 5,
+                                  {1, 2, 3})
+                    .isOk());
+    auto wrong_kind =
+        readSnapshotFile(path, SnapshotKind::GpuImage, 5);
+    ASSERT_FALSE(wrong_kind.status().isOk());
+    EXPECT_EQ(wrong_kind.status().code(), ErrorCode::ParseError);
+
+    auto wrong_key = readSnapshotFile(path, SnapshotKind::CpuImage, 6);
+    ASSERT_FALSE(wrong_key.status().isOk());
+    EXPECT_EQ(wrong_key.status().code(), ErrorCode::ParseError);
+}
+
+TEST_F(SnapshotTest, EveryByteFlipIsRejected)
+{
+    const fs::path path = dir_ / "img.snap";
+    ASSERT_TRUE(writeSnapshotFile(path, SnapshotKind::CpuImage, 9,
+                                  {0x1111, 0x2222, 0x3333})
+                    .isOk());
+    const std::string good = slurp(path);
+    ASSERT_GT(good.size(), 0u);
+
+    const fs::path mangled = dir_ / "mangled.snap";
+    for (std::size_t off = 0; off < good.size(); ++off) {
+        for (unsigned char bit : {0x01, 0x80}) {
+            std::string bad = good;
+            bad[off] = static_cast<char>(
+                static_cast<unsigned char>(bad[off]) ^ bit);
+            spew(mangled, bad);
+            auto r = readSnapshotFile(mangled, SnapshotKind::CpuImage,
+                                      9);
+            ASSERT_FALSE(r.status().isOk())
+                << "flip of bit " << static_cast<int>(bit)
+                << " at byte " << off << " was accepted";
+            EXPECT_EQ(r.status().code(), ErrorCode::ParseError)
+                << "at byte " << off;
+        }
+    }
+}
+
+TEST_F(SnapshotTest, EveryTruncationLengthIsRejected)
+{
+    const fs::path path = dir_ / "img.snap";
+    ASSERT_TRUE(writeSnapshotFile(path, SnapshotKind::GpuImage, 11,
+                                  {4, 5, 6, 7})
+                    .isOk());
+    const std::string good = slurp(path);
+    ASSERT_GT(good.size(), 0u);
+
+    const fs::path torn = dir_ / "torn.snap";
+    for (std::size_t len = 0; len < good.size(); ++len) {
+        spew(torn, good.substr(0, len));
+        auto r = readSnapshotFile(torn, SnapshotKind::GpuImage, 11);
+        ASSERT_FALSE(r.status().isOk())
+            << "truncation to " << len << " bytes was accepted";
+        EXPECT_EQ(r.status().code(), ErrorCode::ParseError)
+            << "at length " << len;
+    }
+}
+
+TEST_F(SnapshotTest, TrailingGarbageIsRejected)
+{
+    const fs::path path = dir_ / "img.snap";
+    ASSERT_TRUE(writeSnapshotFile(path, SnapshotKind::CpuImage, 3,
+                                  {10, 20})
+                    .isOk());
+    std::string padded = slurp(path);
+    padded.push_back('\0');
+    spew(path, padded);
+    auto r = readSnapshotFile(path, SnapshotKind::CpuImage, 3);
+    ASSERT_FALSE(r.status().isOk());
+    EXPECT_EQ(r.status().code(), ErrorCode::ParseError);
+}
+
+TEST_F(SnapshotTest, FutureVersionIsRejected)
+{
+    const fs::path path = dir_ / "img.snap";
+    ASSERT_TRUE(writeSnapshotFile(path, SnapshotKind::CpuImage, 3,
+                                  {10, 20})
+                    .isOk());
+    std::string bumped = slurp(path);
+    // The version is the u32 at byte 24; bump its low byte from 1 to 2.
+    ASSERT_EQ(bumped[24], 1);
+    bumped[24] = 2;
+    spew(path, bumped);
+    auto r = readSnapshotFile(path, SnapshotKind::CpuImage, 3);
+    ASSERT_FALSE(r.status().isOk());
+    EXPECT_EQ(r.status().code(), ErrorCode::ParseError);
+    EXPECT_NE(r.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, ImplausiblePayloadSizeIsRejected)
+{
+    const fs::path path = dir_ / "img.snap";
+    ASSERT_TRUE(writeSnapshotFile(path, SnapshotKind::CpuImage, 3, {1})
+                    .isOk());
+    std::string huge = slurp(path);
+    // n_words is the u64 at byte 40; claim ~2^56 words without
+    // shipping them.
+    huge[47] = 0x7f;
+    spew(path, huge);
+    auto r = readSnapshotFile(path, SnapshotKind::CpuImage, 3);
+    ASSERT_FALSE(r.status().isOk());
+    EXPECT_EQ(r.status().code(), ErrorCode::ParseError);
+}
+
+TEST_F(SnapshotTest, FileNamesAreStableAndZeroPadded)
+{
+    EXPECT_EQ(snapshotFileName(SnapshotKind::CpuImage, 0x1a2bULL),
+              "cpu-0000000000001a2b.snap");
+    EXPECT_EQ(snapshotFileName(SnapshotKind::GpuImage,
+                               0xffffffffffffffffULL),
+              "gpu-ffffffffffffffff.snap");
+}
+
+TEST(SnapshotCursorTest, ReadsInOrderAndReportsDone)
+{
+    const std::vector<std::uint64_t> words = {1, 2, 3};
+    SnapshotCursor cur(words);
+    std::uint64_t a = 0, b = 0;
+    std::int64_t c = 0;
+    EXPECT_TRUE(cur.u64(a));
+    EXPECT_TRUE(cur.u64(b));
+    EXPECT_FALSE(cur.done());
+    EXPECT_TRUE(cur.i64(c));
+    EXPECT_EQ(a, 1u);
+    EXPECT_EQ(b, 2u);
+    EXPECT_EQ(c, 3);
+    EXPECT_TRUE(cur.done());
+    EXPECT_FALSE(cur.overran());
+}
+
+TEST(SnapshotCursorTest, OverrunIsSticky)
+{
+    const std::vector<std::uint64_t> words = {9};
+    SnapshotCursor cur(words);
+    std::uint64_t v = 0;
+    EXPECT_TRUE(cur.u64(v));
+    EXPECT_FALSE(cur.u64(v));
+    EXPECT_TRUE(cur.overran());
+    EXPECT_FALSE(cur.done());
+    // Even a read that would now be in bounds stays failed.
+    EXPECT_FALSE(cur.u64(v));
+}
+
+} // namespace
+} // namespace syncperf::sim
