@@ -85,6 +85,10 @@ struct Totals
      * --explain batch-ratio annotation; never an artifact). */
     std::map<std::string, sim::LoopBatchCounters> loop_batch;
 
+    /** Per-system lane-grouping summaries (feeds the --explain lane
+     * annotation; never an artifact). */
+    std::map<std::string, LaneSummary> lanes;
+
     void
     fold(const std::string &system, const CampaignResult &r)
     {
@@ -96,6 +100,8 @@ struct Totals
             failures.push_back({system + "/" + f.file, f.error});
         for (const auto &lb : r.loop_batch)
             loop_batch[system + "/" + lb.file].merge(lb.counters);
+        if (r.lanes.planned())
+            lanes[system].merge(r.lanes);
     }
 };
 
@@ -422,6 +428,18 @@ main(int argc, char **argv)
             machine_pool_on = false;
             omp_protocol.machine_pool = false;
             cuda_protocol.machine_pool = false;
+        } else if (std::strcmp(argv[i], "--lanes") == 0 &&
+                   i + 1 < argc) {
+            options.lanes = std::atoi(argv[++i]);
+            if (options.lanes < 1) {
+                std::fprintf(stderr,
+                             "%s: --lanes wants a width >= 1 (use "
+                             "--no-lanes to disable grouping)\n",
+                             argv[0]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--no-lanes") == 0) {
+            options.lanes = 0;
         } else if (std::strcmp(argv[i], "--snapshot-dir") == 0 &&
                    i + 1 < argc) {
             snapshot_dir = argv[++i];
@@ -448,7 +466,8 @@ main(int argc, char **argv)
                 "[--shard-backoff-ms MS] [--shard-report FILE] "
                 "[--only NAME[,NAME...]] "
                 "[--no-sim-cache] [--no-loop-batch] "
-                "[--no-machine-pool] [--snapshot-dir DIR] "
+                "[--no-machine-pool] [--lanes N] [--no-lanes] "
+                "[--snapshot-dir DIR] "
                 "[--telemetry] [--explain] "
                 "[--explain-only] [--trace FILE] [--metrics FILE] "
                 "[--metrics-summary]\n"
@@ -489,6 +508,18 @@ main(int argc, char **argv)
                 "             (output is byte-identical either way; "
                 "see docs/performance.md,\n"
                 "             \"Warm-start machine pool\").\n"
+                "  --lanes N  lane groups span at most N sweep points "
+                "whose programs decode to\n"
+                "             identical images; a group simulates its "
+                "reference lane once and every\n"
+                "             in-step lane shares that walk (output "
+                "is byte-identical at every\n"
+                "             width -- see docs/performance.md, "
+                "\"Lane-batched sweeps\"; default 8).\n"
+                "  --no-lanes  bypass the lane planner and measure "
+                "every point on its own\n"
+                "             simulator (the reference leg; output is "
+                "byte-identical either way).\n"
                 "  --snapshot-dir DIR  persist decoded program images "
                 "to DIR and load past\n"
                 "             decoding on later runs (shared across "
@@ -530,6 +561,7 @@ main(int argc, char **argv)
                    std::strcmp(argv[i], "--trace") == 0 ||
                    std::strcmp(argv[i], "--metrics") == 0 ||
                    std::strcmp(argv[i], "--snapshot-dir") == 0 ||
+                   std::strcmp(argv[i], "--lanes") == 0 ||
                    std::strcmp(argv[i], "--cov-gate") == 0) {
             std::fprintf(stderr, "%s: %s requires a value\n", argv[0],
                          argv[i]);
@@ -702,6 +734,12 @@ main(int argc, char **argv)
             worker_argv.push_back("--no-loop-batch");
         if (!omp_protocol.machine_pool)
             worker_argv.push_back("--no-machine-pool");
+        if (options.lanes <= 0) {
+            worker_argv.push_back("--no-lanes");
+        } else if (options.lanes != CampaignOptions{}.lanes) {
+            worker_argv.push_back("--lanes");
+            worker_argv.push_back(std::to_string(options.lanes));
+        }
         if (!snapshot_dir.empty()) {
             worker_argv.push_back("--snapshot-dir");
             worker_argv.push_back(snapshot_dir);
@@ -922,7 +960,8 @@ main(int argc, char **argv)
         if (auto s = explainCampaign(
                 options.output_dir, std::cout,
                 totals.loop_batch.empty() ? nullptr
-                                          : &totals.loop_batch);
+                                          : &totals.loop_batch,
+                totals.lanes.empty() ? nullptr : &totals.lanes);
             !s.isOk()) {
             std::fprintf(stderr, "%s: %s\n", argv[0],
                          s.toString().c_str());

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * google-benchmark suite for lane-batched execution
+ * (docs/performance.md, "Lane-batched sweeps").
+ *
+ * Each machine gets a lane-grouped and a solo-per-lane variant of
+ * the same N-point agreeing workload, so the reported ratio IS the
+ * lane-sharing speedup. The grouped variants double as correctness
+ * gates: before timing anything they re-run the workload both ways
+ * and SkipWithError (printed as "ERROR OCCURRED") if any lane's
+ * cycle counts or stats differ from its solo run, or if no lane
+ * actually shared the reference walk -- so a quick pass
+ * (--benchmark_min_time=0.01) from CI or a sanitizer build is a
+ * regression test for both the identity contract and the agreement
+ * test's ability to keep equal lanes in step at all.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cpusim/machine.hh"
+#include "gpusim/machine.hh"
+
+namespace
+{
+
+using namespace syncperf;
+
+// The campaign regime lanes exist for: several sweep points whose
+// programs decode identically, each a contended-atomic loop long
+// enough that simulation dominates decode.
+constexpr int lane_count = 8;
+constexpr long cpu_iters = 400;
+constexpr long gpu_iters = 200;
+constexpr int warmup = 2;
+constexpr gpusim::LaunchConfig gpu_launch{4, 128};
+
+std::vector<cpusim::CpuProgram>
+cpuPrograms()
+{
+    cpusim::CpuOp o;
+    o.kind = cpusim::CpuOpKind::AtomicRmw;
+    o.addr = 0x1000;
+    o.dtype = DataType::Int32;
+    cpusim::CpuProgram p;
+    p.body = {o};
+    p.iterations = cpu_iters;
+    return std::vector<cpusim::CpuProgram>(4, p);
+}
+
+gpusim::GpuKernel
+gpuKernel()
+{
+    gpusim::GpuKernel k;
+    k.body = {gpusim::GpuOp::globalAtomic(
+        gpusim::AtomicOp::Add, gpusim::AddressMode::SingleShared,
+        0x1000, DataType::Int32, 1)};
+    k.body_iters = gpu_iters;
+    return k;
+}
+
+std::vector<cpusim::CpuLaneOutcome>
+runCpuLanes(const std::vector<cpusim::CpuProgram> &programs)
+{
+    cpusim::CpuMachine m(cpusim::CpuConfig{}, Affinity::Close, 1);
+    const std::vector<cpusim::CpuLaneSpec> lanes(
+        lane_count, cpusim::CpuLaneSpec{&programs, 42, 0});
+    return m.runLanes(lanes, warmup);
+}
+
+std::vector<cpusim::CpuRunResult>
+runCpuSolo(const std::vector<cpusim::CpuProgram> &programs)
+{
+    std::vector<cpusim::CpuRunResult> out;
+    out.reserve(lane_count);
+    for (int i = 0; i < lane_count; ++i) {
+        cpusim::CpuMachine m(cpusim::CpuConfig{}, Affinity::Close, 42);
+        out.push_back(m.run(programs, warmup));
+    }
+    return out;
+}
+
+std::vector<gpusim::GpuLaneOutcome>
+runGpuLanes(const gpusim::GpuKernel &kernel)
+{
+    gpusim::GpuMachine m(gpusim::GpuConfig{}, 1);
+    const std::vector<gpusim::GpuLaneSpec> lanes(
+        lane_count, gpusim::GpuLaneSpec{&kernel, 42, 0});
+    return m.runLanes(lanes, gpu_launch, warmup);
+}
+
+std::vector<gpusim::GpuRunResult>
+runGpuSolo(const gpusim::GpuKernel &kernel)
+{
+    std::vector<gpusim::GpuRunResult> out;
+    out.reserve(lane_count);
+    for (int i = 0; i < lane_count; ++i) {
+        gpusim::GpuMachine m(gpusim::GpuConfig{}, 42);
+        out.push_back(m.run(kernel, gpu_launch, warmup));
+    }
+    return out;
+}
+
+/** Fail the benchmark unless every lane stayed in step AND matched
+ * its solo run bit-for-bit. */
+template <typename LaneOutcomes, typename SoloResults>
+bool
+gate(benchmark::State &state, const LaneOutcomes &lanes,
+     const SoloResults &solo)
+{
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        if (!lanes[i].in_step) {
+            state.SkipWithError(
+                "an agreeing lane was peeled instead of shared");
+            return false;
+        }
+        if (lanes[i].result.total_cycles != solo[i].total_cycles ||
+            lanes[i].result.thread_cycles != solo[i].thread_cycles) {
+            state.SkipWithError(
+                "lane-shared and solo cycle counts differ");
+            return false;
+        }
+    }
+    state.counters["lanes_per_sim"] =
+        benchmark::Counter(static_cast<double>(lanes.size()));
+    return true;
+}
+
+void
+BM_CpuLaneGroup(benchmark::State &state)
+{
+    const auto programs = cpuPrograms();
+    if (!gate(state, runCpuLanes(programs), runCpuSolo(programs)))
+        return;
+    std::uint64_t points = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runCpuLanes(programs));
+        points += lane_count;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(points));
+}
+BENCHMARK(BM_CpuLaneGroup);
+
+void
+BM_CpuSoloLanes(benchmark::State &state)
+{
+    const auto programs = cpuPrograms();
+    std::uint64_t points = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runCpuSolo(programs));
+        points += lane_count;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(points));
+}
+BENCHMARK(BM_CpuSoloLanes);
+
+void
+BM_GpuLaneGroup(benchmark::State &state)
+{
+    const auto kernel = gpuKernel();
+    if (!gate(state, runGpuLanes(kernel), runGpuSolo(kernel)))
+        return;
+    std::uint64_t points = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runGpuLanes(kernel));
+        points += lane_count;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(points));
+}
+BENCHMARK(BM_GpuLaneGroup);
+
+void
+BM_GpuSoloLanes(benchmark::State &state)
+{
+    const auto kernel = gpuKernel();
+    std::uint64_t points = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runGpuSolo(kernel));
+        points += lane_count;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(points));
+}
+BENCHMARK(BM_GpuSoloLanes);
+
+} // namespace
+
+BENCHMARK_MAIN();

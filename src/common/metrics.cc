@@ -34,6 +34,10 @@ constexpr CounterInfo counter_info[counter_count] = {
     {"pool_cold_builds", true},
     {"snapshot_loads", true},
     {"snapshot_rejects", true},
+    {"lane_groups", true},
+    {"lane_points", true},
+    {"lane_peels", true},
+    {"lane_singleton_points", true},
     {"pool_tasks_run", false},
     {"pool_tasks_stolen", false},
     {"pool_busy_nanos", false},

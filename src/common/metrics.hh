@@ -51,6 +51,10 @@ enum class Counter : int
     PoolColdBuilds,    ///< decoded images built by a full decode
     SnapshotLoads,     ///< decoded images installed from a disk snapshot
     SnapshotRejects,   ///< snapshot files rejected by validation
+    LaneGroups,        ///< lane groups the campaign planner formed
+    LanePoints,        ///< sweep points routed through the lane planner
+    LanePeels,         ///< lanes peeled to single-lane execution
+    LaneSingletonPoints, ///< planned points left in width-1 groups
 
     // Timing: scheduling/wall-clock dependent, never compared
     // across job counts.

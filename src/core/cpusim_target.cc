@@ -202,6 +202,30 @@ CpuSimTarget::imageKey(
     return digest == 0 ? 1 : digest;
 }
 
+std::uint64_t
+CpuSimTarget::laneKey(const OmpExperiment &exp, int n_threads)
+{
+    SYNCPERF_ASSERT(mcfg_.machine_pool,
+                    "lane keys require the machine-pool decode path");
+    const auto pair =
+        buildPrograms(exp, n_threads, mcfg_.opsPerMeasurement());
+    cpusim::CpuMachine &machine = machineFor(exp.affinity);
+    const auto fingerprint =
+        [&](const std::vector<cpusim::CpuProgram> &programs) {
+            const std::uint64_t dkey = imageKey(programs);
+            if (!machine.hasImage(dkey)) {
+                MachinePool::global().materializeCpu(machine, dkey,
+                                                     programs);
+            }
+            return machine.imageFingerprint(dkey);
+        };
+    ConfigHasher h;
+    h.add(static_cast<int>(exp.affinity))
+        .add(fingerprint(pair.baseline))
+        .add(fingerprint(pair.test));
+    return h.digest();
+}
+
 void
 CpuSimTarget::runOnce(const std::vector<cpusim::CpuProgram> &programs,
                       Affinity affinity, std::vector<double> &out)

@@ -72,6 +72,26 @@ class CpuSimTarget
     const cpusim::CpuConfig &config() const { return cfg_; }
 
     /**
+     * Lane-grouping key for @p exp at @p n_threads: a digest of the
+     * placement policy plus the decoded-image fingerprints of the
+     * baseline/test program pair. Points with equal keys at every
+     * swept team size perform bit-identical measurement walks (the
+     * campaign's lane-lockstep agreement test). As a side effect the
+     * pair's images are materialized on the leased machine, so the
+     * decode doubles as the warm-start path measure() replays.
+     * Requires the machine-pool path (mcfg.machine_pool).
+     */
+    std::uint64_t laneKey(const OmpExperiment &exp, int n_threads);
+
+    /**
+     * The seed the next simulated launch will consume. Lane peeling
+     * hands this to the solo target that takes over a diverged lane,
+     * keeping its jitter stream exactly where a never-grouped run of
+     * that point would be.
+     */
+    std::uint64_t seedCursor() const { return next_seed_; }
+
+    /**
      * Telemetry accumulated by every launch since the last take
      * (all runs/attempts/retries of the measure() calls in between),
      * and reset the accumulator. Empty unless mcfg.telemetry is set.

@@ -201,6 +201,25 @@ GpuSimTarget::imageKey(const gpusim::GpuKernel &kernel) const
     return digest == 0 ? 1 : digest;
 }
 
+std::uint64_t
+GpuSimTarget::laneKey(const CudaExperiment &exp)
+{
+    SYNCPERF_ASSERT(mcfg_.machine_pool,
+                    "lane keys require the machine-pool decode path");
+    const auto pair = buildKernels(exp, mcfg_.opsPerMeasurement());
+    const auto fingerprint = [&](const gpusim::GpuKernel &kernel) {
+        const std::uint64_t dkey = imageKey(kernel);
+        if (!lease_->hasImage(dkey)) {
+            MachinePool::global().materializeGpu(*lease_, dkey,
+                                                 kernel);
+        }
+        return lease_->imageFingerprint(dkey);
+    };
+    ConfigHasher h;
+    h.add(fingerprint(pair.baseline)).add(fingerprint(pair.test));
+    return h.digest();
+}
+
 void
 GpuSimTarget::runOnce(const gpusim::GpuKernel &kernel,
                       gpusim::LaunchConfig launch,

@@ -65,6 +65,26 @@ class GpuSimTarget
 
     const gpusim::GpuConfig &config() const { return cfg_; }
 
+    /**
+     * Lane-grouping key for @p exp: a digest of the decoded-image
+     * fingerprints of the baseline/test kernel pair. Decoding is
+     * launch-geometry independent, so equal keys mean bit-identical
+     * measurement walks at every swept geometry (the campaign's
+     * lane-lockstep agreement test). As a side effect the pair's
+     * images are materialized on the leased machine, so the decode
+     * doubles as the warm-start path measure() replays. Requires the
+     * machine-pool path (mcfg.machine_pool).
+     */
+    std::uint64_t laneKey(const CudaExperiment &exp);
+
+    /**
+     * The seed the next simulated launch will consume. Lane peeling
+     * hands this to the solo target that takes over a diverged lane,
+     * keeping its jitter stream exactly where a never-grouped run of
+     * that point would be.
+     */
+    std::uint64_t seedCursor() const { return next_seed_; }
+
     /** Block counts the paper sweeps for this device. */
     std::vector<int> paperBlockCounts() const;
 

@@ -35,6 +35,7 @@
 #include "common/histogram.hh"
 #include "common/json.hh"
 #include "common/status.hh"
+#include "core/sweep.hh"
 #include "sim/loop_batch.hh"
 #include "sim/stat.hh"
 
@@ -116,11 +117,17 @@ std::filesystem::path telemetryPathFor(
  *        ratio (batched_iters / total_iters) per experiment; pass
  *        nullptr when no measurements ran in this process
  *        (--explain-only) and the section says so instead.
+ * @param lanes Optional per-system lane-grouping summaries keyed by
+ *        system slug (CampaignResult::lanes, the measuring run's
+ *        in-memory side channel). When present, each system section
+ *        reports its grouping ratio (points per group) and peel
+ *        rate; pass nullptr in --explain-only mode.
  */
 Status explainCampaign(
     const std::filesystem::path &dir, std::ostream &out,
     const std::map<std::string, sim::LoopBatchCounters> *loop_batch =
-        nullptr);
+        nullptr,
+    const std::map<std::string, LaneSummary> *lanes = nullptr);
 
 } // namespace syncperf::core
 

@@ -11,6 +11,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "sim/snapshot.hh"
 
 namespace syncperf::cpusim
@@ -869,12 +870,9 @@ CpuMachine::handlerTable(std::size_t &count)
 }
 
 void
-CpuMachine::buildImage(std::uint64_t key,
-                       const std::vector<CpuProgram> &programs)
+CpuMachine::decodeImageInto(const std::vector<CpuProgram> &programs,
+                            DecodedImage &img)
 {
-    SYNCPERF_ASSERT(key != 0, "key 0 means undecoded");
-    auto img = std::make_shared<DecodedImage>();
-    img->key = key;
     // Decode with a fresh interning universe; run() re-derives every
     // piece of this state anyway, so borrowing the members here is
     // safe on any path.
@@ -882,16 +880,133 @@ CpuMachine::buildImage(std::uint64_t key,
     line_index_.clear();
     locks_.clear();
     lock_index_.clear();
-    img->code.resize(programs.size());
+    img.code.resize(programs.size());
     for (std::size_t t = 0; t < programs.size(); ++t) {
-        auto &code = img->code[t];
+        auto &code = img.code[t];
+        code.clear();
         code.reserve(programs[t].body.size());
         for (const CpuOp &op : programs[t].body)
             code.push_back(decodeOp(op));
     }
-    img->n_lines = static_cast<int>(lines_.size());
-    img->n_locks = static_cast<int>(locks_.size());
+    img.n_lines = static_cast<int>(lines_.size());
+    img.n_locks = static_cast<int>(locks_.size());
+    img.fingerprint = fingerprintOf(img);
+}
+
+std::uint64_t
+CpuMachine::fingerprintOf(const DecodedImage &img)
+{
+    // FNV-1a over exactly the words encodeImage() serializes: two
+    // program sets share a fingerprint iff their decoded forms --
+    // what run() actually executes -- are identical.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto fold = [&h](std::uint64_t w) {
+        h = (h ^ w) * 0x100000001b3ULL;
+    };
+    std::size_t n_handlers = 0;
+    const OpHandler *table = handlerTable(n_handlers);
+    fold(img.code.size());
+    fold(static_cast<std::uint64_t>(img.n_lines));
+    fold(static_cast<std::uint64_t>(img.n_locks));
+    for (const auto &code : img.code) {
+        fold(code.size());
+        for (const DecodedOp &op : code) {
+            std::size_t id = 0;
+            while (id < n_handlers && table[id] != op.handler)
+                ++id;
+            SYNCPERF_ASSERT(id < n_handlers,
+                            "decoded handler missing from the rebind "
+                            "table");
+            fold(id);
+            fold(static_cast<std::uint64_t>(op.line + 1));
+            fold(static_cast<std::uint64_t>(op.lock + 1));
+            fold(static_cast<std::uint64_t>(op.alu_cost));
+        }
+    }
+    return h;
+}
+
+void
+CpuMachine::buildImage(std::uint64_t key,
+                       const std::vector<CpuProgram> &programs)
+{
+    SYNCPERF_ASSERT(key != 0, "key 0 means undecoded");
+    auto img = std::make_shared<DecodedImage>();
+    img->key = key;
+    decodeImageInto(programs, *img);
     images_[key] = std::move(img);
+}
+
+std::uint64_t
+CpuMachine::laneFingerprint(const CpuLaneSpec &lane)
+{
+    if (lane.decode_key != 0) {
+        const auto it = images_.find(lane.decode_key);
+        SYNCPERF_ASSERT(it != images_.end(),
+                        "lane with an unmaterialized decode key");
+        return it->second->fingerprint;
+    }
+    DecodedImage scratch;
+    decodeImageInto(*lane.programs, scratch);
+    return scratch.fingerprint;
+}
+
+std::vector<CpuLaneOutcome>
+CpuMachine::runLanes(const std::vector<CpuLaneSpec> &lanes,
+                     int warmup_iterations)
+{
+    SYNCPERF_ASSERT(!lanes.empty());
+    std::vector<CpuLaneOutcome> out(lanes.size());
+    std::vector<std::uint64_t> fp(lanes.size());
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        SYNCPERF_ASSERT(lanes[i].programs != nullptr);
+        fp[i] = laneFingerprint(lanes[i]);
+    }
+
+    // The reference walk: simulated exactly once, its per-lane SoA
+    // outputs (cycle stamps, stat set, loop counters) shared by
+    // every lane proven to be in lockstep with it.
+    const CpuLaneSpec &ref = lanes[0];
+    reseed(ref.seed);
+    out[0].result = run(*ref.programs, warmup_iterations,
+                        ref.decode_key);
+    out[0].stats = stats_;
+    out[0].loop_batch = lb_;
+    out[0].in_step = true;
+
+    const auto same_schedule = [&](const std::vector<CpuProgram> &a) {
+        const std::vector<CpuProgram> &b = *ref.programs;
+        if (a.size() != b.size())
+            return false;
+        for (std::size_t t = 0; t < a.size(); ++t) {
+            if (a[t].iterations != b[t].iterations)
+                return false;
+        }
+        return true;
+    };
+
+    for (std::size_t i = 1; i < lanes.size(); ++i) {
+        // Agreement test: equal decoded image, equal rng seed, equal
+        // iteration schedule => provably the exact event walk the
+        // reference performed, so sharing its outputs is an identity.
+        if (fp[i] == fp[0] && lanes[i].seed == ref.seed &&
+            same_schedule(*lanes[i].programs)) {
+            out[i].result = out[0].result;
+            out[i].stats = out[0].stats;
+            out[i].loop_batch = out[0].loop_batch;
+            out[i].in_step = true;
+            continue;
+        }
+        // Divergence: peel the lane into a single-lane run.
+        metrics::add(metrics::Counter::LanePeels);
+        reseed(lanes[i].seed);
+        out[i].result = run(*lanes[i].programs, warmup_iterations,
+                            lanes[i].decode_key);
+        out[i].stats = stats_;
+        out[i].loop_batch = lb_;
+        out[i].in_step = false;
+    }
+    return out;
 }
 
 void
@@ -1001,6 +1116,10 @@ CpuMachine::installImage(std::uint64_t key,
     }
     if (!cur.done())
         return invalid("trailing payload words");
+    // Recomputed from the decoded content (never trusted from disk),
+    // so an installed image fingerprints identically to the
+    // buildImage() product it serialized.
+    img->fingerprint = fingerprintOf(*img);
     images_[key] = std::move(img);
     return Status::ok();
 }

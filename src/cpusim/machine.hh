@@ -66,6 +66,32 @@ struct CpuRunResult
 };
 
 /**
+ * One lane of a multi-lane lockstep run (CpuMachine::runLanes).
+ * Lane 0 is the reference: every other lane either proves it would
+ * perform the exact walk the reference performs (identical decoded
+ * image, seed, and iteration schedule) and shares that single walk,
+ * or is peeled into its own single-lane run.
+ */
+struct CpuLaneSpec
+{
+    const std::vector<CpuProgram> *programs = nullptr;
+    std::uint64_t seed = 1;       ///< reseed() value for this lane
+    std::uint64_t decode_key = 0; ///< cached-image key (0 = decode)
+};
+
+/** Per-lane outcome of CpuMachine::runLanes(). */
+struct CpuLaneOutcome
+{
+    CpuRunResult result;
+    sim::StatSet stats;
+    sim::LoopBatchCounters loop_batch;
+    /** True when this lane shared the reference lane's walk (its
+     * result/stats are copies of that walk's SoA slot); false when
+     * it was peeled and simulated on its own. */
+    bool in_step = false;
+};
+
+/**
  * The machine. One instance simulates one program launch at a time;
  * run() fully re-initializes, so an instance may be reused for
  * independent launches (reseed() between launches restores the
@@ -106,6 +132,16 @@ class CpuMachine
         int n_lines = 0;    ///< interned cache-line universe size
         int n_locks = 0;    ///< interned lock universe size
         std::vector<std::vector<DecodedOp>> code; ///< one per thread
+
+        /**
+         * Content digest of the decoded form (handler ids, interned
+         * operands, hoisted costs -- everything run() executes, and
+         * nothing it does not, so raw addresses or data types that
+         * decode to the same image share a fingerprint). Equal
+         * fingerprints mean equal walks for equal (seed, iterations,
+         * warmup): the lane-lockstep agreement test.
+         */
+        std::uint64_t fingerprint = 0;
     };
 
     /**
@@ -131,10 +167,33 @@ class CpuMachine
                      int warmup_iterations = 2,
                      std::uint64_t decode_key = 0);
 
+    /**
+     * Execute @p lanes in lockstep. Lane 0 is the reference and is
+     * always simulated; every later lane whose decoded-image
+     * fingerprint, seed, and iteration schedule match the
+     * reference's shares the reference walk -- its outcome slot (the
+     * per-lane SoA state: cycle stamps, stat set, loop counters) is
+     * filled from that single dispatch walk without re-simulating.
+     * A lane that disagrees on any of the three is peeled into an
+     * ordinary single-lane run (counted in lane_peels). Every lane's
+     * outcome is bit-identical to running it alone.
+     */
+    std::vector<CpuLaneOutcome>
+    runLanes(const std::vector<CpuLaneSpec> &lanes,
+             int warmup_iterations = 2);
+
     /** True when an image is cached under @p key. */
     bool hasImage(std::uint64_t key) const
     {
         return images_.find(key) != images_.end();
+    }
+
+    /** Fingerprint of the image cached under @p key (0 if absent). */
+    std::uint64_t
+    imageFingerprint(std::uint64_t key) const
+    {
+        const auto it = images_.find(key);
+        return it == images_.end() ? 0 : it->second->fingerprint;
     }
 
     /** Decode @p programs and cache the image under @p key (!= 0). */
@@ -250,6 +309,16 @@ class CpuMachine
     int internLine(std::uint64_t addr);
     int internLock(int lock_id);
     DecodedOp decodeOp(const CpuOp &op);
+
+    /** Decode @p programs into @p img (fresh interning universe). */
+    void decodeImageInto(const std::vector<CpuProgram> &programs,
+                         DecodedImage &img);
+
+    /** Digest over the decoded arrays (the serialization words). */
+    static std::uint64_t fingerprintOf(const DecodedImage &img);
+
+    /** Fingerprint of one lane's decoded form (cached or fresh). */
+    std::uint64_t laneFingerprint(const CpuLaneSpec &lane);
 
     /** Stable handler order for serialized images (append-only: the
      * on-disk snapshot format indexes into this table). */

@@ -10,6 +10,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "sim/snapshot.hh"
 
 namespace syncperf::gpusim
@@ -625,7 +626,14 @@ GpuMachine::encodeState(Tick base, std::vector<std::uint64_t> &out) const
         out.push_back(maxreg(v));
     for (Tick v : unit_free_)
         out.push_back(maxreg(v));
-    out.push_back(maxreg(mem_bw_free_));
+    // The DRAM queue tail is fire-and-forget: stores push it forward
+    // without waiting, so under a store-heavy body it runs ahead of
+    // the clock without bound and would spoil every boundary
+    // fingerprint. Its value only ever reaches a run result through
+    // a global load (the one reader); when the launched program
+    // contains none, the register is outcome-dead for the rest of
+    // the run and canonicalizes like any dead max-register.
+    out.push_back(lb_mem_bw_live_ ? maxreg(mem_bw_free_) : dead);
 
     // Hash maps in key order: iteration order is not part of the
     // machine state.
@@ -696,18 +704,52 @@ GpuMachine::shiftTimes(Tick delta)
     // the unbatched run; the rng did not advance.
 }
 
+/** FNV-1a over the fingerprint words: cheap reject so a boundary is
+ * compared word-for-word against at most the anchors whose hash
+ * collides (in practice, the one that matches). */
+static std::uint64_t
+fpHash(const std::vector<std::uint64_t> &fp)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint64_t w : fp) {
+        h ^= w;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+GpuMachine::LbAnchor &
+GpuMachine::pushAnchor(Tick done)
+{
+    lb_ring_head_ =
+        (lb_ring_head_ + 1) % static_cast<int>(lb_ring_.size());
+    lb_ring_n_ = std::min<int>(lb_ring_n_ + 1,
+                               static_cast<int>(lb_ring_.size()));
+    LbAnchor &a = lb_ring_[static_cast<std::size_t>(lb_ring_head_)];
+    a.fp.swap(lb_fp_); // recycle the evicted anchor's buffer
+    a.hash = fpHash(a.fp);
+    a.boundary = done;
+    a.rng = rng_.state();
+    const int n = static_cast<int>(warps_.size());
+    a.iters.resize(n);
+    for (int i = 0; i < n; ++i)
+        a.iters[i] = warps_[i].iters_left;
+    stats_.snapshot(a.stats);
+    return a;
+}
+
 Tick
 GpuMachine::maybeBatch(int warp_id, Tick done)
 {
     // A warp this close to its loop exit can never complete the
-    // arm-then-match sequence with k >= 1 (margin 2), so encoding at
-    // its boundaries is pure overhead: its tail single-steps, and
+    // anchor-then-match sequence with k >= 1 (margin 2), so encoding
+    // at its boundaries is pure overhead: its tail single-steps, and
     // the trigger role stays -- or becomes -- vacant for a warp with
     // room to batch (e.g. the next wave of a multi-wave launch).
     if (warps_[warp_id].iters_left < 4) {
         if (warp_id == lb_trigger_) {
             lb_trigger_ = -1;
-            lb_armed_ = false;
+            lb_ring_n_ = 0;
         }
         return 0;
     }
@@ -726,34 +768,50 @@ GpuMachine::maybeBatch(int warp_id, Tick done)
         return 0;
     }
 
-    // Randomness consumed since the last boundary (a system-scope
-    // fence in the body) means the period cannot be replayed; skip
-    // the full encode until it settles.
-    if (lb_armed_ && rng_.state() != lb_prev_rng_) {
+    // Randomness consumed since the newest anchor (a system-scope
+    // fence in the body) makes every stored anchor unmatchable: the
+    // rng word is part of the fingerprint and the stream only ever
+    // advances. Drop them and back off without paying for an encode.
+    if (lb_ring_n_ > 0 &&
+        rng_.state() !=
+            lb_ring_[static_cast<std::size_t>(lb_ring_head_)].rng) {
         ++lb_.fallbacks;
-        lb_prev_rng_ = rng_.state();
-        lb_armed_ = false;
+        lb_ring_n_ = 0;
         lb_skip_ = lb_penalty_;
         lb_penalty_ = std::min<long>(lb_penalty_ * 2, 256);
         return 0;
     }
 
     encodeState(done, lb_fp_);
+    const std::uint64_t hash = fpHash(lb_fp_);
     const int n = static_cast<int>(warps_.size());
-    if (!lb_armed_ || lb_fp_ != lb_prev_fp_) {
-        if (lb_armed_) {
+
+    // Newest-first: contended regimes rotate through their P
+    // contenders before the machine state recurs, so the cycle often
+    // closes against an anchor several boundaries back -- a match at
+    // any distance proves a period just as rigorously as an adjacent
+    // one, because the tick and iteration deltas below are measured
+    // from the matched anchor itself.
+    const LbAnchor *match = nullptr;
+    for (int back = 0; back < lb_ring_n_; ++back) {
+        const int slot =
+            (lb_ring_head_ - back +
+             static_cast<int>(lb_ring_.size()) * 2) %
+            static_cast<int>(lb_ring_.size());
+        const LbAnchor &cand =
+            lb_ring_[static_cast<std::size_t>(slot)];
+        if (cand.hash == hash && cand.fp == lb_fp_) {
+            match = &cand;
+            break;
+        }
+    }
+    if (match == nullptr) {
+        if (lb_ring_n_ > 0) {
             ++lb_.fallbacks;
             lb_skip_ = lb_penalty_;
             lb_penalty_ = std::min<long>(lb_penalty_ * 2, 256);
         }
-        lb_prev_fp_.swap(lb_fp_);
-        lb_prev_boundary_ = done;
-        lb_prev_rng_ = rng_.state();
-        lb_prev_iters_.resize(n);
-        for (int i = 0; i < n; ++i)
-            lb_prev_iters_[i] = warps_[i].iters_left;
-        stats_.snapshot(lb_prev_stats_);
-        lb_armed_ = true;
+        pushAnchor(done);
         return 0;
     }
 
@@ -763,12 +821,12 @@ GpuMachine::maybeBatch(int warp_id, Tick done)
     // counts the just-finished iteration, so a margin of 2 leaves
     // phase transitions -- and the run's final event times -- to
     // ordinary single-stepping.
-    const Tick delta = done - lb_prev_boundary_;
+    const Tick delta = done - match->boundary;
     SYNCPERF_ASSERT(delta > 0, "duplicate trigger boundary tick");
     long k = std::numeric_limits<long>::max();
     std::uint64_t per_period = 0;
     for (int i = 0; i < n; ++i) {
-        const long d = lb_prev_iters_[i] - warps_[i].iters_left;
+        const long d = match->iters[i] - warps_[i].iters_left;
         if (d <= 0)
             continue;
         per_period += static_cast<std::uint64_t>(d);
@@ -787,11 +845,8 @@ GpuMachine::maybeBatch(int warp_id, Tick done)
         ++lb_.fallbacks;
         lb_skip_ = lb_penalty_;
         lb_penalty_ = std::min<long>(lb_penalty_ * 2, 256);
-        // Re-anchor so a later boundary measures a fresh period.
-        lb_prev_boundary_ = done;
-        for (int i = 0; i < n; ++i)
-            lb_prev_iters_[i] = warps_[i].iters_left;
-        stats_.snapshot(lb_prev_stats_);
+        // Anchor afresh so a later boundary measures a short period.
+        pushAnchor(done);
         return 0;
     }
 
@@ -799,21 +854,21 @@ GpuMachine::maybeBatch(int warp_id, Tick done)
     eq_.shiftPending(shift);
     shiftTimes(shift);
     for (int i = 0; i < n; ++i) {
-        const long d = lb_prev_iters_[i] - warps_[i].iters_left;
+        const long d = match->iters[i] - warps_[i].iters_left;
         warps_[i].iters_left -= static_cast<long>(k) * d;
     }
-    stats_.applyPeriods(lb_prev_stats_, static_cast<std::uint64_t>(k));
+    stats_.applyPeriods(match->stats, static_cast<std::uint64_t>(k));
     lb_.batched_iters += static_cast<std::uint64_t>(k) * per_period;
     ++lb_.windows;
     lb_penalty_ = 1; // a jump proves the steady state: retry eagerly
 
-    // The post-jump boundary has the same fingerprint by
-    // construction; re-anchor the snapshot so the next boundary can
-    // batch again without re-proving periodicity from scratch.
-    lb_prev_boundary_ = done + shift;
-    for (int i = 0; i < n; ++i)
-        lb_prev_iters_[i] = warps_[i].iters_left;
-    stats_.snapshot(lb_prev_stats_);
+    // The post-jump boundary has the matched fingerprint by
+    // construction (lb_fp_ still holds it); anchor it so the next
+    // boundary can batch again without re-proving periodicity from
+    // scratch. Older anchors stay valid -- they are other phases of
+    // the same cycle, described by their own historical tick and
+    // iteration counts.
+    pushAnchor(done + shift);
     return shift;
 }
 
@@ -866,7 +921,7 @@ GpuMachine::finishOp(int warp_id, Tick done)
         // state deliberately survives the handoff: the machine's
         // regime did not change with the trigger.
         lb_trigger_ = -1;
-        lb_armed_ = false;
+        lb_ring_n_ = 0;
     }
     advancePhase(warp_id, done);
 }
@@ -1146,6 +1201,14 @@ GpuMachine::run(const GpuKernel &kernel, LaunchConfig launch,
         decodeSequence(kernel.body, dec_body_);
         decodeSequence(kernel.epilogue, dec_epilogue_);
     }
+    const auto has_load = [](const std::vector<DecodedGpuOp> &code) {
+        for (const DecodedGpuOp &op : code)
+            if (op.handler == &GpuMachine::execGlobalLoad)
+                return true;
+        return false;
+    };
+    lb_mem_bw_live_ = has_load(dec_prologue_) || has_load(dec_body_) ||
+                      has_load(dec_epilogue_);
     warps_.clear();
     blocks_.assign(launch.blocks, BlockState{});
     pending_blocks_.clear();
@@ -1167,7 +1230,7 @@ GpuMachine::run(const GpuKernel &kernel, LaunchConfig launch,
     grid_last_arrival_ = 0;
     grid_waiters_.clear();
     lb_trigger_ = -1;
-    lb_armed_ = false;
+    lb_ring_n_ = 0;
     lb_skip_ = 0;
     lb_penalty_ = 1;
     if (lb_pin_ != sim::EventQueue::no_tick)
@@ -1251,15 +1314,127 @@ GpuMachine::handlerTable(std::size_t &count)
 }
 
 void
+GpuMachine::decodeImageInto(const GpuKernel &kernel,
+                            DecodedImage &img) const
+{
+    decodeSequence(kernel.prologue, img.prologue);
+    decodeSequence(kernel.body, img.body);
+    decodeSequence(kernel.epilogue, img.epilogue);
+    img.fingerprint = fingerprintOf(img);
+}
+
+std::uint64_t
+GpuMachine::fingerprintOf(const DecodedImage &img)
+{
+    // FNV-1a over exactly the words encodeImage() serializes: two
+    // kernels share a fingerprint iff their decoded forms -- what
+    // run() actually executes -- are identical.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto fold = [&h](std::uint64_t w) {
+        h = (h ^ w) * 0x100000001b3ULL;
+    };
+    std::size_t n_handlers = 0;
+    const OpHandler *table = handlerTable(n_handlers);
+    const auto fold_seq = [&](const std::vector<DecodedGpuOp> &code) {
+        fold(code.size());
+        for (const DecodedGpuOp &op : code) {
+            std::size_t id = 0;
+            while (id < n_handlers && table[id] != op.handler)
+                ++id;
+            SYNCPERF_ASSERT(id < n_handlers,
+                            "decoded handler missing from the rebind "
+                            "table");
+            fold(id);
+            fold(static_cast<std::uint64_t>(op.repeat));
+            fold(static_cast<std::uint64_t>(op.uops));
+            fold(static_cast<std::uint64_t>(op.stride));
+            fold(static_cast<std::uint64_t>(op.pred));
+            fold(static_cast<std::uint64_t>(op.amode));
+            fold(op.aggregated ? 1 : 0);
+            fold(op.value_returning ? 1 : 0);
+            fold(op.base_addr);
+            fold(op.esize);
+            fold(op.lat);
+            fold(op.addr_ii);
+            fold(op.unit_ii);
+            fold(op.gate_delay);
+        }
+    };
+    fold_seq(img.prologue);
+    fold_seq(img.body);
+    fold_seq(img.epilogue);
+    return h;
+}
+
+void
 GpuMachine::buildImage(std::uint64_t key, const GpuKernel &kernel)
 {
     SYNCPERF_ASSERT(key != 0, "key 0 means undecoded");
     auto img = std::make_shared<DecodedImage>();
     img->key = key;
-    decodeSequence(kernel.prologue, img->prologue);
-    decodeSequence(kernel.body, img->body);
-    decodeSequence(kernel.epilogue, img->epilogue);
+    decodeImageInto(kernel, *img);
     images_[key] = std::move(img);
+}
+
+std::uint64_t
+GpuMachine::laneFingerprint(const GpuLaneSpec &lane) const
+{
+    if (lane.decode_key != 0) {
+        const auto it = images_.find(lane.decode_key);
+        SYNCPERF_ASSERT(it != images_.end(),
+                        "lane with an unmaterialized decode key");
+        return it->second->fingerprint;
+    }
+    DecodedImage scratch;
+    decodeImageInto(*lane.kernel, scratch);
+    return scratch.fingerprint;
+}
+
+std::vector<GpuLaneOutcome>
+GpuMachine::runLanes(const std::vector<GpuLaneSpec> &lanes,
+                     LaunchConfig launch, int warmup_iterations)
+{
+    SYNCPERF_ASSERT(!lanes.empty());
+    std::vector<GpuLaneOutcome> out(lanes.size());
+    std::vector<std::uint64_t> fp(lanes.size());
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        SYNCPERF_ASSERT(lanes[i].kernel != nullptr);
+        fp[i] = laneFingerprint(lanes[i]);
+    }
+
+    // The reference walk: simulated exactly once, its per-lane SoA
+    // outputs (cycle stamps, stat set, loop counters) shared by
+    // every lane proven to be in lockstep with it.
+    const GpuLaneSpec &ref = lanes[0];
+    reseed(ref.seed);
+    out[0].result = run(*ref.kernel, launch, warmup_iterations,
+                        ref.decode_key);
+    out[0].stats = stats_;
+    out[0].loop_batch = lb_;
+    out[0].in_step = true;
+
+    for (std::size_t i = 1; i < lanes.size(); ++i) {
+        // Agreement test: equal decoded image, equal rng seed, equal
+        // timed iteration count => provably the exact event walk the
+        // reference performed, so sharing its outputs is an identity.
+        if (fp[i] == fp[0] && lanes[i].seed == ref.seed &&
+            lanes[i].kernel->body_iters == ref.kernel->body_iters) {
+            out[i].result = out[0].result;
+            out[i].stats = out[0].stats;
+            out[i].loop_batch = out[0].loop_batch;
+            out[i].in_step = true;
+            continue;
+        }
+        // Divergence: peel the lane into a single-lane launch.
+        metrics::add(metrics::Counter::LanePeels);
+        reseed(lanes[i].seed);
+        out[i].result = run(*lanes[i].kernel, launch,
+                            warmup_iterations, lanes[i].decode_key);
+        out[i].stats = stats_;
+        out[i].loop_batch = lb_;
+        out[i].in_step = false;
+    }
+    return out;
 }
 
 void
@@ -1367,6 +1542,10 @@ GpuMachine::installImage(std::uint64_t key,
     }
     if (!cur.done())
         return invalid("trailing payload words");
+    // Recomputed from the decoded content (never trusted from disk),
+    // so an installed image fingerprints identically to the
+    // buildImage() product it serialized.
+    img->fingerprint = fingerprintOf(*img);
     images_[key] = std::move(img);
     return Status::ok();
 }
@@ -1391,9 +1570,11 @@ GpuMachine::cloneFrom(const GpuMachine &tmpl)
     line_free_.reserve(tmpl.line_free_.size());
     sm_line_gate_.reserve(tmpl.sm_line_gate_.size());
     grid_waiters_.reserve(tmpl.grid_waiters_.capacity());
-    lb_prev_fp_.reserve(tmpl.lb_prev_fp_.capacity());
     lb_fp_.reserve(tmpl.lb_fp_.capacity());
-    lb_prev_iters_.reserve(tmpl.lb_prev_iters_.capacity());
+    for (std::size_t i = 0; i < lb_ring_.size(); ++i) {
+        lb_ring_[i].fp.reserve(tmpl.lb_ring_[i].fp.capacity());
+        lb_ring_[i].iters.reserve(tmpl.lb_ring_[i].iters.capacity());
+    }
 }
 
 } // namespace syncperf::gpusim

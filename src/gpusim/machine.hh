@@ -40,6 +40,7 @@
 #ifndef SYNCPERF_GPUSIM_MACHINE_HH
 #define SYNCPERF_GPUSIM_MACHINE_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -68,6 +69,32 @@ struct GpuRunResult
 
     /** Tick at which the last block finished (kernel runtime). */
     sim::Tick total_cycles = 0;
+};
+
+/**
+ * One lane of a multi-lane lockstep launch (GpuMachine::runLanes).
+ * Lane 0 is the reference: every other lane either proves it would
+ * perform the exact walk the reference performs (identical decoded
+ * image, seed, geometry, and iteration count) and shares that single
+ * walk, or is peeled into its own single-lane launch.
+ */
+struct GpuLaneSpec
+{
+    const GpuKernel *kernel = nullptr;
+    std::uint64_t seed = 1;       ///< reseed() value for this lane
+    std::uint64_t decode_key = 0; ///< cached-image key (0 = decode)
+};
+
+/** Per-lane outcome of GpuMachine::runLanes(). */
+struct GpuLaneOutcome
+{
+    GpuRunResult result;
+    sim::StatSet stats;
+    sim::LoopBatchCounters loop_batch;
+    /** True when this lane shared the reference lane's walk (its
+     * result/stats are copies of that walk's SoA slot); false when
+     * it was peeled and simulated on its own. */
+    bool in_step = false;
 };
 
 /**
@@ -118,6 +145,16 @@ class GpuMachine
         std::vector<DecodedGpuOp> prologue;
         std::vector<DecodedGpuOp> body;
         std::vector<DecodedGpuOp> epilogue;
+
+        /**
+         * Content digest of the decoded form (handler ids, operands,
+         * hoisted costs -- everything run() executes, and nothing it
+         * does not, so kernels whose raw data types decode to the
+         * same costs share a fingerprint). Equal fingerprints mean
+         * equal walks for equal (seed, geometry, body_iters,
+         * warmup): the lane-lockstep agreement test.
+         */
+        std::uint64_t fingerprint = 0;
     };
 
     /**
@@ -143,10 +180,33 @@ class GpuMachine
                      int warmup_iterations = 2,
                      std::uint64_t decode_key = 0);
 
+    /**
+     * Launch @p lanes in lockstep with geometry @p launch. Lane 0 is
+     * the reference and is always simulated; every later lane whose
+     * decoded-image fingerprint, seed, and body_iters match the
+     * reference's shares the reference walk -- its outcome slot (the
+     * per-lane SoA state: cycle stamps, stat set, loop counters) is
+     * filled from that single dispatch walk without re-simulating.
+     * A lane that disagrees is peeled into an ordinary single-lane
+     * launch (counted in lane_peels). Every lane's outcome is
+     * bit-identical to launching it alone.
+     */
+    std::vector<GpuLaneOutcome>
+    runLanes(const std::vector<GpuLaneSpec> &lanes, LaunchConfig launch,
+             int warmup_iterations = 2);
+
     /** Whether a decoded image for @p key is installed. */
     bool hasImage(std::uint64_t key) const
     {
         return images_.find(key) != images_.end();
+    }
+
+    /** Fingerprint of the image cached under @p key (0 if absent). */
+    std::uint64_t
+    imageFingerprint(std::uint64_t key) const
+    {
+        const auto it = images_.find(key);
+        return it == images_.end() ? 0 : it->second->fingerprint;
     }
 
     /**
@@ -288,6 +348,15 @@ class GpuMachine
     void decodeSequence(const std::vector<GpuOp> &ops,
                         std::vector<DecodedGpuOp> &out) const;
 
+    /** Decode @p kernel into @p img (exactly as a key-0 run would). */
+    void decodeImageInto(const GpuKernel &kernel, DecodedImage &img) const;
+
+    /** Digest over the decoded sequences (the serialization words). */
+    static std::uint64_t fingerprintOf(const DecodedImage &img);
+
+    /** Fingerprint of one lane's decoded form (cached or fresh). */
+    std::uint64_t laneFingerprint(const GpuLaneSpec &lane) const;
+
     /**
      * The stable handler-id table for image serialization: index i
      * is the wire id of handler table[i]. Append-only -- reordering
@@ -404,19 +473,42 @@ class GpuMachine
     /** Sticky horizon pin re-applied to the queue by every run(). */
     Tick lb_pin_ = sim::EventQueue::no_tick;
     int lb_trigger_ = -1;
-    bool lb_armed_ = false;        ///< lb_prev_* describe a boundary
+    /** Whether the launched program can read mem_bw_free_ (it holds
+     * a global load): if not, the register is outcome-dead and the
+     * boundary fingerprint canonicalizes it (see encodeState). */
+    bool lb_mem_bw_live_ = true;
     long lb_skip_ = 0;             ///< boundaries left before retrying
     long lb_penalty_ = 1;          ///< next backoff length (doubles)
-    Tick lb_prev_boundary_ = 0;
-    std::uint64_t lb_prev_rng_ = 0;
-    std::vector<std::uint64_t> lb_prev_fp_;
+
+    /** One fully-encoded timed boundary the matcher can prove a
+     * period against: a later boundary whose fingerprint equals an
+     * anchor's closed a cycle, however many boundaries apart they are
+     * (distances are measured in ticks and per-warp iterations, not
+     * anchor slots, so backoff gaps between anchors cost nothing). */
+    struct LbAnchor
+    {
+        std::uint64_t hash = 0;   ///< fast reject before comparing fp
+        std::vector<std::uint64_t> fp;
+        Tick boundary = 0;
+        std::uint64_t rng = 0;
+        std::vector<long> iters;  ///< per-warp iters_left at boundary
+        sim::StatSnapshot stats;
+    };
+    /** Record the boundary at @p done (fingerprint in lb_fp_, which
+     * is recycled) as the newest anchor, evicting the oldest. */
+    LbAnchor &pushAnchor(Tick done);
+    /** Ring of the most recent anchors, newest at lb_ring_head_.
+     * One anchor degenerates to adjacent-boundary matching; several
+     * let contended regimes that rotate through P contenders -- and
+     * so only recur every P boundaries -- still close their cycle. */
+    std::array<LbAnchor, 8> lb_ring_;
+    int lb_ring_head_ = 0;         ///< slot of the newest anchor
+    int lb_ring_n_ = 0;            ///< valid anchors (0 = disarmed)
     std::vector<std::uint64_t> lb_fp_;  ///< scratch for the current fp
-    std::vector<long> lb_prev_iters_;
     mutable std::vector<std::uint64_t> lb_map_scratch_;
     /** Per-warp next-event ticks: liveness floors for warp-local
      * stamps (scratch for encodeState). */
     mutable std::vector<Tick> lb_warp_floor_;
-    sim::StatSnapshot lb_prev_stats_;
     sim::LoopBatchCounters lb_;
 };
 

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Identity tests for lane-batched execution: a multi-lane run must
+ * hand every in-step lane outputs bit-identical to the solo run a
+ * fresh machine would produce, and must peel -- never share -- any
+ * lane whose decoded image, seed, or iteration schedule diverges
+ * from the reference (docs/performance.md, "Lane-batched sweeps").
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/metrics.hh"
+#include "cpusim/machine.hh"
+#include "gpusim/machine.hh"
+
+namespace syncperf
+{
+namespace
+{
+
+// ------------------------------------------------------------- CPU
+
+cpusim::CpuOp
+op(cpusim::CpuOpKind kind, std::uint64_t addr = 0,
+   DataType dtype = DataType::Int32, int lock_id = 0)
+{
+    cpusim::CpuOp o;
+    o.kind = kind;
+    o.addr = addr;
+    o.dtype = dtype;
+    o.lock_id = lock_id;
+    return o;
+}
+
+std::vector<cpusim::CpuProgram>
+cpuPrograms(std::vector<cpusim::CpuOp> body, int n_threads,
+            long iterations)
+{
+    cpusim::CpuProgram p;
+    p.body = std::move(body);
+    p.iterations = iterations;
+    return std::vector<cpusim::CpuProgram>(
+        static_cast<std::size_t>(n_threads), p);
+}
+
+cpusim::CpuLaneOutcome
+cpuSolo(const std::vector<cpusim::CpuProgram> &programs,
+        std::uint64_t seed)
+{
+    cpusim::CpuMachine m(cpusim::CpuConfig{}, Affinity::Close, seed);
+    cpusim::CpuLaneOutcome out;
+    out.result = m.run(programs, /*warmup_iterations=*/2);
+    out.stats = m.stats();
+    return out;
+}
+
+void
+expectCpuMatchesSolo(const cpusim::CpuLaneOutcome &lane,
+                     const std::vector<cpusim::CpuProgram> &programs,
+                     std::uint64_t seed)
+{
+    const auto solo = cpuSolo(programs, seed);
+    EXPECT_EQ(lane.result.total_cycles, solo.result.total_cycles);
+    EXPECT_EQ(lane.result.thread_cycles, solo.result.thread_cycles);
+    EXPECT_EQ(lane.stats.all(), solo.stats.all());
+}
+
+TEST(CpuLaneExec, InStepLanesShareTheReferenceWalkBitIdentically)
+{
+    const auto programs =
+        cpuPrograms({op(cpusim::CpuOpKind::AtomicRmw, 0x1000)}, 4, 60);
+    cpusim::CpuMachine m(cpusim::CpuConfig{}, Affinity::Close, 1);
+    const std::vector<cpusim::CpuLaneSpec> lanes(
+        3, cpusim::CpuLaneSpec{&programs, 7, 0});
+    const auto out = m.runLanes(lanes);
+    ASSERT_EQ(out.size(), 3u);
+    for (const auto &lane : out) {
+        EXPECT_TRUE(lane.in_step);
+        expectCpuMatchesSolo(lane, programs, 7);
+    }
+    // Sharing is literal: identical stat sets, not just cycles.
+    EXPECT_EQ(out[1].stats.all(), out[0].stats.all());
+    EXPECT_EQ(out[2].result.thread_cycles,
+              out[0].result.thread_cycles);
+}
+
+TEST(CpuLaneExec, DivergentSeedPeelsToSoloRun)
+{
+    const auto programs =
+        cpuPrograms({op(cpusim::CpuOpKind::Alu)}, 4, 50);
+    cpusim::CpuMachine m(cpusim::CpuConfig{}, Affinity::Close, 1);
+    const long long peels_before =
+        metrics::value(metrics::Counter::LanePeels);
+    const auto out = m.runLanes({{&programs, 3, 0}, {&programs, 4, 0}});
+    EXPECT_TRUE(out[0].in_step);
+    EXPECT_FALSE(out[1].in_step);
+    EXPECT_EQ(metrics::value(metrics::Counter::LanePeels),
+              peels_before + 1);
+    expectCpuMatchesSolo(out[0], programs, 3);
+    expectCpuMatchesSolo(out[1], programs, 4);
+}
+
+TEST(CpuLaneExec, DivergentIterationSchedulePeels)
+{
+    const auto a = cpuPrograms({op(cpusim::CpuOpKind::Alu)}, 4, 50);
+    const auto b = cpuPrograms({op(cpusim::CpuOpKind::Alu)}, 4, 70);
+    cpusim::CpuMachine m(cpusim::CpuConfig{}, Affinity::Close, 1);
+    const auto out = m.runLanes({{&a, 5, 0}, {&b, 5, 0}});
+    EXPECT_TRUE(out[0].in_step);
+    EXPECT_FALSE(out[1].in_step);
+    expectCpuMatchesSolo(out[1], b, 5);
+}
+
+TEST(CpuLaneExec, DivergentProgramShapePeels)
+{
+    // Different handler sequences decode to different images, so the
+    // fingerprints disagree even at equal length and iterations.
+    const auto a =
+        cpuPrograms({op(cpusim::CpuOpKind::AtomicRmw, 0x1000)}, 4, 50);
+    const auto b =
+        cpuPrograms({op(cpusim::CpuOpKind::Load, 0x1000)}, 4, 50);
+    cpusim::CpuMachine m(cpusim::CpuConfig{}, Affinity::Close, 1);
+    const auto out = m.runLanes({{&a, 5, 0}, {&b, 5, 0}});
+    EXPECT_FALSE(out[1].in_step);
+    expectCpuMatchesSolo(out[0], a, 5);
+    expectCpuMatchesSolo(out[1], b, 5);
+}
+
+TEST(CpuLaneExec, DtypeMergedProgramsStayInStep)
+{
+    // The decode-collapse economics the planner exploits: int and
+    // unsigned-long-long atomic updates decode to the same handler
+    // stream, so their lanes agree and share one walk.
+    const auto a = cpuPrograms(
+        {op(cpusim::CpuOpKind::AtomicRmw, 0x1000, DataType::Int32)}, 4,
+        50);
+    const auto b = cpuPrograms(
+        {op(cpusim::CpuOpKind::AtomicRmw, 0x1000, DataType::UInt64)},
+        4, 50);
+    cpusim::CpuMachine m(cpusim::CpuConfig{}, Affinity::Close, 1);
+    const auto out = m.runLanes({{&a, 5, 0}, {&b, 5, 0}});
+    EXPECT_TRUE(out[1].in_step);
+    expectCpuMatchesSolo(out[1], b, 5);
+}
+
+// ------------------------------------------------------------- GPU
+
+gpusim::GpuKernel
+bodyKernel(std::vector<gpusim::GpuOp> body, long iters = 40)
+{
+    gpusim::GpuKernel k;
+    k.body = std::move(body);
+    k.body_iters = iters;
+    return k;
+}
+
+gpusim::GpuConfig
+testGpu()
+{
+    gpusim::GpuConfig c = gpusim::GpuConfig::rtx4090();
+    c.name = "test gpu";
+    return c;
+}
+
+constexpr gpusim::LaunchConfig launch{2, 64};
+
+gpusim::GpuLaneOutcome
+gpuSolo(const gpusim::GpuKernel &kernel, std::uint64_t seed)
+{
+    gpusim::GpuMachine m(testGpu(), seed);
+    gpusim::GpuLaneOutcome out;
+    out.result = m.run(kernel, launch, /*warmup_iterations=*/2);
+    out.stats = m.stats();
+    return out;
+}
+
+void
+expectGpuMatchesSolo(const gpusim::GpuLaneOutcome &lane,
+                     const gpusim::GpuKernel &kernel,
+                     std::uint64_t seed)
+{
+    const auto solo = gpuSolo(kernel, seed);
+    EXPECT_EQ(lane.result.total_cycles, solo.result.total_cycles);
+    EXPECT_EQ(lane.result.thread_cycles, solo.result.thread_cycles);
+    EXPECT_EQ(lane.stats.all(), solo.stats.all());
+}
+
+TEST(GpuLaneExec, InStepLanesShareTheReferenceWalkBitIdentically)
+{
+    const auto k = bodyKernel({gpusim::GpuOp::syncThreads()});
+    gpusim::GpuMachine m(testGpu(), 1);
+    const std::vector<gpusim::GpuLaneSpec> lanes(
+        3, gpusim::GpuLaneSpec{&k, 9, 0});
+    const auto out = m.runLanes(lanes, launch);
+    ASSERT_EQ(out.size(), 3u);
+    for (const auto &lane : out) {
+        EXPECT_TRUE(lane.in_step);
+        expectGpuMatchesSolo(lane, k, 9);
+    }
+    EXPECT_EQ(out[2].stats.all(), out[0].stats.all());
+}
+
+TEST(GpuLaneExec, DivergentSeedPeelsToSoloLaunch)
+{
+    const auto k = bodyKernel({gpusim::GpuOp::syncWarp()});
+    gpusim::GpuMachine m(testGpu(), 1);
+    const long long peels_before =
+        metrics::value(metrics::Counter::LanePeels);
+    const auto out = m.runLanes({{&k, 3, 0}, {&k, 4, 0}}, launch);
+    EXPECT_TRUE(out[0].in_step);
+    EXPECT_FALSE(out[1].in_step);
+    EXPECT_EQ(metrics::value(metrics::Counter::LanePeels),
+              peels_before + 1);
+    expectGpuMatchesSolo(out[0], k, 3);
+    expectGpuMatchesSolo(out[1], k, 4);
+}
+
+TEST(GpuLaneExec, DivergentBodyItersPeels)
+{
+    const auto a = bodyKernel({gpusim::GpuOp::syncWarp()}, 40);
+    const auto b = bodyKernel({gpusim::GpuOp::syncWarp()}, 60);
+    gpusim::GpuMachine m(testGpu(), 1);
+    const auto out = m.runLanes({{&a, 5, 0}, {&b, 5, 0}}, launch);
+    EXPECT_FALSE(out[1].in_step);
+    expectGpuMatchesSolo(out[1], b, 5);
+}
+
+TEST(GpuLaneExec, DtypeMergedShflKernelsStayInStep)
+{
+    // shfl decodes identically for same-width element types, the GPU
+    // half of the planner's decode-collapse economics.
+    const auto a = bodyKernel({gpusim::GpuOp::shfl(DataType::Int32)});
+    const auto b = bodyKernel({gpusim::GpuOp::shfl(DataType::Float32)});
+    gpusim::GpuMachine m(testGpu(), 1);
+    const auto out = m.runLanes({{&a, 5, 0}, {&b, 5, 0}}, launch);
+    EXPECT_TRUE(out[1].in_step);
+    expectGpuMatchesSolo(out[1], b, 5);
+}
+
+TEST(GpuLaneExec, DivergentKernelShapePeels)
+{
+    const auto a = bodyKernel({gpusim::GpuOp::syncThreads()});
+    const auto b = bodyKernel({gpusim::GpuOp::vote()});
+    gpusim::GpuMachine m(testGpu(), 1);
+    const auto out = m.runLanes({{&a, 5, 0}, {&b, 5, 0}}, launch);
+    EXPECT_FALSE(out[1].in_step);
+    expectGpuMatchesSolo(out[0], a, 5);
+    expectGpuMatchesSolo(out[1], b, 5);
+}
+
+} // namespace
+} // namespace syncperf
