@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -35,12 +36,15 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/flight_recorder.hh"
 #include "common/json.hh"
 #include "common/metrics.hh"
 #include "common/thread_pool.hh"
@@ -49,6 +53,7 @@
 #include "core/machine_pool.hh"
 #include "core/manifest.hh"
 #include "core/metrics.hh"
+#include "core/run_status.hh"
 #include "core/shard.hh"
 #include "core/telemetry.hh"
 #include "sim/fault_injector.hh"
@@ -321,6 +326,46 @@ writeShardReport(const fs::path &file, int shards,
     return Status::ok();
 }
 
+/**
+ * Fold one shard worker's debounced metrics snapshot into the live
+ * status sums. Best-effort: a missing, mid-rename, or torn file is
+ * skipped and the next tick re-reads it -- the dashboard tolerates
+ * data one debounce interval stale.
+ */
+void
+accumulateShardStatus(const fs::path &file, RunStatus &st)
+{
+    std::ifstream in(file);
+    if (!in)
+        return;
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto doc = parseJson(text.str());
+    if (!doc.isOk())
+        return;
+    const JsonValue *counters = doc.value().find("counters");
+    const JsonValue *timing = doc.value().find("timing");
+    if (counters == nullptr || timing == nullptr)
+        return;
+    const auto count = [&](const char *name) {
+        return static_cast<long long>(counters->numberOr(name, 0));
+    };
+    st.sim_cache_hits += count("sim_cache_hits");
+    st.sim_cache_misses += count("sim_cache_misses");
+    st.pool_clones += count("pool_clones");
+    st.pool_cold_builds += count("pool_cold_builds");
+    st.lane_points += count("lane_points");
+    st.lane_singleton_points += count("lane_singleton_points");
+    st.loop_batch_windows += count("loop_batch_windows");
+    st.loop_batch_fallbacks += count("loop_batch_fallbacks");
+    st.pool_tasks_run += static_cast<long long>(
+        timing->numberOr("pool_tasks_run", 0));
+    st.pool_tasks_stolen += static_cast<long long>(
+        timing->numberOr("pool_tasks_stolen", 0));
+    st.pool_busy_s += timing->numberOr("pool_busy_s", 0);
+    st.pool_idle_s += timing->numberOr("pool_idle_s", 0);
+}
+
 } // namespace
 
 int
@@ -338,6 +383,10 @@ main(int argc, char **argv)
     std::string shard_extra_file;
     std::string trace_file;
     std::string metrics_file;
+    std::string status_file;
+    double status_interval = 1.0;
+    bool progress = false;
+    bool trace_shard = false;
     std::string only_raw, cov_gate_raw;
     std::string snapshot_dir;
     bool machine_pool_on = true;
@@ -412,6 +461,25 @@ main(int argc, char **argv)
             metrics_file = argv[++i];
         } else if (std::strcmp(argv[i], "--metrics-summary") == 0) {
             metrics_summary = true;
+        } else if (std::strcmp(argv[i], "--status") == 0 &&
+                   i + 1 < argc) {
+            status_file = argv[++i];
+        } else if (std::strcmp(argv[i], "--status-interval") == 0 &&
+                   i + 1 < argc) {
+            status_interval = std::atof(argv[++i]);
+            if (status_interval <= 0) {
+                std::fprintf(stderr,
+                             "%s: --status-interval wants seconds "
+                             "> 0\n",
+                             argv[0]);
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--progress") == 0) {
+            progress = true;
+        } else if (std::strcmp(argv[i], "--trace-shard") == 0) {
+            // Internal: a supervisor passes this to its workers so
+            // each exports trace.shard-<k>.json for stitching.
+            trace_shard = true;
         } else if (std::strcmp(argv[i], "--cov-gate") == 0 &&
                    i + 1 < argc) {
             cov_gate_raw = argv[++i];
@@ -470,7 +538,8 @@ main(int argc, char **argv)
                 "[--snapshot-dir DIR] "
                 "[--telemetry] [--explain] "
                 "[--explain-only] [--trace FILE] [--metrics FILE] "
-                "[--metrics-summary]\n"
+                "[--metrics-summary] [--status FILE] "
+                "[--status-interval SECS] [--progress]\n"
                 "  --jobs N   concurrent experiments (default: all "
                 "hardware threads; 1 = serial).\n"
                 "             Output is byte-identical at every job "
@@ -535,6 +604,18 @@ main(int argc, char **argv)
                 "(see docs/observability.md).\n"
                 "  --metrics-summary  print the counter table at "
                 "campaign end.\n"
+                "  --status FILE    rewrite a live status.json "
+                "(schema syncperf-status-v1) on a\n"
+                "             debounce timer: points done/total, "
+                "experiments/s, ETA, per-shard\n"
+                "             liveness, engagement ratios. A "
+                "sharded run writes it by default\n"
+                "             under <out>/.shards/ (see "
+                "docs/observability.md, \"Live run status\").\n"
+                "  --status-interval SECS  status debounce interval "
+                "(default 1).\n"
+                "  --progress   print a one-line status summary to "
+                "stderr at each status write.\n"
                 "  --telemetry  write one <experiment>.telemetry.json "
                 "per CSV with the probe\n"
                 "             counters/histograms that explain the "
@@ -560,6 +641,8 @@ main(int argc, char **argv)
                    std::strcmp(argv[i], "--only") == 0 ||
                    std::strcmp(argv[i], "--trace") == 0 ||
                    std::strcmp(argv[i], "--metrics") == 0 ||
+                   std::strcmp(argv[i], "--status") == 0 ||
+                   std::strcmp(argv[i], "--status-interval") == 0 ||
                    std::strcmp(argv[i], "--snapshot-dir") == 0 ||
                    std::strcmp(argv[i], "--lanes") == 0 ||
                    std::strcmp(argv[i], "--cov-gate") == 0) {
@@ -612,14 +695,53 @@ main(int argc, char **argv)
                     options.shard_extra.push_back(line);
             }
         }
-        const fs::path hb = shardHeartbeatPath(
-            fs::path(options.output_dir) / ".shards",
-            options.shard_index);
+        const fs::path control =
+            fs::path(options.output_dir) / ".shards";
+        const fs::path hb =
+            shardHeartbeatPath(control, options.shard_index);
         std::error_code ec;
         fs::create_directories(hb.parent_path(), ec);
-        options.heartbeat = [hb](const std::string &note) {
+
+        // The crash flight recorder: a file-backed ring the
+        // supervisor renders into postmortem.shard-<k>.json when
+        // this process dies (the mapping survives SIGKILL via the
+        // page cache). Arm it before any measuring.
+        flight::Options fopts;
+        fopts.file = shardFlightRecorderPath(control,
+                                             options.shard_index);
+        fopts.label = "shard-" + std::to_string(options.shard_index);
+        if (auto s = flight::open(fopts); !s.isOk()) {
+            std::fprintf(stderr, "%s: flight recorder: %s\n",
+                         argv[0], s.toString().c_str());
+        } else {
+            flight::installCrashHandlers();
+        }
+
+        // Each heartbeat also refreshes this worker's metrics
+        // snapshot (debounced to ~1 s), so the supervisor's live
+        // status and a crashed worker's last counters are always on
+        // disk.
+        const fs::path shard_metrics =
+            shardMetricsPath(control, options.shard_index);
+        auto last_snapshot = std::make_shared<
+            std::chrono::steady_clock::time_point>(
+            std::chrono::steady_clock::now());
+        options.heartbeat = [hb, shard_metrics,
+                             last_snapshot](const std::string &note) {
             shardHeartbeat(hb, note);
+            const auto now = std::chrono::steady_clock::now();
+            if (now - *last_snapshot >= std::chrono::seconds(1)) {
+                *last_snapshot = now;
+                (void)core::CampaignMetrics::global().writeSnapshot(
+                    shard_metrics);
+            }
         };
+
+        if (trace_shard) {
+            trace_file =
+                shardTracePath(control, options.shard_index)
+                    .string();
+        }
         sim::FaultInjector::KillShardSpec kill_spec;
         if (sim::FaultInjector::killShardSpecFromEnv(kill_spec) &&
             kill_spec.shard == options.shard_index) {
@@ -629,7 +751,16 @@ main(int argc, char **argv)
     }
 
     if (!trace_file.empty()) {
-        if (auto s = trace::start(trace_file); !s.isOk()) {
+        // Label the session in sharded runs so every stitched pid
+        // track carries a process name.
+        std::string trace_label;
+        if (shard_worker)
+            trace_label =
+                "shard-" + std::to_string(options.shard_index);
+        else if (shards > 1)
+            trace_label = "supervisor";
+        if (auto s = trace::start(trace_file, trace_label);
+            !s.isOk()) {
             std::fprintf(stderr, "%s: %s\n", argv[0],
                          s.toString().c_str());
             return 2;
@@ -661,6 +792,55 @@ main(int argc, char **argv)
             if (systemSelected(only, sanitizeName(gpu.name)))
                 gpus.push_back(gpu);
         }
+    }
+
+    // Live run-status surface: always on under a supervisor
+    // (default <out>/.shards/status.json, so the result tree stays
+    // byte-identical to a serial run's), opt-in elsewhere via
+    // --status/--progress. Shard workers never write it -- the
+    // supervisor owns the campaign-wide view.
+    std::optional<RunStatusReporter> reporter;
+    if (!shard_worker && !explain_only &&
+        (shards > 1 || !status_file.empty() || progress)) {
+        const fs::path status_path =
+            !status_file.empty()
+                ? fs::path(status_file)
+                : fs::path(options.output_dir) / ".shards" /
+                      "status.json";
+        std::error_code ec;
+        fs::create_directories(status_path.parent_path(), ec);
+        reporter.emplace(status_path, status_interval, progress);
+    }
+
+    long long status_total = 0;
+    if (reporter && shards <= 1) {
+        // Enumerate the sweep up front (no measuring) so done/total
+        // and the ETA mean something from the first tick, then hook
+        // the debounced write into the ordered-commit heartbeat.
+        CampaignOptions enum_options = options;
+        enum_options.enumerate_only = true;
+        for (const auto &cpu : cpus)
+            status_total += static_cast<long long>(
+                runOmpCampaign(cpu, omp_protocol, enum_options)
+                    .points.size());
+        for (const auto &gpu : gpus)
+            status_total += static_cast<long long>(
+                runCudaCampaign(gpu, cuda_protocol, enum_options)
+                    .points.size());
+        options.heartbeat = [&reporter,
+                             status_total](const std::string &) {
+            if (!reporter->due())
+                return;
+            using metrics::Counter;
+            RunStatus st;
+            st.points_total = status_total;
+            st.points_done =
+                metrics::value(Counter::PointsCommitted) +
+                metrics::value(Counter::PointsFailed) +
+                metrics::value(Counter::PointsSkipped);
+            st.fillCountersFromRegistry();
+            reporter->tick(st);
+        };
     }
 
     Totals totals;
@@ -710,6 +890,7 @@ main(int argc, char **argv)
                 ++total_points;
             }
         }
+        status_total = static_cast<long long>(total_points);
 
         // The worker command: this binary, this configuration, plus
         // --resume so respawns skip whatever is already journaled.
@@ -746,6 +927,8 @@ main(int argc, char **argv)
         }
         if (omp_protocol.telemetry)
             worker_argv.push_back("--telemetry");
+        if (!trace_file.empty())
+            worker_argv.push_back("--trace-shard");
         if (!only_raw.empty()) {
             worker_argv.push_back("--only");
             worker_argv.push_back(only_raw);
@@ -759,13 +942,16 @@ main(int argc, char **argv)
         worker_argv.push_back("--jobs");
         worker_argv.push_back(std::to_string(worker_jobs));
 
+        const fs::path control_dir =
+            fs::path(options.output_dir) / ".shards";
         ShardSupervisor::Config config;
         config.options = shard_options;
         config.worker_argv = std::move(worker_argv);
-        config.control_dir = fs::path(options.output_dir) / ".shards";
+        config.control_dir = control_dir;
         config.assignment = std::move(assignment);
         config.cancelled = [] { return g_signal != 0; };
-        config.recordedKeys = [&plans, &canonical_hash, shards]() {
+        const auto recorded_keys = [&plans, &canonical_hash,
+                                    shards]() {
             std::vector<std::string> keys;
             for (const SystemPlan &plan : plans) {
                 const auto consider = [&](const ManifestEntry &e,
@@ -801,6 +987,31 @@ main(int argc, char **argv)
             }
             return keys;
         };
+        config.recordedKeys = recorded_keys;
+        config.status_tick =
+            [&reporter, &recorded_keys, control_dir, total_points,
+             shards](const std::vector<ShardLiveStatus> &live) {
+                if (!reporter || !reporter->due())
+                    return;
+                RunStatus st;
+                st.points_total =
+                    static_cast<long long>(total_points);
+                st.points_done = static_cast<long long>(
+                    recorded_keys().size());
+                for (const ShardLiveStatus &w : live) {
+                    RunStatusShard s;
+                    s.shard = w.index;
+                    s.heartbeat_age_s = w.heartbeat_age_s;
+                    s.respawns = w.retries;
+                    s.running = w.running;
+                    s.dead = w.dead;
+                    st.shards.push_back(s);
+                }
+                for (int k = 0; k < shards; ++k)
+                    accumulateShardStatus(
+                        shardMetricsPath(control_dir, k), st);
+                reporter->tick(st);
+            };
 
         std::printf("sharded campaign: %zu points across %d worker "
                     "processes...\n",
@@ -879,11 +1090,27 @@ main(int argc, char **argv)
         totals.skipped = static_cast<int>(total_points) - files - failed;
         if (totals.skipped < 0)
             totals.skipped = 0;
-        metrics::add(metrics::Counter::PointsCommitted, files);
-        metrics::add(metrics::Counter::PointsFailed, failed);
-        if (totals.skipped > 0)
-            metrics::add(metrics::Counter::PointsSkipped,
-                         totals.skipped);
+
+        // Merge the workers' final metrics snapshots into this
+        // registry: on a clean run the deterministic counters sum
+        // to exactly a serial run's values, and the snapshot's
+        // supervisor/shards rows partition the totals
+        // (check_metrics.py gates both). A shard that died between
+        // snapshot writes contributes its last debounced state, so
+        // degraded runs merge approximately -- the caveat is
+        // documented in docs/observability.md.
+        for (int k = 0; k < shards; ++k) {
+            const fs::path mf = shardMetricsPath(control_dir, k);
+            std::error_code mec;
+            if (!fs::exists(mf, mec))
+                continue;
+            if (auto s = core::CampaignMetrics::global()
+                             .foldShardSnapshot(k, mf);
+                !s.isOk()) {
+                std::fprintf(stderr, "%s: %s\n", argv[0],
+                             s.toString().c_str());
+            }
+        }
 
         if (!shard_report_file.empty()) {
             if (auto s = writeShardReport(
@@ -899,14 +1126,10 @@ main(int argc, char **argv)
                     shard_outcome->spawned, shard_outcome->retries,
                     shard_outcome->timeouts, shard_outcome->dead,
                     shard_outcome->points_reassigned);
-        // Worker logs and heartbeats are debugging artifacts; keep
-        // them only when something went wrong.
-        if (shard_outcome->dead == 0 && totals.failures.empty() &&
-            !shard_outcome->interrupted) {
-            std::error_code ec;
-            fs::remove_all(fs::path(options.output_dir) / ".shards",
-                           ec);
-        }
+        // The .shards control directory (worker logs, shard traces
+        // and metrics, postmortems, status.json) is cleaned at the
+        // very end of main, after trace stitching and the final
+        // status write -- and only when nothing went wrong.
     } else if (!explain_only) {
         // -------------------------------- in-process (serial) mode
         // Scoped so the campaign-level span closes before the trace
@@ -934,11 +1157,41 @@ main(int argc, char **argv)
         if (auto s = trace::stop(); !s.isOk()) {
             std::fprintf(stderr, "%s: cannot write trace: %s\n",
                          argv[0], s.toString().c_str());
+        } else if (shards > 1) {
+            // Stitch the supervisor's own trace and every shard's
+            // export into one Perfetto-loadable timeline, each
+            // file's timestamps aligned via its wall-clock anchor.
+            std::vector<fs::path> inputs;
+            inputs.push_back(trace_file);
+            const fs::path control =
+                fs::path(options.output_dir) / ".shards";
+            for (int k = 0; k < shards; ++k)
+                inputs.push_back(shardTracePath(control, k));
+            if (auto st = trace::stitch(inputs, trace_file);
+                !st.isOk()) {
+                std::fprintf(stderr,
+                             "%s: cannot stitch trace: %s\n",
+                             argv[0], st.toString().c_str());
+            } else {
+                std::printf("stitched trace written to %s (open in "
+                            "ui.perfetto.dev or chrome://tracing)\n",
+                            trace_file.c_str());
+            }
         } else {
             std::printf("trace written to %s (open in "
                         "ui.perfetto.dev or chrome://tracing)\n",
                         trace_file.c_str());
         }
+    }
+    if (shard_worker) {
+        // Final snapshot -- the debounced heartbeat writes can be
+        // up to a second stale, and the supervisor's merge wants
+        // this worker's complete counters -- then ring teardown.
+        (void)core::CampaignMetrics::global().writeSnapshot(
+            shardMetricsPath(fs::path(options.output_dir) /
+                                 ".shards",
+                             options.shard_index));
+        flight::close();
     }
     if (!metrics_file.empty()) {
         const auto &m = core::CampaignMetrics::global();
@@ -974,6 +1227,53 @@ main(int argc, char **argv)
     const bool interrupted =
         g_signal != 0 || totals.interrupted > 0 ||
         (shard_outcome && shard_outcome->interrupted);
+
+    // Final status write: the terminal state, counters from the
+    // (merged, in a sharded run) registry.
+    if (reporter) {
+        using metrics::Counter;
+        const bool degraded =
+            !totals.failures.empty() ||
+            (shard_outcome && (shard_outcome->dead > 0 ||
+                               !shard_outcome->leftover.empty()));
+        RunStatus st;
+        st.state = interrupted   ? "interrupted"
+                   : degraded    ? "degraded"
+                                 : "finished";
+        st.points_total = status_total;
+        st.points_done = metrics::value(Counter::PointsCommitted) +
+                         metrics::value(Counter::PointsFailed) +
+                         metrics::value(Counter::PointsSkipped);
+        st.fillCountersFromRegistry();
+        if (shard_outcome) {
+            const fs::path control =
+                fs::path(options.output_dir) / ".shards";
+            for (const ShardState &w : shard_outcome->shards) {
+                RunStatusShard s;
+                s.shard = w.index;
+                s.respawns = w.spawns > 0 ? w.spawns - 1 : 0;
+                s.running = false;
+                s.dead = w.dead;
+                s.heartbeat_age_s = shardHeartbeatAge(
+                    shardHeartbeatPath(control, w.index));
+                st.shards.push_back(s);
+            }
+        }
+        reporter->force(st);
+    }
+
+    // Worker logs, heartbeats, shard traces/metrics, postmortems,
+    // and the default status.json are debugging artifacts; keep the
+    // .shards directory only when something went wrong.
+    if (shard_outcome && shard_outcome->dead == 0 &&
+        shard_outcome->retries == 0 &&
+        shard_outcome->timeouts == 0 &&
+        shard_outcome->leftover.empty() && totals.failures.empty() &&
+        !interrupted) {
+        std::error_code ec;
+        fs::remove_all(fs::path(options.output_dir) / ".shards", ec);
+    }
+
     std::printf("\ncampaign %s: %d CSV files under %s/ "
                 "(%d experiments run, %d resumed-skipped, %zu failed)\n",
                 interrupted ? "INTERRUPTED"

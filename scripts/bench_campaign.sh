@@ -38,6 +38,11 @@
 #                      overhead gate: time the serial leg with and
 #                      without --trace and fail when tracing costs
 #                      more than PCT percent (default 2).
+#   --trace-overhead-sharded [PCT]
+#                      same gate over a 2-shard supervised run: the
+#                      instrumented leg adds per-shard trace export
+#                      plus the supervisor's stitch, and must still
+#                      cost no more than PCT percent (default 2).
 #   --telemetry-overhead [PCT]
 #                      overhead gate: time the serial leg with and
 #                      without --telemetry and fail when probe
@@ -47,7 +52,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-usage() { sed -n '2,42p' "$0" | sed 's/^# \{0,1\}//'; }
+usage() { sed -n '2,47p' "$0" | sed 's/^# \{0,1\}//'; }
 
 MODE=bench
 BUILD_DIR="${BUILD_DIR:-build}"
@@ -65,6 +70,11 @@ while [[ $# -gt 0 ]]; do
             MODE=check; shift ;;
         --trace-overhead)
             MODE=overhead; shift
+            if [[ "${1:-}" =~ ^[0-9]+([.][0-9]+)?$ ]]; then
+                OVERHEAD_LIMIT_PCT="$1"; shift
+            fi ;;
+        --trace-overhead-sharded)
+            MODE=sharded_overhead; shift
             if [[ "${1:-}" =~ ^[0-9]+([.][0-9]+)?$ ]]; then
                 OVERHEAD_LIMIT_PCT="$1"; shift
             fi ;;
@@ -164,10 +174,16 @@ json_field() { # json_field <file> <key>  -> numeric value
 # asserted, while minima are stable. Tracing and telemetry share the
 # harness; they differ only in the instrumented leg's flags, the
 # artifact sanity check, and the budget.
-if [[ "$MODE" == overhead || "$MODE" == telemetry_overhead ]]; then
+if [[ "$MODE" == overhead || "$MODE" == telemetry_overhead ||
+      "$MODE" == sharded_overhead ]]; then
+    BASE_FLAGS=(--jobs 1)
     if [[ "$MODE" == overhead ]]; then
         WHAT=tracing
         LIMIT_PCT="$OVERHEAD_LIMIT_PCT"
+    elif [[ "$MODE" == sharded_overhead ]]; then
+        WHAT="sharded tracing (export + stitch)"
+        LIMIT_PCT="$OVERHEAD_LIMIT_PCT"
+        BASE_FLAGS=(--shards 2 --jobs 1)
     else
         WHAT=telemetry
         LIMIT_PCT="$TELEMETRY_LIMIT_PCT"
@@ -176,28 +192,33 @@ if [[ "$MODE" == overhead || "$MODE" == telemetry_overhead ]]; then
     PLAIN_MIN=""
     INSTR_MIN=""
     for i in 1 2 3; do
-        s="$(run_leg "$WORK/plain$i" --jobs 1)"
+        s="$(run_leg "$WORK/plain$i" "${BASE_FLAGS[@]}")"
         echo "   plain        run $i: ${s}s"
         PLAIN_MIN="$(awk -v a="${PLAIN_MIN:-$s}" -v b="$s" \
             'BEGIN { print (b < a) ? b : a }')"
     done
     for i in 1 2 3; do
-        if [[ "$MODE" == overhead ]]; then
-            s="$(run_leg "$WORK/instr$i" --jobs 1 \
-                --trace "$WORK/trace$i.json")"
+        if [[ "$MODE" == telemetry_overhead ]]; then
+            s="$(run_leg "$WORK/instr$i" "${BASE_FLAGS[@]}" \
+                --telemetry)"
         else
-            s="$(run_leg "$WORK/instr$i" --jobs 1 --telemetry)"
+            s="$(run_leg "$WORK/instr$i" "${BASE_FLAGS[@]}" \
+                --trace "$WORK/trace$i.json")"
         fi
         echo "   instrumented run $i: ${s}s"
         INSTR_MIN="$(awk -v a="${INSTR_MIN:-$s}" -v b="$s" \
             'BEGIN { print (b < a) ? b : a }')"
     done
-    if [[ "$MODE" == overhead ]]; then
-        [[ -s "$WORK/trace1.json" ]] || {
-            echo "   FAIL: no trace was written" >&2; exit 1; }
-    else
+    if [[ "$MODE" == telemetry_overhead ]]; then
         compgen -G "$WORK/instr1/*/*.telemetry.json" >/dev/null || {
             echo "   FAIL: no telemetry.json was written" >&2; exit 1; }
+    else
+        [[ -s "$WORK/trace1.json" ]] || {
+            echo "   FAIL: no trace was written" >&2; exit 1; }
+    fi
+    if [[ "$MODE" == sharded_overhead ]]; then
+        grep -q syncperfStitch "$WORK/trace1.json" || {
+            echo "   FAIL: sharded trace was not stitched" >&2; exit 1; }
     fi
     OVERHEAD_PCT="$(awk -v p="$PLAIN_MIN" -v t="$INSTR_MIN" \
         'BEGIN { printf "%.2f", (p > 0) ? (t - p) / p * 100 : 0 }')"
@@ -289,13 +310,33 @@ done
 SNAPSHOT_FILES="$(find "$WORK/snapimages.r1" -name '*.snap' 2>/dev/null | wc -l)"
 echo "   best of 3: cold-write ${SNAPWRITE_S}s, warm ${SNAPSHOT_S}s (${SNAPSHOT_FILES} images)"
 
+# Untimed status-surface leg: the engine's own final status.json
+# carries its experiments/sec and the layer engagement ratios
+# (sim-cache hit rate, pool warm-clone rate, lane grouping, loop-batch
+# window coverage). Recording them into the baseline JSON makes
+# engagement drift -- a layer silently disengaging -- show up in
+# review even when wall time hides it. Untimed because the leg exists
+# for its JSON, not its clock.
+echo "== bench: status surface leg (--status, untimed) =="
+run_leg "$WORK/statusleg" --jobs 1 --status "$WORK/status.json" >/dev/null
+[[ -s "$WORK/status.json" ]] || {
+    echo "   FAIL: --status wrote no status.json" >&2; exit 1; }
+STATUS_EPS="$(json_field "$WORK/status.json" experiments_per_s)"
+STATUS_SIM_CACHE="$(json_field "$WORK/status.json" sim_cache_hit_ratio)"
+STATUS_POOL_WARM="$(json_field "$WORK/status.json" pool_warm_ratio)"
+STATUS_LANES="$(json_field "$WORK/status.json" lane_grouped_ratio)"
+STATUS_BATCH="$(json_field "$WORK/status.json" loop_batch_window_ratio)"
+echo "   ${STATUS_EPS:-0} exp/s; engagement: sim-cache" \
+     "${STATUS_SIM_CACHE:-0}, pool ${STATUS_POOL_WARM:-0}," \
+     "lanes ${STATUS_LANES:-0}, loop-batch ${STATUS_BATCH:-0}"
+
 # Every repetition of every leg must match the warm baseline tree --
 # reps of the baseline itself included, which doubles as a
 # run-to-run determinism check.
 echo "== bench: byte-identity check =="
 IDENTICAL=true
 for d in "$WORK"/serial.r* "$WORK"/parallel* "$WORK"/nobatch* \
-         "$WORK"/nolanes* "$WORK"/nopool*; do
+         "$WORK"/nolanes* "$WORK"/nopool* "$WORK"/statusleg; do
     [[ -d "$d" ]] || continue
     if ! diff -r "$WORK/serial" "$d" >/dev/null; then
         IDENTICAL=false
@@ -374,6 +415,11 @@ cat > "$OUT_JSON" <<EOF
   "parallel_experiments_per_s": $PARALLEL_EPS,
   "nobatch_experiments_per_s": $NOBATCH_EPS,
   "nolanes_experiments_per_s": $NOLANES_EPS,
+  "status_experiments_per_s": ${STATUS_EPS:-0},
+  "status_sim_cache_hit_ratio": ${STATUS_SIM_CACHE:-0},
+  "status_pool_warm_ratio": ${STATUS_POOL_WARM:-0},
+  "status_lane_grouped_ratio": ${STATUS_LANES:-0},
+  "status_loop_batch_window_ratio": ${STATUS_BATCH:-0},
   "byte_identical": $IDENTICAL
 }
 EOF

@@ -41,7 +41,10 @@ enum class Counter : int
     NoiseRetries,      ///< full re-measures forced by the CoV gate
     FaultsInjected,    ///< faults the injector actually delivered
     FaultsSurvived,    ///< poisoned samples absorbed by the retry budget
-    CheckpointFlushes, ///< manifest.json rewrites (cadence-dependent)
+    CheckpointFlushes, ///< manifest.json rewrites (timing class: the
+                       ///< flush cadence is a supervisor/serial-only
+                       ///< concern, so shard totals never sum to the
+                       ///< serial value)
     SimCacheHits,      ///< sim measurements served from the result cache
     SimCacheMisses,    ///< cacheable sim measurements actually simulated
     LoopBatchIters,    ///< timed iterations advanced algebraically
@@ -91,12 +94,48 @@ bool counterIsDeterministic(Counter c);
 class Registry
 {
   public:
+    /**
+     * Redirect this thread's counter updates into a local buffer
+     * that is only folded into the registry on commit(); destruction
+     * without commit() drops everything captured.
+     *
+     * Sharded campaigns use this to keep the deterministic-counter
+     * sum contract: work that every shard repeats identically (lane
+     * planning, shared reference walks) runs under a capture, and
+     * only the process that owns the work commits it, so merged
+     * per-shard totals still equal a serial run's exactly.
+     */
+    class ScopedCapture
+    {
+      public:
+        explicit ScopedCapture(Registry &registry);
+        ~ScopedCapture();
+
+        ScopedCapture(const ScopedCapture &) = delete;
+        ScopedCapture &operator=(const ScopedCapture &) = delete;
+
+        /** Fold everything captured so far into the registry. */
+        void commit();
+
+      private:
+        friend class Registry;
+
+        Registry &registry_;
+        ScopedCapture *prev_;
+        long long deltas_[counter_count] = {};
+        long long maxes_[counter_count] = {};
+    };
+
     static Registry &global();
 
     /** Add @p delta to @p c (relaxed; exact under concurrency). */
     void
     add(Counter c, long long delta = 1)
     {
+        if (ScopedCapture *cap = t_capture_) {
+            cap->deltas_[static_cast<std::size_t>(c)] += delta;
+            return;
+        }
         slot(c).fetch_add(delta, std::memory_order_relaxed);
     }
 
@@ -123,6 +162,8 @@ class Registry
     {
         return counters_[static_cast<std::size_t>(c)];
     }
+
+    static thread_local ScopedCapture *t_capture_;
 
     std::atomic<long long> counters_[counter_count] = {};
 };

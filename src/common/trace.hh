@@ -31,7 +31,9 @@
 #include <filesystem>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "common/flight_recorder.hh"
 #include "common/status.hh"
 
 namespace syncperf::trace
@@ -66,11 +68,29 @@ enabled()
 }
 #endif
 
+/** A span is live when either sink wants events: an active trace
+ * session or an armed flight recorder. Folds to false when tracing
+ * is compiled out. */
+inline bool
+spanArmed()
+{
+#ifdef SYNCPERF_DISABLE_TRACING
+    return false;
+#else
+    return enabled() || flight::armed();
+#endif
+}
+
 /**
  * Begin recording; events will be exported to @p out_file by stop().
  * Fails when a session is already active.
+ *
+ * @param process_label Optional process track name ("shard-2"). When
+ *     non-empty the export adds a process_name metadata event, and
+ *     stitch() uses it to label the per-shard pid track.
  */
-Status start(std::filesystem::path out_file);
+Status start(std::filesystem::path out_file,
+             std::string process_label = "");
 
 /**
  * Stop recording, sort all buffered events deterministically
@@ -82,6 +102,20 @@ Status stop();
 
 /** True between a successful start() and the matching stop(). */
 bool active();
+
+/**
+ * Merge several exported trace files into one Perfetto-loadable
+ * timeline at @p out_file (which may itself be one of the inputs).
+ *
+ * Each input keeps its own pid track; its event timestamps are
+ * shifted by the difference between its recorded CLOCK_REALTIME
+ * anchor and the earliest anchor across all inputs, aligning the
+ * per-process CLOCK_MONOTONIC timelines onto one axis. Inputs that
+ * do not exist are skipped (a shard that died before flushing);
+ * inputs that fail to parse are an error.
+ */
+Status stitch(const std::vector<std::filesystem::path> &inputs,
+              const std::filesystem::path &out_file);
 
 /**
  * Name the calling thread in the exported trace (a thread_name
@@ -106,7 +140,7 @@ class Span
     explicit Span(std::string_view name,
                   const char *category = "campaign")
     {
-        if (enabled()) {
+        if (spanArmed()) {
             name_ = name;
             category_ = category;
             start_ns_ = detail::nowNanos();

@@ -458,6 +458,43 @@ laneGroupingAllowed(const CampaignOptions &options,
            sim::FaultInjector::active() == nullptr;
 }
 
+/**
+ * Which enumerated points this process will actually emit: its
+ * shard's ordinals plus any points reassigned onto it
+ * (--shard-extra). Lane groups and the planner use this to attribute
+ * counters for work that every process repeats identically (lane
+ * keys, shared reference walks) to exactly one process, which is
+ * what keeps merged per-shard deterministic counters equal to a
+ * serial run's (docs/observability.md, "Sharded counter
+ * attribution").
+ */
+struct LaneOwnership
+{
+    ShardSpec shard;
+    std::unordered_set<std::string> extras;
+
+    bool
+    owns(std::size_t ordinal, const std::string &file) const
+    {
+        return shardOwnsOrdinal(shard, ordinal) ||
+               extras.count(file) > 0;
+    }
+};
+
+LaneOwnership
+makeLaneOwnership(const CampaignOptions &options,
+                  const std::string &system)
+{
+    LaneOwnership own;
+    own.shard = {options.shard_index, options.shard_count};
+    const std::string prefix = system + "/";
+    for (const std::string &key : options.shard_extra) {
+        if (key.rfind(prefix, 0) == 0)
+            own.extras.insert(key.substr(prefix.size()));
+    }
+    return own;
+}
+
 /** One lane's share of a group run. */
 struct LaneProduct
 {
@@ -483,9 +520,11 @@ class OmpLaneGroup
                  const MeasurementConfig &protocol,
                  const std::vector<int> &threads,
                  std::vector<OmpExperiment> exps,
-                 std::shared_ptr<std::atomic<long long>> peels)
+                 std::shared_ptr<std::atomic<long long>> peels,
+                 std::vector<bool> owned, bool commit_ref)
         : cfg_(cfg), protocol_(protocol), threads_(threads),
-          exps_(std::move(exps)), peels_(std::move(peels))
+          exps_(std::move(exps)), peels_(std::move(peels)),
+          owned_(std::move(owned)), commit_ref_(commit_ref)
     {
     }
 
@@ -509,34 +548,60 @@ class OmpLaneGroup
         products_.assign(k, LaneProduct{});
         CpuSimTarget ref(cfg_, protocol_);
         std::vector<std::unique_ptr<CpuSimTarget>> solo(k);
+        std::vector<bool> peeled(k, false);
         bool ref_failed = false;
         for (int n : threads_) {
             // Re-check agreement at this team size before the
             // reference measures it: a lane that stops matching is
             // peeled to its own solo target, seeded exactly where a
-            // never-grouped run of its point would be.
+            // never-grouped run of its point would be. The shared
+            // reference walk repeats in every shard that holds a
+            // member of this group, so its registry counters are
+            // captured and committed only by the process that owns
+            // the group's head lane.
             if (!ref_failed) {
-                const std::uint64_t want = ref.laneKey(exps_[0], n);
-                for (std::size_t i = 1; i < k; ++i) {
-                    if (!solo[i] &&
-                        ref.laneKey(exps_[i], n) != want) {
-                        metrics::add(metrics::Counter::LanePeels);
-                        peels_->fetch_add(1,
-                                          std::memory_order_relaxed);
-                        solo[i] = std::make_unique<CpuSimTarget>(
-                            cfg_, protocol_, ref.seedCursor());
-                    }
-                }
-                const Measurement m = ref.measure(exps_[0], n);
+                std::vector<std::size_t> fresh_peels;
+                std::vector<std::uint64_t> fresh_seeds;
+                Measurement m;
                 TelemetrySample sample;
-                if (protocol_.telemetry)
-                    sample = ref.takeTelemetry();
+                {
+                    metrics::Registry::ScopedCapture cap(
+                        metrics::Registry::global());
+                    const std::uint64_t want =
+                        ref.laneKey(exps_[0], n);
+                    for (std::size_t i = 1; i < k; ++i) {
+                        if (!peeled[i] &&
+                            ref.laneKey(exps_[i], n) != want) {
+                            peeled[i] = true;
+                            fresh_peels.push_back(i);
+                            fresh_seeds.push_back(ref.seedCursor());
+                        }
+                    }
+                    m = ref.measure(exps_[0], n);
+                    if (protocol_.telemetry)
+                        sample = ref.takeTelemetry();
+                    if (commit_ref_)
+                        cap.commit();
+                }
+                for (std::size_t p = 0; p < fresh_peels.size();
+                     ++p) {
+                    const std::size_t i = fresh_peels[p];
+                    peels_->fetch_add(1, std::memory_order_relaxed);
+                    if (!owned_[i])
+                        continue;
+                    // An unowned peeled lane gets no solo target:
+                    // its owning process builds the identical one
+                    // and emits the point.
+                    metrics::add(metrics::Counter::LanePeels);
+                    solo[i] = std::make_unique<CpuSimTarget>(
+                        cfg_, protocol_, fresh_seeds[p]);
+                }
                 if (!m.valid) {
                     // Every in-step lane's solo run would fail the
                     // same way at the same step.
                     ref_failed = true;
                     for (std::size_t i = 0; i < k; ++i) {
-                        if (solo[i])
+                        if (peeled[i])
                             continue;
                         products_[i].status = Status::error(
                             ErrorCode::MeasurementError,
@@ -544,7 +609,7 @@ class OmpLaneGroup
                     }
                 } else {
                     for (std::size_t i = 0; i < k; ++i) {
-                        if (solo[i])
+                        if (peeled[i])
                             continue;
                         products_[i].measurements.push_back(m);
                         if (protocol_.telemetry)
@@ -581,6 +646,8 @@ class OmpLaneGroup
     const std::vector<int> &threads_;
     const std::vector<OmpExperiment> exps_;
     const std::shared_ptr<std::atomic<long long>> peels_;
+    const std::vector<bool> owned_;
+    const bool commit_ref_;
 
     std::mutex mu_;
     bool ran_ = false;
@@ -596,10 +663,12 @@ class CudaLaneGroup
                   const std::vector<int> &block_counts,
                   const std::vector<int> &thread_counts,
                   std::vector<CudaExperiment> exps,
-                  std::shared_ptr<std::atomic<long long>> peels)
+                  std::shared_ptr<std::atomic<long long>> peels,
+                  std::vector<bool> owned, bool commit_ref)
         : cfg_(cfg), protocol_(protocol), block_counts_(block_counts),
           thread_counts_(thread_counts), exps_(std::move(exps)),
-          peels_(std::move(peels))
+          peels_(std::move(peels)), owned_(std::move(owned)),
+          commit_ref_(commit_ref)
     {
     }
 
@@ -622,31 +691,52 @@ class CudaLaneGroup
         products_.assign(k, LaneProduct{});
         GpuSimTarget ref(cfg_, protocol_);
         std::vector<std::unique_ptr<GpuSimTarget>> solo(k);
+        std::vector<bool> peeled(k, false);
         // Kernel decoding is launch-geometry independent, so one
         // agreement check covers the whole sweep; a lane that fails
-        // it peels before any seed is consumed.
-        const std::uint64_t want = ref.laneKey(exps_[0]);
-        for (std::size_t i = 1; i < k; ++i) {
-            if (ref.laneKey(exps_[i]) != want) {
-                metrics::add(metrics::Counter::LanePeels);
-                peels_->fetch_add(1, std::memory_order_relaxed);
-                solo[i] =
-                    std::make_unique<GpuSimTarget>(cfg_, protocol_);
+        // it peels before any seed is consumed. Like the OpenMP
+        // group, the shared walk's counters are committed only by
+        // the process owning the head lane, and solo targets are
+        // built only for owned peeled lanes.
+        {
+            metrics::Registry::ScopedCapture cap(
+                metrics::Registry::global());
+            const std::uint64_t want = ref.laneKey(exps_[0]);
+            for (std::size_t i = 1; i < k; ++i) {
+                if (ref.laneKey(exps_[i]) != want)
+                    peeled[i] = true;
             }
+            if (commit_ref_)
+                cap.commit();
+        }
+        for (std::size_t i = 1; i < k; ++i) {
+            if (!peeled[i])
+                continue;
+            peels_->fetch_add(1, std::memory_order_relaxed);
+            if (!owned_[i])
+                continue;
+            metrics::add(metrics::Counter::LanePeels);
+            solo[i] = std::make_unique<GpuSimTarget>(cfg_, protocol_);
         }
         bool ref_failed = false;
         for (int blocks : block_counts_) {
             for (int n : thread_counts_) {
                 if (!ref_failed) {
-                    const Measurement m =
-                        ref.measure(exps_[0], {blocks, n});
+                    Measurement m;
                     TelemetrySample sample;
-                    if (protocol_.telemetry)
-                        sample = ref.takeTelemetry();
+                    {
+                        metrics::Registry::ScopedCapture cap(
+                            metrics::Registry::global());
+                        m = ref.measure(exps_[0], {blocks, n});
+                        if (protocol_.telemetry)
+                            sample = ref.takeTelemetry();
+                        if (commit_ref_)
+                            cap.commit();
+                    }
                     if (!m.valid) {
                         ref_failed = true;
                         for (std::size_t i = 0; i < k; ++i) {
-                            if (solo[i])
+                            if (peeled[i])
                                 continue;
                             products_[i].status = Status::error(
                                 ErrorCode::MeasurementError,
@@ -655,7 +745,7 @@ class CudaLaneGroup
                         }
                     } else {
                         for (std::size_t i = 0; i < k; ++i) {
-                            if (solo[i])
+                            if (peeled[i])
                                 continue;
                             products_[i].measurements.push_back(m);
                             if (protocol_.telemetry)
@@ -697,29 +787,51 @@ class CudaLaneGroup
     const std::vector<int> &thread_counts_;
     const std::vector<CudaExperiment> exps_;
     const std::shared_ptr<std::atomic<long long>> peels_;
+    const std::vector<bool> owned_;
+    const bool commit_ref_;
 
     std::mutex mu_;
     bool ran_ = false;
     std::vector<LaneProduct> products_;
 };
 
-/** Fold a planned grouping into the counters and the result. */
+/**
+ * Fold a planned grouping into the counters and the result. The
+ * in-memory result keeps the full-plan numbers; the registry
+ * counters only take the points and groups this process owns, so
+ * per-shard counter rows partition the campaign totals exactly.
+ */
 void
 recordLanePlan(const std::vector<LaneGroup> &groups,
-               std::size_t n_points, CampaignResult &result)
+               const std::vector<CampaignRunner::Experiment>
+                   &experiments,
+               const LaneOwnership &own, CampaignResult &result)
 {
-    metrics::add(metrics::Counter::LanePoints,
-                 static_cast<long long>(n_points));
-    metrics::add(metrics::Counter::LaneGroups,
-                 static_cast<long long>(groups.size()));
+    const std::size_t n_points = experiments.size();
     result.lanes.points = static_cast<long long>(n_points);
     result.lanes.groups = static_cast<long long>(groups.size());
+
+    long long owned_points = 0;
+    for (std::size_t ordinal = 0; ordinal < n_points; ++ordinal) {
+        if (own.owns(ordinal, experiments[ordinal].file))
+            ++owned_points;
+    }
+    metrics::add(metrics::Counter::LanePoints, owned_points);
+
+    long long owned_groups = 0;
     for (const LaneGroup &g : groups) {
+        const std::size_t head = g.ordinals.front();
+        const bool head_owned =
+            own.owns(head, experiments[head].file);
+        if (head_owned)
+            ++owned_groups;
         if (g.ordinals.size() == 1) {
-            metrics::add(metrics::Counter::LaneSingletonPoints);
             ++result.lanes.singletons;
+            if (head_owned)
+                metrics::add(metrics::Counter::LaneSingletonPoints);
         }
     }
+    metrics::add(metrics::Counter::LaneGroups, owned_groups);
 }
 
 } // namespace
@@ -872,22 +984,40 @@ runOmpCampaign(const cpusim::CpuConfig &cfg,
     // Width-1 groups keep the untouched solo emit path.
     auto peels = std::make_shared<std::atomic<long long>>(0);
     if (laneGroupingAllowed(options, protocol)) {
-        CpuSimTarget planner_target(cfg, protocol);
-        std::vector<std::uint64_t> keys;
-        keys.reserve(exp_cfgs.size());
-        for (const OmpExperiment &e : exp_cfgs)
-            keys.push_back(planner_target.laneKey(e, threads.back()));
-        const auto groups = planLaneGroups(keys, options.lanes);
-        recordLanePlan(groups, keys.size(), result);
+        const LaneOwnership own = makeLaneOwnership(options, system);
+        std::vector<LaneGroup> groups;
+        {
+            // Every shard re-plans the identical grouping; only
+            // shard 0 commits the planner's decode counters.
+            metrics::Registry::ScopedCapture cap(
+                metrics::Registry::global());
+            CpuSimTarget planner_target(cfg, protocol);
+            std::vector<std::uint64_t> keys;
+            keys.reserve(exp_cfgs.size());
+            for (const OmpExperiment &e : exp_cfgs)
+                keys.push_back(
+                    planner_target.laneKey(e, threads.back()));
+            groups = planLaneGroups(keys, options.lanes);
+            if (options.shard_count <= 1 || options.shard_index == 0)
+                cap.commit();
+        }
+        recordLanePlan(groups, experiments, own, result);
         for (const LaneGroup &g : groups) {
             if (g.ordinals.size() < 2)
                 continue;
             std::vector<OmpExperiment> members;
             members.reserve(g.ordinals.size());
-            for (std::size_t ordinal : g.ordinals)
+            std::vector<bool> owned;
+            owned.reserve(g.ordinals.size());
+            for (std::size_t ordinal : g.ordinals) {
                 members.push_back(exp_cfgs[ordinal]);
+                owned.push_back(own.owns(
+                    ordinal, experiments[ordinal].file));
+            }
+            const bool commit_ref = owned.front();
             auto group = std::make_shared<OmpLaneGroup>(
-                cfg, protocol, threads, std::move(members), peels);
+                cfg, protocol, threads, std::move(members), peels,
+                std::move(owned), commit_ref);
             for (std::size_t lane = 0; lane < g.ordinals.size();
                  ++lane) {
                 CampaignRunner::Experiment &exp =
@@ -1084,23 +1214,40 @@ runCudaCampaign(const gpusim::GpuConfig &cfg,
     // blocks x threads point of an experiment.
     auto peels = std::make_shared<std::atomic<long long>>(0);
     if (laneGroupingAllowed(options, protocol)) {
-        GpuSimTarget planner_target(cfg, protocol);
-        std::vector<std::uint64_t> keys;
-        keys.reserve(exp_cfgs.size());
-        for (const CudaExperiment &e : exp_cfgs)
-            keys.push_back(planner_target.laneKey(e));
-        const auto groups = planLaneGroups(keys, options.lanes);
-        recordLanePlan(groups, keys.size(), result);
+        const LaneOwnership own = makeLaneOwnership(options, system);
+        std::vector<LaneGroup> groups;
+        {
+            // Identical re-plan in every shard; only shard 0
+            // commits the planner's decode counters.
+            metrics::Registry::ScopedCapture cap(
+                metrics::Registry::global());
+            GpuSimTarget planner_target(cfg, protocol);
+            std::vector<std::uint64_t> keys;
+            keys.reserve(exp_cfgs.size());
+            for (const CudaExperiment &e : exp_cfgs)
+                keys.push_back(planner_target.laneKey(e));
+            groups = planLaneGroups(keys, options.lanes);
+            if (options.shard_count <= 1 || options.shard_index == 0)
+                cap.commit();
+        }
+        recordLanePlan(groups, experiments, own, result);
         for (const LaneGroup &g : groups) {
             if (g.ordinals.size() < 2)
                 continue;
             std::vector<CudaExperiment> members;
             members.reserve(g.ordinals.size());
-            for (std::size_t ordinal : g.ordinals)
+            std::vector<bool> owned;
+            owned.reserve(g.ordinals.size());
+            for (std::size_t ordinal : g.ordinals) {
                 members.push_back(exp_cfgs[ordinal]);
+                owned.push_back(own.owns(
+                    ordinal, experiments[ordinal].file));
+            }
+            const bool commit_ref = owned.front();
             auto group = std::make_shared<CudaLaneGroup>(
                 cfg, protocol, block_counts, thread_counts,
-                std::move(members), peels);
+                std::move(members), peels, std::move(owned),
+                commit_ref);
             for (std::size_t lane = 0; lane < g.ordinals.size();
                  ++lane) {
                 CampaignRunner::Experiment &exp =

@@ -17,6 +17,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "common/flight_recorder.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "common/trace.hh"
@@ -82,6 +83,33 @@ fs::path
 shardHeartbeatPath(const fs::path &control_dir, int shard)
 {
     return control_dir / ("shard-" + std::to_string(shard) + ".hb");
+}
+
+fs::path
+shardFlightRecorderPath(const fs::path &control_dir, int shard)
+{
+    return control_dir / ("flight-" + std::to_string(shard) + ".ring");
+}
+
+fs::path
+shardPostmortemPath(const fs::path &control_dir, int shard)
+{
+    return control_dir /
+           ("postmortem.shard-" + std::to_string(shard) + ".json");
+}
+
+fs::path
+shardTracePath(const fs::path &control_dir, int shard)
+{
+    return control_dir /
+           ("trace.shard-" + std::to_string(shard) + ".json");
+}
+
+fs::path
+shardMetricsPath(const fs::path &control_dir, int shard)
+{
+    return control_dir /
+           ("metrics.shard-" + std::to_string(shard) + ".json");
 }
 
 std::string
@@ -189,6 +217,23 @@ ShardSupervisor::run()
         while (reapOne()) {
         }
         watchdog();
+        if (config_.status_tick) {
+            std::vector<ShardLiveStatus> live;
+            live.reserve(workers_.size());
+            for (const Worker &w : workers_) {
+                ShardLiveStatus s;
+                s.index = w.index;
+                s.running = w.phase == Worker::Phase::Running;
+                s.dead = w.phase == Worker::Phase::Dead;
+                s.spawns = w.spawns;
+                s.retries = w.retries;
+                s.heartbeat_age_s = shardHeartbeatAge(
+                    shardHeartbeatPath(config_.control_dir,
+                                       w.index));
+                live.push_back(s);
+            }
+            config_.status_tick(live);
+        }
         const auto now = Clock::now();
         for (Worker &w : workers_) {
             const bool due =
@@ -390,8 +435,32 @@ ShardSupervisor::handleExit(Worker &w, int wstatus)
 }
 
 void
+ShardSupervisor::renderPostmortem(const Worker &w)
+{
+    // Render before any respawn: the next incarnation truncates the
+    // ring at startup. Unit tests drive fake /bin/sh workers that
+    // never open a ring, so a missing file is simply no postmortem.
+    const fs::path ring =
+        shardFlightRecorderPath(config_.control_dir, w.index);
+    std::error_code ec;
+    if (!fs::exists(ring, ec))
+        return;
+    const fs::path out =
+        shardPostmortemPath(config_.control_dir, w.index);
+    if (Status s = flight::renderPostmortem(ring, out);
+        !s.isOk()) {
+        warn("shard {}: postmortem render failed: {}", w.index,
+             s.message());
+    } else {
+        inform("shard {}: postmortem written to {}", w.index,
+               out.string());
+    }
+}
+
+void
 ShardSupervisor::handleCrash(Worker &w, bool timed_out)
 {
+    renderPostmortem(w);
     if (timed_out) {
         ++w.timeouts;
         metrics::add(metrics::Counter::ShardTimeouts);
@@ -417,6 +486,10 @@ ShardSupervisor::handleCrash(Worker &w, bool timed_out)
 void
 ShardSupervisor::markDead(Worker &w)
 {
+    // The usage-error path (exit 2) reaches here without going
+    // through handleCrash; rendering twice just overwrites the same
+    // file.
+    renderPostmortem(w);
     w.phase = Worker::Phase::Dead;
     metrics::add(metrics::Counter::ShardsDead);
     warn("shard {}: abandoned after {} retries (last status {}); "

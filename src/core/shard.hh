@@ -79,6 +79,28 @@ int shardBackoffMs(int attempt, int base_ms, int cap_ms);
 std::filesystem::path
 shardHeartbeatPath(const std::filesystem::path &control_dir, int shard);
 
+/** results/.shards/flight-<k>.ring — the worker's crash flight
+ * recorder (common/flight_recorder.hh). */
+std::filesystem::path
+shardFlightRecorderPath(const std::filesystem::path &control_dir,
+                        int shard);
+
+/** results/.shards/postmortem.shard-<k>.json — rendered by the
+ * supervisor from the flight ring when a shard dies. */
+std::filesystem::path
+shardPostmortemPath(const std::filesystem::path &control_dir,
+                    int shard);
+
+/** results/.shards/trace.shard-<k>.json — the worker's trace
+ * export, stitched into the campaign trace by trace::stitch(). */
+std::filesystem::path
+shardTracePath(const std::filesystem::path &control_dir, int shard);
+
+/** results/.shards/metrics.shard-<k>.json — the worker's metrics
+ * snapshot, merged by CampaignMetrics::foldShardSnapshot(). */
+std::filesystem::path
+shardMetricsPath(const std::filesystem::path &control_dir, int shard);
+
 /** The per-shard append-only commit log's file name,
  * "manifest.shard-<k>.jsonl" (lives in each system directory). */
 std::string shardJournalName(int shard);
@@ -108,6 +130,18 @@ struct ShardSupervisorOptions
 
     /** Supervisor poll cadence (reap, watchdog, spawn). */
     double poll_interval_s = 0.02;
+};
+
+/** One shard's liveness, published to the status-tick hook every
+ * supervisor poll. */
+struct ShardLiveStatus
+{
+    int index = 0;
+    bool running = false;
+    bool dead = false;
+    int spawns = 0;
+    int retries = 0;
+    double heartbeat_age_s = 0.0;
 };
 
 /** Final per-shard account, for the report and the logs. */
@@ -178,6 +212,12 @@ class ShardSupervisor
         /** Cooperative stop (SIGINT/SIGTERM forwarding); polled
          * every loop. May be null. */
         std::function<bool()> cancelled;
+
+        /** Called once per poll loop with every shard's liveness;
+         * the campaign's RunStatusReporter hangs off this. May be
+         * null. */
+        std::function<void(const std::vector<ShardLiveStatus> &)>
+            status_tick;
     };
 
     explicit ShardSupervisor(Config config);
@@ -198,6 +238,7 @@ class ShardSupervisor
     void watchdog();
     void handleExit(Worker &w, int wstatus);
     void handleCrash(Worker &w, bool timed_out);
+    void renderPostmortem(const Worker &w);
     void markDead(Worker &w);
     void reassignFromDead(Worker &dead);
     void terminateAll();

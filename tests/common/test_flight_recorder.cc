@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the crash flight recorder: arming lifecycle, ring
+ * capacity (the last events win), per-thread slot isolation under
+ * concurrent recorders, postmortem schema, and the headline claim --
+ * the mmap'd ring survives SIGKILL, and the crash-handler stamps the
+ * fatal signal for catchable deaths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/flight_recorder.hh"
+#include "common/json.hh"
+
+namespace syncperf::flight
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+class FlightRecorderTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        base_ = fs::temp_directory_path() /
+                ("syncperf_flight_" + std::to_string(::getpid()));
+        fs::remove_all(base_);
+        fs::create_directories(base_);
+        ring_ = base_ / "flight.ring";
+        postmortem_ = base_ / "postmortem.json";
+    }
+
+    void
+    TearDown() override
+    {
+        if (armed())
+            close();
+        fs::remove_all(base_);
+    }
+
+    Options
+    options() const
+    {
+        Options o;
+        o.file = ring_;
+        o.label = "test-proc";
+        return o;
+    }
+
+    /** Render the ring and parse the postmortem; fails on error. */
+    JsonValue
+    rendered(int max_events = 100)
+    {
+        const Status s =
+            renderPostmortem(ring_, postmortem_, max_events);
+        EXPECT_TRUE(s.isOk()) << s.toString();
+        std::ifstream in(postmortem_, std::ios::binary);
+        std::ostringstream bytes;
+        bytes << in.rdbuf();
+        const auto parsed = parseJson(bytes.str());
+        EXPECT_TRUE(parsed.isOk()) << parsed.status().toString();
+        return parsed.isOk() ? parsed.value() : JsonValue();
+    }
+
+    /** Names of the rendered events, in file order. */
+    static std::vector<std::string>
+    eventNames(const JsonValue &root)
+    {
+        std::vector<std::string> out;
+        const auto *events = root.find("events");
+        if (events == nullptr || !events->isArray())
+            return out;
+        for (const auto &e : events->asArray())
+            out.push_back(e.stringOr("name", ""));
+        return out;
+    }
+
+    fs::path base_;
+    fs::path ring_;
+    fs::path postmortem_;
+};
+
+TEST_F(FlightRecorderTest, UnarmedRecordIsANoOp)
+{
+    EXPECT_FALSE(armed());
+    record("ignored", "test", 0, 1);
+    EXPECT_FALSE(fs::exists(ring_));
+}
+
+TEST_F(FlightRecorderTest, RendersPostmortemSchemaAfterClose)
+{
+    ASSERT_TRUE(open(options()).isOk());
+    EXPECT_TRUE(armed());
+    // Record from a fresh thread: slot claims are per-thread and
+    // sticky for the life of the process, so only a new thread is
+    // guaranteed to bump the header's claimed-slot count.
+    std::thread writer([] {
+        record("alpha", "test", 1000, 10);
+        record("beta", "test", 2000, 20);
+    });
+    writer.join();
+    close();
+    EXPECT_FALSE(armed());
+    ASSERT_TRUE(fs::exists(ring_)) << "close() must keep the ring";
+
+    const auto root = rendered();
+    ASSERT_TRUE(root.isObject());
+    EXPECT_EQ(root.stringOr("schema", ""), "syncperf-postmortem-v1");
+    EXPECT_EQ(root.stringOr("label", ""), "test-proc");
+    EXPECT_EQ(root.numberOr("pid", -1.0),
+              static_cast<double>(::getpid()));
+    EXPECT_EQ(root.numberOr("crash_signo", -1.0), 0.0);
+    EXPECT_GE(root.numberOr("threads_recorded", 0.0), 1.0);
+
+    const auto names = eventNames(root);
+    ASSERT_EQ(names.size(), 2u);
+    // Events come out in start-time order.
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "beta");
+}
+
+TEST_F(FlightRecorderTest, RingKeepsTheMostRecentEvents)
+{
+    Options o = options();
+    o.events_per_slot = 8;
+    ASSERT_TRUE(open(o).isOk());
+    for (int i = 0; i < 50; ++i)
+        record("ev-" + std::to_string(i), "test", 1000 * i, 10);
+    close();
+
+    const auto names = eventNames(rendered());
+    ASSERT_EQ(names.size(), 8u) << "ring must cap at its capacity";
+    // The survivors are exactly the newest eight.
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(names[static_cast<std::size_t>(i)],
+                  "ev-" + std::to_string(42 + i));
+}
+
+TEST_F(FlightRecorderTest, RenderHonorsMaxEvents)
+{
+    ASSERT_TRUE(open(options()).isOk());
+    for (int i = 0; i < 20; ++i)
+        record("ev-" + std::to_string(i), "test", 1000 * i, 10);
+    close();
+
+    const auto names = eventNames(rendered(5));
+    ASSERT_EQ(names.size(), 5u);
+    EXPECT_EQ(names.front(), "ev-15");
+    EXPECT_EQ(names.back(), "ev-19");
+}
+
+TEST_F(FlightRecorderTest, ConcurrentThreadsGetTheirOwnSlots)
+{
+    constexpr int threads = 4;
+    constexpr int events_per_thread = 16;
+
+    ASSERT_TRUE(open(options()).isOk());
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([t] {
+            for (int i = 0; i < events_per_thread; ++i)
+                record("w" + std::to_string(t), "test",
+                       1000 * (t * events_per_thread + i), 10);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    close();
+
+    const auto root = rendered(threads * events_per_thread);
+    EXPECT_GE(root.numberOr("threads_recorded", 0.0),
+              static_cast<double>(threads));
+    EXPECT_EQ(eventNames(root).size(),
+              static_cast<std::size_t>(threads * events_per_thread));
+}
+
+TEST_F(FlightRecorderTest, MissingRingFailsCleanly)
+{
+    EXPECT_FALSE(
+        renderPostmortem(base_ / "absent.ring", postmortem_).isOk());
+    EXPECT_FALSE(fs::exists(postmortem_));
+}
+
+TEST_F(FlightRecorderTest, TruncatedRingIsRejectedNotCrashed)
+{
+    ASSERT_TRUE(open(options()).isOk());
+    record("doomed", "test", 0, 1);
+    close();
+    fs::resize_file(ring_, 16); // tear the header itself
+    EXPECT_FALSE(renderPostmortem(ring_, postmortem_).isOk());
+}
+
+/** The headline claim: SIGKILL cannot flush userspace buffers, but
+ * the ring's pages belong to the kernel, so a killed process still
+ * leaves its tail of events for the supervisor to render. */
+TEST_F(FlightRecorderTest, RingSurvivesSigkill)
+{
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        Options o;
+        o.file = ring_;
+        o.label = "victim";
+        if (!open(o).isOk())
+            ::_exit(3);
+        record("last-words", "test", 1000, 10);
+        ::kill(::getpid(), SIGKILL);
+        ::_exit(4); // unreachable
+    }
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(wstatus));
+    ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+    const auto root = rendered();
+    EXPECT_EQ(root.stringOr("label", ""), "victim");
+    EXPECT_EQ(root.numberOr("pid", -1.0),
+              static_cast<double>(child));
+    // SIGKILL is never delivered to a handler: no signal stamp.
+    EXPECT_EQ(root.numberOr("crash_signo", -1.0), 0.0);
+    const auto names = eventNames(root);
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "last-words");
+}
+
+/** Catchable fatal signals get stamped into the header by the crash
+ * handlers before the default disposition kills the process. */
+TEST_F(FlightRecorderTest, CrashHandlerStampsTheSignal)
+{
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        Options o;
+        o.file = ring_;
+        o.label = "aborter";
+        if (!open(o).isOk())
+            ::_exit(3);
+        installCrashHandlers();
+        record("before-abort", "test", 1000, 10);
+        ::raise(SIGABRT);
+        ::_exit(4); // unreachable
+    }
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(wstatus));
+    ASSERT_EQ(WTERMSIG(wstatus), SIGABRT);
+
+    const auto root = rendered();
+    EXPECT_EQ(root.numberOr("crash_signo", -1.0),
+              static_cast<double>(SIGABRT));
+    const auto names = eventNames(root);
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "before-abort");
+}
+
+} // namespace
+} // namespace syncperf::flight

@@ -1,0 +1,231 @@
+#!/usr/bin/env bash
+# End-to-end checks for campaign-wide observability
+# (docs/observability.md, "Sharded campaigns"):
+#
+#   1. metrics merging: the merged metrics.json of --shards {1,2,4}
+#      carries deterministic counters identical to the serial run's,
+#      and the supervisor + per-shard partition rows survive the
+#      check_metrics.py shard-partition gate;
+#   2. trace stitching: a sharded run's trace.json is loadable JSON
+#      with one pid track per shard plus the supervisor, and the
+#      clock-aligned timestamps are non-negative and per-pid
+#      monotonic;
+#   3. live status: status.json parses as syncperf-status-v1 at every
+#      mid-run poll (atomic rewrites -- a reader can never observe a
+#      torn file) and finishes with done == total;
+#   4. crash observability: a kill-injected run still stitches a
+#      loadable trace, renders a non-empty postmortem from the dead
+#      shard's flight ring, and reports a degraded final status.
+#
+# Usage: test_observability_campaign.sh <path-to-campaign-binary>
+set -u
+
+CAMPAIGN=${1:?usage: $0 <campaign-binary>}
+SCRIPTS_DIR=$(cd "$(dirname "$0")/../../scripts" && pwd)
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/syncperf_obs_XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+PY=python3
+
+FAILURES=0
+fail() {
+    echo "FAIL: $*" >&2
+    FAILURES=$((FAILURES + 1))
+}
+
+run() {
+    # Run a campaign leg, keeping its log for the failure report.
+    local log=$1
+    shift
+    "$CAMPAIGN" "$@" >"$WORK/$log" 2>&1
+}
+
+dump_log() {
+    echo "---- $1 (last 30 lines) ----" >&2
+    tail -n 30 "$WORK/$1" >&2 || true
+}
+
+same_tree() {
+    diff -r --exclude=.shards "$1" "$2" >"$WORK/diff.txt" 2>&1
+}
+
+# Every counter in either snapshot's "counters" section (the
+# deterministic class) must match exactly.
+same_counters() {
+    $PY -c '
+import json, sys
+a = json.load(open(sys.argv[1]))["counters"]
+b = json.load(open(sys.argv[2]))["counters"]
+diff = {k: (a.get(k), b.get(k))
+        for k in set(a) | set(b) if a.get(k) != b.get(k)}
+if diff:
+    print("counter mismatch:", diff)
+    sys.exit(1)
+' "$1" "$2"
+}
+
+# A stitched trace must carry expected_inputs pid tracks (one per
+# shard plus the supervisor) and clock-aligned, per-pid monotonic,
+# non-negative timestamps.
+check_stitched_trace() { # <file> <expected_inputs>
+    $PY -c '
+import json, sys
+t = json.load(open(sys.argv[1]))
+want = int(sys.argv[2])
+assert t["syncperfStitch"]["inputs"] == want, t["syncperfStitch"]
+names = {e["args"]["name"] for e in t["traceEvents"]
+         if e.get("name") == "process_name"}
+shards = {n for n in names if n.startswith("shard-")}
+assert len(shards) == want - 1, names
+assert "supervisor" in names, names
+last = {}
+for e in t["traceEvents"]:
+    if e.get("ph") != "X":
+        continue
+    assert e["ts"] >= 0, ("negative aligned timestamp", e)
+    pid = e["pid"]
+    assert e["ts"] >= last.get(pid, -1.0), \
+        ("per-pid timestamps regressed", e)
+    last[pid] = e["ts"]
+print("   %d tracks, %d pids monotonic" % (len(names), len(last)))
+' "$1" "$2"
+}
+
+# ------------------------------------------- 1. metrics merge matrix
+
+echo "== serial reference: --jobs 1 --metrics"
+if ! run serial.log omp --only threadripper --out "$WORK/serial" \
+        --jobs 1 --metrics "$WORK/metrics-serial.json"; then
+    dump_log serial.log
+    fail "serial campaign exited non-zero"
+fi
+
+for shards in 1 2 4; do
+    leg="s$shards"
+    echo "== merge: --shards $shards --jobs 2 --metrics"
+    if ! run "$leg.log" omp --only threadripper --out "$WORK/$leg" \
+            --shards "$shards" --jobs 2 \
+            --metrics "$WORK/metrics-$leg.json" \
+            --trace "$WORK/trace-$leg.json"; then
+        dump_log "$leg.log"
+        fail "--shards $shards exited non-zero"
+        continue
+    fi
+    if ! same_tree "$WORK/serial" "$WORK/$leg"; then
+        cat "$WORK/diff.txt" >&2
+        fail "--shards $shards tree differs from serial"
+    fi
+    if ! same_counters "$WORK/metrics-serial.json" \
+            "$WORK/metrics-$leg.json"; then
+        fail "--shards $shards merged counters differ from serial"
+    fi
+    if [ "$shards" -gt 1 ]; then
+        if ! $PY "$SCRIPTS_DIR/check_metrics.py" \
+                "$WORK/metrics-$leg.json"; then
+            fail "--shards $shards snapshot failed check_metrics.py"
+        fi
+        if ! check_stitched_trace "$WORK/trace-$leg.json" \
+                "$((shards + 1))"; then
+            fail "--shards $shards stitched trace invalid"
+        fi
+    fi
+done
+
+# --------------------------------------- 2. live status, polled hot
+
+echo "== status: polled while a 2-shard campaign runs"
+"$CAMPAIGN" omp --only threadripper --out "$WORK/live" \
+    --shards 2 --jobs 2 --status "$WORK/status.json" \
+    --status-interval 0.05 --progress \
+    >"$WORK/live.log" 2>&1 &
+pid=$!
+good_polls=0
+bad_polls=0
+while kill -0 "$pid" 2>/dev/null; do
+    if [ -s "$WORK/status.json" ]; then
+        if $PY -c '
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "syncperf-status-v1"
+assert d["points"]["done"] <= d["points"]["total"]
+' "$WORK/status.json" 2>/dev/null; then
+            good_polls=$((good_polls + 1))
+        else
+            bad_polls=$((bad_polls + 1))
+        fi
+    fi
+    sleep 0.02
+done
+if ! wait "$pid"; then
+    dump_log live.log
+    fail "status-reporting campaign exited non-zero"
+fi
+echo "   $good_polls clean mid-run polls, $bad_polls torn"
+[ "$bad_polls" -eq 0 ] ||
+    fail "status.json failed validation mid-run ($bad_polls polls)"
+if ! $PY -c '
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "syncperf-status-v1"
+assert d["state"] == "finished", d["state"]
+assert d["points"]["done"] == d["points"]["total"], d["points"]
+for key, value in d["engagement"].items():
+    assert 0.0 <= value <= 1.0, (key, value)
+assert len(d["shards"]) == 2, d["shards"]
+' "$WORK/status.json"; then
+    fail "final status.json invalid"
+fi
+grep -q "^\[status\]" "$WORK/live.log" ||
+    fail "--progress wrote no status lines"
+
+# ----------------------------- 3. kill-injected crash observability
+
+echo "== crash: shard 1 SIGKILLed every life, postmortem rendered"
+if ! SYNCPERF_FAULT_KILL_SHARD="1:2" \
+        run kill.log omp --only threadripper --out "$WORK/kill" \
+        --shards 2 --jobs 2 --shard-max-retries 1 \
+        --shard-backoff-ms 50 --trace "$WORK/trace-kill.json" \
+        --status "$WORK/status-kill.json"; then
+    dump_log kill.log
+    fail "kill-injected campaign exited non-zero"
+else
+    if ! same_tree "$WORK/serial" "$WORK/kill"; then
+        cat "$WORK/diff.txt" >&2
+        fail "kill-injected tree differs from serial"
+    fi
+    # The dead shard never flushed a trace; the stitch must still
+    # produce loadable JSON from what survived.
+    if ! $PY -c 'import json, sys; json.load(open(sys.argv[1]))' \
+            "$WORK/trace-kill.json"; then
+        fail "kill-injected stitched trace unloadable"
+    fi
+    pm=$(ls "$WORK/kill/.shards"/postmortem.shard-*.json 2>/dev/null |
+         head -n 1)
+    if [ -z "$pm" ]; then
+        fail "no postmortem rendered for the killed shard"
+    elif ! $PY -c '
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "syncperf-postmortem-v1", d.get("schema")
+assert d["events"], "postmortem has no events"
+print("   postmortem: %s, %d events" % (d["label"], len(d["events"])))
+' "$pm"; then
+        fail "postmortem unreadable or empty"
+    fi
+    if ! $PY -c '
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["state"] == "degraded", d["state"]
+assert any(s["dead"] for s in d["shards"]), d["shards"]
+' "$WORK/status-kill.json"; then
+        fail "final status does not record the degraded shard"
+    fi
+fi
+
+# -------------------------------------------------------------------
+
+if [ "$FAILURES" -ne 0 ]; then
+    echo "$FAILURES observability check(s) failed" >&2
+    exit 1
+fi
+echo "all observability checks passed"
